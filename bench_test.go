@@ -1,0 +1,178 @@
+package cloudcache
+
+// The benchmark harness regenerates every figure of the paper's evaluation
+// (§VII) as testing.B benchmarks. Figures 4 and 5 come from the same
+// simulation grid — Figure 4 reads operating cost, Figure 5 mean response —
+// so each Fig4/Fig5 benchmark runs one (scheme, interval) cell and reports
+// both values as custom metrics:
+//
+//	cost-$        total operating cost of the run (Fig. 4 bar)
+//	resp-sec      mean response time in seconds (Fig. 5 bar)
+//
+// Benchmarks run on a reduced stream (benchQueries) so `go test -bench .`
+// completes in minutes; `cmd/figures` regenerates the full-scale tables.
+// The ablation benchmarks cover the design choices DESIGN.md calls out.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// benchQueries keeps one grid cell to roughly a second of wall time.
+const benchQueries = 40_000
+
+// benchSettings is the shared figure-grid configuration.
+func benchSettings() Settings {
+	return Settings{
+		Queries: benchQueries,
+		Seed:    42,
+	}
+}
+
+// runCellBench runs one figure cell per benchmark iteration and reports the
+// Fig. 4 / Fig. 5 values as custom metrics.
+func runCellBench(b *testing.B, scheme string, interval time.Duration) {
+	b.Helper()
+	var lastCost, lastResp float64
+	for i := 0; i < b.N; i++ {
+		cell, err := experiments.RunCell(benchSettings(), scheme, interval)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastCost = cell.Cost().Dollars()
+		lastResp = cell.MeanResponseSeconds()
+	}
+	b.ReportMetric(lastCost, "cost-$")
+	b.ReportMetric(lastResp, "resp-sec")
+	b.ReportMetric(float64(benchQueries)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// --- Figure 4 + Figure 5: the scheme × interval grid ---------------------
+
+func BenchmarkFig4Fig5(b *testing.B) {
+	for _, interval := range []time.Duration{time.Second, 10 * time.Second, 30 * time.Second, 60 * time.Second} {
+		for _, scheme := range experiments.SchemeNames {
+			b.Run(fmt.Sprintf("%s/interval=%ds", scheme, int(interval.Seconds())), func(b *testing.B) {
+				runCellBench(b, scheme, interval)
+			})
+		}
+	}
+}
+
+// --- Ablation A: regret fraction a (Eq. 3) -------------------------------
+
+func BenchmarkAblationRegretFraction(b *testing.B) {
+	for _, a := range []float64{0.001, 0.005, 0.05} {
+		b.Run(fmt.Sprintf("a=%g", a), func(b *testing.B) {
+			var lastCost, lastResp float64
+			for i := 0; i < b.N; i++ {
+				s := benchSettings()
+				s.Params.RegretFraction = a
+				cell, err := experiments.RunCell(s, "econ-cheap", time.Second)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lastCost = cell.Cost().Dollars()
+				lastResp = cell.MeanResponseSeconds()
+			}
+			b.ReportMetric(lastCost, "cost-$")
+			b.ReportMetric(lastResp, "resp-sec")
+		})
+	}
+}
+
+// --- Ablation B: budget shapes (Fig. 1) ----------------------------------
+
+func BenchmarkAblationBudgetShape(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationBudgetShape(benchSettings(), time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation C: network throughput --------------------------------------
+
+func BenchmarkAblationNetworkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationNetworkThroughput(benchSettings(), []float64{5, 25, 100}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation D: bypass cache fraction (30 % ideal, [14]) ----------------
+
+func BenchmarkAblationCacheFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationCacheFraction(benchSettings(), []float64{0.15, 0.30, 0.45}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation E: amortization horizon n (Eq. 7, the paper's open problem) -
+
+func BenchmarkAblationAmortization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.AblationAmortization(benchSettings(), []int64{10_000, 100_000}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Microbenchmarks on the per-query hot path ----------------------------
+
+// BenchmarkQueryPipeline measures the end-to-end cost of handling one query
+// through the full economy (enumeration + selection + settlement + regret).
+func BenchmarkQueryPipeline(b *testing.B) {
+	cat := PaperCatalog()
+	s, err := NewEconCheap(DefaultParams(cat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := NewWorkload(WorkloadConfig{
+		Catalog: cat,
+		Seed:    1,
+		Arrival: FixedArrival(time.Second),
+		Budgets: PaperBudgets(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.HandleQuery(gen.Next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGeneration measures query-stream generation alone.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	gen, err := NewWorkload(WorkloadConfig{
+		Catalog: PaperCatalog(),
+		Seed:    1,
+		Arrival: FixedArrival(time.Second),
+		Budgets: PaperBudgets(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gen.Next()
+	}
+}
+
+// BenchmarkBudgetEval measures a budget-function evaluation.
+func BenchmarkBudgetEval(b *testing.B) {
+	f := ConcaveBudget(Dollars(0.01), 60*time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.At(time.Duration(i%60) * time.Second)
+	}
+}

@@ -1,0 +1,172 @@
+package cloudcache
+
+import (
+	"testing"
+	"time"
+)
+
+// These are the repository's integration tests: they exercise the public
+// facade end to end on a reduced catalog, and verify the paper's headline
+// orderings on short runs where they already hold.
+
+func testWorkload(t *testing.T, cat *Catalog, gap time.Duration, n int) *Generator {
+	t.Helper()
+	g, err := NewWorkload(WorkloadConfig{
+		Catalog: cat,
+		Seed:    11,
+		Arrival: FixedArrival(gap),
+		Budgets: PaperBudgets(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cat := TPCH(100)
+	s, err := NewEconCheap(DefaultParams(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(SimConfig{
+		Scheme:   s,
+		Workload: testWorkload(t, cat, time.Second, 2000),
+		Queries:  2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SchemeName != "econ-cheap" || rep.Queries != 2000 {
+		t.Errorf("report header: %+v", rep)
+	}
+	if !rep.OperatingCost.IsPositive() {
+		t.Error("no operating cost")
+	}
+	if rep.Response.N() == 0 {
+		t.Error("no response samples")
+	}
+}
+
+func TestAllSchemesConstructible(t *testing.T) {
+	cat := TPCH(10)
+	p := DefaultParams(cat)
+	for _, name := range SchemeNames() {
+		s, err := NewScheme(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("name mismatch: %q vs %q", s.Name(), name)
+		}
+	}
+	if _, err := NewScheme("nope", p); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestBudgetConstructors(t *testing.T) {
+	price := Dollars(1)
+	tmax := 10 * time.Second
+	for _, b := range []BudgetFunc{
+		StepBudget(price, tmax),
+		LinearBudget(price, tmax),
+		ConvexBudget(price, tmax),
+		ConcaveBudget(price, tmax),
+	} {
+		if b.Tmax() != tmax {
+			t.Errorf("Tmax = %v", b.Tmax())
+		}
+		v := b.At(time.Second)
+		if v.IsNegative() || v > price {
+			t.Errorf("At out of range: %v", v)
+		}
+	}
+}
+
+func TestPaperCatalogAndTemplates(t *testing.T) {
+	cat := PaperCatalog()
+	if got := cat.TotalBytes(); got < 2_400_000_000_000 || got > 2_600_000_000_000 {
+		t.Errorf("paper catalog = %d bytes, want ~2.5TB", got)
+	}
+	if len(PaperTemplates()) != 7 {
+		t.Error("want 7 templates")
+	}
+	if len(PaperIntervals()) != 4 {
+		t.Error("want 4 intervals")
+	}
+}
+
+func TestPricingPresets(t *testing.T) {
+	ec2 := EC2Pricing()
+	if !ec2.CPUPerHour.IsPositive() || !ec2.DiskPerGBMonth.IsPositive() {
+		t.Error("EC2 preset incomplete")
+	}
+	netOnly := NetOnlyPricing()
+	if !netOnly.CPUPerHour.IsZero() || netOnly.NetworkPerGB.IsZero() {
+		t.Error("net-only preset wrong")
+	}
+}
+
+func TestReproduceFiguresSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure grid in -short mode")
+	}
+	cells, fig4, fig5, err := ReproduceFigures(Settings{
+		Catalog:     TPCH(100),
+		Queries:     3000,
+		Seed:        5,
+		Intervals:   []time.Duration{time.Second},
+		PhaseLength: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	if fig4.Rows() != 1 || fig5.Rows() != 1 {
+		t.Error("tables malformed")
+	}
+}
+
+// TestPaperHeadlineOrderings verifies the §VII-B claims that hold on short
+// 1 s-interval runs at reduced scale: the economy answers more queries in
+// the cache than bypass and delivers faster mean responses once indexes are
+// available. The full-scale shape record lives in EXPERIMENTS.md.
+func TestPaperHeadlineOrderings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering run in -short mode")
+	}
+	cat := TPCH(200)
+	const n = 20000
+	run := func(name string) *Report {
+		p := DefaultParams(cat)
+		p.RegretFraction = 0.0005 // proportionate to the reduced scale
+		s, err := NewScheme(name, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(SimConfig{
+			Scheme:   s,
+			Workload: testWorkload(t, cat, time.Second, n),
+			Queries:  n,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cheap := run("econ-cheap")
+	col := run("econ-col")
+	fast := run("econ-fast")
+
+	if cheap.Response.Mean() >= col.Response.Mean() {
+		t.Errorf("econ-cheap (%0.2fs) not faster than econ-col (%0.2fs)",
+			cheap.Response.Mean(), col.Response.Mean())
+	}
+	if fast.Response.Mean() > cheap.Response.Mean()*1.05 {
+		t.Errorf("econ-fast (%0.2fs) slower than econ-cheap (%0.2fs)",
+			fast.Response.Mean(), cheap.Response.Mean())
+	}
+}

@@ -1,0 +1,98 @@
+// Command cloudsim runs one caching scheme against a synthetic scientific
+// workload and prints the full accounting: operating cost by resource,
+// response-time distribution, cache behaviour and the economy's account.
+//
+// Usage:
+//
+//	cloudsim [-scheme bypass|econ-col|econ-cheap|econ-fast] [-queries N]
+//	         [-interval D] [-seed S] [-arrival fixed|poisson] [-dbsize bytes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/experiments"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "econ-cheap", "caching scheme: bypass, econ-col, econ-cheap, econ-fast")
+	queries := flag.Int("queries", 100_000, "queries to simulate")
+	interval := flag.Duration("interval", time.Second, "inter-query interval")
+	seed := flag.Int64("seed", 1, "workload seed")
+	arrival := flag.String("arrival", "fixed", "arrival process: fixed or poisson")
+	dbBytes := flag.Int64("dbsize", catalog.PaperDatabaseBytes, "back-end database size in bytes")
+	flag.Parse()
+
+	cat := catalog.TPCH(catalog.ScaleFactorForBytes(*dbBytes))
+	sch, err := experiments.NewScheme(*schemeName, scheme.DefaultParams(cat))
+	if err != nil {
+		fail(err)
+	}
+
+	var proc workload.ArrivalProcess
+	switch *arrival {
+	case "fixed":
+		proc = workload.NewFixedArrival(*interval)
+	case "poisson":
+		proc = workload.NewPoissonArrival(*interval)
+	default:
+		fail(fmt.Errorf("unknown arrival process %q", *arrival))
+	}
+
+	gen, err := workload.NewGenerator(workload.Config{
+		Catalog: cat,
+		Seed:    *seed,
+		Arrival: proc,
+		Budgets: experiments.PaperBudgetPolicy(),
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	start := time.Now()
+	rep, err := sim.Run(sim.Config{
+		Scheme:    sch,
+		Generator: gen,
+		Queries:   *queries,
+		OnProgress: func(done int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d queries", done, *queries)
+		},
+		ProgressEvery: 25_000,
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	fmt.Printf("scheme            %s\n", rep.SchemeName)
+	fmt.Printf("queries           %d (declined %d)\n", rep.Queries, rep.Declined)
+	fmt.Printf("simulated span    %s\n", rep.Elapsed.Round(time.Second))
+	fmt.Printf("wall time         %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println()
+	fmt.Printf("operating cost    %s\n", rep.OperatingCost)
+	fmt.Printf("  execution       %s\n", rep.ExecCost)
+	fmt.Printf("  builds          %s\n", rep.BuildCost)
+	fmt.Printf("  storage rent    %s\n", rep.StorageCost)
+	fmt.Printf("  node uptime     %s\n", rep.NodeCost)
+	fmt.Printf("revenue           %s (profit %s)\n", rep.Revenue, rep.Profit)
+	fmt.Println()
+	fmt.Printf("mean response     %.2fs\n", rep.Response.Mean())
+	fmt.Printf("p50 / p95 / p99   %.2fs / %.2fs / %.2fs\n",
+		rep.Response.Percentile(50), rep.Response.Percentile(95), rep.Response.Percentile(99))
+	fmt.Printf("cache answered    %d (%.1f%%)\n", rep.CacheAnswered,
+		100*float64(rep.CacheAnswered)/float64(rep.Queries))
+	fmt.Printf("investments       %d (failures %d)\n", rep.Investments, rep.Failures)
+	fmt.Printf("resident at end   %.1f GB\n", float64(rep.FinalResidentBytes)/(1<<30))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cloudsim:", err)
+	os.Exit(1)
+}

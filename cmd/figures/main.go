@@ -1,0 +1,99 @@
+// Command figures regenerates the evaluation of "An economic model for
+// self-tuned cloud caching" (ICDE 2009): Figure 4 (operating cost of four
+// caching schemes at 1/10/30/60 s inter-query intervals), Figure 5 (average
+// response time at the same points) and the ablation tables of DESIGN.md.
+//
+// Usage:
+//
+//	figures [-fig grid|ablation-a|ablation-budget|ablation-net|ablation-cachesize|ablation-amort|all]
+//	        [-queries N] [-seed S] [-interval D]
+//
+// The default 150000-query stream regenerates the full grid in about half a
+// minute; the paper's million-query evolution sharpens the same shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "grid", "which figure to regenerate: grid (Fig. 4+5), ablation-a, ablation-budget, ablation-net, ablation-cachesize, ablation-amort, all")
+	queries := flag.Int("queries", 150_000, "queries per simulation run")
+	seed := flag.Int64("seed", 42, "workload seed")
+	interval := flag.Duration("interval", time.Second, "inter-query interval for ablations")
+	verbose := flag.Bool("v", false, "print per-cell progress")
+	flag.Parse()
+
+	s := experiments.Settings{Queries: *queries, Seed: *seed}
+	if *verbose {
+		s.OnProgress = func(line string) { fmt.Println(line) }
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "grid":
+			cells, err := experiments.RunGrid(s)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Figure 4 — operating cost of the caching schemes")
+			fmt.Println(experiments.Fig4Table(cells))
+			fmt.Println("Figure 5 — average response time of the caching schemes")
+			fmt.Println(experiments.Fig5Table(cells))
+		case "ablation-a":
+			t, _, err := experiments.AblationRegretFraction(s, nil, *interval)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Ablation A — regret fraction a (Eq. 3), econ-cheap")
+			fmt.Println(t)
+		case "ablation-budget":
+			t, _, err := experiments.AblationBudgetShape(s, *interval)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Ablation B — user budget shapes (Fig. 1), econ-cheap")
+			fmt.Println(t)
+		case "ablation-net":
+			t, _, err := experiments.AblationNetworkThroughput(s, nil, *interval)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Ablation C — WAN throughput, econ-cheap")
+			fmt.Println(t)
+		case "ablation-cachesize":
+			t, _, err := experiments.AblationCacheFraction(s, nil, *interval)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Ablation D — bypass cache size (30% ideal per [14])")
+			fmt.Println(t)
+		case "ablation-amort":
+			t, _, err := experiments.AblationAmortization(s, nil, *interval)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Ablation E — amortization horizon n (Eq. 7)")
+			fmt.Println(t)
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		return nil
+	}
+
+	targets := []string{*fig}
+	if *fig == "all" {
+		targets = []string{"grid", "ablation-a", "ablation-budget", "ablation-net", "ablation-cachesize", "ablation-amort"}
+	}
+	for _, name := range targets {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+}

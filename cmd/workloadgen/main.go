@@ -1,0 +1,86 @@
+// Command workloadgen generates a query trace and writes it as CSV, for
+// inspection or for replay by external tools. Each row records the arrival
+// time, template, selectivity, sizing and headline budget of one query.
+//
+// Usage:
+//
+//	workloadgen [-queries N] [-interval D] [-seed S] [-arrival fixed|poisson]
+//	            [-theta Z] [-phase N] [-o trace.csv]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	queries := flag.Int("queries", 10_000, "queries to generate")
+	interval := flag.Duration("interval", time.Second, "inter-query interval")
+	seed := flag.Int64("seed", 1, "stream seed")
+	arrival := flag.String("arrival", "fixed", "arrival process: fixed or poisson")
+	theta := flag.Float64("theta", 1.1, "Zipf skew of template popularity")
+	phase := flag.Int("phase", 20_000, "queries per workload-evolution phase")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	cat := catalog.Paper()
+	var proc workload.ArrivalProcess
+	switch *arrival {
+	case "fixed":
+		proc = workload.NewFixedArrival(*interval)
+	case "poisson":
+		proc = workload.NewPoissonArrival(*interval)
+	default:
+		fail(fmt.Errorf("unknown arrival process %q", *arrival))
+	}
+	gen, err := workload.NewGenerator(workload.Config{
+		Catalog:     cat,
+		Seed:        *seed,
+		Arrival:     proc,
+		Budgets:     experiments.PaperBudgetPolicy(),
+		Theta:       *theta,
+		PhaseLength: *phase,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	fmt.Fprintln(bw, "id,arrival_s,template,selectivity,scan_bytes,result_bytes,budget_usd,budget_tmax_s")
+	for i := 0; i < *queries; i++ {
+		q := gen.Next()
+		scan, err := q.ScanBytes(cat)
+		if err != nil {
+			fail(err)
+		}
+		result, _ := q.ResultBytes(cat)
+		fmt.Fprintf(bw, "%d,%.3f,%s,%.6g,%d,%d,%.6f,%.0f\n",
+			q.ID, q.Arrival.Seconds(), q.Template.Name, q.Selectivity,
+			scan, result,
+			q.Budget.At(time.Millisecond).Dollars(), q.Budget.Tmax().Seconds())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Budgets: the user side of the economy (§IV-C, Fig. 1). This example
+// evaluates the three canonical budget shapes the paper sketches — step,
+// convex and concave — and shows how the shape decides which query plan an
+// altruistic cloud can offer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	cloudcache "repro"
+)
+
+func main() {
+	price := cloudcache.Dollars(0.05)
+	tmax := 20 * time.Second
+
+	shapes := []struct {
+		name string
+		fn   cloudcache.BudgetFunc
+		note string
+	}{
+		{"step", cloudcache.StepBudget(price, tmax), "Fig. 1(a): flat until the deadline — the paper's experiments"},
+		{"linear", cloudcache.LinearBudget(price, tmax), "reference chord between the two curved shapes"},
+		{"convex", cloudcache.ConvexBudget(price, tmax), "Fig. 1(b): impatient — premium only for fast answers"},
+		{"concave", cloudcache.ConcaveBudget(price, tmax), "Fig. 1(c): deadline user — full price until close to tmax"},
+	}
+
+	// Render each budget as a row of values over the support.
+	fmt.Printf("budget value by promised execution time (price %s, tmax %s)\n\n", price, tmax)
+	fmt.Printf("%-8s", "t")
+	for t := 2 * time.Second; t <= tmax; t += 2 * time.Second {
+		fmt.Printf("%8.0fs", t.Seconds())
+	}
+	fmt.Println()
+	for _, s := range shapes {
+		fmt.Printf("%-8s", s.name)
+		for t := 2 * time.Second; t <= tmax; t += 2 * time.Second {
+			fmt.Printf("%9s", s.fn.At(t))
+		}
+		fmt.Printf("   %s\n", s.note)
+	}
+
+	// The shape decides what the cloud can offer. Simulate two plans:
+	// a fast expensive one and a slow cheap one, and see which budgets
+	// afford which (the case analysis of §IV-C).
+	fmt.Println("\nplan affordability (case analysis of §IV-C):")
+	plans := []struct {
+		name  string
+		t     time.Duration
+		price cloudcache.Amount
+	}{
+		{"fast-index-plan", 3 * time.Second, cloudcache.Dollars(0.04)},
+		{"slow-backend-plan", 16 * time.Second, cloudcache.Dollars(0.012)},
+	}
+	for _, s := range shapes {
+		var afford []string
+		for _, p := range plans {
+			if s.fn.At(p.t) >= p.price {
+				afford = append(afford, p.name)
+			}
+		}
+		caseLabel := "C (some plans)"
+		switch len(afford) {
+		case 0:
+			caseLabel = "A (nothing affordable)"
+		case len(plans):
+			caseLabel = "B (everything affordable)"
+		}
+		fmt.Printf("  %-8s case %-24s affords: %s\n", s.name, caseLabel, strings.Join(afford, ", "))
+	}
+
+	// Custom piecewise budgets compose the shapes.
+	fmt.Println("\na custom piecewise budget validates as long as it is non-increasing:")
+	custom, err := cloudcache.NewWorkload(cloudcache.WorkloadConfig{
+		Catalog: cloudcache.TPCH(1),
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := custom.Next()
+	fmt.Printf("  generated %s carries a %T budget paying %s within %s\n",
+		q.Template.Name, q.Budget, q.Budget.At(time.Second), q.Budget.Tmax())
+}

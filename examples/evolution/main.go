@@ -1,0 +1,77 @@
+// Evolution: how the economy adapts when the workload drifts. The paper's
+// viability argument (§VI) requires temporal locality but also survives its
+// change — the regret ledger notices the new hot templates and invests,
+// while rent-vs-yield eviction retires the structures of the old ones.
+//
+// This example runs econ-cheap against a stream with aggressive phase
+// rotation and prints, per phase, what the cache holds and how response
+// times move.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cloudcache "repro"
+)
+
+func main() {
+	cat := cloudcache.TPCH(300) // reduced scale keeps this example quick
+	params := cloudcache.DefaultParams(cat)
+	params.RegretFraction = 0.0005 // proportionate to the reduced scale
+	sch, err := cloudcache.NewEconCheap(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const phaseLen = 5_000
+	gen, err := cloudcache.NewWorkload(cloudcache.WorkloadConfig{
+		Catalog:         cat,
+		Seed:            3,
+		Arrival:         cloudcache.FixedArrival(time.Second),
+		Budgets:         cloudcache.PaperBudgets(),
+		Theta:           1.4, // strong skew: a clear hot template per phase
+		PhaseLength:     phaseLen,
+		EvolutionStride: 3, // the hot set jumps, not drifts
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("phase  hot-template  mean-resp  cache-hit%  invests  failures  resident")
+	for phase := 0; phase < 6; phase++ {
+		counts := map[string]int{}
+		var hits, invests, failures int
+		var respSum float64
+		for i := 0; i < phaseLen; i++ {
+			q := gen.Next()
+			counts[q.Template.Name]++
+			r, err := sch.HandleQuery(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			respSum += r.ResponseTime.Seconds()
+			if r.Location == cloudcache.LocationCache {
+				hits++
+			}
+			invests += r.Investments
+			failures += r.Failures
+		}
+		hot, hotN := "", 0
+		for name, n := range counts {
+			if n > hotN {
+				hot, hotN = name, n
+			}
+		}
+		fmt.Printf("%5d  %-12s  %8.2fs  %9.1f%%  %7d  %8d  %7.1fGB\n",
+			phase, hot, respSum/phaseLen, 100*float64(hits)/phaseLen,
+			invests, failures, float64(sch.Cache().ResidentBytes())/(1<<30))
+	}
+
+	fmt.Println("\nThe first phase pays the cold-start: everything runs in the")
+	fmt.Println("back-end while regret accumulates and the first builds ship.")
+	fmt.Println("Later phases reuse shared columns and adapt faster; structures")
+	fmt.Println("of abandoned templates fail once their rent outweighs their")
+	fmt.Println("measured value (footnote 3 / §VII-B).")
+}

@@ -1,0 +1,77 @@
+// Pricing: the cost model is the economy's sensor. This example compares
+// the four schemes under the stock EC2-2008 schedule and under a
+// "disk-is-expensive" variant, showing how the economy re-balances its
+// structure mix when one resource's relative price changes — the paper's
+// central claim that "a comprehensive economic model that considers costs
+// for all resources performs better than a model that considers only one
+// resource" (§VII-B).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cloudcache "repro"
+)
+
+func main() {
+	cat := cloudcache.TPCH(300)
+	const queries = 15_000
+
+	run := func(name string, sched *cloudcache.Schedule) {
+		fmt.Printf("\n--- %s (%s) ---\n", name, sched)
+		fmt.Printf("%-11s %-12s %-10s %-10s %-9s %s\n",
+			"scheme", "cost", "resp", "hits", "builds", "resident")
+		for _, sn := range cloudcache.SchemeNames() {
+			params := cloudcache.DefaultParams(cat)
+			params.Schedule = sched
+			params.RegretFraction = 0.0005 // proportionate to the reduced scale
+			sch, err := cloudcache.NewScheme(sn, params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gen, err := cloudcache.NewWorkload(cloudcache.WorkloadConfig{
+				Catalog: cat,
+				Seed:    9,
+				Arrival: cloudcache.FixedArrival(2 * time.Second),
+				Budgets: cloudcache.PaperBudgets(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := cloudcache.Run(cloudcache.SimConfig{
+				Scheme:     sch,
+				Workload:   gen,
+				Queries:    queries,
+				Accounting: sched,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-11s %-12s %8.2fs %9d %9d %7.1fGB\n",
+				sn, rep.OperatingCost, rep.Response.Mean(),
+				rep.CacheAnswered, rep.Investments,
+				float64(rep.FinalResidentBytes)/(1<<30))
+		}
+	}
+
+	// Stock 2008 Amazon prices: $0.10/CPU-h, $0.15/GB-month disk,
+	// $0.10/GB network, $0.10/M I/O.
+	run("EC2 2008", cloudcache.EC2Pricing())
+
+	// Disk 20x dearer: rent-vs-yield eviction bites much earlier, so the
+	// economy holds a smaller resident set and re-balances toward the
+	// back-end; bypass, which prices only the network, does not react at
+	// all — its behaviour is identical under both schedules.
+	dear := cloudcache.EC2Pricing()
+	dear.DiskPerGBMonth = dear.DiskPerGBMonth.MulInt(20)
+	run("disk 20x dearer", dear)
+
+	fmt.Println("\nUnder dear disk the economy schemes shed structures (compare")
+	fmt.Println("the resident columns) and trade some response time for rent,")
+	fmt.Println("while bypass is blind to the price change: identical hits and")
+	fmt.Println("residency under both schedules. The all-resource model is what")
+	fmt.Println("lets the cloud 'exploit the cheaper resource in order to save")
+	fmt.Println("on the more expensive ones' (§VII-B).")
+}

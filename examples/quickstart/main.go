@@ -1,0 +1,59 @@
+// Quickstart: build the paper's cloud cache, feed it a short SDSS-like
+// query stream, and read off the two numbers the evaluation reports —
+// operating cost (Fig. 4) and mean response time (Fig. 5).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cloudcache "repro"
+)
+
+func main() {
+	// The back-end: a 2.5 TB TPC-H catalog, as in §VII-A. (Use
+	// cloudcache.TPCH(sf) for smaller scales.)
+	cat := cloudcache.PaperCatalog()
+	fmt.Printf("back-end database: %.2f TB across %d tables\n",
+		float64(cat.TotalBytes())/1e12, len(cat.Tables()))
+
+	// The scheme under test: the full economy with cheapest-plan
+	// selection (econ-cheap). DefaultParams carries the paper's
+	// calibration: EC2 2008 prices, 25 Mbps WAN, Eq. 3 regret trigger.
+	sch, err := cloudcache.NewEconCheap(cloudcache.DefaultParams(cat))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The workload: the seven TPC-H templates with Zipfian popularity,
+	// one query per second, step budgets a few times the back-end price.
+	gen, err := cloudcache.NewWorkload(cloudcache.WorkloadConfig{
+		Catalog: cat,
+		Seed:    1,
+		Arrival: cloudcache.FixedArrival(time.Second),
+		Budgets: cloudcache.PaperBudgets(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run 50 000 queries (the paper simulates a million).
+	rep, err := cloudcache.Run(cloudcache.SimConfig{
+		Scheme:   sch,
+		Workload: gen,
+		Queries:  50_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("operating cost (Fig. 4): %s\n", rep.OperatingCost)
+	fmt.Printf("  execution %s, builds %s, storage %s, nodes %s\n",
+		rep.ExecCost, rep.BuildCost, rep.StorageCost, rep.NodeCost)
+	fmt.Printf("mean response (Fig. 5): %.2fs (p95 %.2fs)\n",
+		rep.Response.Mean(), rep.Response.Percentile(95))
+	fmt.Printf("cache answered %d of %d queries; %d structures built\n",
+		rep.CacheAnswered, rep.Queries, rep.Investments)
+	fmt.Printf("revenue %s, cloud profit %s\n", rep.Revenue, rep.Profit)
+}

@@ -1,0 +1,167 @@
+// Package advisor generates the candidate index pool for a workload,
+// emulating the DB2 "recommend indexes" advisor the paper uses: "We use 65
+// potentially useful indexes from DB2's recommend indexes mode
+// recommendations" (§VII-A).
+//
+// Candidates are derived purely from the templates: every index a template
+// names, every prefix of a multi-column candidate (a DB2 advisor always
+// recommends leading-prefix variants), and optionally the pairwise
+// combinations of a template's indexable columns per table.
+package advisor
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// Options control pool generation.
+type Options struct {
+	// IncludePrefixes adds every leading prefix of each multi-column
+	// candidate.
+	IncludePrefixes bool
+	// IncludePairs adds (a,b) composites for each ordered pair of
+	// distinct columns that appear in some candidate of the same table
+	// within one template.
+	IncludePairs bool
+	// IncludeScanSingles adds a single-column index on every column a
+	// template scans, except single-byte flag columns (an advisor does
+	// not recommend an index on a char(1) flag). Requires a Catalog.
+	IncludeScanSingles bool
+	// Catalog resolves column types for IncludeScanSingles; the type
+	// layout is scale-independent so any scale factor works.
+	Catalog *catalog.Catalog
+	// MaxWidth caps index width in columns (0 = unlimited).
+	MaxWidth int
+}
+
+// DefaultOptions matches the paper pool: prefixes, pairs and scan singles
+// enabled, indexes capped at three columns. With PaperTemplates this yields
+// exactly the 65 candidates of §VII-A.
+func DefaultOptions() Options {
+	return Options{
+		IncludePrefixes:    true,
+		IncludePairs:       true,
+		IncludeScanSingles: true,
+		Catalog:            catalog.TPCH(1),
+		MaxWidth:           3,
+	}
+}
+
+// Pool is a deduplicated, deterministically ordered set of index candidates.
+type Pool struct {
+	defs []catalog.IndexDef
+	ids  map[structure.ID]int
+}
+
+// Generate builds the candidate pool for the templates.
+func Generate(templates []*workload.Template, opts Options) *Pool {
+	p := &Pool{ids: make(map[structure.ID]int)}
+	for _, tpl := range templates {
+		perTableCols := make(map[string][]string)
+		for _, def := range tpl.IndexCandidates {
+			p.add(def, opts)
+			if opts.IncludePrefixes {
+				for w := 1; w < len(def.Columns); w++ {
+					p.add(catalog.IndexDef{Table: def.Table, Columns: def.Columns[:w]}, opts)
+				}
+			}
+			for _, col := range def.Columns {
+				if !containsStr(perTableCols[def.Table], col) {
+					perTableCols[def.Table] = append(perTableCols[def.Table], col)
+				}
+			}
+		}
+		if opts.IncludePairs {
+			for table, cols := range perTableCols {
+				for i := 0; i < len(cols); i++ {
+					for j := 0; j < len(cols); j++ {
+						if i == j {
+							continue
+						}
+						p.add(catalog.IndexDef{Table: table, Columns: []string{cols[i], cols[j]}}, opts)
+					}
+				}
+			}
+		}
+		if opts.IncludeScanSingles && opts.Catalog != nil {
+			for _, ref := range tpl.Columns {
+				if col, err := opts.Catalog.Resolve(ref); err == nil && col.Type == catalog.Char1 {
+					continue
+				}
+				p.add(catalog.IndexDef{Table: ref.Table, Columns: []string{ref.Column}}, opts)
+			}
+		}
+	}
+	p.sort()
+	return p
+}
+
+// add inserts a candidate if new and within the width cap.
+func (p *Pool) add(def catalog.IndexDef, opts Options) {
+	if len(def.Columns) == 0 {
+		return
+	}
+	if opts.MaxWidth > 0 && len(def.Columns) > opts.MaxWidth {
+		return
+	}
+	// Copy columns so later slicing of the source cannot alias.
+	cols := make([]string, len(def.Columns))
+	copy(cols, def.Columns)
+	def = catalog.IndexDef{Table: def.Table, Columns: cols}
+	id := structure.IndexID(def)
+	if _, ok := p.ids[id]; ok {
+		return
+	}
+	p.ids[id] = len(p.defs)
+	p.defs = append(p.defs, def)
+}
+
+// sort orders the pool by index name for deterministic iteration and
+// rebuilds the id map.
+func (p *Pool) sort() {
+	sort.Slice(p.defs, func(i, j int) bool { return p.defs[i].Name() < p.defs[j].Name() })
+	for i, def := range p.defs {
+		p.ids[structure.IndexID(def)] = i
+	}
+}
+
+// Len returns the number of candidates.
+func (p *Pool) Len() int { return len(p.defs) }
+
+// Defs returns the candidates in deterministic order. The slice is shared;
+// callers must not mutate it.
+func (p *Pool) Defs() []catalog.IndexDef { return p.defs }
+
+// Contains reports whether an index is in the pool.
+func (p *Pool) Contains(id structure.ID) bool {
+	_, ok := p.ids[id]
+	return ok
+}
+
+// Validate checks every candidate against the catalog.
+func (p *Pool) Validate(c *catalog.Catalog) error {
+	for _, def := range p.defs {
+		if err := def.Validate(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PaperPool is the pool used by the paper-figure experiments: the seven
+// TPC-H templates expanded with default options.
+func PaperPool() *Pool {
+	return Generate(workload.PaperTemplates(), DefaultOptions())
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+func TestPaperPoolHas65Indexes(t *testing.T) {
+	p := PaperPool()
+	if got := p.Len(); got != 65 {
+		t.Fatalf("paper pool size = %d, want 65 (§VII-A)", got)
+	}
+}
+
+func TestPaperPoolValidates(t *testing.T) {
+	p := PaperPool()
+	if err := p.Validate(catalog.TPCH(1)); err != nil {
+		t.Fatalf("pool invalid: %v", err)
+	}
+	if err := p.Validate(catalog.Paper()); err != nil {
+		t.Fatalf("pool invalid at paper scale: %v", err)
+	}
+}
+
+func TestPoolDeterministicOrder(t *testing.T) {
+	a, b := PaperPool(), PaperPool()
+	if a.Len() != b.Len() {
+		t.Fatal("pool sizes differ across runs")
+	}
+	for i := range a.Defs() {
+		if a.Defs()[i].Name() != b.Defs()[i].Name() {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+	// Sorted by name.
+	defs := a.Defs()
+	for i := 1; i < len(defs); i++ {
+		if defs[i-1].Name() >= defs[i].Name() {
+			t.Fatalf("pool not sorted at %d: %s >= %s", i, defs[i-1].Name(), defs[i].Name())
+		}
+	}
+}
+
+func TestPoolNoDuplicates(t *testing.T) {
+	p := PaperPool()
+	seen := map[string]bool{}
+	for _, def := range p.Defs() {
+		if seen[def.Name()] {
+			t.Fatalf("duplicate %s", def.Name())
+		}
+		seen[def.Name()] = true
+	}
+}
+
+func TestPoolContains(t *testing.T) {
+	p := PaperPool()
+	// Every template's first candidate must be present.
+	for _, tpl := range workload.PaperTemplates() {
+		id := structure.IndexID(tpl.IndexCandidates[0])
+		if !p.Contains(id) {
+			t.Errorf("pool missing template candidate %s", id)
+		}
+	}
+	if p.Contains("idx_bogus(x)") {
+		t.Error("phantom candidate")
+	}
+}
+
+func TestPrefixesIncluded(t *testing.T) {
+	p := PaperPool()
+	// Q1's widest candidate (l_shipdate, l_returnflag, l_linestatus)
+	// must have its prefixes in the pool.
+	for _, def := range []catalog.IndexDef{
+		{Table: "lineitem", Columns: []string{"l_shipdate"}},
+		{Table: "lineitem", Columns: []string{"l_shipdate", "l_returnflag"}},
+	} {
+		if !p.Contains(structure.IndexID(def)) {
+			t.Errorf("prefix %s missing", def.Name())
+		}
+	}
+}
+
+func TestScanSinglesSkipFlagColumns(t *testing.T) {
+	p := PaperPool()
+	// l_linestatus is a char(1) flag scanned by Q1 but never an explicit
+	// candidate: scan-single generation must skip it.
+	def := catalog.IndexDef{Table: "lineitem", Columns: []string{"l_linestatus"}}
+	if p.Contains(structure.IndexID(def)) {
+		t.Error("char(1) flag column got a generated single-column index")
+	}
+	// A scanned non-flag column without an explicit candidate is present.
+	def = catalog.IndexDef{Table: "lineitem", Columns: []string{"l_extendedprice"}}
+	if !p.Contains(structure.IndexID(def)) {
+		t.Error("scan single missing for l_extendedprice")
+	}
+}
+
+func TestMaxWidthCap(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MaxWidth = 1
+	p := Generate(workload.PaperTemplates(), opts)
+	for _, def := range p.Defs() {
+		if len(def.Columns) > 1 {
+			t.Fatalf("width cap violated: %s", def.Name())
+		}
+	}
+	if p.Len() == 0 {
+		t.Fatal("cap removed everything")
+	}
+}
+
+func TestBareOptions(t *testing.T) {
+	// Only explicit candidates, no expansion.
+	p := Generate(workload.PaperTemplates(), Options{})
+	explicit := map[string]bool{}
+	for _, tpl := range workload.PaperTemplates() {
+		for _, def := range tpl.IndexCandidates {
+			explicit[def.Name()] = true
+		}
+	}
+	if p.Len() != len(explicit) {
+		t.Errorf("bare pool = %d, want %d explicit candidates", p.Len(), len(explicit))
+	}
+}
+
+func TestGenerateEmptyTemplates(t *testing.T) {
+	p := Generate(nil, DefaultOptions())
+	if p.Len() != 0 {
+		t.Error("empty templates should make an empty pool")
+	}
+	if p.Contains("anything") {
+		t.Error("empty pool contains things")
+	}
+}

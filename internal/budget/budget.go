@@ -1,0 +1,259 @@
+// Package budget implements the user budget functions B_Q(t) of §IV-C.
+//
+// A budget function maps a promised execution time t ∈ (0, tmax] to the
+// price the user is willing to pay for that service level. The paper
+// requires B_Q to be non-increasing in t and supported on a bounded
+// interval; Figure 1 sketches the three canonical shapes (step, convex,
+// concave) that this package provides, plus a general piecewise-linear
+// form that can express any combination of them.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/money"
+)
+
+// Func is a user budget function. Implementations must be non-increasing in
+// t over (0, Tmax]; At must return zero for t > Tmax ("the user walks away").
+type Func interface {
+	// At returns the price the user pays for completing the query in
+	// time t. t beyond Tmax returns zero.
+	At(t time.Duration) money.Amount
+	// Tmax is the largest execution time the user tolerates.
+	Tmax() time.Duration
+}
+
+// ErrNotDescending is returned by Validate for functions that increase
+// somewhere on their support.
+var ErrNotDescending = errors.New("budget: function must be non-increasing in t")
+
+// ErrBadSupport is returned when Tmax is non-positive.
+var ErrBadSupport = errors.New("budget: tmax must be positive")
+
+// Validate samples f across its support and reports whether it is
+// non-increasing, as §IV-C expects of user input. Sampling resolution is
+// 1/1024 of the support, which exceeds the resolution of every shape this
+// package constructs.
+func Validate(f Func) error {
+	tmax := f.Tmax()
+	if tmax <= 0 {
+		return ErrBadSupport
+	}
+	step := tmax / 1024
+	if step <= 0 {
+		step = 1
+	}
+	prev := money.Max
+	for t := step; t <= tmax; t += step {
+		v := f.At(t)
+		if v > prev {
+			return ErrNotDescending
+		}
+		prev = v
+	}
+	return nil
+}
+
+// Step is Fig. 1(a): the user pays a flat amount for any completion within
+// Tmax and nothing after. This is the shape the paper's experiments use
+// ("The user defines a step preference function", §VII-A).
+type Step struct {
+	Price money.Amount
+	TMax  time.Duration
+}
+
+// NewStep constructs a step budget.
+func NewStep(price money.Amount, tmax time.Duration) Step {
+	return Step{Price: price, TMax: tmax}
+}
+
+// At implements Func.
+func (s Step) At(t time.Duration) money.Amount {
+	if t <= 0 || t > s.TMax {
+		return 0
+	}
+	return s.Price
+}
+
+// Tmax implements Func.
+func (s Step) Tmax() time.Duration { return s.TMax }
+
+// String describes the budget.
+func (s Step) String() string { return fmt.Sprintf("step(%s until %s)", s.Price, s.TMax) }
+
+// Linear decreases linearly from Price at t→0 to zero at Tmax.
+type Linear struct {
+	Price money.Amount
+	TMax  time.Duration
+}
+
+// NewLinear constructs a linear budget.
+func NewLinear(price money.Amount, tmax time.Duration) Linear {
+	return Linear{Price: price, TMax: tmax}
+}
+
+// At implements Func.
+func (l Linear) At(t time.Duration) money.Amount {
+	if t <= 0 || t > l.TMax || l.TMax <= 0 {
+		return 0
+	}
+	frac := 1 - float64(t)/float64(l.TMax)
+	return l.Price.MulFloat(frac)
+}
+
+// Tmax implements Func.
+func (l Linear) Tmax() time.Duration { return l.TMax }
+
+// Convex is Fig. 1(b): the budget drops steeply for small t and flattens
+// near Tmax — an impatient user who pays a premium only for fast answers.
+// The curve is Price·(1-t/Tmax)^k with k>1 (default 2).
+type Convex struct {
+	Price money.Amount
+	TMax  time.Duration
+	K     float64 // curvature exponent; values ≤ 1 are treated as 2
+}
+
+// NewConvex constructs a convex budget with curvature k.
+func NewConvex(price money.Amount, tmax time.Duration, k float64) Convex {
+	return Convex{Price: price, TMax: tmax, K: k}
+}
+
+// At implements Func.
+func (c Convex) At(t time.Duration) money.Amount {
+	if t <= 0 || t > c.TMax || c.TMax <= 0 {
+		return 0
+	}
+	k := c.K
+	if k <= 1 {
+		k = 2
+	}
+	base := 1 - float64(t)/float64(c.TMax)
+	return c.Price.MulFloat(pow(base, k))
+}
+
+// Tmax implements Func.
+func (c Convex) Tmax() time.Duration { return c.TMax }
+
+// Concave is Fig. 1(c): the budget stays near Price for most of the support
+// and collapses close to Tmax — a patient user with a hard deadline.
+// The curve is Price·(1-(t/Tmax)^k) with k>1 (default 2).
+type Concave struct {
+	Price money.Amount
+	TMax  time.Duration
+	K     float64
+}
+
+// NewConcave constructs a concave budget with curvature k.
+func NewConcave(price money.Amount, tmax time.Duration, k float64) Concave {
+	return Concave{Price: price, TMax: tmax, K: k}
+}
+
+// At implements Func.
+func (c Concave) At(t time.Duration) money.Amount {
+	if t <= 0 || t > c.TMax || c.TMax <= 0 {
+		return 0
+	}
+	k := c.K
+	if k <= 1 {
+		k = 2
+	}
+	frac := float64(t) / float64(c.TMax)
+	return c.Price.MulFloat(1 - pow(frac, k))
+}
+
+// Tmax implements Func.
+func (c Concave) Tmax() time.Duration { return c.TMax }
+
+// pow is a small positive-base power; math.Pow is avoided in the hot path
+// for integral exponents, which dominate.
+func pow(base, k float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	if k == 2 {
+		return base * base
+	}
+	if k == 3 {
+		return base * base * base
+	}
+	// General case: exp(k·ln base) via the stdlib.
+	return mathPow(base, k)
+}
+
+// Point is one knot of a piecewise-linear budget.
+type Point struct {
+	T     time.Duration
+	Price money.Amount
+}
+
+// Piecewise is a non-increasing piecewise-linear budget through a set of
+// knots. Between knots the price interpolates linearly; beyond the last
+// knot it is zero; before the first knot it is the first knot's price.
+type Piecewise struct {
+	points []Point
+}
+
+// NewPiecewise builds a piecewise budget. Knots are sorted by time; the
+// resulting function must be non-increasing or an error is returned.
+func NewPiecewise(points []Point) (*Piecewise, error) {
+	if len(points) == 0 {
+		return nil, errors.New("budget: piecewise needs at least one point")
+	}
+	ps := make([]Point, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].T < ps[j].T })
+	if ps[0].T <= 0 {
+		return nil, errors.New("budget: piecewise knots must have positive t")
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].T == ps[i-1].T {
+			return nil, fmt.Errorf("budget: duplicate knot at t=%s", ps[i].T)
+		}
+		if ps[i].Price > ps[i-1].Price {
+			return nil, ErrNotDescending
+		}
+	}
+	return &Piecewise{points: ps}, nil
+}
+
+// At implements Func.
+func (p *Piecewise) At(t time.Duration) money.Amount {
+	if t <= 0 || len(p.points) == 0 {
+		return 0
+	}
+	last := p.points[len(p.points)-1]
+	if t > last.T {
+		return 0
+	}
+	if t <= p.points[0].T {
+		return p.points[0].Price
+	}
+	// Binary search for the bracketing pair.
+	i := sort.Search(len(p.points), func(i int) bool { return p.points[i].T >= t })
+	lo, hi := p.points[i-1], p.points[i]
+	span := float64(hi.T - lo.T)
+	frac := float64(t-lo.T) / span
+	return lo.Price.Add(hi.Price.Sub(lo.Price).MulFloat(frac))
+}
+
+// Tmax implements Func.
+func (p *Piecewise) Tmax() time.Duration {
+	if len(p.points) == 0 {
+		return 0
+	}
+	return p.points[len(p.points)-1].T
+}
+
+// Zero is a budget function that pays nothing: a user who only accepts free
+// service. It is useful as a workload degenerate case in tests.
+type Zero struct{ TMax time.Duration }
+
+// At implements Func.
+func (z Zero) At(time.Duration) money.Amount { return 0 }
+
+// Tmax implements Func.
+func (z Zero) Tmax() time.Duration { return z.TMax }

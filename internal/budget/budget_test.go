@@ -1,0 +1,235 @@
+package budget
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/money"
+)
+
+var (
+	price = money.FromDollars(1)
+	tmax  = 10 * time.Second
+)
+
+func TestStep(t *testing.T) {
+	b := NewStep(price, tmax)
+	if got := b.At(5 * time.Second); got != price {
+		t.Errorf("At(5s) = %v, want %v", got, price)
+	}
+	if got := b.At(tmax); got != price {
+		t.Errorf("At(tmax) = %v, want %v (inclusive)", got, price)
+	}
+	if got := b.At(tmax + 1); got != 0 {
+		t.Errorf("At(>tmax) = %v, want 0", got)
+	}
+	if got := b.At(0); got != 0 {
+		t.Errorf("At(0) = %v, want 0 (support is open at 0)", got)
+	}
+	if got := b.At(-time.Second); got != 0 {
+		t.Errorf("At(<0) = %v, want 0", got)
+	}
+	if b.Tmax() != tmax {
+		t.Errorf("Tmax = %v", b.Tmax())
+	}
+}
+
+func TestLinear(t *testing.T) {
+	b := NewLinear(price, tmax)
+	if got := b.At(5 * time.Second); got != price.MulFloat(0.5) {
+		t.Errorf("At(5s) = %v, want half price", got)
+	}
+	if got := b.At(tmax); got != 0 {
+		t.Errorf("At(tmax) = %v, want 0", got)
+	}
+	if got := b.At(time.Nanosecond); got <= price.MulFloat(0.99) {
+		t.Errorf("At(~0) = %v, want ~full price", got)
+	}
+	if got := b.At(tmax * 2); got != 0 {
+		t.Errorf("At(2*tmax) = %v, want 0", got)
+	}
+}
+
+func TestConvexBelowLinear(t *testing.T) {
+	// Fig. 1(b): convex functions sit below the linear chord.
+	conv := NewConvex(price, tmax, 2)
+	lin := NewLinear(price, tmax)
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		tt := time.Duration(float64(tmax) * frac)
+		if conv.At(tt) > lin.At(tt) {
+			t.Errorf("convex(%v)=%v above linear=%v", tt, conv.At(tt), lin.At(tt))
+		}
+	}
+}
+
+func TestConcaveAboveLinear(t *testing.T) {
+	// Fig. 1(c): concave functions sit above the linear chord.
+	conc := NewConcave(price, tmax, 2)
+	lin := NewLinear(price, tmax)
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		tt := time.Duration(float64(tmax) * frac)
+		if conc.At(tt) < lin.At(tt) {
+			t.Errorf("concave(%v)=%v below linear=%v", tt, conc.At(tt), lin.At(tt))
+		}
+	}
+}
+
+func TestCurvatureDefaulting(t *testing.T) {
+	// K <= 1 falls back to 2 rather than producing a non-convex curve.
+	a := NewConvex(price, tmax, 0).At(5 * time.Second)
+	b := NewConvex(price, tmax, 2).At(5 * time.Second)
+	if a != b {
+		t.Errorf("K=0 should behave as K=2: %v vs %v", a, b)
+	}
+	c := NewConcave(price, tmax, -1).At(5 * time.Second)
+	d := NewConcave(price, tmax, 2).At(5 * time.Second)
+	if c != d {
+		t.Errorf("K=-1 should behave as K=2: %v vs %v", c, d)
+	}
+}
+
+func TestValidateAcceptsCanonicalShapes(t *testing.T) {
+	shapes := []Func{
+		NewStep(price, tmax),
+		NewLinear(price, tmax),
+		NewConvex(price, tmax, 2),
+		NewConvex(price, tmax, 3),
+		NewConcave(price, tmax, 2),
+		Zero{TMax: tmax},
+	}
+	for _, f := range shapes {
+		if err := Validate(f); err != nil {
+			t.Errorf("Validate(%T) = %v", f, err)
+		}
+	}
+}
+
+type increasing struct{}
+
+func (increasing) At(t time.Duration) money.Amount { return money.Amount(t) }
+func (increasing) Tmax() time.Duration             { return time.Second }
+
+func TestValidateRejectsIncreasing(t *testing.T) {
+	if err := Validate(increasing{}); err != ErrNotDescending {
+		t.Errorf("Validate = %v, want ErrNotDescending", err)
+	}
+}
+
+type badSupport struct{}
+
+func (badSupport) At(time.Duration) money.Amount { return 0 }
+func (badSupport) Tmax() time.Duration           { return 0 }
+
+func TestValidateRejectsBadSupport(t *testing.T) {
+	if err := Validate(badSupport{}); err != ErrBadSupport {
+		t.Errorf("Validate = %v, want ErrBadSupport", err)
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	p, err := NewPiecewise([]Point{
+		{T: 2 * time.Second, Price: money.FromDollars(1)},
+		{T: 8 * time.Second, Price: money.FromDollars(0.25)},
+		{T: 4 * time.Second, Price: money.FromDollars(0.75)},
+	})
+	if err != nil {
+		t.Fatalf("NewPiecewise: %v", err)
+	}
+	if got := p.Tmax(); got != 8*time.Second {
+		t.Errorf("Tmax = %v", got)
+	}
+	// Before first knot: first price.
+	if got := p.At(time.Second); got != money.FromDollars(1) {
+		t.Errorf("At(1s) = %v", got)
+	}
+	// At a knot: knot price.
+	if got := p.At(4 * time.Second); got != money.FromDollars(0.75) {
+		t.Errorf("At(4s) = %v", got)
+	}
+	// Interpolation between 4s ($0.75) and 8s ($0.25): at 6s → $0.50.
+	if got := p.At(6 * time.Second); got != money.FromDollars(0.50) {
+		t.Errorf("At(6s) = %v, want $0.50", got)
+	}
+	// Beyond support: zero.
+	if got := p.At(9 * time.Second); got != 0 {
+		t.Errorf("At(9s) = %v", got)
+	}
+	if err := Validate(p); err != nil {
+		t.Errorf("Validate piecewise: %v", err)
+	}
+}
+
+func TestPiecewiseRejections(t *testing.T) {
+	if _, err := NewPiecewise(nil); err == nil {
+		t.Error("empty knots accepted")
+	}
+	if _, err := NewPiecewise([]Point{{T: 0, Price: price}}); err == nil {
+		t.Error("knot at t=0 accepted")
+	}
+	if _, err := NewPiecewise([]Point{
+		{T: time.Second, Price: price}, {T: time.Second, Price: price},
+	}); err == nil {
+		t.Error("duplicate knot accepted")
+	}
+	if _, err := NewPiecewise([]Point{
+		{T: time.Second, Price: money.FromDollars(1)},
+		{T: 2 * time.Second, Price: money.FromDollars(2)},
+	}); err != ErrNotDescending {
+		t.Error("increasing knots accepted")
+	}
+}
+
+func TestZero(t *testing.T) {
+	z := Zero{TMax: tmax}
+	if z.At(time.Second) != 0 || z.Tmax() != tmax {
+		t.Error("Zero misbehaves")
+	}
+}
+
+// Property: all canonical shapes are non-increasing for random parameters.
+func TestShapesNonIncreasingProperty(t *testing.T) {
+	f := func(cents uint16, secs uint8, t1n, t2n uint16) bool {
+		p := money.FromCents(int64(cents) + 1)
+		tm := time.Duration(int(secs)+1) * time.Second
+		ta := time.Duration(t1n) * tm / 65536
+		tb := time.Duration(t2n) * tm / 65536
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		if ta <= 0 {
+			ta = 1
+		}
+		for _, fn := range []Func{
+			NewStep(p, tm), NewLinear(p, tm), NewConvex(p, tm, 2), NewConcave(p, tm, 3),
+		} {
+			if fn.At(ta) < fn.At(tb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: budgets never pay more than the headline price nor go negative.
+func TestShapesBoundedProperty(t *testing.T) {
+	f := func(cents uint16, tn uint16) bool {
+		p := money.FromCents(int64(cents))
+		tt := time.Duration(tn) * time.Millisecond
+		for _, fn := range []Func{
+			NewStep(p, tmax), NewLinear(p, tmax), NewConvex(p, tmax, 2), NewConcave(p, tmax, 2),
+		} {
+			v := fn.At(tt)
+			if v < 0 || v > p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,7 @@
+package budget
+
+import "math"
+
+// mathPow isolates the math.Pow dependency so the fast paths in pow stay
+// branch-predictable.
+func mathPow(base, k float64) float64 { return math.Pow(base, k) }

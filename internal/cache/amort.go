@@ -1,0 +1,25 @@
+package cache
+
+import "repro/internal/money"
+
+// AmortShare returns the amortized share of an entry's build cost that one
+// more query should pay (Eq. 7: f_S = Build_S(S)/n). The share never
+// exceeds what remains to be amortized, so fully amortized structures are
+// free to use.
+func AmortShare(e *Entry, n int64) money.Amount {
+	if e == nil || n <= 0 || !e.AmortRemaining.IsPositive() {
+		return 0
+	}
+	share := e.BuildPrice.DivInt(n)
+	return money.MinAmount(share, e.AmortRemaining)
+}
+
+// MaintDue returns maintenance rent accrued against the entry and not yet
+// recovered from any user: the stored arrears plus rent since
+// MaintPaidUntil, priced by the caller-supplied rate function.
+func MaintDue(e *Entry, priceSince func(*Entry) money.Amount) money.Amount {
+	if e == nil {
+		return 0
+	}
+	return e.UnpaidMaint.Add(priceSince(e))
+}

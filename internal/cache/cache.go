@@ -1,0 +1,289 @@
+// Package cache tracks the state of the cloud cache: which structures
+// (columns, indexes, CPU nodes) are resident, which are being built, how
+// much disk they occupy, when each was last used, and how much maintenance
+// rent has accrued against each since it was last paid off (§V-C
+// footnote 3).
+//
+// The cache is purely mechanical: it does not price anything and takes no
+// decisions. Schemes and the economy decide what to build and what to
+// evict; the simulator advances the clock.
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/money"
+	"repro/internal/structure"
+)
+
+// Entry is one resident structure plus its bookkeeping.
+type Entry struct {
+	S *structure.Structure
+
+	// BuiltAt is when the structure became usable.
+	BuiltAt time.Duration
+	// FirstUsed is when a selected plan first employed the structure
+	// (zero until then). Value rates are measured from first use so the
+	// idle window while the rest of a plan's structure set was still
+	// building does not dilute them.
+	FirstUsed time.Duration
+	// LastUsed is when a selected plan last employed the structure.
+	LastUsed time.Duration
+	// Uses counts selected plans that employed the structure.
+	Uses int64
+
+	// BuildPrice is what the cloud paid to build the structure, the
+	// basis of amortization (Eq. 6) and of the maintenance-failure
+	// threshold.
+	BuildPrice money.Amount
+	// AmortRemaining is the unamortized share of BuildPrice still to be
+	// recovered from future queries.
+	AmortRemaining money.Amount
+
+	// MaintPaidUntil is the clock point up to which maintenance rent
+	// has been charged to users (footnote 3: each selected plan pays the
+	// accumulated maintenance since the previous payer).
+	MaintPaidUntil time.Duration
+	// UnpaidMaint is rent accrued but not yet recovered from any user.
+	UnpaidMaint money.Amount
+	// EarnedValue accumulates the measured value the structure has
+	// produced: amortization shares collected plus its share of each
+	// chosen plan's price advantage over the back-end alternative. The
+	// economy's rent-vs-yield eviction compares rent since last use
+	// against EarnedValue per use.
+	EarnedValue money.Amount
+}
+
+// pendingBuild is an in-flight investment.
+type pendingBuild struct {
+	entry   *Entry
+	readyAt time.Duration
+}
+
+// Cache is the mutable cache state. It is not safe for concurrent use; a
+// simulation owns exactly one cache.
+type Cache struct {
+	clock    time.Duration
+	entries  map[structure.ID]*Entry
+	pending  map[structure.ID]*pendingBuild
+	resident int64 // disk bytes of resident structures
+	capacity int64 // 0 = unlimited (economy schemes); >0 = hard cap (net-only)
+}
+
+// New creates an empty cache. capacityBytes of 0 means unlimited.
+func New(capacityBytes int64) *Cache {
+	if capacityBytes < 0 {
+		capacityBytes = 0
+	}
+	return &Cache{
+		entries:  make(map[structure.ID]*Entry),
+		pending:  make(map[structure.ID]*pendingBuild),
+		capacity: capacityBytes,
+	}
+}
+
+// Clock returns the cache's current time.
+func (c *Cache) Clock() time.Duration { return c.clock }
+
+// Advance moves the clock forward. Moving backwards is a programming error
+// and panics: simulation time is monotone.
+func (c *Cache) Advance(now time.Duration) {
+	if now < c.clock {
+		panic(fmt.Sprintf("cache: clock moved backwards: %v -> %v", c.clock, now))
+	}
+	c.clock = now
+}
+
+// Capacity returns the disk cap in bytes (0 = unlimited).
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// ResidentBytes returns disk currently occupied by resident structures.
+func (c *Cache) ResidentBytes() int64 { return c.resident }
+
+// Has reports whether the structure is resident (built and not evicted).
+func (c *Cache) Has(id structure.ID) bool {
+	_, ok := c.entries[id]
+	return ok
+}
+
+// Get returns the entry for a resident structure.
+func (c *Cache) Get(id structure.ID) (*Entry, bool) {
+	e, ok := c.entries[id]
+	return e, ok
+}
+
+// Building reports whether a build for the structure is in flight.
+func (c *Cache) Building(id structure.ID) bool {
+	_, ok := c.pending[id]
+	return ok
+}
+
+// Len returns the number of resident structures.
+func (c *Cache) Len() int { return len(c.entries) }
+
+// ForEach calls f for every resident entry in unspecified order. It is the
+// allocation-free alternative to Entries for per-entry decisions that do
+// not depend on iteration order. f must not add or remove entries.
+func (c *Cache) ForEach(f func(*Entry)) {
+	for _, e := range c.entries {
+		f(e)
+	}
+}
+
+// Entries returns resident entries sorted by structure ID for deterministic
+// iteration.
+func (c *Cache) Entries() []*Entry {
+	out := make([]*Entry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].S.ID < out[j].S.ID })
+	return out
+}
+
+// StartBuild registers an investment: the structure becomes resident at
+// readyAt. Duplicate builds (already resident or already pending) are
+// rejected so the economy cannot double-spend.
+func (c *Cache) StartBuild(st *structure.Structure, readyAt time.Duration, buildPrice money.Amount) error {
+	if st == nil {
+		return fmt.Errorf("cache: nil structure")
+	}
+	if c.Has(st.ID) {
+		return fmt.Errorf("cache: %s already resident", st.ID)
+	}
+	if c.Building(st.ID) {
+		return fmt.Errorf("cache: %s already building", st.ID)
+	}
+	if readyAt < c.clock {
+		readyAt = c.clock
+	}
+	c.pending[st.ID] = &pendingBuild{
+		entry: &Entry{
+			S:              st,
+			BuildPrice:     buildPrice,
+			AmortRemaining: buildPrice,
+		},
+		readyAt: readyAt,
+	}
+	return nil
+}
+
+// CompleteDue promotes pending builds whose ready time has passed. It
+// returns the newly resident entries sorted by structure ID.
+func (c *Cache) CompleteDue() []*Entry {
+	var done []*Entry
+	for id, pb := range c.pending {
+		if pb.readyAt <= c.clock {
+			pb.entry.BuiltAt = pb.readyAt
+			pb.entry.LastUsed = pb.readyAt
+			pb.entry.MaintPaidUntil = pb.readyAt
+			c.entries[id] = pb.entry
+			c.resident += pb.entry.S.Bytes
+			done = append(done, pb.entry)
+			delete(c.pending, id)
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].S.ID < done[j].S.ID })
+	return done
+}
+
+// Touch records that a selected plan used the structure now.
+func (c *Cache) Touch(id structure.ID) {
+	if e, ok := c.entries[id]; ok {
+		if e.Uses == 0 {
+			e.FirstUsed = c.clock
+		}
+		e.LastUsed = c.clock
+		e.Uses++
+	}
+}
+
+// Evict removes a resident structure and returns its entry.
+func (c *Cache) Evict(id structure.ID) (*Entry, bool) {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil, false
+	}
+	delete(c.entries, id)
+	c.resident -= e.S.Bytes
+	return e, true
+}
+
+// LRUVictims returns up to n resident structures in least-recently-used
+// order, breaking ties by structure ID for determinism. CPU nodes are
+// returned like any other structure; callers that only want disk residents
+// can filter on Kind.
+func (c *Cache) LRUVictims(n int) []*Entry {
+	all := c.Entries()
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].LastUsed != all[j].LastUsed {
+			return all[i].LastUsed < all[j].LastUsed
+		}
+		return all[i].S.ID < all[j].S.ID
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return all[:n]
+}
+
+// EnsureRoom evicts LRU disk structures until adding `need` bytes fits the
+// capacity. It returns the evicted entries (possibly none). With no
+// capacity cap it never evicts. Structures that would still not fit (need >
+// capacity) leave the cache unchanged and report false.
+func (c *Cache) EnsureRoom(need int64) ([]*Entry, bool) {
+	if c.capacity == 0 || need <= 0 {
+		return nil, true
+	}
+	if need > c.capacity {
+		return nil, false
+	}
+	var evicted []*Entry
+	for c.resident+need > c.capacity {
+		victims := c.LRUVictims(c.Len())
+		var victim *Entry
+		for _, v := range victims {
+			if v.S.Bytes > 0 {
+				victim = v
+				break
+			}
+		}
+		if victim == nil {
+			return evicted, false
+		}
+		c.Evict(victim.S.ID)
+		evicted = append(evicted, victim)
+	}
+	return evicted, true
+}
+
+// NodeCount returns the number of resident extra CPU nodes.
+func (c *Cache) NodeCount() int {
+	n := 0
+	for _, e := range c.entries {
+		if e.S.Kind == structure.KindCPUNode {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxNodeOrdinal returns the highest resident CPU node ordinal, or 1 when
+// only the base worker exists. Plans may use nodes 1..MaxNodeOrdinal.
+func (c *Cache) MaxNodeOrdinal() int {
+	best := 1
+	for _, e := range c.entries {
+		if e.S.Kind == structure.KindCPUNode && e.S.NodeOrdinal > best {
+			best = e.S.NodeOrdinal
+		}
+	}
+	return best
+}
+
+// PendingCount returns the number of builds in flight.
+func (c *Cache) PendingCount() int { return len(c.pending) }

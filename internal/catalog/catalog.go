@@ -1,0 +1,308 @@
+// Package catalog models the relational catalog of the back-end scientific
+// database: tables, typed columns with byte widths, row counts derived from
+// a scale factor, and index definitions. The cache (§V-C) stores whole table
+// columns and indexes over them, so all sizing in the cost model flows from
+// this package.
+//
+// The experimental schema is the TPC-H schema (the paper's workload is
+// "TPCH-based" [13]) scaled so the total database size is 2.5 TB, matching
+// the SDSS-like back-end of §VII-A.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnType enumerates the storage types used by the schema. Only the byte
+// width matters to the cost model, but keeping the logical type makes
+// catalogs self-describing.
+type ColumnType int
+
+// Supported column types.
+const (
+	Int32 ColumnType = iota
+	Int64
+	Float64
+	Date
+	Char1
+	VarChar
+	Decimal
+)
+
+// String implements fmt.Stringer.
+func (t ColumnType) String() string {
+	switch t {
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case Date:
+		return "date"
+	case Char1:
+		return "char(1)"
+	case VarChar:
+		return "varchar"
+	case Decimal:
+		return "decimal"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// DefaultWidth returns the storage width in bytes used when a column does
+// not override it (VarChar columns always override).
+func (t ColumnType) DefaultWidth() int64 {
+	switch t {
+	case Int32, Date:
+		return 4
+	case Int64, Float64, Decimal:
+		return 8
+	case Char1:
+		return 1
+	default:
+		return 16
+	}
+}
+
+// Column describes one column of a table.
+type Column struct {
+	Name  string
+	Type  ColumnType
+	Width int64 // bytes per value; 0 means Type.DefaultWidth()
+}
+
+// width returns the effective per-value width.
+func (c Column) width() int64 {
+	if c.Width > 0 {
+		return c.Width
+	}
+	return c.Type.DefaultWidth()
+}
+
+// Table is a named relation with a row count and ordered columns.
+type Table struct {
+	Name    string
+	Rows    int64
+	Columns []Column
+
+	byName map[string]int
+}
+
+// Column returns the column with the given name.
+func (t *Table) Column(name string) (Column, bool) {
+	i, ok := t.byName[name]
+	if !ok {
+		return Column{}, false
+	}
+	return t.Columns[i], true
+}
+
+// RowWidth is the total width of one row across all columns.
+func (t *Table) RowWidth() int64 {
+	var w int64
+	for _, c := range t.Columns {
+		w += c.width()
+	}
+	return w
+}
+
+// Bytes is the total byte size of the table.
+func (t *Table) Bytes() int64 { return t.RowWidth() * t.Rows }
+
+// ColumnRef identifies a column globally as "table.column".
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference in dotted form.
+func (r ColumnRef) String() string { return r.Table + "." + r.Column }
+
+// Col is a convenience constructor for ColumnRef.
+func Col(table, column string) ColumnRef { return ColumnRef{Table: table, Column: column} }
+
+// Catalog is the full schema of the back-end database.
+type Catalog struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// New builds a catalog from a list of tables. Table and column names must be
+// unique; duplicates are an error because the cost model keys structures by
+// name.
+func New(tables ...*Table) (*Catalog, error) {
+	c := &Catalog{tables: make(map[string]*Table, len(tables))}
+	for _, t := range tables {
+		if t.Name == "" {
+			return nil, fmt.Errorf("catalog: table with empty name")
+		}
+		if t.Rows < 0 {
+			return nil, fmt.Errorf("catalog: table %s has negative row count", t.Name)
+		}
+		if _, dup := c.tables[t.Name]; dup {
+			return nil, fmt.Errorf("catalog: duplicate table %s", t.Name)
+		}
+		t.byName = make(map[string]int, len(t.Columns))
+		for i, col := range t.Columns {
+			if col.Name == "" {
+				return nil, fmt.Errorf("catalog: table %s has a column with empty name", t.Name)
+			}
+			if _, dup := t.byName[col.Name]; dup {
+				return nil, fmt.Errorf("catalog: duplicate column %s.%s", t.Name, col.Name)
+			}
+			t.byName[col.Name] = i
+		}
+		c.tables[t.Name] = t
+		c.order = append(c.order, t.Name)
+	}
+	return c, nil
+}
+
+// MustNew is New panicking on error, for package-level schema literals.
+func MustNew(tables ...*Table) *Catalog {
+	c, err := New(tables...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Tables returns all tables in declaration order.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.order))
+	for _, n := range c.order {
+		out = append(out, c.tables[n])
+	}
+	return out
+}
+
+// Resolve returns the column behind a reference.
+func (c *Catalog) Resolve(ref ColumnRef) (Column, error) {
+	t, ok := c.tables[ref.Table]
+	if !ok {
+		return Column{}, fmt.Errorf("catalog: unknown table %q", ref.Table)
+	}
+	col, ok := t.Column(ref.Column)
+	if !ok {
+		return Column{}, fmt.Errorf("catalog: unknown column %q", ref)
+	}
+	return col, nil
+}
+
+// ColumnBytes is the total byte size of one column (width × rows): the
+// size(T) term of Eq. 12/13.
+func (c *Catalog) ColumnBytes(ref ColumnRef) (int64, error) {
+	t, ok := c.tables[ref.Table]
+	if !ok {
+		return 0, fmt.Errorf("catalog: unknown table %q", ref.Table)
+	}
+	col, ok := t.Column(ref.Column)
+	if !ok {
+		return 0, fmt.Errorf("catalog: unknown column %q", ref)
+	}
+	return col.width() * t.Rows, nil
+}
+
+// GroupBytes sums ColumnBytes over a set of references.
+func (c *Catalog) GroupBytes(refs []ColumnRef) (int64, error) {
+	var total int64
+	for _, r := range refs {
+		b, err := c.ColumnBytes(r)
+		if err != nil {
+			return 0, err
+		}
+		total += b
+	}
+	return total, nil
+}
+
+// TotalBytes is the size of the whole database.
+func (c *Catalog) TotalBytes() int64 {
+	var total int64
+	for _, t := range c.tables {
+		total += t.Bytes()
+	}
+	return total
+}
+
+// IndexDef defines an index over columns of one table. All columns must
+// belong to the same table (composite cross-table indexes are not a thing
+// the paper's cache builds).
+type IndexDef struct {
+	Table   string
+	Columns []string
+}
+
+// Name returns the canonical index name, e.g. "idx_lineitem(l_shipdate,l_partkey)".
+func (d IndexDef) Name() string {
+	return "idx_" + d.Table + "(" + strings.Join(d.Columns, ",") + ")"
+}
+
+// Refs returns the column references the index covers.
+func (d IndexDef) Refs() []ColumnRef {
+	out := make([]ColumnRef, len(d.Columns))
+	for i, col := range d.Columns {
+		out[i] = Col(d.Table, col)
+	}
+	return out
+}
+
+// Validate checks that the index refers to existing columns.
+func (d IndexDef) Validate(c *Catalog) error {
+	if len(d.Columns) == 0 {
+		return fmt.Errorf("catalog: index on %s has no columns", d.Table)
+	}
+	t, ok := c.Table(d.Table)
+	if !ok {
+		return fmt.Errorf("catalog: index on unknown table %q", d.Table)
+	}
+	seen := make(map[string]bool, len(d.Columns))
+	for _, col := range d.Columns {
+		if seen[col] {
+			return fmt.Errorf("catalog: index %s repeats column %s", d.Name(), col)
+		}
+		seen[col] = true
+		if _, ok := t.Column(col); !ok {
+			return fmt.Errorf("catalog: index %s references unknown column %s.%s", d.Name(), d.Table, col)
+		}
+	}
+	return nil
+}
+
+// indexOverheadPerRow approximates B+-tree pointer/page overhead per entry.
+const indexOverheadPerRow = 8
+
+// IndexBytes estimates the stored size of the index: key widths plus
+// per-entry overhead, times the table row count (size(I) of Eq. 15).
+func (c *Catalog) IndexBytes(d IndexDef) (int64, error) {
+	if err := d.Validate(c); err != nil {
+		return 0, err
+	}
+	t, _ := c.Table(d.Table)
+	var keyWidth int64
+	for _, colName := range d.Columns {
+		col, _ := t.Column(colName)
+		keyWidth += col.width()
+	}
+	return (keyWidth + indexOverheadPerRow) * t.Rows, nil
+}
+
+// SortedTableNames returns table names in lexical order (stable reporting).
+func (c *Catalog) SortedTableNames() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,247 @@
+package catalog
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func simpleCatalog(t *testing.T) *Catalog {
+	t.Helper()
+	c, err := New(
+		&Table{Name: "t1", Rows: 100, Columns: []Column{
+			{Name: "a", Type: Int64},
+			{Name: "b", Type: Int32},
+			{Name: "c", Type: VarChar, Width: 20},
+		}},
+		&Table{Name: "t2", Rows: 10, Columns: []Column{
+			{Name: "x", Type: Char1},
+		}},
+	)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	_, err := New(
+		&Table{Name: "t", Rows: 1, Columns: []Column{{Name: "a", Type: Int32}}},
+		&Table{Name: "t", Rows: 1, Columns: []Column{{Name: "a", Type: Int32}}},
+	)
+	if err == nil {
+		t.Error("duplicate table accepted")
+	}
+	_, err = New(&Table{Name: "t", Rows: 1, Columns: []Column{
+		{Name: "a", Type: Int32}, {Name: "a", Type: Int64},
+	}})
+	if err == nil {
+		t.Error("duplicate column accepted")
+	}
+	_, err = New(&Table{Name: "", Rows: 1})
+	if err == nil {
+		t.Error("empty table name accepted")
+	}
+	_, err = New(&Table{Name: "t", Rows: -1})
+	if err == nil {
+		t.Error("negative rows accepted")
+	}
+	_, err = New(&Table{Name: "t", Rows: 1, Columns: []Column{{Name: "", Type: Int32}}})
+	if err == nil {
+		t.Error("empty column name accepted")
+	}
+}
+
+func TestRowWidthAndBytes(t *testing.T) {
+	c := simpleCatalog(t)
+	tab, ok := c.Table("t1")
+	if !ok {
+		t.Fatal("t1 missing")
+	}
+	// 8 (int64) + 4 (int32) + 20 (varchar) = 32 bytes.
+	if got := tab.RowWidth(); got != 32 {
+		t.Errorf("RowWidth = %d, want 32", got)
+	}
+	if got := tab.Bytes(); got != 3200 {
+		t.Errorf("Bytes = %d, want 3200", got)
+	}
+	if got := c.TotalBytes(); got != 3200+10 {
+		t.Errorf("TotalBytes = %d, want 3210", got)
+	}
+}
+
+func TestColumnBytes(t *testing.T) {
+	c := simpleCatalog(t)
+	got, err := c.ColumnBytes(Col("t1", "a"))
+	if err != nil || got != 800 {
+		t.Errorf("ColumnBytes(t1.a) = %d, %v; want 800", got, err)
+	}
+	if _, err := c.ColumnBytes(Col("nope", "a")); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := c.ColumnBytes(Col("t1", "nope")); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestGroupBytes(t *testing.T) {
+	c := simpleCatalog(t)
+	got, err := c.GroupBytes([]ColumnRef{Col("t1", "a"), Col("t1", "b")})
+	if err != nil || got != 800+400 {
+		t.Errorf("GroupBytes = %d, %v; want 1200", got, err)
+	}
+	if _, err := c.GroupBytes([]ColumnRef{Col("bad", "a")}); err == nil {
+		t.Error("bad ref accepted")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	c := simpleCatalog(t)
+	col, err := c.Resolve(Col("t1", "c"))
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if col.Type != VarChar || col.Width != 20 {
+		t.Errorf("Resolve = %+v", col)
+	}
+	if _, err := c.Resolve(Col("t9", "c")); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestIndexDef(t *testing.T) {
+	c := simpleCatalog(t)
+	d := IndexDef{Table: "t1", Columns: []string{"a", "b"}}
+	if err := d.Validate(c); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got, want := d.Name(), "idx_t1(a,b)"; got != want {
+		t.Errorf("Name = %q, want %q", got, want)
+	}
+	refs := d.Refs()
+	if len(refs) != 2 || refs[0] != Col("t1", "a") {
+		t.Errorf("Refs = %v", refs)
+	}
+	// key width 12 + overhead 8 = 20 per row, 100 rows.
+	size, err := c.IndexBytes(d)
+	if err != nil || size != 2000 {
+		t.Errorf("IndexBytes = %d, %v; want 2000", size, err)
+	}
+}
+
+func TestIndexDefRejections(t *testing.T) {
+	c := simpleCatalog(t)
+	cases := []IndexDef{
+		{Table: "t1", Columns: nil},
+		{Table: "zzz", Columns: []string{"a"}},
+		{Table: "t1", Columns: []string{"zzz"}},
+		{Table: "t1", Columns: []string{"a", "a"}},
+	}
+	for _, d := range cases {
+		if err := d.Validate(c); err == nil {
+			t.Errorf("Validate(%+v) accepted", d)
+		}
+		if _, err := c.IndexBytes(d); err == nil {
+			t.Errorf("IndexBytes(%+v) accepted", d)
+		}
+	}
+}
+
+func TestTPCHShape(t *testing.T) {
+	c := TPCH(1)
+	li, ok := c.Table("lineitem")
+	if !ok {
+		t.Fatal("lineitem missing")
+	}
+	if li.Rows != 6_000_000 {
+		t.Errorf("lineitem rows = %d, want 6M", li.Rows)
+	}
+	if len(c.Tables()) != 8 {
+		t.Errorf("table count = %d, want 8", len(c.Tables()))
+	}
+	// Fixed tables do not scale.
+	c10 := TPCH(10)
+	nat, _ := c10.Table("nation")
+	if nat.Rows != 25 {
+		t.Errorf("nation rows = %d, want 25", nat.Rows)
+	}
+	ord, _ := c10.Table("orders")
+	if ord.Rows != 15_000_000 {
+		t.Errorf("orders rows at SF10 = %d, want 15M", ord.Rows)
+	}
+}
+
+func TestTPCHNonPositiveSF(t *testing.T) {
+	if got := TPCH(0).TotalBytes(); got != TPCH(1).TotalBytes() {
+		t.Error("SF 0 should fall back to SF 1")
+	}
+	if got := TPCH(-3).TotalBytes(); got != TPCH(1).TotalBytes() {
+		t.Error("negative SF should fall back to SF 1")
+	}
+}
+
+func TestScaleFactorForBytesHitsTarget(t *testing.T) {
+	target := PaperDatabaseBytes
+	sf := ScaleFactorForBytes(target)
+	got := TPCH(sf).TotalBytes()
+	if rel := math.Abs(float64(got-target)) / float64(target); rel > 0.01 {
+		t.Errorf("TPCH(%v).TotalBytes() = %d, want within 1%% of %d", sf, got, target)
+	}
+	if ScaleFactorForBytes(0) != 1 {
+		t.Error("non-positive target should return SF 1")
+	}
+}
+
+func TestPaperCatalogIs2500GB(t *testing.T) {
+	got := Paper().TotalBytes()
+	if rel := math.Abs(float64(got-PaperDatabaseBytes)) / float64(PaperDatabaseBytes); rel > 0.01 {
+		t.Errorf("Paper() size = %d, want ~2.5TB", got)
+	}
+}
+
+func TestSortedTableNames(t *testing.T) {
+	names := TPCH(1).SortedTableNames()
+	if len(names) != 8 {
+		t.Fatalf("len = %d", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if strings.Compare(names[i-1], names[i]) >= 0 {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestColumnRefString(t *testing.T) {
+	if got := Col("lineitem", "l_shipdate").String(); got != "lineitem.l_shipdate" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: total catalog size scales linearly with SF (up to fixed tables).
+func TestTPCHScalesLinearlyProperty(t *testing.T) {
+	base := TPCH(1).TotalBytes()
+	f := func(k uint8) bool {
+		sf := float64(k%50) + 1
+		got := TPCH(sf).TotalBytes()
+		want := float64(base) * sf
+		return math.Abs(float64(got)-want)/want < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every TPCH column has positive size and resolvable reference.
+func TestTPCHColumnsResolvable(t *testing.T) {
+	c := TPCH(2)
+	for _, tab := range c.Tables() {
+		for _, col := range tab.Columns {
+			ref := Col(tab.Name, col.Name)
+			b, err := c.ColumnBytes(ref)
+			if err != nil || b <= 0 {
+				t.Errorf("ColumnBytes(%v) = %d, %v", ref, b, err)
+			}
+		}
+	}
+}

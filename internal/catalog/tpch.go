@@ -1,0 +1,165 @@
+package catalog
+
+// TPC-H schema with byte widths chosen to approximate a columnar layout.
+// Row counts follow the TPC-H scaling rules (lineitem ≈ 6,000,000 × SF).
+// ScaleFactorForBytes solves for the SF that makes the whole database hit a
+// byte budget, so TPCH(ScaleFactorForBytes(2.5e12)) reproduces the paper's
+// 2.5 TB back-end.
+
+// TPC-H base cardinalities at SF 1.
+const (
+	rowsLineitemSF1 = 6_000_000
+	rowsOrdersSF1   = 1_500_000
+	rowsCustomerSF1 = 150_000
+	rowsPartSF1     = 200_000
+	rowsPartsuppSF1 = 800_000
+	rowsSupplierSF1 = 10_000
+	rowsNation      = 25
+	rowsRegion      = 5
+)
+
+// TPCH builds the TPC-H catalog at the given scale factor. Fractional scale
+// factors are allowed; row counts are rounded down but never below the SF-1
+// fixed tables.
+func TPCH(sf float64) *Catalog {
+	if sf <= 0 {
+		sf = 1
+	}
+	scale := func(base int64) int64 {
+		n := int64(float64(base) * sf)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	lineitem := &Table{
+		Name: "lineitem",
+		Rows: scale(rowsLineitemSF1),
+		Columns: []Column{
+			{Name: "l_orderkey", Type: Int64},
+			{Name: "l_partkey", Type: Int64},
+			{Name: "l_suppkey", Type: Int64},
+			{Name: "l_linenumber", Type: Int32},
+			{Name: "l_quantity", Type: Decimal},
+			{Name: "l_extendedprice", Type: Decimal},
+			{Name: "l_discount", Type: Decimal},
+			{Name: "l_tax", Type: Decimal},
+			{Name: "l_returnflag", Type: Char1},
+			{Name: "l_linestatus", Type: Char1},
+			{Name: "l_shipdate", Type: Date},
+			{Name: "l_commitdate", Type: Date},
+			{Name: "l_receiptdate", Type: Date},
+			{Name: "l_shipinstruct", Type: VarChar, Width: 25},
+			{Name: "l_shipmode", Type: VarChar, Width: 10},
+			{Name: "l_comment", Type: VarChar, Width: 44},
+		},
+	}
+	orders := &Table{
+		Name: "orders",
+		Rows: scale(rowsOrdersSF1),
+		Columns: []Column{
+			{Name: "o_orderkey", Type: Int64},
+			{Name: "o_custkey", Type: Int64},
+			{Name: "o_orderstatus", Type: Char1},
+			{Name: "o_totalprice", Type: Decimal},
+			{Name: "o_orderdate", Type: Date},
+			{Name: "o_orderpriority", Type: VarChar, Width: 15},
+			{Name: "o_clerk", Type: VarChar, Width: 15},
+			{Name: "o_shippriority", Type: Int32},
+			{Name: "o_comment", Type: VarChar, Width: 49},
+		},
+	}
+	customer := &Table{
+		Name: "customer",
+		Rows: scale(rowsCustomerSF1),
+		Columns: []Column{
+			{Name: "c_custkey", Type: Int64},
+			{Name: "c_name", Type: VarChar, Width: 25},
+			{Name: "c_address", Type: VarChar, Width: 40},
+			{Name: "c_nationkey", Type: Int32},
+			{Name: "c_phone", Type: VarChar, Width: 15},
+			{Name: "c_acctbal", Type: Decimal},
+			{Name: "c_mktsegment", Type: VarChar, Width: 10},
+			{Name: "c_comment", Type: VarChar, Width: 117},
+		},
+	}
+	part := &Table{
+		Name: "part",
+		Rows: scale(rowsPartSF1),
+		Columns: []Column{
+			{Name: "p_partkey", Type: Int64},
+			{Name: "p_name", Type: VarChar, Width: 55},
+			{Name: "p_mfgr", Type: VarChar, Width: 25},
+			{Name: "p_brand", Type: VarChar, Width: 10},
+			{Name: "p_type", Type: VarChar, Width: 25},
+			{Name: "p_size", Type: Int32},
+			{Name: "p_container", Type: VarChar, Width: 10},
+			{Name: "p_retailprice", Type: Decimal},
+			{Name: "p_comment", Type: VarChar, Width: 23},
+		},
+	}
+	partsupp := &Table{
+		Name: "partsupp",
+		Rows: scale(rowsPartsuppSF1),
+		Columns: []Column{
+			{Name: "ps_partkey", Type: Int64},
+			{Name: "ps_suppkey", Type: Int64},
+			{Name: "ps_availqty", Type: Int32},
+			{Name: "ps_supplycost", Type: Decimal},
+			{Name: "ps_comment", Type: VarChar, Width: 199},
+		},
+	}
+	supplier := &Table{
+		Name: "supplier",
+		Rows: scale(rowsSupplierSF1),
+		Columns: []Column{
+			{Name: "s_suppkey", Type: Int64},
+			{Name: "s_name", Type: VarChar, Width: 25},
+			{Name: "s_address", Type: VarChar, Width: 40},
+			{Name: "s_nationkey", Type: Int32},
+			{Name: "s_phone", Type: VarChar, Width: 15},
+			{Name: "s_acctbal", Type: Decimal},
+			{Name: "s_comment", Type: VarChar, Width: 101},
+		},
+	}
+	nation := &Table{
+		Name: "nation",
+		Rows: rowsNation,
+		Columns: []Column{
+			{Name: "n_nationkey", Type: Int32},
+			{Name: "n_name", Type: VarChar, Width: 25},
+			{Name: "n_regionkey", Type: Int32},
+			{Name: "n_comment", Type: VarChar, Width: 152},
+		},
+	}
+	region := &Table{
+		Name: "region",
+		Rows: rowsRegion,
+		Columns: []Column{
+			{Name: "r_regionkey", Type: Int32},
+			{Name: "r_name", Type: VarChar, Width: 25},
+			{Name: "r_comment", Type: VarChar, Width: 152},
+		},
+	}
+	return MustNew(lineitem, orders, customer, part, partsupp, supplier, nation, region)
+}
+
+// ScaleFactorForBytes returns the scale factor at which the TPC-H catalog
+// reaches approximately the requested total byte size. The search is a
+// simple proportional solve: table sizes are linear in SF except for the
+// two fixed tables, which are negligible.
+func ScaleFactorForBytes(target int64) float64 {
+	if target <= 0 {
+		return 1
+	}
+	base := TPCH(1).TotalBytes()
+	return float64(target) / float64(base)
+}
+
+// PaperDatabaseBytes is the back-end size used in §VII-A.
+const PaperDatabaseBytes = int64(2_500_000_000_000) // 2.5 TB
+
+// Paper returns the catalog scaled to the paper's 2.5 TB back-end.
+func Paper() *Catalog {
+	return TPCH(ScaleFactorForBytes(PaperDatabaseBytes))
+}

@@ -1,0 +1,45 @@
+// Package core is the canonical entry point to the paper's primary
+// contribution: the self-tuned altruistic economy of §IV. The mechanics
+// live in repro/internal/economy (account, case A/B/C selection, regret
+// ledger, Eq. 3 investment, amortization, rent-vs-yield eviction) with the
+// plan enumeration in repro/internal/optimizer; this package re-exports the
+// contribution under its DESIGN.md name so the repository layout mirrors
+// the paper's structure.
+package core
+
+import (
+	"repro/internal/economy"
+)
+
+// The economy types, re-exported.
+type (
+	// Economy is the cloud account + regret state machine (§IV).
+	Economy = economy.Economy
+	// Config parameterises an Economy.
+	Config = economy.Config
+	// Decision reports how one query was handled.
+	Decision = economy.Decision
+	// Criterion selects among affordable plans.
+	Criterion = economy.Criterion
+	// Case is the §IV-C budget classification.
+	Case = economy.Case
+	// Stats is a snapshot of the economy's lifetime counters.
+	Stats = economy.Stats
+)
+
+// Selection criteria (§VII-A).
+const (
+	SelectCheapest  = economy.SelectCheapest
+	SelectFastest   = economy.SelectFastest
+	SelectMinProfit = economy.SelectMinProfit
+)
+
+// The budget cases of Fig. 2.
+const (
+	CaseA = economy.CaseA
+	CaseB = economy.CaseB
+	CaseC = economy.CaseC
+)
+
+// New builds an Economy.
+func New(cfg Config) (*Economy, error) { return economy.New(cfg) }

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/money"
+	"repro/internal/optimizer"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+)
+
+// The core package is the canonical alias of the economy; this test pins
+// the re-exports and exercises the contribution end to end through them.
+func TestCoreAliasEndToEnd(t *testing.T) {
+	cat := catalog.TPCH(10)
+	model, err := cost.NewModel(cat, pricing.EC22008(), cost.DefaultTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := cache.New(0)
+	opt, err := optimizer.New(optimizer.Config{Model: model, AmortN: 1000, AllowIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, err := New(Config{
+		Model:                 model,
+		Cache:                 ca,
+		Optimizer:             opt,
+		Criterion:             SelectCheapest,
+		RegretFraction:        0.1,
+		AmortN:                1000,
+		InitialCredit:         money.FromDollars(10),
+		UserAcceptsOverBudget: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := workload.PaperTemplates()[3]
+	q := &workload.Query{
+		ID: 1, Template: tpl, Selectivity: tpl.SelMin,
+		Budget: budget.NewStep(money.FromDollars(1), time.Minute),
+	}
+	plans, err := opt.Enumerate(q, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := eco.HandleQuery(q, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Case != CaseB {
+		t.Errorf("case = %v, want B", d.Case)
+	}
+	if d.Chosen == nil {
+		t.Fatal("no plan chosen")
+	}
+	var s Stats = eco.Stats()
+	if s.Credit.IsNegative() {
+		t.Error("negative credit")
+	}
+	// Criteria constants resolve.
+	for _, c := range []Criterion{SelectCheapest, SelectFastest, SelectMinProfit} {
+		if c.String() == "" {
+			t.Error("criterion string empty")
+		}
+	}
+}

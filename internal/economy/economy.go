@@ -1,0 +1,700 @@
+// Package economy implements the paper's primary contribution: the
+// self-tuned altruistic economy of §IV. It maintains the cloud account CR,
+// classifies each query into case A/B/C against the user's budget function
+// (§IV-C, Fig. 2), selects a plan under the scheme's criterion, credits
+// profit, collects amortized build shares and maintenance arrears
+// (Eq. 4–7, footnote 3), accumulates regret for rejected possible plans
+// (Eq. 1–2), and invests in new structures when regret crosses the Eq. 3
+// threshold. Structures whose unpaid maintenance exceeds their build cost
+// fail and are evicted (footnote 3 "structure failure").
+package economy
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/money"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// Criterion selects which affordable runnable plan the cloud picks.
+type Criterion int
+
+// The selection criteria of §VII-A.
+const (
+	// SelectCheapest picks the least-cost plan (econ-col, econ-cheap).
+	SelectCheapest Criterion = iota
+	// SelectFastest picks the fastest affordable plan (econ-fast).
+	SelectFastest
+	// SelectMinProfit picks the plan minimizing B_Q(t)-price, the pure
+	// case-B rule of §IV-C.
+	SelectMinProfit
+)
+
+// String implements fmt.Stringer.
+func (c Criterion) String() string {
+	switch c {
+	case SelectCheapest:
+		return "cheapest"
+	case SelectFastest:
+		return "fastest"
+	case SelectMinProfit:
+		return "min-profit"
+	default:
+		return fmt.Sprintf("Criterion(%d)", int(c))
+	}
+}
+
+// Case is the §IV-C classification of a query against its budget.
+type Case int
+
+// The three cases of Fig. 2.
+const (
+	// CaseA: the budget is below every plan's price.
+	CaseA Case = iota
+	// CaseB: the budget covers every plan.
+	CaseB
+	// CaseC: the budget covers some plans.
+	CaseC
+)
+
+// String implements fmt.Stringer.
+func (c Case) String() string { return [...]string{"A", "B", "C"}[c] }
+
+// Config parameterises the economy.
+type Config struct {
+	// Model prices maintenance and builds (the scheme's schedule).
+	Model *cost.Model
+	// Cache is the shared cache state.
+	Cache *cache.Cache
+	// Optimizer prices builds consistently with plan enumeration.
+	Optimizer *optimizer.Optimizer
+	// Criterion is the plan-selection rule.
+	Criterion Criterion
+	// RegretFraction is `a` of Eq. 3 (0 < a < 1).
+	RegretFraction float64
+	// AmortN is the amortization horizon n of Eq. 7.
+	AmortN int64
+	// InitialCredit seeds the cloud account so the first investments are
+	// possible before profit accumulates.
+	InitialCredit money.Amount
+	// Conservative providers build only structures whose build price the
+	// account covers ("builds structures only when her profit exceeds
+	// the cost of building them", §VII-A).
+	Conservative bool
+	// UserAcceptsOverBudget models the §VII-A user who "accepts query
+	// execution in the back-end" when no plan fits the budget: in case A
+	// the user picks (and pays for) the cheapest runnable plan.
+	UserAcceptsOverBudget bool
+	// MaintFailureFactor triggers structure failure when rent outweighs
+	// the structure's value (footnote 3). 0 disables failure eviction.
+	MaintFailureFactor float64
+	// FailureFloor is the minimum arrears before a *used* structure can
+	// fail, protecting cheap structures from flapping at short
+	// inter-query intervals.
+	FailureFloor money.Amount
+	// NeverUsedFloor is the minimum arrears before a structure that has
+	// never been used can fail. It must be generous enough to cover the
+	// window between a structure's completion and the completion of the
+	// rest of its plan's structure set — partial sets are unusable, so
+	// early members idle through no fault of their own.
+	NeverUsedFloor money.Amount
+	// InvestBackoff multiplies the Eq. 3 investment threshold for a
+	// structure each time a previous build of it failed, damping
+	// build-evict-rebuild cycles in rent-hostile regimes. Values <= 1
+	// disable backoff.
+	InvestBackoff float64
+	// InvestKinds limits which structure kinds the economy may build;
+	// nil means all kinds (econ-col passes only KindColumn).
+	InvestKinds map[structure.Kind]bool
+	// LedgerCap bounds the regret ledger; least-recently-touched
+	// entries are garbage collected (§IV-B "garbage collected using LRU
+	// policy"). 0 means a generous default.
+	LedgerCap int
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	if c.Model == nil || c.Cache == nil || c.Optimizer == nil {
+		return fmt.Errorf("economy: Model, Cache and Optimizer are required")
+	}
+	if c.RegretFraction <= 0 || c.RegretFraction >= 1 {
+		return fmt.Errorf("economy: RegretFraction must be in (0,1), got %g", c.RegretFraction)
+	}
+	if c.AmortN <= 0 {
+		return fmt.Errorf("economy: AmortN must be positive")
+	}
+	if c.MaintFailureFactor < 0 {
+		return fmt.Errorf("economy: MaintFailureFactor must be >= 0")
+	}
+	if c.LedgerCap < 0 {
+		return fmt.Errorf("economy: LedgerCap must be >= 0")
+	}
+	return nil
+}
+
+// regretEntry is one ledger row.
+type regretEntry struct {
+	regret  money.Amount
+	touched int64 // ledger logical clock for LRU GC
+}
+
+// Decision reports how one query was handled.
+type Decision struct {
+	// Case classification (§IV-C).
+	Case Case
+	// Chosen is the executed plan; nil when the query was declined.
+	Chosen *plan.Plan
+	// Declined reports that no plan fit the budget and the user walked.
+	Declined bool
+	// Charged is what the user paid.
+	Charged money.Amount
+	// Profit is Charged minus the plan price (credited to CR).
+	Profit money.Amount
+	// Investments lists structures whose construction this query
+	// triggered.
+	Investments []structure.ID
+	// Failures lists structures evicted for maintenance failure before
+	// this query was planned.
+	Failures []structure.ID
+}
+
+// Economy is the mutable account + regret state. Not safe for concurrent
+// use; one simulation owns one economy.
+type Economy struct {
+	cfg    Config
+	credit money.Amount
+
+	ledger      map[structure.ID]*regretEntry
+	ledgerClock int64
+	// failCount records how many times a structure has failed, for
+	// investment backoff.
+	failCount map[structure.ID]int
+
+	// buildUsage accumulates the physical resource usage of investments
+	// since the last drain, so the simulator can account true build
+	// expenditure separately from the scheme's deciding prices.
+	buildUsage cost.Usage
+
+	// stats
+	invested      money.Amount
+	recovered     money.Amount
+	profitTotal   money.Amount
+	investCount   int64
+	failureCount  int64
+	declinedCount int64
+}
+
+// DrainBuildUsage returns the physical usage of all investments since the
+// previous drain and resets the accumulator.
+func (e *Economy) DrainBuildUsage() cost.Usage {
+	u := e.buildUsage
+	e.buildUsage = cost.Usage{}
+	return u
+}
+
+// New builds an economy.
+func New(cfg Config) (*Economy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LedgerCap == 0 {
+		cfg.LedgerCap = 4096
+	}
+	if cfg.NeverUsedFloor == 0 {
+		cfg.NeverUsedFloor = money.FromDollars(1)
+	}
+	return &Economy{
+		cfg:       cfg,
+		credit:    cfg.InitialCredit,
+		ledger:    make(map[structure.ID]*regretEntry),
+		failCount: make(map[structure.ID]int),
+	}, nil
+}
+
+// Credit returns the current account balance CR.
+func (e *Economy) Credit() money.Amount { return e.credit }
+
+// Regret returns the accumulated regret for a structure.
+func (e *Economy) Regret(id structure.ID) money.Amount {
+	if r, ok := e.ledger[id]; ok {
+		return r.regret
+	}
+	return 0
+}
+
+// HandleQuery runs the full §IV-C pipeline for one query whose plan set has
+// already been enumerated. The cache clock must already be at q.Arrival.
+func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, error) {
+	if q == nil || len(plans) == 0 {
+		return Decision{}, fmt.Errorf("economy: query and plans are required")
+	}
+	var d Decision
+
+	// Structure failure sweep (footnote 3) happens before planning so a
+	// failed structure cannot be chosen.
+	d.Failures = e.sweepFailures()
+
+	exist, _ := plan.Partition(plans)
+	if len(exist) == 0 {
+		return Decision{}, fmt.Errorf("economy: no runnable plan (the backend plan must always exist)")
+	}
+
+	// Affordability and case classification over the full PQ.
+	affordable := func(p *plan.Plan) bool {
+		return q.Budget.At(p.Time()) >= p.Price()
+	}
+	nAfford := 0
+	for _, p := range plans {
+		if affordable(p) {
+			nAfford++
+		}
+	}
+	switch {
+	case nAfford == 0:
+		d.Case = CaseA
+	case nAfford == len(plans):
+		d.Case = CaseB
+	default:
+		d.Case = CaseC
+	}
+
+	// Plan selection.
+	var affordableExist []*plan.Plan
+	for _, p := range exist {
+		if affordable(p) {
+			affordableExist = append(affordableExist, p)
+		}
+	}
+	switch {
+	case len(affordableExist) > 0:
+		d.Chosen = e.selectPlan(q, affordableExist)
+	case e.cfg.UserAcceptsOverBudget:
+		// §VII-A: the user accepts the cheapest runnable offer.
+		d.Chosen = plan.Cheapest(exist)
+	default:
+		d.Declined = true
+		e.declinedCount++
+	}
+
+	// Payment, profit and per-structure collections. Two anchor plans
+	// measure the value of cache structures marginally: columns earn
+	// the plain column scan's saving over the back-end plan; the index
+	// and extra nodes earn only their improvement over the plain scan.
+	var backendExec, scanExec money.Amount
+	haveScan := false
+	for _, p := range plans {
+		if p.Location == plan.Backend {
+			backendExec = p.ExecPrice
+		}
+		if p.Location == plan.Cache && !p.UsesIndex && p.Nodes == 1 {
+			scanExec = p.ExecPrice
+			haveScan = true
+		}
+	}
+	if d.Chosen != nil {
+		e.settle(q, d.Chosen, backendExec, scanExec, haveScan, &d)
+	}
+
+	// Regret accrual for rejected possible plans, then investment.
+	e.accrueRegret(q, plans, d.Chosen)
+	d.Investments = e.invest()
+	return d, nil
+}
+
+// selectPlan applies the scheme's criterion to the affordable runnable set.
+func (e *Economy) selectPlan(q *workload.Query, plans []*plan.Plan) *plan.Plan {
+	switch e.cfg.Criterion {
+	case SelectFastest:
+		return plan.Fastest(plans)
+	case SelectMinProfit:
+		var best *plan.Plan
+		var bestProfit money.Amount
+		for _, p := range plans {
+			profit := q.Budget.At(p.Time()).Sub(p.Price())
+			if best == nil || profit < bestProfit ||
+				(profit == bestProfit && p.Time() < best.Time()) {
+				best, bestProfit = p, profit
+			}
+		}
+		return best
+	default:
+		return plan.Cheapest(plans)
+	}
+}
+
+// settle charges the user, credits profit and collects the amortized and
+// maintenance components into the account.
+//
+// Value attribution is marginal: when a cache plan is chosen, its columns
+// split the execution saving of the plain column scan over the back-end
+// plan, while the index and extra CPU nodes split only the further saving
+// the chosen plan achieves over the plain scan. This keeps base data
+// "less eligible for eviction" than accelerators (§VII-B), because the
+// columns carry the bulk of the measured value.
+func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec money.Amount, haveScan bool, d *Decision) {
+	price := p.Price()
+	budgetAt := q.Budget.At(p.Time())
+	charged := price
+	if budgetAt > price {
+		charged = budgetAt
+	}
+	d.Charged = charged
+	d.Profit = charged.Sub(price)
+
+	// Execution cost is paid through to the infrastructure; profit,
+	// amortized shares and maintenance recovery stay in the account.
+	e.credit = e.credit.Add(charged.Sub(p.ExecPrice))
+	e.profitTotal = e.profitTotal.Add(d.Profit)
+	e.recovered = e.recovered.Add(p.AmortPrice).Add(p.MaintPrice)
+
+	// Marginal execution savings.
+	var colShare, extraShare money.Amount
+	if p.Location == plan.Cache {
+		nCols, nExtras := 0, 0
+		for _, st := range p.Structures.Items() {
+			if st.Kind == structure.KindColumn {
+				nCols++
+			} else {
+				nExtras++
+			}
+		}
+		base := scanExec
+		if !haveScan {
+			base = p.ExecPrice
+		}
+		if nCols > 0 {
+			if saving := backendExec.Sub(base); saving.IsPositive() {
+				colShare = saving.DivInt(int64(nCols))
+			}
+		}
+		if nExtras > 0 && haveScan {
+			if saving := base.Sub(p.ExecPrice); saving.IsPositive() {
+				extraShare = saving.DivInt(int64(nExtras))
+			}
+		}
+	}
+
+	// Per-structure bookkeeping on the chosen plan.
+	for _, st := range p.Structures.Items() {
+		entry, ok := e.cfg.Cache.Get(st.ID)
+		if !ok {
+			continue
+		}
+		share := cache.AmortShare(entry, e.cfg.AmortN)
+		entry.AmortRemaining = entry.AmortRemaining.Sub(share)
+		entry.UnpaidMaint = 0
+		entry.MaintPaidUntil = e.cfg.Cache.Clock()
+		earned := share
+		if st.Kind == structure.KindColumn {
+			earned = earned.Add(colShare)
+		} else {
+			earned = earned.Add(extraShare)
+		}
+		entry.EarnedValue = entry.EarnedValue.Add(earned)
+		e.cfg.Cache.Touch(st.ID)
+	}
+}
+
+// accrueRegret implements Eq. 1–2 over the rejected possible plans.
+//
+// The two equations cover the two directions a missed structure can hurt:
+// a possible plan cheaper than the chosen one is a lost cost saving
+// (Eq. 1, the case-A regret), and a possible, affordable plan that is more
+// expensive — on a skyline, faster — is a lost service/profit opportunity
+// (Eq. 2, the case-B regret). The union applies in every case; each term
+// is only ever non-negative.
+func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *plan.Plan) {
+	for _, p := range plans {
+		if p.Runnable() || p == chosen {
+			continue
+		}
+		var r money.Amount
+		price := p.Price()
+		if chosen != nil && price <= chosen.Price() {
+			// Eq. 1: regret(PQj) = B_PQ(t_i) - B_PQ(t_j).
+			r = chosen.Price().Sub(price)
+		} else if budgetAt := q.Budget.At(p.Time()); budgetAt >= price {
+			// Eq. 2: regret(PQj) = B_Q(t_j) - B_PQ(t_j).
+			r = budgetAt.Sub(price)
+		}
+		if !r.IsPositive() {
+			continue
+		}
+		e.distribute(p, r)
+	}
+}
+
+// distribute splits a plan's regret uniformly across its missing structures
+// ("the regret ... is distributed uniformly to every physical structure
+// used by the plan"; resident structures need no investment so only the
+// missing ones are tracked).
+func (e *Economy) distribute(p *plan.Plan, r money.Amount) {
+	if len(p.Missing) == 0 {
+		return
+	}
+	share := r.DivInt(int64(len(p.Missing)))
+	if !share.IsPositive() {
+		return
+	}
+	for _, id := range p.Missing {
+		st, _ := p.Structures.Get(id)
+		if st == nil || !e.kindAllowed(st.Kind) {
+			continue
+		}
+		e.ledgerClock++
+		entry, ok := e.ledger[id]
+		if !ok {
+			entry = &regretEntry{}
+			e.ledger[id] = entry
+			e.gcLedger()
+		}
+		entry.regret = entry.regret.Add(share)
+		entry.touched = e.ledgerClock
+	}
+}
+
+// kindAllowed reports whether the scheme may invest in this kind.
+func (e *Economy) kindAllowed(k structure.Kind) bool {
+	if e.cfg.InvestKinds == nil {
+		return true
+	}
+	return e.cfg.InvestKinds[k]
+}
+
+// gcLedger enforces the LRU cap on the regret ledger (§IV-B).
+func (e *Economy) gcLedger() {
+	if len(e.ledger) <= e.cfg.LedgerCap {
+		return
+	}
+	// Evict the least recently touched entry.
+	var victim structure.ID
+	var oldest int64 = 1<<63 - 1
+	for id, entry := range e.ledger {
+		if entry.touched < oldest {
+			oldest, victim = entry.touched, id
+		}
+	}
+	delete(e.ledger, victim)
+}
+
+// invest scans the ledger and builds every structure whose accumulated
+// regret satisfies Eq. 3: round(regret_S / (a·CR)) >= 1, i.e. regret has
+// risen to the fraction a of the account. Investments deduct the build
+// price from CR; construction completes after the build duration.
+func (e *Economy) invest() []structure.ID {
+	if !e.credit.IsPositive() {
+		return nil
+	}
+	threshold := e.credit.MulFloat(e.cfg.RegretFraction)
+	if !threshold.IsPositive() {
+		return nil
+	}
+	// Deterministic scan order.
+	ids := make([]structure.ID, 0, len(e.ledger))
+	for id := range e.ledger {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var built []structure.ID
+	for _, id := range ids {
+		entry := e.ledger[id]
+		// Eq. 3 with round(): triggers at regret >= 0.5·a·CR. A history
+		// of failed builds raises the bar exponentially.
+		bar := threshold
+		if e.cfg.InvestBackoff > 1 {
+			for i := 0; i < e.failCount[id] && i < 30; i++ {
+				bar = bar.MulFloat(e.cfg.InvestBackoff)
+			}
+		}
+		if entry.regret.MulInt(2) < bar {
+			continue
+		}
+		ca := e.cfg.Cache
+		if ca.Has(id) || ca.Building(id) {
+			delete(e.ledger, id)
+			continue
+		}
+		st, err := e.resolveStructure(id)
+		if err != nil {
+			delete(e.ledger, id)
+			continue
+		}
+		if e.buildStructure(st) {
+			built = append(built, id)
+			delete(e.ledger, id)
+		}
+	}
+	return built
+}
+
+// buildStructure starts construction of st (and, for indexes, of its
+// missing columns first, per Eq. 14). It reports whether the investment was
+// made; a conservative provider skips builds the account cannot cover.
+func (e *Economy) buildStructure(st *structure.Structure) bool {
+	ca := e.cfg.Cache
+	price, out, err := e.cfg.Optimizer.BuildPrice(st, ca)
+	if err != nil {
+		return false
+	}
+	if e.cfg.Conservative && e.credit < price {
+		return false
+	}
+
+	now := ca.Clock()
+	readyAt := now + out.Time
+	if st.Kind == structure.KindIndex {
+		// Build missing columns first; the index build waits for them.
+		var colsReady = now
+		for _, ref := range st.Index.Refs() {
+			colID := structure.ColumnID(ref)
+			if ca.Has(colID) {
+				continue
+			}
+			if ca.Building(colID) {
+				continue
+			}
+			colSt, err := structure.ColumnStructure(e.cfg.Model.Catalog(), ref)
+			if err != nil {
+				return false
+			}
+			colPrice, colOut, err := e.cfg.Optimizer.BuildPrice(colSt, ca)
+			if err != nil {
+				return false
+			}
+			if err := ca.StartBuild(colSt, now+colOut.Time, colPrice); err != nil {
+				return false
+			}
+			e.credit = e.credit.Sub(colPrice)
+			e.invested = e.invested.Add(colPrice)
+			e.buildUsage.Add(colOut.Usage)
+			if now+colOut.Time > colsReady {
+				colsReady = now + colOut.Time
+			}
+		}
+		// The composite BuildPrice included the missing columns, but
+		// those were just charged individually; re-price the sort-only
+		// component by pretending all columns are cached.
+		sortOnly, sortOut, err := e.indexSortOnly(st)
+		if err != nil {
+			return false
+		}
+		price, out = sortOnly, sortOut
+		readyAt = colsReady + out.Time
+	}
+
+	if err := ca.StartBuild(st, readyAt, price); err != nil {
+		return false
+	}
+	e.credit = e.credit.Sub(price)
+	e.invested = e.invested.Add(price)
+	e.buildUsage.Add(out.Usage)
+	e.investCount++
+	return true
+}
+
+// indexSortOnly prices just the in-cache sort of an index build.
+func (e *Economy) indexSortOnly(st *structure.Structure) (money.Amount, cost.Outcome, error) {
+	out, err := e.cfg.Model.BuildIndex(st.Index, func(catalog.ColumnRef) bool { return true })
+	if err != nil {
+		return 0, cost.Outcome{}, err
+	}
+	return cost.Price(e.cfg.Model.Schedule(), out.Usage), out, nil
+}
+
+// resolveStructure reconstructs the Structure behind a ledger ID by asking
+// the catalog. Ledger entries always originate from plans, so the ID shape
+// is trusted.
+func (e *Economy) resolveStructure(id structure.ID) (*structure.Structure, error) {
+	return ResolveID(e.cfg.Model.Catalog(), id)
+}
+
+// sweepFailures evicts structures whose maintenance rent no longer pays
+// (footnote 3 "structure failure"). Two rules apply:
+//
+//   - Never-used structures fail when their accrued arrears exceed
+//     MaintFailureFactor × build price: the investment clearly missed.
+//   - Used structures fail when their rent *rate* exceeds
+//     MaintFailureFactor × their lifetime value rate
+//     (EarnedValue / time since build): at long inter-query intervals the
+//     rent a structure accrues outweighs the value it produces, and a
+//     rational provider evicts to save disk money (§VII-B, the 10 s and
+//     60 s regimes). Rates — not single gaps — are compared so a busy
+//     structure survives an occasional long idle stretch.
+//
+// The floors suppress evictions over negligible arrears so structures do
+// not flap at short intervals, and give fresh builds time to see their
+// first use (partial structure sets are unusable until complete).
+func (e *Economy) sweepFailures() []structure.ID {
+	if e.cfg.MaintFailureFactor <= 0 {
+		return nil
+	}
+	ca := e.cfg.Cache
+	var victims []structure.ID
+	ca.ForEach(func(entry *cache.Entry) {
+		due := cache.MaintDue(entry, func(en *cache.Entry) money.Amount {
+			return e.cfg.Model.MaintCost(en.S.Kind == structure.KindCPUNode, en.S.Bytes, ca.Clock()-en.MaintPaidUntil)
+		})
+		evict := false
+		if entry.Uses == 0 {
+			evict = due > e.cfg.NeverUsedFloor &&
+				due > entry.BuildPrice.MulFloat(e.cfg.MaintFailureFactor)
+		} else if due > e.cfg.FailureFloor {
+			// Grace window: rates need at least an hour of post-first-
+			// use history to mean anything.
+			window := ca.Clock() - entry.FirstUsed
+			if window >= time.Hour {
+				rentPerHour := e.cfg.Model.MaintCost(
+					entry.S.Kind == structure.KindCPUNode, entry.S.Bytes, time.Hour).Dollars()
+				valuePerHour := entry.EarnedValue.Dollars() / window.Hours()
+				evict = rentPerHour > e.cfg.MaintFailureFactor*valuePerHour
+			}
+		}
+		if evict {
+			victims = append(victims, entry.S.ID)
+		}
+	})
+	// Eviction decisions are independent per entry, so the victim SET is
+	// deterministic even though map order is not; sort for stable output.
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, id := range victims {
+		ca.Evict(id)
+		e.failCount[id]++
+		e.failureCount++
+	}
+	return victims
+}
+
+// Stats is a snapshot of the economy's lifetime counters.
+type Stats struct {
+	Credit        money.Amount
+	Invested      money.Amount
+	Recovered     money.Amount
+	ProfitTotal   money.Amount
+	InvestCount   int64
+	FailureCount  int64
+	DeclinedCount int64
+	LedgerSize    int
+}
+
+// Stats returns the lifetime counters.
+func (e *Economy) Stats() Stats {
+	return Stats{
+		Credit:        e.credit,
+		Invested:      e.invested,
+		Recovered:     e.recovered,
+		ProfitTotal:   e.profitTotal,
+		InvestCount:   e.investCount,
+		FailureCount:  e.failureCount,
+		DeclinedCount: e.declinedCount,
+		LedgerSize:    len(e.ledger),
+	}
+}

@@ -1,0 +1,52 @@
+package economy
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/structure"
+)
+
+// ResolveID reconstructs a Structure from its canonical ID string using the
+// catalog for sizing. The ID grammar is fixed by package structure:
+//
+//	cpu:<ordinal>
+//	col:<table>.<column>
+//	idx_<table>(<col>,<col>,...)
+func ResolveID(cat *catalog.Catalog, id structure.ID) (*structure.Structure, error) {
+	s := string(id)
+	switch {
+	case strings.HasPrefix(s, "cpu:"):
+		n, err := strconv.Atoi(s[len("cpu:"):])
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("economy: bad cpu node id %q", id)
+		}
+		return structure.CPUNode(n), nil
+
+	case strings.HasPrefix(s, "col:"):
+		rest := s[len("col:"):]
+		table, col, ok := strings.Cut(rest, ".")
+		if !ok || table == "" || col == "" {
+			return nil, fmt.Errorf("economy: bad column id %q", id)
+		}
+		return structure.ColumnStructure(cat, catalog.Col(table, col))
+
+	case strings.HasPrefix(s, "idx_"):
+		open := strings.IndexByte(s, '(')
+		if open < 0 || !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("economy: bad index id %q", id)
+		}
+		table := s[len("idx_"):open]
+		colList := s[open+1 : len(s)-1]
+		if table == "" || colList == "" {
+			return nil, fmt.Errorf("economy: bad index id %q", id)
+		}
+		def := catalog.IndexDef{Table: table, Columns: strings.Split(colList, ",")}
+		return structure.IndexStructure(cat, def)
+
+	default:
+		return nil, fmt.Errorf("economy: unrecognised structure id %q", id)
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/pricing"
+	"repro/internal/workload"
+)
+
+// AblationRegretFraction sweeps the Eq. 3 fraction `a` for the econ-cheap
+// scheme at the given interval: smaller `a` invests sooner (Abl. A in
+// DESIGN.md).
+func AblationRegretFraction(s Settings, fractions []float64, interval time.Duration) (*metrics.Table, []Cell, error) {
+	s = s.withDefaults()
+	if len(fractions) == 0 {
+		fractions = []float64{0.001, 0.005, 0.02, 0.1, 0.5}
+	}
+	t := metrics.NewTable("regret fraction a", "cost ($)", "response (s)", "investments")
+	var cells []Cell
+	for _, a := range fractions {
+		s2 := s
+		s2.Params.RegretFraction = a
+		cell, err := RunCell(s2, "econ-cheap", interval)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells = append(cells, cell)
+		t.AddRow(
+			fmt.Sprintf("%g", a),
+			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
+			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
+			fmt.Sprintf("%d", cell.Report.Investments),
+		)
+	}
+	return t, cells, nil
+}
+
+// AblationBudgetShape sweeps the user budget shape (Fig. 1) for econ-cheap:
+// convex users pay premiums only for fast answers, concave users hold their
+// price until a hard deadline (Abl. B).
+func AblationBudgetShape(s Settings, interval time.Duration) (*metrics.Table, []Cell, error) {
+	s = s.withDefaults()
+	base, ok := s.Budgets.(*workload.ScaledPolicy)
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: budget-shape ablation needs a ScaledPolicy")
+	}
+	shapes := []workload.Shape{workload.ShapeStep, workload.ShapeLinear, workload.ShapeConvex, workload.ShapeConcave}
+	t := metrics.NewTable("budget shape", "cost ($)", "response (s)", "revenue ($)", "declined")
+	var cells []Cell
+	for _, shape := range shapes {
+		pol := *base
+		pol.Shape = shape
+		s2 := s
+		s2.Budgets = &pol
+		cell, err := RunCell(s2, "econ-cheap", interval)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells = append(cells, cell)
+		t.AddRow(
+			shape.String(),
+			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
+			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
+			fmt.Sprintf("%.2f", cell.Report.Revenue.Dollars()),
+			fmt.Sprintf("%d", cell.Report.Declined),
+		)
+	}
+	return t, cells, nil
+}
+
+// AblationNetworkThroughput sweeps the WAN throughput, which governs both
+// back-end response times and structure build times (Abl. C).
+func AblationNetworkThroughput(s Settings, mbps []float64, interval time.Duration) (*metrics.Table, []Cell, error) {
+	s = s.withDefaults()
+	if len(mbps) == 0 {
+		mbps = []float64{5, 25, 100, 200}
+	}
+	t := metrics.NewTable("throughput (Mbps)", "cost ($)", "response (s)", "cache answered")
+	var cells []Cell
+	for _, m := range mbps {
+		sched := pricing.EC22008()
+		sched.NetworkThroughput = m * 1e6 / 8
+		s2 := s
+		s2.Params.Schedule = sched
+		s2.Accounting = sched
+		cell, err := RunCell(s2, "econ-cheap", interval)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells = append(cells, cell)
+		t.AddRow(
+			fmt.Sprintf("%g", m),
+			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
+			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
+			fmt.Sprintf("%d", cell.Report.CacheAnswered),
+		)
+	}
+	return t, cells, nil
+}
+
+// AblationCacheFraction sweeps the bypass cache cap around the 30 % the
+// paper cites as ideal for net-only [14] (Abl. D).
+func AblationCacheFraction(s Settings, fractions []float64, interval time.Duration) (*metrics.Table, []Cell, error) {
+	s = s.withDefaults()
+	if len(fractions) == 0 {
+		fractions = []float64{0.10, 0.20, 0.30, 0.45, 0.60}
+	}
+	t := metrics.NewTable("cache fraction", "cost ($)", "response (s)", "cache answered")
+	var cells []Cell
+	for _, f := range fractions {
+		s2 := s
+		s2.Params.CacheFraction = f
+		cell, err := RunCell(s2, "bypass", interval)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells = append(cells, cell)
+		t.AddRow(
+			fmt.Sprintf("%.0f%%", f*100),
+			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
+			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
+			fmt.Sprintf("%d", cell.Report.CacheAnswered),
+		)
+	}
+	return t, cells, nil
+}
+
+// AblationAmortization sweeps the Eq. 7 horizon n, the open problem the
+// paper defers ("Selecting n is a challenging problem in itself", §IV-D).
+func AblationAmortization(s Settings, horizons []int64, interval time.Duration) (*metrics.Table, []Cell, error) {
+	s = s.withDefaults()
+	if len(horizons) == 0 {
+		horizons = []int64{1_000, 10_000, 100_000, 1_000_000}
+	}
+	t := metrics.NewTable("amortization n", "cost ($)", "response (s)", "cache answered")
+	var cells []Cell
+	for _, n := range horizons {
+		s2 := s
+		s2.Params.AmortN = n
+		cell, err := RunCell(s2, "econ-cheap", interval)
+		if err != nil {
+			return nil, nil, err
+		}
+		cells = append(cells, cell)
+		t.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
+			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
+			fmt.Sprintf("%d", cell.Report.CacheAnswered),
+		)
+	}
+	return t, cells, nil
+}

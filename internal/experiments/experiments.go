@@ -1,0 +1,263 @@
+// Package experiments reproduces the paper's evaluation (§VII): Figure 4
+// (operating cost of the four caching schemes at 1/10/30/60 s inter-query
+// intervals) and Figure 5 (average response time at the same points), plus
+// the ablations listed in DESIGN.md.
+//
+// One simulation run per (scheme, interval) cell produces both figures:
+// Fig. 4 reads the cost column, Fig. 5 the response column — exactly like
+// the paper, where both figures describe the same runs.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/metrics"
+	"repro/internal/money"
+	"repro/internal/pricing"
+	"repro/internal/scheme"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// SchemeNames in canonical paper order.
+var SchemeNames = []string{"bypass", "econ-col", "econ-cheap", "econ-fast"}
+
+// PaperIntervals are the inter-query intervals of Figures 4 and 5.
+var PaperIntervals = []time.Duration{1 * time.Second, 10 * time.Second, 30 * time.Second, 60 * time.Second}
+
+// Settings parameterise an experiment grid.
+type Settings struct {
+	// Catalog defaults to the paper's 2.5 TB TPC-H catalog.
+	Catalog *catalog.Catalog
+	// Queries per run. The paper simulates a million-query evolution;
+	// the default keeps full-grid regeneration to a few minutes while
+	// preserving every reported shape. Raise it for closer runs.
+	Queries int
+	// Seed for the workload stream.
+	Seed int64
+	// Intervals defaults to PaperIntervals.
+	Intervals []time.Duration
+	// Schemes defaults to SchemeNames.
+	Schemes []string
+	// Params is the base scheme calibration; zero fields default.
+	Params scheme.Params
+	// Budget policy; defaults to PaperBudgetPolicy().
+	Budgets workload.BudgetPolicy
+	// Theta is the Zipf skew (default 1.1); PhaseLength the evolution
+	// phase (default 20k queries).
+	Theta       float64
+	PhaseLength int
+	// Accounting is the true-dollar schedule (default EC22008).
+	Accounting *pricing.Schedule
+	// OnProgress, if set, receives a line per completed cell.
+	OnProgress func(line string)
+}
+
+// PaperBudgetPolicy returns the §VII-A user model: step budgets sized a few
+// times the typical back-end execution price, so most queries land in case
+// B/C and the economy earns the credit it invests.
+func PaperBudgetPolicy() workload.BudgetPolicy {
+	return &workload.ScaledPolicy{
+		Shape:        workload.ShapeStep,
+		Base:         money.FromDollars(0.001),
+		PerGBScanned: money.FromDollars(0.01),
+		PerGBResult:  money.FromDollars(0.50),
+		TMax:         120 * time.Second,
+	}
+}
+
+// withDefaults normalizes settings.
+func (s Settings) withDefaults() Settings {
+	if s.Catalog == nil {
+		s.Catalog = catalog.Paper()
+	}
+	if s.Queries == 0 {
+		s.Queries = 100_000
+	}
+	if len(s.Intervals) == 0 {
+		s.Intervals = PaperIntervals
+	}
+	if len(s.Schemes) == 0 {
+		s.Schemes = SchemeNames
+	}
+	if s.Params.Catalog == nil {
+		s.Params = paperParams(s.Catalog, s.Params)
+	}
+	if s.Budgets == nil {
+		s.Budgets = PaperBudgetPolicy()
+	}
+	if s.Theta == 0 {
+		s.Theta = 1.1
+	}
+	if s.PhaseLength == 0 {
+		s.PhaseLength = 20_000
+	}
+	if s.Accounting == nil {
+		s.Accounting = pricing.EC22008()
+	}
+	return s
+}
+
+// paperParams merges user overrides into the paper calibration.
+func paperParams(cat *catalog.Catalog, over scheme.Params) scheme.Params {
+	p := scheme.DefaultParams(cat)
+	if over.RegretFraction != 0 {
+		p.RegretFraction = over.RegretFraction
+	}
+	if over.AmortN != 0 {
+		p.AmortN = over.AmortN
+	}
+	if over.InitialCredit != 0 {
+		p.InitialCredit = over.InitialCredit
+	}
+	if over.CacheFraction != 0 {
+		p.CacheFraction = over.CacheFraction
+	}
+	if over.LoadFactor != 0 {
+		p.LoadFactor = over.LoadFactor
+	}
+	if over.MaintFailureFactor != 0 {
+		p.MaintFailureFactor = over.MaintFailureFactor
+	}
+	if over.Schedule != nil {
+		p.Schedule = over.Schedule
+	}
+	if over.Tunables != (p.Tunables) && over.Tunables.MaxNodes != 0 {
+		p.Tunables = over.Tunables
+	}
+	return p
+}
+
+// Cell is one (scheme, interval) measurement.
+type Cell struct {
+	Scheme   string
+	Interval time.Duration
+	Report   *sim.Report
+}
+
+// Cost returns the Fig. 4 value.
+func (c Cell) Cost() money.Amount { return c.Report.OperatingCost }
+
+// MeanResponseSeconds returns the Fig. 5 value.
+func (c Cell) MeanResponseSeconds() float64 { return c.Report.Response.Mean() }
+
+// NewScheme constructs a scheme by its paper name.
+func NewScheme(name string, p scheme.Params) (scheme.Scheme, error) {
+	switch name {
+	case "bypass":
+		return scheme.NewBypass(p)
+	case "econ-col":
+		return scheme.NewEconCol(p)
+	case "econ-cheap":
+		return scheme.NewEconCheap(p)
+	case "econ-fast":
+		return scheme.NewEconFast(p)
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
+	}
+}
+
+// RunCell executes one (scheme, interval) simulation.
+func RunCell(s Settings, schemeName string, interval time.Duration) (Cell, error) {
+	s = s.withDefaults()
+	sch, err := NewScheme(schemeName, s.Params)
+	if err != nil {
+		return Cell{}, err
+	}
+	gen, err := workload.NewGenerator(workload.Config{
+		Catalog:     s.Catalog,
+		Seed:        s.Seed,
+		Arrival:     workload.NewFixedArrival(interval),
+		Budgets:     s.Budgets,
+		Theta:       s.Theta,
+		PhaseLength: s.PhaseLength,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	rep, err := sim.Run(sim.Config{
+		Scheme:     sch,
+		Generator:  gen,
+		Queries:    s.Queries,
+		Accounting: s.Accounting,
+	})
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{Scheme: schemeName, Interval: interval, Report: rep}, nil
+}
+
+// RunGrid executes the full scheme × interval grid that backs Figures 4
+// and 5.
+func RunGrid(s Settings) ([]Cell, error) {
+	s = s.withDefaults()
+	var cells []Cell
+	for _, interval := range s.Intervals {
+		for _, name := range s.Schemes {
+			cell, err := RunCell(s, name, interval)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+			if s.OnProgress != nil {
+				s.OnProgress(fmt.Sprintf("%-10s interval=%-4s cost=%-12s resp=%.2fs",
+					cell.Scheme, cell.Interval, cell.Cost(), cell.MeanResponseSeconds()))
+			}
+		}
+	}
+	return cells, nil
+}
+
+// Fig4Table renders the operating-cost table of Figure 4: one row per
+// inter-query interval, one column per scheme.
+func Fig4Table(cells []Cell) *metrics.Table {
+	return pivot(cells, "cost ($)", func(c Cell) string {
+		return fmt.Sprintf("%.2f", c.Cost().Dollars())
+	})
+}
+
+// Fig5Table renders the average-response-time table of Figure 5.
+func Fig5Table(cells []Cell) *metrics.Table {
+	return pivot(cells, "response (s)", func(c Cell) string {
+		return fmt.Sprintf("%.2f", c.MeanResponseSeconds())
+	})
+}
+
+// pivot arranges cells into interval rows × scheme columns.
+func pivot(cells []Cell, label string, value func(Cell) string) *metrics.Table {
+	// Collect orders.
+	var intervals []time.Duration
+	var schemes []string
+	seenI := map[time.Duration]bool{}
+	seenS := map[string]bool{}
+	for _, c := range cells {
+		if !seenI[c.Interval] {
+			seenI[c.Interval] = true
+			intervals = append(intervals, c.Interval)
+		}
+		if !seenS[c.Scheme] {
+			seenS[c.Scheme] = true
+			schemes = append(schemes, c.Scheme)
+		}
+	}
+	header := []string{"interval \\ " + label}
+	header = append(header, schemes...)
+	t := metrics.NewTable(header...)
+	for _, iv := range intervals {
+		row := []string{fmt.Sprintf("%ds", int(iv.Seconds()))}
+		for _, sn := range schemes {
+			cellVal := ""
+			for _, c := range cells {
+				if c.Interval == iv && c.Scheme == sn {
+					cellVal = value(c)
+					break
+				}
+			}
+			row = append(row, cellVal)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// fastSettings keeps experiment tests quick: small catalog, short streams.
+// Shape assertions that need the paper catalog live in the root-level
+// integration tests and the benchmark harness.
+func fastSettings() Settings {
+	return Settings{
+		Catalog:     catalog.TPCH(50),
+		Queries:     3_000,
+		Seed:        7,
+		Intervals:   []time.Duration{time.Second},
+		PhaseLength: 2_000,
+	}
+}
+
+func TestRunCellBasics(t *testing.T) {
+	cell, err := RunCell(fastSettings(), "econ-cheap", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Scheme != "econ-cheap" || cell.Interval != time.Second {
+		t.Errorf("cell header wrong: %+v", cell)
+	}
+	if cell.Report.Queries != 3_000 {
+		t.Errorf("queries = %d", cell.Report.Queries)
+	}
+	if !cell.Cost().IsPositive() {
+		t.Error("zero operating cost")
+	}
+	if cell.MeanResponseSeconds() <= 0 {
+		t.Error("zero response")
+	}
+}
+
+func TestRunCellUnknownScheme(t *testing.T) {
+	if _, err := RunCell(fastSettings(), "zzz", time.Second); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestNewSchemeNames(t *testing.T) {
+	s := fastSettings().withDefaults()
+	for _, name := range SchemeNames {
+		sch, err := NewScheme(name, s.Params)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sch.Name() != name {
+			t.Errorf("Name = %q, want %q", sch.Name(), name)
+		}
+	}
+}
+
+func TestRunGridShape(t *testing.T) {
+	s := fastSettings()
+	s.Schemes = []string{"bypass", "econ-col"}
+	s.Intervals = []time.Duration{time.Second, 5 * time.Second}
+	var progress []string
+	s.OnProgress = func(line string) { progress = append(progress, line) }
+	cells, err := RunGrid(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	if len(progress) != 4 {
+		t.Errorf("progress lines = %d", len(progress))
+	}
+	// Both figure tables pivot to 2 rows x 3 columns.
+	for _, tb := range []string{Fig4Table(cells).String(), Fig5Table(cells).String()} {
+		if !strings.Contains(tb, "bypass") || !strings.Contains(tb, "econ-col") {
+			t.Errorf("table missing schemes:\n%s", tb)
+		}
+		if !strings.Contains(tb, "1s") || !strings.Contains(tb, "5s") {
+			t.Errorf("table missing intervals:\n%s", tb)
+		}
+	}
+}
+
+func TestGridDeterminism(t *testing.T) {
+	s := fastSettings()
+	s.Schemes = []string{"econ-cheap"}
+	run := func() string {
+		cells, err := RunGrid(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Fig4Table(cells).String() + Fig5Table(cells).String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("grid not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPaperBudgetPolicyIsGenerousStep(t *testing.T) {
+	pol := PaperBudgetPolicy()
+	b := pol.BudgetFor(nil, 1<<30, 1<<24) // 1 GiB scan, 16 MiB result
+	if b.Tmax() <= 0 {
+		t.Fatal("no budget support")
+	}
+	// Step shape: same price at the start and near Tmax.
+	early := b.At(time.Second)
+	late := b.At(b.Tmax())
+	if early != late || !early.IsPositive() {
+		t.Errorf("paper budget must be a positive step: early=%v late=%v", early, late)
+	}
+}
+
+func TestAblationRegretFraction(t *testing.T) {
+	tb, cells, err := AblationRegretFraction(fastSettings(), []float64{0.001, 0.5}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 || len(cells) != 2 {
+		t.Fatalf("rows = %d cells = %d", tb.Rows(), len(cells))
+	}
+	// A hair-trigger fraction must invest at least as much as a huge one.
+	if cells[0].Report.Investments < cells[1].Report.Investments {
+		t.Errorf("a=0.001 invested %d, a=0.5 invested %d",
+			cells[0].Report.Investments, cells[1].Report.Investments)
+	}
+}
+
+func TestAblationBudgetShape(t *testing.T) {
+	tb, cells, err := AblationBudgetShape(fastSettings(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 4 || len(cells) != 4 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// Step users pay at least as much as convex users (same headline
+	// price, more of the curve above any response time).
+	if cells[0].Report.Revenue < cells[2].Report.Revenue {
+		t.Errorf("step revenue %v < convex revenue %v",
+			cells[0].Report.Revenue, cells[2].Report.Revenue)
+	}
+}
+
+func TestAblationNetworkThroughput(t *testing.T) {
+	tb, cells, err := AblationNetworkThroughput(fastSettings(), []float64{5, 100}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+	// Faster WAN must not slow responses down.
+	if cells[1].MeanResponseSeconds() > cells[0].MeanResponseSeconds() {
+		t.Errorf("100Mbps (%v) slower than 5Mbps (%v)",
+			cells[1].MeanResponseSeconds(), cells[0].MeanResponseSeconds())
+	}
+}
+
+func TestAblationCacheFraction(t *testing.T) {
+	tb, cells, err := AblationCacheFraction(fastSettings(), []float64{0.05, 0.30}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 || len(cells) != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+}
+
+func TestAblationAmortization(t *testing.T) {
+	tb, _, err := AblationAmortization(fastSettings(), []int64{1000, 100000}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Rows() != 2 {
+		t.Fatalf("rows = %d", tb.Rows())
+	}
+}
+
+func TestAblationDefaults(t *testing.T) {
+	// Default sweep lists are applied when none given. Use a micro run.
+	s := fastSettings()
+	s.Queries = 300
+	if _, cells, err := AblationRegretFraction(s, nil, time.Second); err != nil || len(cells) != 5 {
+		t.Errorf("regret defaults: %d cells, %v", len(cells), err)
+	}
+}

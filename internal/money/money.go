@@ -1,0 +1,303 @@
+// Package money implements a fixed-point currency type used throughout the
+// cloud-cache economy. All amounts are stored as integer micro-dollars
+// (1e-6 $) so that account arithmetic is exact and order-independent; the
+// economy accumulates millions of tiny charges (per-byte network prices,
+// per-second storage rents) and float drift would otherwise change
+// investment decisions between runs.
+package money
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Amount is a monetary value in micro-dollars. The zero value is $0.
+// Amount is deliberately a signed type: the economy tracks both credits
+// (user payments) and debits (build costs, maintenance rents).
+type Amount int64
+
+// Common unit constants.
+const (
+	// MicroDollar is the smallest representable amount.
+	MicroDollar Amount = 1
+	// MilliDollar is one thousandth of a dollar.
+	MilliDollar Amount = 1_000
+	// Cent is one hundredth of a dollar.
+	Cent Amount = 10_000
+	// Dollar is one dollar.
+	Dollar Amount = 1_000_000
+)
+
+// Max and Min are the representable extremes. They are used as saturation
+// bounds by the checked arithmetic helpers.
+const (
+	Max Amount = math.MaxInt64
+	Min Amount = math.MinInt64
+)
+
+// ErrOverflow is returned by checked arithmetic when the result does not fit
+// in an Amount.
+var ErrOverflow = errors.New("money: amount overflow")
+
+// FromDollars converts a floating-point dollar value to an Amount, rounding
+// half away from zero. It saturates at Max/Min for out-of-range inputs, which
+// keeps workload generators safe to feed with arbitrary values.
+func FromDollars(d float64) Amount {
+	if math.IsNaN(d) {
+		return 0
+	}
+	v := d * float64(Dollar)
+	if v >= float64(Max) {
+		return Max
+	}
+	if v <= float64(Min) {
+		return Min
+	}
+	return Amount(math.Round(v))
+}
+
+// FromCents converts an integer number of cents into an Amount.
+func FromCents(c int64) Amount { return Amount(c) * Cent }
+
+// FromMicros wraps a raw micro-dollar count.
+func FromMicros(m int64) Amount { return Amount(m) }
+
+// Dollars reports the amount as a floating-point dollar value. It is intended
+// for reporting only; decision logic must stay in integer space.
+func (a Amount) Dollars() float64 { return float64(a) / float64(Dollar) }
+
+// Micros reports the raw micro-dollar count.
+func (a Amount) Micros() int64 { return int64(a) }
+
+// IsZero reports whether the amount is exactly zero.
+func (a Amount) IsZero() bool { return a == 0 }
+
+// IsNegative reports whether the amount is strictly below zero.
+func (a Amount) IsNegative() bool { return a < 0 }
+
+// IsPositive reports whether the amount is strictly above zero.
+func (a Amount) IsPositive() bool { return a > 0 }
+
+// Neg returns the negated amount.
+func (a Amount) Neg() Amount { return -a }
+
+// Abs returns the absolute value of the amount.
+func (a Amount) Abs() Amount {
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Add returns a+b, saturating at the representable extremes on overflow.
+// Saturation (rather than wrapping) means a runaway simulation produces an
+// obviously pegged account instead of a sign flip.
+func (a Amount) Add(b Amount) Amount {
+	s, ok := addChecked(a, b)
+	if ok {
+		return s
+	}
+	if a > 0 {
+		return Max
+	}
+	return Min
+}
+
+// Sub returns a-b with the same saturation behaviour as Add.
+func (a Amount) Sub(b Amount) Amount {
+	if b == Min {
+		// -Min overflows; handle by adding Max then 1-saturating.
+		return a.Add(Max).Add(1)
+	}
+	return a.Add(-b)
+}
+
+// AddChecked returns a+b and an ErrOverflow if the sum is unrepresentable.
+func (a Amount) AddChecked(b Amount) (Amount, error) {
+	s, ok := addChecked(a, b)
+	if !ok {
+		return 0, ErrOverflow
+	}
+	return s, nil
+}
+
+func addChecked(a, b Amount) (Amount, bool) {
+	s := a + b
+	// Overflow iff the operands share a sign that the sum does not.
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// MulInt returns a*n, saturating on overflow.
+func (a Amount) MulInt(n int64) Amount {
+	if a == 0 || n == 0 {
+		return 0
+	}
+	p := int64(a) * n
+	if p/n != int64(a) {
+		if (a > 0) == (n > 0) {
+			return Max
+		}
+		return Min
+	}
+	return Amount(p)
+}
+
+// MulFloat scales the amount by a float factor, rounding half away from zero
+// and saturating on overflow. Factors come from the cost model (selectivity
+// fractions, speedup overheads) where exactness is not required, but the
+// result re-enters exact integer space immediately.
+func (a Amount) MulFloat(f float64) Amount {
+	if math.IsNaN(f) {
+		return 0
+	}
+	v := float64(a) * f
+	if v >= float64(Max) {
+		return Max
+	}
+	if v <= float64(Min) {
+		return Min
+	}
+	return Amount(math.Round(v))
+}
+
+// DivInt returns a/n rounded half away from zero. Dividing by zero returns 0;
+// the economy treats "amortize over zero users" as "no charge yet".
+func (a Amount) DivInt(n int64) Amount {
+	if n == 0 {
+		return 0
+	}
+	q := int64(a) / n
+	r := int64(a) % n
+	if r != 0 {
+		ar, an := r, n
+		if ar < 0 {
+			ar = -ar
+		}
+		if an < 0 {
+			an = -an
+		}
+		if 2*ar >= an { // round half away from zero
+			if (a > 0) == (n > 0) {
+				q++
+			} else {
+				q--
+			}
+		}
+	}
+	return Amount(q)
+}
+
+// Cmp compares two amounts, returning -1, 0 or +1.
+func (a Amount) Cmp(b Amount) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MinAmount returns the smaller of a and b.
+func MinAmount(a, b Amount) Amount {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxAmount returns the larger of a and b.
+func MaxAmount(a, b Amount) Amount {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Sum adds a slice of amounts with saturation.
+func Sum(amounts ...Amount) Amount {
+	var total Amount
+	for _, a := range amounts {
+		total = total.Add(a)
+	}
+	return total
+}
+
+// String renders the amount as a dollar string such as "$12.345678" with
+// trailing zeros trimmed to cent precision, e.g. "$12.34", "$0.000001",
+// "-$3.50".
+func (a Amount) String() string {
+	neg := a < 0
+	v := a
+	if neg {
+		v = -v
+	}
+	whole := int64(v) / int64(Dollar)
+	frac := int64(v) % int64(Dollar)
+	s := fmt.Sprintf("%d.%06d", whole, frac)
+	// Trim trailing zeros but keep at least two decimals.
+	for strings.HasSuffix(s, "0") && !strings.HasSuffix(s, ".00") {
+		trimmed := s[:len(s)-1]
+		if dot := strings.IndexByte(trimmed, '.'); len(trimmed)-dot-1 < 2 {
+			break
+		}
+		s = trimmed
+	}
+	if neg {
+		return "-$" + s
+	}
+	return "$" + s
+}
+
+// Parse parses strings of the form "$1.25", "-$0.03", "1.25", "3" into an
+// Amount. At most six fractional digits are honoured; extra digits are an
+// error rather than silently truncated.
+func Parse(s string) (Amount, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	s = strings.TrimPrefix(s, "$")
+	if s == "" {
+		return 0, fmt.Errorf("money: cannot parse %q", orig)
+	}
+	wholeStr, fracStr, hasFrac := strings.Cut(s, ".")
+	if wholeStr == "" {
+		wholeStr = "0"
+	}
+	whole, err := strconv.ParseInt(wholeStr, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("money: cannot parse %q: %v", orig, err)
+	}
+	var frac int64
+	if hasFrac {
+		if fracStr == "" || len(fracStr) > 6 {
+			return 0, fmt.Errorf("money: cannot parse %q: fractional part must have 1-6 digits", orig)
+		}
+		frac, err = strconv.ParseInt(fracStr, 10, 64)
+		if err != nil || frac < 0 {
+			return 0, fmt.Errorf("money: cannot parse %q: bad fractional part", orig)
+		}
+		for i := len(fracStr); i < 6; i++ {
+			frac *= 10
+		}
+	}
+	if whole > int64(Max)/int64(Dollar)-1 {
+		return 0, ErrOverflow
+	}
+	v := Amount(whole)*Dollar + Amount(frac)
+	if neg {
+		v = -v
+	}
+	return v, nil
+}

@@ -1,0 +1,297 @@
+package money
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromDollars(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want Amount
+	}{
+		{0, 0},
+		{1, Dollar},
+		{0.01, Cent},
+		{0.000001, MicroDollar},
+		{-2.5, -2*Dollar - 500*MilliDollar},
+		{1.9999999, 2 * Dollar}, // rounds
+		{math.NaN(), 0},
+		{math.Inf(1), Max},
+		{math.Inf(-1), Min},
+		{1e30, Max},
+		{-1e30, Min},
+	}
+	for _, tt := range tests {
+		if got := FromDollars(tt.in); got != tt.want {
+			t.Errorf("FromDollars(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestDollarsRoundTrip(t *testing.T) {
+	for _, d := range []float64{0, 1.25, -3.5, 0.000001, 123456.789012} {
+		a := FromDollars(d)
+		if got := a.Dollars(); math.Abs(got-d) > 1e-9 {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if got := Max.Add(Dollar); got != Max {
+		t.Errorf("Max+1$ = %v, want Max", got)
+	}
+	if got := Min.Add(-Dollar); got != Min {
+		t.Errorf("Min-1$ = %v, want Min", got)
+	}
+	if got := Dollar.Add(2 * Dollar); got != 3*Dollar {
+		t.Errorf("1+2 = %v, want 3", got)
+	}
+}
+
+func TestSubSaturates(t *testing.T) {
+	if got := Min.Sub(Dollar); got != Min {
+		t.Errorf("Min-1$ = %v, want Min", got)
+	}
+	if got := Max.Sub(-Dollar); got != Max {
+		t.Errorf("Max-(-1$) = %v, want Max", got)
+	}
+	if got := Amount(0).Sub(Min); got != Max {
+		t.Errorf("0-Min = %v, want Max (saturated)", got)
+	}
+	if got := FromDollars(5).Sub(FromDollars(3)); got != 2*Dollar {
+		t.Errorf("5-3 = %v, want 2", got)
+	}
+}
+
+func TestAddChecked(t *testing.T) {
+	if _, err := Max.AddChecked(1); err != ErrOverflow {
+		t.Errorf("expected overflow error, got %v", err)
+	}
+	got, err := Dollar.AddChecked(Cent)
+	if err != nil || got != Dollar+Cent {
+		t.Errorf("AddChecked = %v, %v", got, err)
+	}
+}
+
+func TestMulInt(t *testing.T) {
+	tests := []struct {
+		a    Amount
+		n    int64
+		want Amount
+	}{
+		{Dollar, 3, 3 * Dollar},
+		{Dollar, 0, 0},
+		{0, 5, 0},
+		{Dollar, -2, -2 * Dollar},
+		{Max, 2, Max},
+		{Min, 2, Min},
+		{Max, -2, Min},
+	}
+	for _, tt := range tests {
+		if got := tt.a.MulInt(tt.n); got != tt.want {
+			t.Errorf("%v.MulInt(%d) = %v, want %v", tt.a, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestMulFloat(t *testing.T) {
+	if got := Dollar.MulFloat(0.5); got != 500*MilliDollar {
+		t.Errorf("1$*0.5 = %v", got)
+	}
+	if got := Dollar.MulFloat(math.NaN()); got != 0 {
+		t.Errorf("NaN factor = %v, want 0", got)
+	}
+	if got := Max.MulFloat(2); got != Max {
+		t.Errorf("Max*2 = %v, want Max", got)
+	}
+	if got := Max.MulFloat(-2); got != Min {
+		t.Errorf("Max*-2 = %v, want Min", got)
+	}
+}
+
+func TestDivInt(t *testing.T) {
+	tests := []struct {
+		a    Amount
+		n    int64
+		want Amount
+	}{
+		{10, 2, 5},
+		{10, 3, 3},
+		{11, 2, 6}, // rounds half away
+		{-11, 2, -6},
+		{11, -2, -6},
+		{10, 0, 0}, // divide by zero -> 0 by contract
+		{Dollar, 4, 250 * MilliDollar},
+	}
+	for _, tt := range tests {
+		if got := tt.a.DivInt(tt.n); got != tt.want {
+			t.Errorf("%d.DivInt(%d) = %d, want %d", tt.a, tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPredicatesAndNeg(t *testing.T) {
+	if !Amount(0).IsZero() || Amount(1).IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !Amount(-1).IsNegative() || Amount(1).IsNegative() {
+		t.Error("IsNegative wrong")
+	}
+	if !Amount(1).IsPositive() || Amount(-1).IsPositive() {
+		t.Error("IsPositive wrong")
+	}
+	if Amount(5).Neg() != -5 || Amount(-5).Abs() != 5 || Amount(5).Abs() != 5 {
+		t.Error("Neg/Abs wrong")
+	}
+}
+
+func TestCmpMinMax(t *testing.T) {
+	if Amount(1).Cmp(2) != -1 || Amount(2).Cmp(1) != 1 || Amount(1).Cmp(1) != 0 {
+		t.Error("Cmp wrong")
+	}
+	if MinAmount(1, 2) != 1 || MaxAmount(1, 2) != 2 {
+		t.Error("MinAmount/MaxAmount wrong")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(Dollar, 2*Dollar, -Dollar); got != 2*Dollar {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Sum(); got != 0 {
+		t.Errorf("empty Sum = %v", got)
+	}
+	if got := Sum(Max, Max); got != Max {
+		t.Errorf("Sum saturation = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		a    Amount
+		want string
+	}{
+		{0, "$0.00"},
+		{Dollar, "$1.00"},
+		{Cent, "$0.01"},
+		{MicroDollar, "$0.000001"},
+		{-350 * Cent, "-$3.50"},
+		{12*Dollar + 345678*MicroDollar, "$12.345678"},
+	}
+	for _, tt := range tests {
+		if got := tt.a.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.a, got, tt.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Amount
+		wantErr bool
+	}{
+		{"$1.25", Dollar + 25*Cent, false},
+		{"1.25", Dollar + 25*Cent, false},
+		{"-$0.03", -3 * Cent, false},
+		{"3", 3 * Dollar, false},
+		{" $2.50 ", 2*Dollar + 50*Cent, false},
+		{"$0.000001", MicroDollar, false},
+		{"$1.1234567", 0, true}, // too many frac digits
+		{"", 0, true},
+		{"$", 0, true},
+		{"abc", 0, true},
+		{"$1.", 0, true},
+		{".5", 500 * MilliDollar, false},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("Parse(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("Parse(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, a := range []Amount{0, Dollar, -Dollar, Cent, MicroDollar, 123*Dollar + 456789*MicroDollar} {
+		got, err := Parse(a.String())
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", a.String(), err)
+			continue
+		}
+		if got != a {
+			t.Errorf("round trip %v -> %v", a, got)
+		}
+	}
+}
+
+// Property: Add is commutative and associative within safe range.
+func TestAddCommutativeProperty(t *testing.T) {
+	f := func(x, y int32) bool {
+		a, b := Amount(x), Amount(y)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddAssociativeProperty(t *testing.T) {
+	f := func(x, y, z int32) bool {
+		a, b, c := Amount(x), Amount(y), Amount(z)
+		return a.Add(b).Add(c) == a.Add(b.Add(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Sub is the inverse of Add within safe range.
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(x, y int32) bool {
+		a, b := Amount(x), Amount(y)
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DivInt then MulInt differs from original by less than |n|.
+func TestDivMulBoundProperty(t *testing.T) {
+	f := func(x int32, n int16) bool {
+		if n == 0 {
+			return true
+		}
+		a := Amount(x)
+		back := a.DivInt(int64(n)).MulInt(int64(n))
+		diff := a.Sub(back).Abs()
+		limit := Amount(n)
+		if limit < 0 {
+			limit = -limit
+		}
+		return diff <= limit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: String/Parse round trip is the identity.
+func TestStringParseRoundTripProperty(t *testing.T) {
+	f := func(x int64) bool {
+		a := Amount(x % int64(Max/Dollar) * 7) // keep away from extremes
+		got, err := Parse(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,331 @@
+// Package optimizer enumerates and prices the candidate plan set PQ for an
+// incoming query (§IV-B): the back-end plan, cache column-scan plans, index
+// plans and parallel plans, each split into PQexist (all structures
+// resident) or PQpos (needs investment). Prices follow the scheme's cost
+// model: execution (Eq. 8–9), amortized build shares (Eq. 4–7) and
+// maintenance arrears (footnote 3).
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/money"
+	"repro/internal/plan"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// Config parameterises an Optimizer.
+type Config struct {
+	// Model prices plans (the scheme's own schedule).
+	Model *cost.Model
+	// AmortN is the number of prospective queries a build cost is
+	// amortized over (the `n` of Eq. 7). The paper leaves choosing n
+	// open; see DESIGN.md.
+	AmortN int64
+	// AllowIndexes enables index plans (econ-cheap/econ-fast; off for
+	// econ-col and bypass).
+	AllowIndexes bool
+	// AllowNodes enables multi-node parallel plans.
+	AllowNodes bool
+	// SkylineOnly keeps only time/cost-Pareto plans (footnote 2).
+	SkylineOnly bool
+}
+
+// Validate checks the config.
+func (c Config) Validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("optimizer: Model is required")
+	}
+	if c.AmortN <= 0 {
+		return fmt.Errorf("optimizer: AmortN must be positive")
+	}
+	return nil
+}
+
+// Optimizer enumerates plans against a cache. It memoizes the immutable
+// structure objects per template (IDs and sizes are on the per-query hot
+// path), so it is NOT safe for concurrent use; each scheme owns one
+// optimizer, matching the single-threaded simulation loop.
+type Optimizer struct {
+	cfg Config
+
+	tplColumns map[*workload.Template][]*structure.Structure
+	tplIndexes map[*workload.Template]map[structure.ID]*structure.Structure
+	tplCandIDs map[*workload.Template][]structure.ID
+	cpuNodes   []*structure.Structure // cpuNodes[i] is node ordinal i+2
+}
+
+// New builds an optimizer.
+func New(cfg Config) (*Optimizer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := &Optimizer{
+		cfg:        cfg,
+		tplColumns: make(map[*workload.Template][]*structure.Structure),
+		tplIndexes: make(map[*workload.Template]map[structure.ID]*structure.Structure),
+		tplCandIDs: make(map[*workload.Template][]structure.ID),
+	}
+	for n := 2; n <= cfg.Model.Tunables().MaxNodes; n++ {
+		o.cpuNodes = append(o.cpuNodes, structure.CPUNode(n))
+	}
+	return o, nil
+}
+
+// columnsFor returns the memoized column structures of a template.
+func (o *Optimizer) columnsFor(tpl *workload.Template) ([]*structure.Structure, error) {
+	if cols, ok := o.tplColumns[tpl]; ok {
+		return cols, nil
+	}
+	cols := make([]*structure.Structure, 0, len(tpl.Columns))
+	for _, ref := range tpl.Columns {
+		st, err := structure.ColumnStructure(o.cfg.Model.Catalog(), ref)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, st)
+	}
+	o.tplColumns[tpl] = cols
+	return cols, nil
+}
+
+// indexFor returns the memoized index structure of a template candidate.
+func (o *Optimizer) indexFor(tpl *workload.Template, id structure.ID) (*structure.Structure, error) {
+	byID, ok := o.tplIndexes[tpl]
+	if !ok {
+		byID = make(map[structure.ID]*structure.Structure, len(tpl.IndexCandidates))
+		o.tplIndexes[tpl] = byID
+	}
+	if st, ok := byID[id]; ok {
+		return st, nil
+	}
+	def, ok := o.indexDefFor(tpl, id)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: index %s not a candidate of %s", id, tpl.Name)
+	}
+	st, err := structure.IndexStructure(o.cfg.Model.Catalog(), def)
+	if err != nil {
+		return nil, err
+	}
+	byID[id] = st
+	return st, nil
+}
+
+// Enumerate produces the priced plan set PQ for the query given the current
+// cache state. The back-end plan is always present and always runnable, so
+// PQexist is never empty.
+func (o *Optimizer) Enumerate(q *workload.Query, ca *cache.Cache) ([]*plan.Plan, error) {
+	if q == nil || ca == nil {
+		return nil, fmt.Errorf("optimizer: query and cache are required")
+	}
+	var plans []*plan.Plan
+
+	backend, err := o.backendPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	plans = append(plans, backend)
+
+	maxNodes := 1
+	if o.cfg.AllowNodes {
+		maxNodes = o.cfg.Model.Tunables().MaxNodes
+	}
+	if !q.Template.Parallelizable {
+		maxNodes = 1
+	}
+
+	for nodes := 1; nodes <= maxNodes; nodes++ {
+		p, err := o.cachePlan(q, ca, false, structure.ID(""), nodes)
+		if err != nil {
+			return nil, err
+		}
+		plans = append(plans, p)
+
+		if o.cfg.AllowIndexes {
+			if idxID, ok := o.pickIndex(q, ca); ok {
+				ip, err := o.cachePlan(q, ca, true, idxID, nodes)
+				if err != nil {
+					return nil, err
+				}
+				plans = append(plans, ip)
+			}
+		}
+	}
+
+	if o.cfg.SkylineOnly {
+		plans = plan.Skyline(plans)
+	}
+	return plans, nil
+}
+
+// pickIndex chooses the index this query's plans would use: a resident
+// matching candidate if one exists (cheapest to use), otherwise the first
+// candidate in template order (the one regret should accrue to). Reports
+// false when the template has no candidates.
+func (o *Optimizer) pickIndex(q *workload.Query, ca *cache.Cache) (structure.ID, bool) {
+	tpl := q.Template
+	if len(tpl.IndexCandidates) == 0 {
+		return "", false
+	}
+	ids, ok := o.tplCandIDs[tpl]
+	if !ok {
+		ids = make([]structure.ID, len(tpl.IndexCandidates))
+		for i, def := range tpl.IndexCandidates {
+			ids[i] = structure.IndexID(def)
+		}
+		o.tplCandIDs[tpl] = ids
+	}
+	for _, id := range ids {
+		if ca.Has(id) {
+			return id, true
+		}
+	}
+	return ids[0], true
+}
+
+// backendPlan prices Eq. 9 execution. It uses no cache structures.
+func (o *Optimizer) backendPlan(q *workload.Query) (*plan.Plan, error) {
+	out, err := o.cfg.Model.BackendExec(q)
+	if err != nil {
+		return nil, err
+	}
+	return &plan.Plan{
+		Query:      q,
+		Location:   plan.Backend,
+		Structures: structure.NewSet(),
+		Nodes:      1,
+		Outcome:    out,
+		ExecPrice:  cost.Price(o.cfg.Model.Schedule(), out.Usage),
+	}, nil
+}
+
+// cachePlan builds and prices one cache-resident plan variant.
+func (o *Optimizer) cachePlan(q *workload.Query, ca *cache.Cache, useIndex bool, idxID structure.ID, nodes int) (*plan.Plan, error) {
+	m := o.cfg.Model
+	out, err := m.CacheExec(q, useIndex, nodes)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan.Plan{
+		Query:      q,
+		Location:   plan.Cache,
+		Structures: structure.NewSet(),
+		UsesIndex:  useIndex,
+		Index:      idxID,
+		Nodes:      nodes,
+		Outcome:    out,
+		ExecPrice:  cost.Price(m.Schedule(), out.Usage),
+	}
+
+	// Column structures: all template columns must be resident.
+	cols, err := o.columnsFor(q.Template)
+	if err != nil {
+		return nil, err
+	}
+	for _, st := range cols {
+		o.addStructure(p, ca, st)
+	}
+
+	// The index structure.
+	if useIndex {
+		st, err := o.indexFor(q.Template, idxID)
+		if err != nil {
+			return nil, err
+		}
+		o.addStructure(p, ca, st)
+	}
+
+	// Extra CPU nodes.
+	for n := 2; n <= nodes; n++ {
+		o.addStructure(p, ca, o.cpuNodes[n-2])
+	}
+
+	// Price the missing structures' amortized build shares.
+	if err := o.priceMissing(p, ca); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// addStructure registers a structure on the plan, accumulating amortization
+// and maintenance arrears for resident structures and recording missing
+// ones.
+func (o *Optimizer) addStructure(p *plan.Plan, ca *cache.Cache, st *structure.Structure) {
+	if !p.Structures.Add(st) {
+		return
+	}
+	if e, ok := ca.Get(st.ID); ok {
+		p.AmortPrice = p.AmortPrice.Add(cache.AmortShare(e, o.cfg.AmortN))
+		p.MaintPrice = p.MaintPrice.Add(o.maintDue(ca, e))
+		return
+	}
+	p.Missing = append(p.Missing, st.ID)
+}
+
+// maintDue prices the maintenance arrears of a resident entry at the
+// current cache clock.
+func (o *Optimizer) maintDue(ca *cache.Cache, e *cache.Entry) money.Amount {
+	return cache.MaintDue(e, func(e *cache.Entry) money.Amount {
+		return o.cfg.Model.MaintCost(e.S.Kind == structure.KindCPUNode, e.S.Bytes, ca.Clock()-e.MaintPaidUntil)
+	})
+}
+
+// priceMissing adds the amortized share of the build cost of each missing
+// structure (Eq. 6–7 applied to prospective inventory: the first of the n
+// amortizing queries would pay Build/n).
+func (o *Optimizer) priceMissing(p *plan.Plan, ca *cache.Cache) error {
+	for _, id := range p.Missing {
+		st, _ := p.Structures.Get(id)
+		price, _, err := o.BuildPrice(st, ca)
+		if err != nil {
+			return err
+		}
+		p.AmortPrice = p.AmortPrice.Add(price.DivInt(o.cfg.AmortN))
+	}
+	return nil
+}
+
+// BuildPrice returns the price and the build duration of constructing a
+// structure now, under the optimizer's model and the current cache state
+// (Eq. 10, 12, 14).
+func (o *Optimizer) BuildPrice(st *structure.Structure, ca *cache.Cache) (money.Amount, cost.Outcome, error) {
+	m := o.cfg.Model
+	switch st.Kind {
+	case structure.KindCPUNode:
+		out := m.BuildCPUNode()
+		return cost.Price(m.Schedule(), out.Usage), out, nil
+	case structure.KindColumn:
+		out, err := m.BuildColumn(st.Column)
+		if err != nil {
+			return 0, cost.Outcome{}, err
+		}
+		return cost.Price(m.Schedule(), out.Usage), out, nil
+	case structure.KindIndex:
+		out, err := m.BuildIndex(st.Index, func(ref catalog.ColumnRef) bool {
+			return ca.Has(structure.ColumnID(ref))
+		})
+		if err != nil {
+			return 0, cost.Outcome{}, err
+		}
+		return cost.Price(m.Schedule(), out.Usage), out, nil
+	default:
+		return 0, cost.Outcome{}, fmt.Errorf("optimizer: unknown structure kind %v", st.Kind)
+	}
+}
+
+// indexDefFor resolves the candidate IndexDef with the given structure ID.
+func (o *Optimizer) indexDefFor(tpl *workload.Template, id structure.ID) (catalog.IndexDef, bool) {
+	for _, def := range tpl.IndexCandidates {
+		if structure.IndexID(def) == id {
+			return def, true
+		}
+	}
+	return catalog.IndexDef{}, false
+}
+
+// Config returns the optimizer configuration.
+func (o *Optimizer) Config() Config { return o.cfg }

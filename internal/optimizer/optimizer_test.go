@@ -1,0 +1,300 @@
+package optimizer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/pricing"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+func testSetup(t *testing.T, allowIdx, allowNodes bool) (*Optimizer, *cache.Cache, *cost.Model) {
+	t.Helper()
+	m, err := cost.NewModel(catalog.TPCH(10), pricing.EC22008(), cost.DefaultTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(Config{Model: m, AmortN: 1000, AllowIndexes: allowIdx, AllowNodes: allowNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, cache.New(0), m
+}
+
+func q6(sel float64) *workload.Query {
+	tpl := workload.PaperTemplates()[3] // Q6: 4 lineitem columns, parallelizable
+	return &workload.Query{ID: 1, Template: tpl, Selectivity: sel}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	m, _ := cost.NewModel(catalog.TPCH(1), pricing.EC22008(), cost.DefaultTunables())
+	if _, err := New(Config{Model: m, AmortN: 0}); err == nil {
+		t.Error("zero AmortN accepted")
+	}
+}
+
+func TestEnumerateColdCache(t *testing.T) {
+	o, ca, _ := testSetup(t, true, true)
+	plans, err := o.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// backend + 3 scan variants + 3 index variants.
+	if len(plans) != 7 {
+		t.Fatalf("plan count = %d, want 7", len(plans))
+	}
+	exist, possible := plan.Partition(plans)
+	if len(exist) != 1 || exist[0].Location != plan.Backend {
+		t.Errorf("cold cache: only the backend plan should be runnable, got %v", exist)
+	}
+	if len(possible) != 6 {
+		t.Errorf("possible = %d", len(possible))
+	}
+	// All cache plans miss the 4 columns.
+	for _, p := range possible {
+		if len(p.Missing) < 4 {
+			t.Errorf("plan %v should miss at least the 4 columns", p)
+		}
+		if p.AmortPrice.IsZero() {
+			t.Errorf("possible plan must carry amortized build share: %v", p)
+		}
+	}
+}
+
+func TestEnumerateColumnOnly(t *testing.T) {
+	o, ca, _ := testSetup(t, false, false)
+	plans, err := o.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// backend + single-node scan.
+	if len(plans) != 2 {
+		t.Fatalf("plan count = %d, want 2", len(plans))
+	}
+	for _, p := range plans {
+		if p.UsesIndex || p.Nodes > 1 {
+			t.Errorf("column-only optimizer emitted %v", p)
+		}
+	}
+}
+
+func TestEnumerateWarmCache(t *testing.T) {
+	o, ca, m := testSetup(t, true, false)
+	// Install Q6's columns.
+	for _, ref := range q6(0).Template.Columns {
+		st, err := structure.ColumnStructure(m.Catalog(), ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ca.StartBuild(st, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ca.CompleteDue()
+
+	plans, err := o.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exist, possible := plan.Partition(plans)
+	// Backend + cache scan runnable; index plan still possible.
+	if len(exist) != 2 {
+		t.Fatalf("exist = %v", exist)
+	}
+	var cacheScan *plan.Plan
+	for _, p := range exist {
+		if p.Location == plan.Cache {
+			cacheScan = p
+		}
+	}
+	if cacheScan == nil {
+		t.Fatal("cache scan not runnable with columns resident")
+	}
+	if len(possible) != 1 || !possible[0].UsesIndex {
+		t.Fatalf("possible = %v", possible)
+	}
+	// The cache scan should beat the backend plan on both axes here.
+	backend := exist[0]
+	if backend.Location != plan.Backend {
+		backend = exist[1]
+	}
+	if cacheScan.Time() >= backend.Time() {
+		t.Error("cache scan should be faster than backend")
+	}
+}
+
+func TestAmortizationChargedOnResidentStructures(t *testing.T) {
+	o, ca, m := testSetup(t, false, false)
+	buildPrice := int64(0)
+	for _, ref := range q6(0).Template.Columns {
+		st, _ := structure.ColumnStructure(m.Catalog(), ref)
+		price, _, err := o.BuildPrice(st, ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buildPrice += price.Micros()
+		ca.StartBuild(st, 0, price)
+	}
+	ca.CompleteDue()
+
+	plans, _ := o.Enumerate(q6(5e-4), ca)
+	var cachePlan *plan.Plan
+	for _, p := range plans {
+		if p.Location == plan.Cache {
+			cachePlan = p
+		}
+	}
+	if cachePlan == nil {
+		t.Fatal("no cache plan")
+	}
+	// Amortized share should be ~ buildPrice/AmortN (4 columns).
+	want := buildPrice / 1000
+	got := cachePlan.AmortPrice.Micros()
+	if got < want-4 || got > want+4 { // rounding slack per column
+		t.Errorf("AmortPrice = %d micros, want ~%d", got, want)
+	}
+}
+
+func TestMaintDueAppearsInPrice(t *testing.T) {
+	o, ca, m := testSetup(t, false, false)
+	for _, ref := range q6(0).Template.Columns {
+		st, _ := structure.ColumnStructure(m.Catalog(), ref)
+		ca.StartBuild(st, 0, 0)
+	}
+	ca.CompleteDue()
+
+	// Let a month of rent accrue.
+	ca.Advance(30 * 24 * time.Hour)
+	plans, _ := o.Enumerate(q6(5e-4), ca)
+	var cachePlan *plan.Plan
+	for _, p := range plans {
+		if p.Location == plan.Cache {
+			cachePlan = p
+		}
+	}
+	if !cachePlan.MaintPrice.IsPositive() {
+		t.Error("a month of storage rent must show up in MaintPrice")
+	}
+	// Roughly size/GiB * $0.15.
+	var bytes int64
+	for _, ref := range q6(0).Template.Columns {
+		b, _ := m.Catalog().ColumnBytes(ref)
+		bytes += b
+	}
+	want := m.Schedule().StorageCost(bytes, 30*24*time.Hour)
+	diff := cachePlan.MaintPrice.Sub(want).Abs()
+	if diff > want.MulFloat(0.01) {
+		t.Errorf("MaintPrice = %v, want ~%v", cachePlan.MaintPrice, want)
+	}
+}
+
+func TestPickIndexPrefersResident(t *testing.T) {
+	o, ca, m := testSetup(t, true, false)
+	q := q6(5e-4)
+	// Build the SECOND candidate; pickIndex should now return it.
+	def := q.Template.IndexCandidates[1]
+	st, err := structure.IndexStructure(m.Catalog(), def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.StartBuild(st, 0, 0)
+	ca.CompleteDue()
+
+	id, ok := o.pickIndex(q, ca)
+	if !ok || id != structure.IndexID(def) {
+		t.Errorf("pickIndex = %v, want resident %v", id, structure.IndexID(def))
+	}
+	// Cold cache: first candidate.
+	cold := cache.New(0)
+	id, ok = o.pickIndex(q, cold)
+	if !ok || id != structure.IndexID(q.Template.IndexCandidates[0]) {
+		t.Errorf("cold pickIndex = %v", id)
+	}
+}
+
+func TestSkylineOnlyShrinksPlanSet(t *testing.T) {
+	m, _ := cost.NewModel(catalog.TPCH(10), pricing.EC22008(), cost.DefaultTunables())
+	full, _ := New(Config{Model: m, AmortN: 1000, AllowIndexes: true, AllowNodes: true})
+	sky, _ := New(Config{Model: m, AmortN: 1000, AllowIndexes: true, AllowNodes: true, SkylineOnly: true})
+	ca := cache.New(0)
+	fullPlans, _ := full.Enumerate(q6(5e-4), ca)
+	skyPlans, _ := sky.Enumerate(q6(5e-4), ca)
+	if len(skyPlans) > len(fullPlans) {
+		t.Error("skyline must not grow the plan set")
+	}
+	if len(skyPlans) == 0 {
+		t.Error("skyline emptied the plan set")
+	}
+}
+
+func TestBuildPriceKinds(t *testing.T) {
+	o, ca, m := testSetup(t, true, true)
+	// CPU node: boot cost.
+	cpu := structure.CPUNode(2)
+	price, out, err := o.BuildPrice(cpu, ca)
+	if err != nil || price != m.Schedule().BootCost() {
+		t.Errorf("cpu build = %v, %v", price, err)
+	}
+	if out.Time != m.Schedule().BootTime {
+		t.Errorf("cpu build time = %v", out.Time)
+	}
+	// Column: transfer priced.
+	col, _ := structure.ColumnStructure(m.Catalog(), catalog.Col("lineitem", "l_shipdate"))
+	price, out, err = o.BuildPrice(col, ca)
+	if err != nil || !price.IsPositive() || out.Time <= 0 {
+		t.Errorf("column build = %v, %v, %v", price, out, err)
+	}
+	// Index with no cached columns: dearer than with cached columns.
+	idef := catalog.IndexDef{Table: "lineitem", Columns: []string{"l_shipdate"}}
+	idx, _ := structure.IndexStructure(m.Catalog(), idef)
+	cold, _, err := o.BuildPrice(idx, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.StartBuild(col, 0, 0)
+	ca.CompleteDue()
+	warm, _, err := o.BuildPrice(idx, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold {
+		t.Errorf("index build with cached column (%v) should be cheaper than cold (%v)", warm, cold)
+	}
+	// Unknown kind.
+	if _, _, err := o.BuildPrice(&structure.Structure{Kind: structure.Kind(9)}, ca); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestEnumerateNilArgs(t *testing.T) {
+	o, ca, _ := testSetup(t, false, false)
+	if _, err := o.Enumerate(nil, ca); err == nil {
+		t.Error("nil query accepted")
+	}
+	if _, err := o.Enumerate(q6(5e-4), nil); err == nil {
+		t.Error("nil cache accepted")
+	}
+}
+
+func TestNonParallelizableTemplateGetsNoNodePlans(t *testing.T) {
+	o, ca, _ := testSetup(t, true, true)
+	tpl := workload.PaperTemplates()[4] // Q10: not parallelizable
+	q := &workload.Query{ID: 1, Template: tpl, Selectivity: 3e-4}
+	plans, err := o.Enumerate(q, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.Nodes > 1 {
+			t.Errorf("non-parallelizable template got %d-node plan", p.Nodes)
+		}
+	}
+}

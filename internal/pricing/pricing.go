@@ -1,0 +1,201 @@
+// Package pricing defines the resource price schedule the cloud economy
+// charges against. The paper's cost model (§IV-D, §V) prorates query cost to
+// four resources: CPU time, disk I/O operations, disk storage rent and
+// network transfer. A Schedule bundles the unit prices for all four plus the
+// physical parameters of the cloud (boot time, WAN throughput and latency)
+// and the calibration factors of Eq. 8–9.
+package pricing
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/money"
+)
+
+// Schedule is an immutable price list plus the cloud's physical calibration
+// constants. Construct one with a preset (EC22008, NetOnly) or fill the
+// fields directly and call Validate.
+type Schedule struct {
+	// CPUPerHour is the rental price of one CPU node for one hour
+	// (Amazon EC2 small instance, 2008: $0.10/h). It is both `u` in
+	// Eq. 10 and `c` in Eq. 8/11.
+	CPUPerHour money.Amount
+
+	// DiskPerGBMonth is the storage rent for one gigabyte held for one
+	// month (Amazon S3/EBS, 2008: $0.15/GB-month). It determines `cd`
+	// in Eq. 13/15.
+	DiskPerGBMonth money.Amount
+
+	// NetworkPerGB is the WAN transfer price for one gigabyte
+	// (Amazon, 2008: $0.10/GB in, $0.17/GB out; the paper does not
+	// distinguish directions). It determines `cb` in Eq. 9/12.
+	NetworkPerGB money.Amount
+
+	// IOPerMillion is the price of one million disk I/O operations
+	// (Amazon EBS, 2008: $0.10 per 1M I/O). It determines `io` in Eq. 8.
+	IOPerMillion money.Amount
+
+	// BootTime is `b` in Eq. 10: the time to boot a new CPU node.
+	BootTime time.Duration
+
+	// NetworkThroughput is `t` in Eq. 9/12, in bytes per second.
+	// The paper uses 25 Mbps, the maximum observed SDSS inter-node
+	// throughput [24].
+	NetworkThroughput float64
+
+	// NetworkLatency is `l` in Eq. 9/12. The paper sets it to zero.
+	NetworkLatency time.Duration
+
+	// FCPU converts optimizer cost units to CPU seconds (Eq. 8 `fcpu`).
+	// The paper calibrates 0.014 to emulate SDSS response times.
+	FCPU float64
+
+	// FIO converts optimizer I/O units to physical I/O operations
+	// (Eq. 8 `fio`).
+	FIO float64
+
+	// FNet is `fn` in Eq. 9/12: the fraction of a CPU consumed while a
+	// transfer is in flight. The paper sets 1 (fully utilized).
+	FNet float64
+
+	// LCPU is `lcpu` in Eq. 8: the CPU overload factor. The paper assumes
+	// nodes are never overloaded (1).
+	LCPU float64
+}
+
+// Validation errors returned by Schedule.Validate.
+var (
+	ErrNegativePrice   = errors.New("pricing: prices must be non-negative")
+	ErrThroughput      = errors.New("pricing: network throughput must be positive")
+	ErrBadFactor       = errors.New("pricing: calibration factors must be positive")
+	ErrNegativeBoot    = errors.New("pricing: boot time must be non-negative")
+	ErrNegativeLatency = errors.New("pricing: network latency must be non-negative")
+)
+
+// Validate checks the schedule for internally consistent values. A zero
+// price is legal (the net-only baseline zeroes everything but network), a
+// negative one is not.
+func (s *Schedule) Validate() error {
+	for _, p := range []money.Amount{s.CPUPerHour, s.DiskPerGBMonth, s.NetworkPerGB, s.IOPerMillion} {
+		if p.IsNegative() {
+			return ErrNegativePrice
+		}
+	}
+	if s.NetworkThroughput <= 0 {
+		return ErrThroughput
+	}
+	if s.FCPU <= 0 || s.FIO <= 0 || s.FNet < 0 || s.LCPU <= 0 {
+		return ErrBadFactor
+	}
+	if s.BootTime < 0 {
+		return ErrNegativeBoot
+	}
+	if s.NetworkLatency < 0 {
+		return ErrNegativeLatency
+	}
+	return nil
+}
+
+// Byte-size and time helpers used by the conversion methods.
+const (
+	gib            = 1 << 30
+	secondsPerHour = 3600.0
+	// The paper's price sources quote storage per month; we use the
+	// 30-day month Amazon billed by in 2008.
+	secondsPerMonth = 30 * 24 * 3600.0
+)
+
+// CPUCost prices d seconds of CPU time on n nodes.
+func (s *Schedule) CPUCost(d time.Duration, nodes int) money.Amount {
+	if d <= 0 || nodes <= 0 {
+		return 0
+	}
+	hours := d.Seconds() / secondsPerHour
+	return s.CPUPerHour.MulFloat(hours * float64(nodes))
+}
+
+// StorageCost prices holding `bytes` of cache disk for duration d.
+func (s *Schedule) StorageCost(bytes int64, d time.Duration) money.Amount {
+	if bytes <= 0 || d <= 0 {
+		return 0
+	}
+	gbMonths := float64(bytes) / gib * (d.Seconds() / secondsPerMonth)
+	return s.DiskPerGBMonth.MulFloat(gbMonths)
+}
+
+// TransferCost prices moving `bytes` across the WAN (the `size·cb` terms of
+// Eq. 9 and Eq. 12).
+func (s *Schedule) TransferCost(bytes int64) money.Amount {
+	if bytes <= 0 {
+		return 0
+	}
+	return s.NetworkPerGB.MulFloat(float64(bytes) / gib)
+}
+
+// IOCost prices `ops` physical I/O operations (the `io·iotot` term of Eq. 8).
+func (s *Schedule) IOCost(ops int64) money.Amount {
+	if ops <= 0 {
+		return 0
+	}
+	return s.IOPerMillion.MulFloat(float64(ops) / 1e6)
+}
+
+// TransferTime is the wall-clock time to move `bytes` across the WAN:
+// l + size/t (Eq. 9/12 inner term).
+func (s *Schedule) TransferTime(bytes int64) time.Duration {
+	if bytes <= 0 {
+		return s.NetworkLatency
+	}
+	secs := float64(bytes) / s.NetworkThroughput
+	return s.NetworkLatency + time.Duration(secs*float64(time.Second))
+}
+
+// BootCost is Eq. 10: BuildN(N) = b·u, the price of booting one CPU node.
+func (s *Schedule) BootCost() money.Amount {
+	return s.CPUCost(s.BootTime, 1)
+}
+
+// String summarises the schedule for logs and experiment headers.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("cpu=%s/h disk=%s/GB-mo net=%s/GB io=%s/M t=%.1fMbps fcpu=%g",
+		s.CPUPerHour, s.DiskPerGBMonth, s.NetworkPerGB, s.IOPerMillion,
+		s.NetworkThroughput*8/1e6, s.FCPU)
+}
+
+// EC22008 returns the Amazon EC2/S3 price list circa 2008 that §VII imports,
+// with the paper's calibration: fcpu=0.014, lcpu=fn=1, l=0, 25 Mbps WAN.
+func EC22008() *Schedule {
+	return &Schedule{
+		CPUPerHour:        money.FromCents(10), // $0.10 per instance-hour
+		DiskPerGBMonth:    money.FromCents(15), // $0.15 per GB-month
+		NetworkPerGB:      money.FromCents(10), // $0.10 per GB transferred
+		IOPerMillion:      money.FromCents(10), // $0.10 per million I/O
+		BootTime:          2 * time.Minute,
+		NetworkThroughput: 25e6 / 8, // 25 Mbps in bytes/s
+		NetworkLatency:    0,
+		FCPU:              0.014,
+		FIO:               1.0,
+		FNet:              1.0,
+		LCPU:              1.0,
+	}
+}
+
+// NetOnly returns the bypass-yield baseline schedule: network bandwidth is
+// the only priced resource (§VII-A "setting costs for CPU, disk and I/O to
+// zero"). Physical parameters match EC22008 so response times are comparable.
+func NetOnly() *Schedule {
+	s := EC22008()
+	s.CPUPerHour = 0
+	s.DiskPerGBMonth = 0
+	s.IOPerMillion = 0
+	return s
+}
+
+// Clone returns a mutable copy of the schedule, for ablation sweeps that
+// vary one parameter at a time.
+func (s *Schedule) Clone() *Schedule {
+	c := *s
+	return &c
+}

@@ -1,0 +1,206 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/money"
+)
+
+func TestEC22008Valid(t *testing.T) {
+	s := EC22008()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("EC22008 invalid: %v", err)
+	}
+	if s.CPUPerHour != money.FromCents(10) {
+		t.Errorf("CPU price = %v, want $0.10", s.CPUPerHour)
+	}
+	if s.FCPU != 0.014 {
+		t.Errorf("FCPU = %v, want 0.014", s.FCPU)
+	}
+	// 25 Mbps = 3.125 MB/s
+	if math.Abs(s.NetworkThroughput-3.125e6) > 1 {
+		t.Errorf("throughput = %v, want 3.125e6 B/s", s.NetworkThroughput)
+	}
+}
+
+func TestNetOnlyZeroesEverythingButNetwork(t *testing.T) {
+	s := NetOnly()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("NetOnly invalid: %v", err)
+	}
+	if !s.CPUPerHour.IsZero() || !s.DiskPerGBMonth.IsZero() || !s.IOPerMillion.IsZero() {
+		t.Error("NetOnly must zero CPU, disk and I/O prices")
+	}
+	if s.NetworkPerGB.IsZero() {
+		t.Error("NetOnly must keep the network price")
+	}
+	if s.NetworkThroughput != EC22008().NetworkThroughput {
+		t.Error("NetOnly must keep EC2 physical parameters")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mk := func(mut func(*Schedule)) *Schedule {
+		s := EC22008()
+		mut(s)
+		return s
+	}
+	tests := []struct {
+		name string
+		s    *Schedule
+		want error
+	}{
+		{"negative cpu", mk(func(s *Schedule) { s.CPUPerHour = -1 }), ErrNegativePrice},
+		{"negative disk", mk(func(s *Schedule) { s.DiskPerGBMonth = -1 }), ErrNegativePrice},
+		{"negative net", mk(func(s *Schedule) { s.NetworkPerGB = -1 }), ErrNegativePrice},
+		{"negative io", mk(func(s *Schedule) { s.IOPerMillion = -1 }), ErrNegativePrice},
+		{"zero throughput", mk(func(s *Schedule) { s.NetworkThroughput = 0 }), ErrThroughput},
+		{"zero fcpu", mk(func(s *Schedule) { s.FCPU = 0 }), ErrBadFactor},
+		{"zero fio", mk(func(s *Schedule) { s.FIO = 0 }), ErrBadFactor},
+		{"negative fn", mk(func(s *Schedule) { s.FNet = -1 }), ErrBadFactor},
+		{"zero lcpu", mk(func(s *Schedule) { s.LCPU = 0 }), ErrBadFactor},
+		{"negative boot", mk(func(s *Schedule) { s.BootTime = -time.Second }), ErrNegativeBoot},
+		{"negative latency", mk(func(s *Schedule) { s.NetworkLatency = -time.Second }), ErrNegativeLatency},
+	}
+	for _, tt := range tests {
+		if err := tt.s.Validate(); err != tt.want {
+			t.Errorf("%s: Validate() = %v, want %v", tt.name, err, tt.want)
+		}
+	}
+}
+
+func TestCPUCost(t *testing.T) {
+	s := EC22008()
+	// One node for one hour = $0.10.
+	if got := s.CPUCost(time.Hour, 1); got != money.FromCents(10) {
+		t.Errorf("1h x 1 node = %v, want $0.10", got)
+	}
+	// Three nodes for 30 minutes = $0.15.
+	if got := s.CPUCost(30*time.Minute, 3); got != money.FromCents(15) {
+		t.Errorf("30m x 3 nodes = %v, want $0.15", got)
+	}
+	if got := s.CPUCost(0, 1); got != 0 {
+		t.Errorf("zero duration = %v, want 0", got)
+	}
+	if got := s.CPUCost(time.Hour, 0); got != 0 {
+		t.Errorf("zero nodes = %v, want 0", got)
+	}
+	if got := s.CPUCost(-time.Hour, 1); got != 0 {
+		t.Errorf("negative duration = %v, want 0", got)
+	}
+}
+
+func TestStorageCost(t *testing.T) {
+	s := EC22008()
+	// 1 GiB for one 30-day month = $0.15.
+	month := 30 * 24 * time.Hour
+	if got := s.StorageCost(1<<30, month); got != money.FromCents(15) {
+		t.Errorf("1GiB-month = %v, want $0.15", got)
+	}
+	// Half the data for half the time = quarter the price.
+	if got := s.StorageCost(1<<29, month/2); got != money.FromDollars(0.0375) {
+		t.Errorf("0.5GiB x 0.5mo = %v, want $0.0375", got)
+	}
+	if got := s.StorageCost(0, month); got != 0 {
+		t.Errorf("zero bytes = %v", got)
+	}
+	if got := s.StorageCost(1<<30, 0); got != 0 {
+		t.Errorf("zero duration = %v", got)
+	}
+}
+
+func TestTransferCost(t *testing.T) {
+	s := EC22008()
+	if got := s.TransferCost(1 << 30); got != money.FromCents(10) {
+		t.Errorf("1GiB transfer = %v, want $0.10", got)
+	}
+	if got := s.TransferCost(0); got != 0 {
+		t.Errorf("zero bytes = %v", got)
+	}
+	if got := s.TransferCost(-5); got != 0 {
+		t.Errorf("negative bytes = %v", got)
+	}
+}
+
+func TestIOCost(t *testing.T) {
+	s := EC22008()
+	if got := s.IOCost(1_000_000); got != money.FromCents(10) {
+		t.Errorf("1M I/O = %v, want $0.10", got)
+	}
+	if got := s.IOCost(500_000); got != money.FromCents(5) {
+		t.Errorf("0.5M I/O = %v, want $0.05", got)
+	}
+	if got := s.IOCost(0); got != 0 {
+		t.Errorf("zero ops = %v", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	s := EC22008()
+	// 25 Mbps = 3.125e6 B/s; 3.125 MB should take 1 s.
+	got := s.TransferTime(3_125_000)
+	if d := got - time.Second; d < -time.Millisecond || d > time.Millisecond {
+		t.Errorf("3.125MB at 25Mbps = %v, want ~1s", got)
+	}
+	// Latency applies even for zero bytes.
+	s.NetworkLatency = 50 * time.Millisecond
+	if got := s.TransferTime(0); got != 50*time.Millisecond {
+		t.Errorf("zero-byte transfer = %v, want latency", got)
+	}
+}
+
+func TestBootCost(t *testing.T) {
+	s := EC22008()
+	// 2 minutes at $0.10/h = $0.10 * 2/60.
+	want := money.FromDollars(0.10 * 2.0 / 60.0)
+	if got := s.BootCost(); got != want {
+		t.Errorf("BootCost = %v, want %v", got, want)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := EC22008()
+	c := s.Clone()
+	c.CPUPerHour = money.FromDollars(99)
+	if s.CPUPerHour == c.CPUPerHour {
+		t.Error("Clone must not share state")
+	}
+}
+
+func TestStringMentionsKeyValues(t *testing.T) {
+	got := EC22008().String()
+	if got == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+// Property: storage cost is monotone in both bytes and duration.
+func TestStorageMonotoneProperty(t *testing.T) {
+	s := EC22008()
+	f := func(b1, b2 uint32, d1, d2 uint32) bool {
+		bytesA, bytesB := int64(b1), int64(b1)+int64(b2)
+		durA := time.Duration(d1) * time.Second
+		durB := durA + time.Duration(d2)*time.Second
+		return s.StorageCost(bytesA, durA) <= s.StorageCost(bytesB, durB)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfer cost is additive to within rounding.
+func TestTransferAdditiveProperty(t *testing.T) {
+	s := EC22008()
+	f := func(a, b uint16) bool {
+		x, y := int64(a)*1024, int64(b)*1024
+		lhs := s.TransferCost(x + y)
+		rhs := s.TransferCost(x).Add(s.TransferCost(y))
+		return lhs.Sub(rhs).Abs() <= 2 // rounding slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

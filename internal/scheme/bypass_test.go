@@ -1,0 +1,166 @@
+package scheme
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// q builds a single-template query stream helper for bypass edge cases.
+func fixedTemplateQueries(t *testing.T, cat *catalog.Catalog, tplIdx, n int, gap time.Duration) []*workload.Query {
+	t.Helper()
+	tpl := workload.PaperTemplates()[tplIdx]
+	if err := tpl.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]*workload.Query, 0, n)
+	for i := 0; i < n; i++ {
+		qs = append(qs, &workload.Query{
+			ID:          int64(i + 1),
+			Template:    tpl,
+			Selectivity: (tpl.SelMin + tpl.SelMax) / 2,
+			Arrival:     time.Duration(i) * gap,
+			Budget:      nil, // bypass ignores budgets
+		})
+	}
+	return qs
+}
+
+func TestBypassBreakEvenRule(t *testing.T) {
+	cat := catalog.TPCH(20)
+	p := DefaultParams(cat)
+	p.LoadFactor = 0.001 // nearly immediate break-even
+	b, err := NewBypass(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := fixedTemplateQueries(t, cat, 3, 300, time.Second) // Q6, 4 columns
+	invested := 0
+	for _, q := range qs {
+		r, err := b.HandleQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invested += r.Investments
+	}
+	if invested != 4 {
+		t.Errorf("investments = %d, want the 4 Q6 columns", invested)
+	}
+	// With a huge load factor nothing ever loads.
+	p2 := DefaultParams(cat)
+	p2.LoadFactor = 1e9
+	b2, _ := NewBypass(p2)
+	for _, q := range fixedTemplateQueries(t, cat, 3, 300, time.Second) {
+		r, err := b2.HandleQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Investments != 0 {
+			t.Fatal("load factor 1e9 must never load")
+		}
+	}
+}
+
+func TestBypassCacheHitAfterBuildCompletes(t *testing.T) {
+	cat := catalog.TPCH(20)
+	p := DefaultParams(cat)
+	p.LoadFactor = 0.001
+	b, _ := NewBypass(p)
+	// Wide gaps let transfers finish quickly in query counts.
+	qs := fixedTemplateQueries(t, cat, 3, 200, 60*time.Second)
+	sawHit := false
+	for _, q := range qs {
+		r, err := b.HandleQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Location == plan.Cache {
+			sawHit = true
+			if r.ResponseTime <= 0 {
+				t.Fatal("cache hit with zero response")
+			}
+		}
+	}
+	if !sawHit {
+		t.Error("no cache hit after loading all columns")
+	}
+}
+
+func TestBypassRespectsTinyCapacity(t *testing.T) {
+	cat := catalog.TPCH(20)
+	p := DefaultParams(cat)
+	p.LoadFactor = 0.001
+	p.CacheFraction = 1e-9 // cap below any single column
+	b, err := NewBypass(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range fixedTemplateQueries(t, cat, 3, 200, time.Second) {
+		r, err := b.HandleQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Investments != 0 {
+			t.Fatal("column loaded despite impossible capacity")
+		}
+		if r.Location != plan.Backend {
+			t.Fatal("query answered off a cache that cannot exist")
+		}
+	}
+	if b.Cache().ResidentBytes() != 0 {
+		t.Error("resident bytes in a zero cache")
+	}
+}
+
+func TestBypassYieldResetsAfterLoad(t *testing.T) {
+	cat := catalog.TPCH(20)
+	p := DefaultParams(cat)
+	p.LoadFactor = 0.001
+	b, _ := NewBypass(p)
+	qs := fixedTemplateQueries(t, cat, 3, 400, time.Second)
+	total := 0
+	for _, q := range qs {
+		r, err := b.HandleQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += r.Investments
+	}
+	// Exactly one load per column even though yield keeps flowing while
+	// builds are in flight.
+	if total != 4 {
+		t.Errorf("loads = %d, want 4 (no duplicate loads)", total)
+	}
+	for _, e := range b.Cache().Entries() {
+		if e.S.Kind != structure.KindColumn {
+			t.Errorf("non-column %v in bypass cache", e.S)
+		}
+	}
+}
+
+func TestBypassBuildUsageAccounted(t *testing.T) {
+	cat := catalog.TPCH(20)
+	p := DefaultParams(cat)
+	p.LoadFactor = 0.001
+	b, _ := NewBypass(p)
+	var netBytes int64
+	for _, q := range fixedTemplateQueries(t, cat, 3, 100, time.Second) {
+		r, err := b.HandleQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		netBytes += r.BuildUsage.NetBytes
+	}
+	var want int64
+	for _, ref := range workload.PaperTemplates()[3].Columns {
+		n, _ := cat.ColumnBytes(ref)
+		want += n
+	}
+	if netBytes != want {
+		t.Errorf("build transfer = %d bytes, want %d (the 4 columns)", netBytes, want)
+	}
+}

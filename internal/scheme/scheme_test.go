@@ -1,0 +1,309 @@
+package scheme
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/catalog"
+	"repro/internal/money"
+	"repro/internal/plan"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// testCatalog is small enough for fast unit tests; the experiment package
+// runs at paper scale.
+func testCatalog() *catalog.Catalog { return catalog.TPCH(20) }
+
+// testParams scales the investment knobs to the small test catalog: regret
+// per query is micro-dollars here, so the Eq. 3 trigger must be
+// proportionally lower than at paper scale.
+func testParams(cat *catalog.Catalog) Params {
+	p := DefaultParams(cat)
+	p.RegretFraction = 0.0001
+	p.LoadFactor = 0.02
+	return p
+}
+
+// stream produces n queries with a fixed gap and budgets a few times the
+// typical back-end price at this scale.
+func stream(t *testing.T, cat *catalog.Catalog, n int, gap time.Duration) []*workload.Query {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.Config{
+		Catalog: cat,
+		Seed:    7,
+		Arrival: workload.NewFixedArrival(gap),
+		Budgets: &workload.FixedPolicy{Shape: workload.ShapeStep, Price: money.FromDollars(0.002), TMax: time.Hour},
+		Theta:   1.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen.Generate(n)
+}
+
+func runScheme(t *testing.T, s Scheme, qs []*workload.Query) []Result {
+	t.Helper()
+	out := make([]Result, 0, len(qs))
+	for _, q := range qs {
+		r, err := s.HandleQuery(q)
+		if err != nil {
+			t.Fatalf("%s: query %d: %v", s.Name(), q.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestSchemeNames(t *testing.T) {
+	cat := testCatalog()
+	p := DefaultParams(cat)
+	mk := []struct {
+		name string
+		ctor func(Params) (Scheme, error)
+	}{
+		{"bypass", func(p Params) (Scheme, error) { return NewBypass(p) }},
+		{"econ-col", func(p Params) (Scheme, error) { return NewEconCol(p) }},
+		{"econ-cheap", func(p Params) (Scheme, error) { return NewEconCheap(p) }},
+		{"econ-fast", func(p Params) (Scheme, error) { return NewEconFast(p) }},
+	}
+	for _, m := range mk {
+		s, err := m.ctor(p)
+		if err != nil {
+			t.Fatalf("%s: %v", m.name, err)
+		}
+		if s.Name() != m.name {
+			t.Errorf("Name = %q, want %q", s.Name(), m.name)
+		}
+		if s.Cache() == nil {
+			t.Errorf("%s has no cache", m.name)
+		}
+	}
+}
+
+func TestParamsRequireCatalog(t *testing.T) {
+	if _, err := NewBypass(Params{}); err == nil {
+		t.Error("bypass without catalog accepted")
+	}
+	if _, err := NewEconCheap(Params{}); err == nil {
+		t.Error("econ without catalog accepted")
+	}
+}
+
+func TestBypassCacheCapped(t *testing.T) {
+	cat := testCatalog()
+	b, err := NewBypass(DefaultParams(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(float64(cat.TotalBytes()) * 0.30)
+	if got := b.Cache().Capacity(); got != want {
+		t.Errorf("capacity = %d, want %d (30%%)", got, want)
+	}
+}
+
+func TestBypassStartsAtBackendThenCaches(t *testing.T) {
+	cat := testCatalog()
+	b, err := NewBypass(testParams(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := stream(t, cat, 8000, time.Second)
+	results := runScheme(t, b, qs)
+
+	if results[0].Location != plan.Backend {
+		t.Error("first query must hit the backend")
+	}
+	cacheHits := 0
+	for _, r := range results {
+		if r.Location == plan.Cache {
+			cacheHits++
+		}
+	}
+	if cacheHits == 0 {
+		t.Error("bypass never reached the cache in 3000 queries")
+	}
+	if b.Cache().ResidentBytes() == 0 {
+		t.Error("bypass cached nothing")
+	}
+	if b.Cache().ResidentBytes() > b.Cache().Capacity() {
+		t.Error("bypass exceeded its cap")
+	}
+}
+
+func TestBypassNeverBuildsIndexesOrNodes(t *testing.T) {
+	cat := testCatalog()
+	b, _ := NewBypass(testParams(cat))
+	qs := stream(t, cat, 4000, time.Second)
+	runScheme(t, b, qs)
+	for _, e := range b.Cache().Entries() {
+		if e.S.Kind != structure.KindColumn {
+			t.Fatalf("bypass built %v", e.S)
+		}
+	}
+}
+
+func TestEconCheapInvestsAndSpeedsUp(t *testing.T) {
+	cat := testCatalog()
+	s, err := NewEconCheap(testParams(cat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := stream(t, cat, 9000, time.Second)
+	results := runScheme(t, s, qs)
+
+	totalInvest := 0
+	for _, r := range results {
+		totalInvest += r.Investments
+	}
+	if totalInvest == 0 {
+		t.Fatal("econ-cheap never invested")
+	}
+	// Average response time of the last quarter must beat the first
+	// quarter (the cache warms up).
+	quarter := len(results) / 4
+	var early, late time.Duration
+	for i := 0; i < quarter; i++ {
+		early += results[i].ResponseTime
+		late += results[len(results)-1-i].ResponseTime
+	}
+	if late >= early {
+		t.Errorf("no warm-up improvement: early=%v late=%v", early/time.Duration(quarter), late/time.Duration(quarter))
+	}
+}
+
+func TestEconColBuildsOnlyColumns(t *testing.T) {
+	cat := testCatalog()
+	s, _ := NewEconCol(testParams(cat))
+	qs := stream(t, cat, 9000, time.Second)
+	runScheme(t, s, qs)
+	for _, e := range s.Cache().Entries() {
+		if e.S.Kind != structure.KindColumn {
+			t.Fatalf("econ-col built %v", e.S)
+		}
+	}
+	if s.Cache().Len() == 0 {
+		t.Error("econ-col built nothing")
+	}
+}
+
+func TestEconFastAtLeastAsFastAsCheapWarm(t *testing.T) {
+	cat := testCatalog()
+	fast, _ := NewEconFast(testParams(cat))
+	cheap, _ := NewEconCheap(testParams(cat))
+	qs := stream(t, cat, 9000, time.Second)
+	fr := runScheme(t, fast, qs)
+	cr := runScheme(t, cheap, qs)
+	// Compare mean response over the warm tail.
+	tail := len(qs) / 2
+	var fsum, csum time.Duration
+	for i := tail; i < len(qs); i++ {
+		fsum += fr[i].ResponseTime
+		csum += cr[i].ResponseTime
+	}
+	if fsum > csum {
+		t.Errorf("econ-fast warm tail (%v) slower than econ-cheap (%v)", fsum, csum)
+	}
+}
+
+func TestEconChargesUsers(t *testing.T) {
+	cat := testCatalog()
+	s, _ := NewEconCheap(testParams(cat))
+	qs := stream(t, cat, 500, time.Second)
+	results := runScheme(t, s, qs)
+	var charged money.Amount
+	for _, r := range results {
+		charged = charged.Add(r.Charged)
+	}
+	if !charged.IsPositive() {
+		t.Error("economy collected nothing")
+	}
+	if s.Economy().Stats().ProfitTotal.IsNegative() {
+		t.Error("negative lifetime profit")
+	}
+}
+
+func TestSchemeRejectsNilQuery(t *testing.T) {
+	cat := testCatalog()
+	b, _ := NewBypass(DefaultParams(cat))
+	if _, err := b.HandleQuery(nil); err == nil {
+		t.Error("bypass accepted nil query")
+	}
+	e, _ := NewEconCheap(DefaultParams(cat))
+	if _, err := e.HandleQuery(nil); err == nil {
+		t.Error("econ accepted nil query")
+	}
+}
+
+func TestBypassDeterministic(t *testing.T) {
+	cat := testCatalog()
+	run := func() []Result {
+		b, _ := NewBypass(testParams(cat))
+		return runScheme(t, b, stream(t, cat, 1000, time.Second))
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bypass result %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestEconDeterministic(t *testing.T) {
+	cat := testCatalog()
+	run := func() []Result {
+		s, _ := NewEconCheap(testParams(cat))
+		return runScheme(t, s, stream(t, cat, 1000, time.Second))
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("econ result %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestZeroBudgetStreamStillServed(t *testing.T) {
+	// Users with zero budgets accept backend execution (§VII-A user
+	// model): nothing is charged but queries still run.
+	cat := testCatalog()
+	gen, _ := workload.NewGenerator(workload.Config{
+		Catalog: cat,
+		Seed:    3,
+		Arrival: workload.NewFixedArrival(time.Second),
+		Budgets: &workload.FixedPolicy{Shape: workload.ShapeStep, Price: 0, TMax: time.Hour},
+	})
+	s, _ := NewEconCheap(DefaultParams(cat))
+	for i := 0; i < 100; i++ {
+		r, err := s.HandleQuery(gen.Next())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Declined {
+			t.Fatal("accepting user was declined")
+		}
+		if r.Charged.IsNegative() {
+			t.Fatal("negative charge")
+		}
+	}
+}
+
+func TestBudgetTmaxRespected(t *testing.T) {
+	// A budget whose Tmax is shorter than every plan's time forces case
+	// A (B_Q is 0 beyond Tmax).
+	cat := testCatalog()
+	s, _ := NewEconCheap(DefaultParams(cat))
+	tpl := workload.PaperTemplates()[0]
+	q := &workload.Query{
+		ID: 1, Template: tpl, Selectivity: tpl.SelMax,
+		Budget: budget.NewStep(money.FromDollars(100), time.Nanosecond),
+	}
+	r, err := s.HandleQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Profit.IsPositive() {
+		t.Error("impossible deadline must not profit")
+	}
+}

@@ -1,0 +1,179 @@
+// Package sim runs a caching scheme against a query stream on a discrete
+// event clock and accounts the cloud's true operating cost (Fig. 4) and
+// response times (Fig. 5).
+//
+// Accounting is deliberately separate from the scheme's own deciding
+// prices: the bypass baseline decides as if only network mattered, but its
+// true expenditure — CPU, I/O, network, storage rent, node uptime — is
+// still measured with the real schedule, so Figure 4 compares all schemes
+// in the same dollars.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/metrics"
+	"repro/internal/money"
+	"repro/internal/plan"
+	"repro/internal/pricing"
+	"repro/internal/scheme"
+	"repro/internal/workload"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Scheme under test. Required.
+	Scheme scheme.Scheme
+	// Generator produces the query stream. Required.
+	Generator *workload.Generator
+	// Queries is the stream length. Required.
+	Queries int
+	// Accounting prices the true expenditure; defaults to EC22008.
+	Accounting *pricing.Schedule
+	// ReservoirCap bounds the response-time percentile reservoir.
+	// Defaults to 4096.
+	ReservoirCap int
+	// OnProgress, if set, is invoked every ProgressEvery queries with
+	// the number handled so far.
+	OnProgress    func(done int)
+	ProgressEvery int
+}
+
+// Report is the outcome of one run.
+type Report struct {
+	// SchemeName labels the run.
+	SchemeName string
+	// Queries is the number of queries offered.
+	Queries int
+	// Declined counts queries the user walked away from.
+	Declined int64
+	// CacheAnswered counts queries answered in the cache.
+	CacheAnswered int64
+	// Investments and Failures count structure builds and
+	// maintenance-failure evictions.
+	Investments int64
+	Failures    int64
+
+	// Response aggregates response times of executed queries (seconds).
+	Response *metrics.DurationStats
+
+	// True expenditure, priced with the accounting schedule.
+	ExecCost    money.Amount // query execution (CPU + I/O + result WAN)
+	BuildCost   money.Amount // structure construction
+	StorageCost money.Amount // disk rent over resident bytes × time
+	NodeCost    money.Amount // extra CPU-node uptime rent
+	// OperatingCost is the Fig. 4 total: Exec + Build + Storage + Node.
+	OperatingCost money.Amount
+
+	// Revenue and Profit are the user-payment side.
+	Revenue money.Amount
+	Profit  money.Amount
+
+	// Elapsed is the simulated wall-clock span (first to last arrival).
+	Elapsed time.Duration
+	// FinalResidentBytes is the cache footprint at the end.
+	FinalResidentBytes int64
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("sim: Scheme is required")
+	}
+	if cfg.Generator == nil {
+		return nil, fmt.Errorf("sim: Generator is required")
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("sim: Queries must be positive")
+	}
+	if cfg.Accounting == nil {
+		cfg.Accounting = pricing.EC22008()
+	}
+	if err := cfg.Accounting.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ReservoirCap == 0 {
+		cfg.ReservoirCap = 4096
+	}
+
+	rep := &Report{
+		SchemeName: cfg.Scheme.Name(),
+		Queries:    cfg.Queries,
+		Response:   metrics.NewDurationStats(cfg.ReservoirCap),
+	}
+
+	var execUsage, buildUsage cost.Usage
+	var storageGBSeconds float64 // resident GiB × seconds
+	var nodeSeconds float64      // extra-node uptime in seconds
+
+	ca := cfg.Scheme.Cache()
+	lastClock := ca.Clock()
+	var firstArrival time.Duration
+	var lastArrival time.Duration
+
+	for i := 0; i < cfg.Queries; i++ {
+		q := cfg.Generator.Next()
+		if i == 0 {
+			firstArrival = q.Arrival
+		}
+		lastArrival = q.Arrival
+
+		// Integrate storage and node rent over the idle gap, using the
+		// cache state before this arrival mutates it.
+		if q.Arrival > lastClock {
+			dt := (q.Arrival - lastClock).Seconds()
+			storageGBSeconds += float64(ca.ResidentBytes()) / (1 << 30) * dt
+			nodeSeconds += float64(ca.NodeCount()) * dt
+			lastClock = q.Arrival
+		}
+
+		r, err := cfg.Scheme.HandleQuery(q)
+		if err != nil {
+			return nil, fmt.Errorf("sim: query %d: %w", q.ID, err)
+		}
+		execUsage.Add(r.ExecUsage)
+		buildUsage.Add(r.BuildUsage)
+		rep.Revenue = rep.Revenue.Add(r.Charged)
+		rep.Profit = rep.Profit.Add(r.Profit)
+		rep.Investments += int64(r.Investments)
+		rep.Failures += int64(r.Failures)
+		if r.Declined {
+			rep.Declined++
+		} else {
+			rep.Response.ObserveDuration(r.ResponseTime)
+			if r.Location == plan.Cache {
+				rep.CacheAnswered++
+			}
+		}
+
+		if cfg.OnProgress != nil && cfg.ProgressEvery > 0 && (i+1)%cfg.ProgressEvery == 0 {
+			cfg.OnProgress(i + 1)
+		}
+	}
+
+	acct := cfg.Accounting
+	rep.ExecCost = cost.Price(acct, execUsage)
+	rep.BuildCost = cost.Price(acct, buildUsage)
+	rep.StorageCost = acct.DiskPerGBMonth.MulFloat(storageGBSeconds / secondsPerMonth)
+	rep.NodeCost = acct.CPUPerHour.MulFloat(nodeSeconds / 3600)
+	rep.OperatingCost = money.Sum(rep.ExecCost, rep.BuildCost, rep.StorageCost, rep.NodeCost)
+	rep.Elapsed = lastArrival - firstArrival
+	rep.FinalResidentBytes = ca.ResidentBytes()
+	return rep, nil
+}
+
+const secondsPerMonth = 30 * 24 * 3600.0
+
+// MeanResponse returns the mean response time.
+func (r *Report) MeanResponse() time.Duration {
+	return time.Duration(r.Response.Mean() * float64(time.Second))
+}
+
+// String renders a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: n=%d cost=%s resp=%.2fs cacheHits=%d invests=%d failures=%d",
+		r.SchemeName, r.Queries, r.OperatingCost, r.Response.Mean(),
+		r.CacheAnswered, r.Investments, r.Failures)
+}

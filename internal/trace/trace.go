@@ -1,0 +1,156 @@
+// Package trace serialises query streams to CSV and replays them, so a
+// workload can be generated once (or captured from elsewhere), inspected
+// with ordinary tools, and fed identically to every scheme under
+// comparison. cmd/workloadgen writes this format.
+//
+// A trace row is:
+//
+//	id,arrival_s,template,selectivity,budget_usd,budget_tmax_s
+//
+// Budgets round-trip as step functions — the shape of the paper's
+// experiments; richer shapes replay as steps at their t→0 price.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/money"
+	"repro/internal/workload"
+)
+
+// Header is the CSV header row.
+const Header = "id,arrival_s,template,selectivity,budget_usd,budget_tmax_s"
+
+// Write serialises queries to w.
+func Write(w io.Writer, queries []*workload.Query) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, Header); err != nil {
+		return err
+	}
+	for _, q := range queries {
+		if q.Template == nil {
+			return fmt.Errorf("trace: query %d has no template", q.ID)
+		}
+		var price money.Amount
+		var tmax time.Duration
+		if q.Budget != nil {
+			tmax = q.Budget.Tmax()
+			price = q.Budget.At(time.Millisecond)
+		}
+		if _, err := fmt.Fprintf(bw, "%d,%.6f,%s,%.9g,%.6f,%.3f\n",
+			q.ID, q.Arrival.Seconds(), q.Template.Name, q.Selectivity,
+			price.Dollars(), tmax.Seconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace, resolving template names against the given pool.
+func Read(r io.Reader, templates []*workload.Template) ([]*workload.Query, error) {
+	byName := make(map[string]*workload.Template, len(templates))
+	for _, t := range templates {
+		byName[t.Name] = t
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var out []*workload.Query
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(text, "id,") {
+			continue // header
+		}
+		q, err := parseRow(text, byName)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, q)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseRow decodes one CSV row.
+func parseRow(text string, byName map[string]*workload.Template) (*workload.Query, error) {
+	fields := strings.Split(text, ",")
+	if len(fields) != 6 {
+		return nil, fmt.Errorf("want 6 fields, got %d", len(fields))
+	}
+	id, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad id %q", fields[0])
+	}
+	arrival, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil || arrival < 0 {
+		return nil, fmt.Errorf("bad arrival %q", fields[1])
+	}
+	tpl, ok := byName[fields[2]]
+	if !ok {
+		return nil, fmt.Errorf("unknown template %q", fields[2])
+	}
+	sel, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil || sel <= 0 || sel > 1 {
+		return nil, fmt.Errorf("bad selectivity %q", fields[3])
+	}
+	price, err := strconv.ParseFloat(fields[4], 64)
+	if err != nil || price < 0 {
+		return nil, fmt.Errorf("bad budget %q", fields[4])
+	}
+	tmaxS, err := strconv.ParseFloat(fields[5], 64)
+	if err != nil || tmaxS < 0 {
+		return nil, fmt.Errorf("bad tmax %q", fields[5])
+	}
+	return &workload.Query{
+		ID:          id,
+		Template:    tpl,
+		Selectivity: sel,
+		Arrival:     time.Duration(arrival * float64(time.Second)),
+		Budget: budget.NewStep(money.FromDollars(price),
+			time.Duration(tmaxS*float64(time.Second))),
+	}, nil
+}
+
+// Replayer feeds a recorded trace as a workload source. It satisfies the
+// same Next() contract as workload.Generator (the simulator only needs
+// Next), and reports exhaustion through Remaining.
+type Replayer struct {
+	queries []*workload.Query
+	pos     int
+}
+
+// NewReplayer wraps a parsed trace.
+func NewReplayer(queries []*workload.Query) *Replayer {
+	return &Replayer{queries: queries}
+}
+
+// Next returns the next query, or nil when the trace is exhausted.
+func (r *Replayer) Next() *workload.Query {
+	if r.pos >= len(r.queries) {
+		return nil
+	}
+	q := r.queries[r.pos]
+	r.pos++
+	return q
+}
+
+// Remaining reports how many queries are left.
+func (r *Replayer) Remaining() int { return len(r.queries) - r.pos }
+
+// Len reports the full trace length.
+func (r *Replayer) Len() int { return len(r.queries) }
+
+// Reset rewinds the replayer so another scheme can see the same stream.
+func (r *Replayer) Reset() { r.pos = 0 }

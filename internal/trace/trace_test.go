@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/workload"
+)
+
+func genQueries(t *testing.T, n int) ([]*workload.Query, []*workload.Template) {
+	t.Helper()
+	cat := catalog.TPCH(5)
+	g, err := workload.NewGenerator(workload.Config{Catalog: cat, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Generate(n), g.Templates()
+}
+
+func TestRoundTrip(t *testing.T) {
+	qs, tpls := genQueries(t, 200)
+	var buf strings.Builder
+	if err := Write(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(buf.String()), tpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(qs) {
+		t.Fatalf("len = %d, want %d", len(got), len(qs))
+	}
+	for i := range qs {
+		a, b := qs[i], got[i]
+		if a.ID != b.ID || a.Template.Name != b.Template.Name {
+			t.Fatalf("row %d identity differs", i)
+		}
+		if d := a.Arrival - b.Arrival; d < -time.Millisecond || d > time.Millisecond {
+			t.Fatalf("row %d arrival %v vs %v", i, a.Arrival, b.Arrival)
+		}
+		rel := (a.Selectivity - b.Selectivity) / a.Selectivity
+		if rel < -1e-6 || rel > 1e-6 {
+			t.Fatalf("row %d selectivity %g vs %g", i, a.Selectivity, b.Selectivity)
+		}
+		// Step budgets preserve price and tmax.
+		pa, pb := a.Budget.At(time.Millisecond), b.Budget.At(time.Millisecond)
+		if pa.Sub(pb).Abs().Dollars() > 1e-6 {
+			t.Fatalf("row %d budget %v vs %v", i, pa, pb)
+		}
+	}
+}
+
+func TestReadRejectsMalformedRows(t *testing.T) {
+	_, tpls := genQueries(t, 1)
+	bad := []string{
+		"1,2.0,Q1",                       // too few fields
+		"x,2.0,Q1,0.001,0.01,60",         // bad id
+		"1,-2.0,Q1,0.001,0.01,60",        // negative arrival
+		"1,2.0,NOPE,0.001,0.01,60",       // unknown template
+		"1,2.0,Q1,0,0.01,60",             // zero selectivity
+		"1,2.0,Q1,2,0.01,60",             // selectivity > 1
+		"1,2.0,Q1,0.001,-0.01,60",        // negative budget
+		"1,2.0,Q1,0.001,0.01,notanumber", // bad tmax
+	}
+	for _, row := range bad {
+		if _, err := Read(strings.NewReader(Header+"\n"+row), tpls); err == nil {
+			t.Errorf("row %q accepted", row)
+		}
+	}
+}
+
+func TestReadSkipsBlankLinesAndHeader(t *testing.T) {
+	_, tpls := genQueries(t, 1)
+	in := Header + "\n\n1,2.0,Q1,0.002,0.01,60\n\n"
+	got, err := Read(strings.NewReader(in), tpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Template.Name != "Q1" {
+		t.Fatalf("got %v", got)
+	}
+	// Header is only special on line 1.
+	in2 := "1,2.0,Q1,0.002,0.01,60\n"
+	got, err = Read(strings.NewReader(in2), tpls)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("headerless trace rejected: %v %v", got, err)
+	}
+}
+
+func TestWriteRejectsTemplatelessQuery(t *testing.T) {
+	var buf strings.Builder
+	if err := Write(&buf, []*workload.Query{{ID: 1}}); err == nil {
+		t.Error("templateless query accepted")
+	}
+}
+
+func TestReplayer(t *testing.T) {
+	qs, _ := genQueries(t, 5)
+	r := NewReplayer(qs)
+	if r.Len() != 5 || r.Remaining() != 5 {
+		t.Fatal("length accounting wrong")
+	}
+	for i := 0; i < 5; i++ {
+		q := r.Next()
+		if q == nil || q.ID != qs[i].ID {
+			t.Fatalf("replay %d wrong", i)
+		}
+	}
+	if r.Next() != nil {
+		t.Error("exhausted replayer returned a query")
+	}
+	if r.Remaining() != 0 {
+		t.Error("Remaining after exhaustion")
+	}
+	r.Reset()
+	if r.Remaining() != 5 || r.Next().ID != qs[0].ID {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestReplayFeedsSchemesIdentically(t *testing.T) {
+	// Two reads of the same trace produce identical query values, so two
+	// schemes compared on a replay see exactly the same stream.
+	qs, tpls := genQueries(t, 100)
+	var buf strings.Builder
+	if err := Write(&buf, qs); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Read(strings.NewReader(buf.String()), tpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Read(strings.NewReader(buf.String()), tpls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Selectivity != b[i].Selectivity || a[i].Arrival != b[i].Arrival {
+			t.Fatalf("row %d differs between reads", i)
+		}
+	}
+}

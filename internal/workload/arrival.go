@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess produces the gap between consecutive query arrivals.
+// Implementations draw from the provided PRNG so the generator stays
+// deterministic under one seed.
+type ArrivalProcess interface {
+	// NextGap returns the time until the next arrival.
+	NextGap(r *rand.Rand) time.Duration
+	// Mean returns the mean inter-arrival gap, used for reporting and
+	// for sizing storage-rent expectations.
+	Mean() time.Duration
+}
+
+// FixedArrival spaces queries exactly Interval apart. §VII measures fixed
+// 1 s / 10 s / 30 s / 60 s inter-query intervals.
+type FixedArrival struct {
+	Interval time.Duration
+}
+
+// NewFixedArrival constructs a fixed-gap process.
+func NewFixedArrival(interval time.Duration) FixedArrival {
+	return FixedArrival{Interval: interval}
+}
+
+// NextGap implements ArrivalProcess.
+func (f FixedArrival) NextGap(*rand.Rand) time.Duration { return f.Interval }
+
+// Mean implements ArrivalProcess.
+func (f FixedArrival) Mean() time.Duration { return f.Interval }
+
+// String describes the process.
+func (f FixedArrival) String() string { return fmt.Sprintf("fixed(%s)", f.Interval) }
+
+// PoissonArrival draws exponential gaps with the given mean, modelling the
+// memoryless arrivals of a large independent user population.
+type PoissonArrival struct {
+	MeanGap time.Duration
+}
+
+// NewPoissonArrival constructs a Poisson process with the given mean gap.
+func NewPoissonArrival(mean time.Duration) PoissonArrival {
+	return PoissonArrival{MeanGap: mean}
+}
+
+// NextGap implements ArrivalProcess.
+func (p PoissonArrival) NextGap(r *rand.Rand) time.Duration {
+	if p.MeanGap <= 0 {
+		return 0
+	}
+	// Inverse-CDF sampling; clamp u away from 0 to bound the tail.
+	u := r.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	gap := -math.Log(u) * float64(p.MeanGap)
+	return time.Duration(gap)
+}
+
+// Mean implements ArrivalProcess.
+func (p PoissonArrival) Mean() time.Duration { return p.MeanGap }
+
+// String describes the process.
+func (p PoissonArrival) String() string { return fmt.Sprintf("poisson(mean=%s)", p.MeanGap) }
+
+// BurstyArrival alternates between a dense burst of queries and a long idle
+// gap, stressing the cache's adaptation (used by ablations, not the paper's
+// headline figures).
+type BurstyArrival struct {
+	BurstLen  int           // queries per burst
+	BurstGap  time.Duration // gap inside a burst
+	IdleGap   time.Duration // gap between bursts
+	remaining int
+}
+
+// NextGap implements ArrivalProcess.
+func (b *BurstyArrival) NextGap(*rand.Rand) time.Duration {
+	if b.BurstLen <= 0 {
+		return b.IdleGap
+	}
+	if b.remaining <= 0 {
+		b.remaining = b.BurstLen
+		return b.IdleGap
+	}
+	b.remaining--
+	return b.BurstGap
+}
+
+// Mean implements ArrivalProcess.
+func (b *BurstyArrival) Mean() time.Duration {
+	if b.BurstLen <= 0 {
+		return b.IdleGap
+	}
+	total := b.IdleGap + time.Duration(b.BurstLen)*b.BurstGap
+	return total / time.Duration(b.BurstLen+1)
+}
+
+// String describes the process.
+func (b *BurstyArrival) String() string {
+	return fmt.Sprintf("bursty(%d@%s, idle=%s)", b.BurstLen, b.BurstGap, b.IdleGap)
+}

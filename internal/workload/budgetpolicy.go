@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/money"
+)
+
+// BudgetPolicy assigns a budget function to each generated query. The paper
+// only pins the experiments to step functions (§VII-A); the other shapes
+// support the budget-shape ablation.
+type BudgetPolicy interface {
+	// BudgetFor returns the budget function for a query whose full
+	// (index-less) scan is scanBytes and whose result is resultBytes.
+	BudgetFor(q *Query, scanBytes, resultBytes int64) budget.Func
+}
+
+// Shape selects the budget curve a policy emits.
+type Shape int
+
+// The supported budget shapes (Fig. 1).
+const (
+	ShapeStep Shape = iota
+	ShapeLinear
+	ShapeConvex
+	ShapeConcave
+)
+
+// String implements fmt.Stringer.
+func (s Shape) String() string {
+	switch s {
+	case ShapeStep:
+		return "step"
+	case ShapeLinear:
+		return "linear"
+	case ShapeConvex:
+		return "convex"
+	case ShapeConcave:
+		return "concave"
+	default:
+		return fmt.Sprintf("Shape(%d)", int(s))
+	}
+}
+
+// build constructs the budget of the given shape.
+func (s Shape) build(price money.Amount, tmax time.Duration) budget.Func {
+	switch s {
+	case ShapeLinear:
+		return budget.NewLinear(price, tmax)
+	case ShapeConvex:
+		return budget.NewConvex(price, tmax, 2)
+	case ShapeConcave:
+		return budget.NewConcave(price, tmax, 2)
+	default:
+		return budget.NewStep(price, tmax)
+	}
+}
+
+// ScaledPolicy prices each query proportionally to the work it requests:
+// price = Base + PerGBScanned·scanGB + PerGBResult·resultGB. This models
+// users who have learned roughly what their queries cost and budget
+// accordingly — the regime where the cloud can serve almost everyone
+// (case B of §IV-C) and the economy differentiates on cost.
+type ScaledPolicy struct {
+	Shape        Shape
+	Base         money.Amount
+	PerGBScanned money.Amount
+	PerGBResult  money.Amount
+	TMax         time.Duration
+}
+
+// DefaultScaledPolicy returns the calibration used by the paper-figure
+// experiments: a generous step budget that comfortably covers back-end
+// execution of a typical query, so users "accept query execution in the
+// back-end" (§VII-A).
+func DefaultScaledPolicy() *ScaledPolicy {
+	return &ScaledPolicy{
+		Shape:        ShapeStep,
+		Base:         money.FromDollars(0.0002),
+		PerGBScanned: money.FromDollars(0.004),
+		PerGBResult:  money.FromDollars(0.40),
+		TMax:         60 * time.Second,
+	}
+}
+
+// BudgetFor implements BudgetPolicy.
+func (p *ScaledPolicy) BudgetFor(_ *Query, scanBytes, resultBytes int64) budget.Func {
+	const gib = 1 << 30
+	price := p.Base.
+		Add(p.PerGBScanned.MulFloat(float64(scanBytes) / gib)).
+		Add(p.PerGBResult.MulFloat(float64(resultBytes) / gib))
+	tmax := p.TMax
+	if tmax <= 0 {
+		tmax = 60 * time.Second
+	}
+	return p.Shape.build(price, tmax)
+}
+
+// FixedPolicy assigns the identical budget to every query: handy for unit
+// tests and for the degenerate "stingy user" scenarios.
+type FixedPolicy struct {
+	Shape Shape
+	Price money.Amount
+	TMax  time.Duration
+}
+
+// BudgetFor implements BudgetPolicy.
+func (p *FixedPolicy) BudgetFor(*Query, int64, int64) budget.Func {
+	return p.Shape.build(p.Price, p.TMax)
+}
+
+var (
+	_ BudgetPolicy = (*ScaledPolicy)(nil)
+	_ BudgetPolicy = (*FixedPolicy)(nil)
+)

@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/catalog"
+)
+
+// Config parameterises a Generator.
+type Config struct {
+	// Catalog sizes all templates. Required.
+	Catalog *catalog.Catalog
+	// Templates is the template pool. Defaults to PaperTemplates().
+	Templates []*Template
+	// Seed makes the stream reproducible.
+	Seed int64
+	// Arrival is the inter-arrival process. Defaults to fixed 10 s.
+	Arrival ArrivalProcess
+	// Budgets assigns budget functions. Defaults to DefaultScaledPolicy.
+	Budgets BudgetPolicy
+	// Theta is the Zipf skew of template popularity within a phase.
+	// Defaults to 1.1 (strong temporal locality, §VI).
+	Theta float64
+	// PhaseLength is the number of queries per evolution phase. After
+	// each phase the popularity ranking rotates by EvolutionStride, so
+	// the hot template set drifts over the stream like the SDSS query
+	// evolution the paper simulates. Defaults to 20 000; 0 disables
+	// evolution when EvolutionStride is also 0.
+	PhaseLength int
+	// EvolutionStride is the number of rank positions the popularity
+	// order rotates between phases. Defaults to 1.
+	EvolutionStride int
+}
+
+// withDefaults fills the optional fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Catalog == nil {
+		return c, fmt.Errorf("workload: Config.Catalog is required")
+	}
+	if len(c.Templates) == 0 {
+		c.Templates = PaperTemplates()
+	}
+	for _, t := range c.Templates {
+		if err := t.Validate(c.Catalog); err != nil {
+			return c, err
+		}
+	}
+	if c.Arrival == nil {
+		c.Arrival = NewFixedArrival(10 * time.Second)
+	}
+	if c.Budgets == nil {
+		c.Budgets = DefaultScaledPolicy()
+	}
+	if c.Theta == 0 {
+		c.Theta = 1.1
+	}
+	if c.Theta < 0 {
+		return c, fmt.Errorf("workload: Theta must be >= 0")
+	}
+	if c.PhaseLength == 0 {
+		c.PhaseLength = 20_000
+	}
+	if c.PhaseLength < 0 {
+		return c, fmt.Errorf("workload: PhaseLength must be >= 0")
+	}
+	if c.EvolutionStride == 0 {
+		c.EvolutionStride = 1
+	}
+	if c.EvolutionStride < 0 {
+		return c, fmt.Errorf("workload: EvolutionStride must be >= 0")
+	}
+	return c, nil
+}
+
+// Generator produces a deterministic query stream. It is not safe for
+// concurrent use; each simulation owns its generator.
+type Generator struct {
+	cfg   Config
+	rng   *rand.Rand
+	zipf  *Zipf
+	order []int // order[rank] = template index; rotated between phases
+
+	nextID  int64
+	clock   time.Duration
+	inPhase int
+}
+
+// NewGenerator validates the config and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	z, err := NewZipf(len(cfg.Templates), cfg.Theta)
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, len(cfg.Templates))
+	for i := range order {
+		order[i] = i
+	}
+	return &Generator{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		zipf:  z,
+		order: order,
+	}, nil
+}
+
+// Next produces the next query in the stream.
+func (g *Generator) Next() *Query {
+	// Advance the evolution phase.
+	if g.cfg.PhaseLength > 0 && g.inPhase >= g.cfg.PhaseLength {
+		g.rotate(g.cfg.EvolutionStride)
+		g.inPhase = 0
+	}
+	g.inPhase++
+
+	rank := g.zipf.Sample(g.rng)
+	tpl := g.cfg.Templates[g.order[rank]]
+
+	sel := tpl.SelMin + g.rng.Float64()*(tpl.SelMax-tpl.SelMin)
+
+	gap := g.cfg.Arrival.NextGap(g.rng)
+	if gap < 0 {
+		gap = 0
+	}
+	g.clock += gap
+	g.nextID++
+
+	q := &Query{
+		ID:          g.nextID,
+		Template:    tpl,
+		Selectivity: sel,
+		Arrival:     g.clock,
+	}
+	scan, err := q.ScanBytes(g.cfg.Catalog)
+	if err != nil {
+		// Templates were validated at construction; a failure here is
+		// a programming error.
+		panic(fmt.Sprintf("workload: sizing validated template: %v", err))
+	}
+	result, _ := q.ResultBytes(g.cfg.Catalog)
+	q.Budget = g.cfg.Budgets.BudgetFor(q, scan, result)
+	return q
+}
+
+// rotate shifts the popularity order by n positions: the template that was
+// hottest becomes n-th, and cooler templates move up.
+func (g *Generator) rotate(n int) {
+	if len(g.order) == 0 {
+		return
+	}
+	n %= len(g.order)
+	if n == 0 {
+		return
+	}
+	rotated := make([]int, 0, len(g.order))
+	rotated = append(rotated, g.order[n:]...)
+	rotated = append(rotated, g.order[:n]...)
+	copy(g.order, rotated)
+}
+
+// Generate materialises n queries. For long streams prefer calling Next in
+// a loop to keep memory flat.
+func (g *Generator) Generate(n int) []*Query {
+	out := make([]*Query, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.Next())
+	}
+	return out
+}
+
+// Clock returns the arrival time of the most recently generated query.
+func (g *Generator) Clock() time.Duration { return g.clock }
+
+// Templates exposes the validated template pool (shared; do not mutate).
+func (g *Generator) Templates() []*Template { return g.cfg.Templates }

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/catalog"
+)
+
+// Query is one concrete request in the stream: a template instantiated with
+// a region fraction, an arrival time on the simulation clock and the user's
+// budget function.
+type Query struct {
+	// ID is the 1-based sequence number in the stream.
+	ID int64
+	// Template the query instantiates.
+	Template *Template
+	// Selectivity is the region fraction actually scanned by this
+	// execution, drawn from [Template.SelMin, Template.SelMax].
+	Selectivity float64
+	// Arrival is the simulation time the query reaches the coordinator.
+	Arrival time.Duration
+	// Budget is the user's B_Q(t).
+	Budget budget.Func
+}
+
+// ScanBytes returns the bytes a full (index-less) cache execution scans:
+// the region fraction of the template's column group.
+func (q *Query) ScanBytes(c *catalog.Catalog) (int64, error) {
+	group, err := q.Template.GroupBytes(c)
+	if err != nil {
+		return 0, err
+	}
+	b := int64(float64(group) * q.Selectivity)
+	if b < 1 {
+		b = 1
+	}
+	return b, nil
+}
+
+// IndexScanBytes returns the bytes scanned when a useful index exists.
+func (q *Query) IndexScanBytes(c *catalog.Catalog) (int64, error) {
+	full, err := q.ScanBytes(c)
+	if err != nil {
+		return 0, err
+	}
+	b := int64(float64(full) * q.Template.IndexSelectivity)
+	if b < 1 {
+		b = 1
+	}
+	return b, nil
+}
+
+// ResultBytes returns the size S(Q) of the result set shipped to the user
+// (and, for back-end plans, across the WAN to the cache; Eq. 9).
+func (q *Query) ResultBytes(c *catalog.Catalog) (int64, error) {
+	full, err := q.ScanBytes(c)
+	if err != nil {
+		return 0, err
+	}
+	b := int64(float64(full) * q.Template.ResultFraction)
+	if b < 1 {
+		b = 1
+	}
+	return b, nil
+}
+
+// String renders a short description for traces.
+func (q *Query) String() string {
+	return fmt.Sprintf("q%d[%s sel=%.2e t=%s]", q.ID, q.Template.Name, q.Selectivity, q.Arrival)
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf is a discrete Zipf(θ) sampler over ranks 0..n-1 with explicit
+// cumulative weights. Unlike math/rand's Zipf it supports θ ≤ 1 and gives
+// direct access to the rank probabilities, which the generator needs to
+// rotate popularity across templates between workload phases.
+type Zipf struct {
+	theta float64
+	cum   []float64 // cumulative probabilities, cum[n-1] == 1
+}
+
+// NewZipf builds a sampler over n ranks with skew theta ≥ 0. theta 0 is the
+// uniform distribution; larger values concentrate mass on low ranks.
+func NewZipf(n int, theta float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs n > 0, got %d", n)
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return nil, fmt.Errorf("workload: zipf skew must be finite and >= 0, got %g", theta)
+	}
+	weights := make([]float64, n)
+	var total float64
+	for i := range weights {
+		w := 1 / math.Pow(float64(i+1), theta)
+		weights[i] = w
+		total += w
+	}
+	cum := make([]float64, n)
+	var acc float64
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[n-1] = 1 // guard against float drift
+	return &Zipf{theta: theta, cum: cum}, nil
+}
+
+// MustNewZipf is NewZipf panicking on error, for static configuration.
+func MustNewZipf(n int, theta float64) *Zipf {
+	z, err := NewZipf(n, theta)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Theta returns the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Sample draws a rank in [0, N).
+func (z *Zipf) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cum) {
+		return 0
+	}
+	if i == 0 {
+		return z.cum[0]
+	}
+	return z.cum[i] - z.cum[i-1]
+}
