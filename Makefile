@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short smoke run of the parallel grid engine: one iteration per worker
+# count, reporting workers, queries/s, allocs and speedup over workers=1.
+bench:
+	$(GO) test -run '^$$' -bench GridWorkers -benchtime 1x .
+
+# The tier-1 gate.
+ci: build vet race bench

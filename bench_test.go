@@ -15,6 +15,7 @@ package cloudcache
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -36,6 +37,7 @@ func benchSettings() Settings {
 // Fig. 4 / Fig. 5 values as custom metrics.
 func runCellBench(b *testing.B, scheme string, interval time.Duration) {
 	b.Helper()
+	b.ReportAllocs()
 	var lastCost, lastResp float64
 	for i := 0; i < b.N; i++ {
 		cell, err := experiments.RunCell(benchSettings(), scheme, interval)
@@ -59,6 +61,54 @@ func BenchmarkFig4Fig5(b *testing.B) {
 				runCellBench(b, scheme, interval)
 			})
 		}
+	}
+}
+
+// --- Parallel grid engine -------------------------------------------------
+
+// gridBenchQueries keeps one full 16-cell grid to a few seconds of wall
+// time per iteration.
+const gridBenchQueries = 5_000
+
+// BenchmarkGridWorkers measures the worker-pool grid engine at several
+// worker counts; combine with -cpu to sweep GOMAXPROCS too. Each run
+// reports the worker count, grid throughput in queries/s, allocation
+// counts, and the wall-clock speedup over the same grid at Workers: 1 —
+// the perf trajectory future PRs compare against. Cell results are
+// byte-identical at every worker count, so the speedup is pure dispatch.
+func BenchmarkGridWorkers(b *testing.B) {
+	gridSettings := func(workers int) Settings {
+		return Settings{Queries: gridBenchQueries, Seed: 42, Workers: workers}
+	}
+	cellCount := len(experiments.SchemeNames) * len(experiments.PaperIntervals)
+
+	// The workers=1 sub-benchmark runs first and its averaged per-op time
+	// is the speedup baseline, so speedup-x is warm-vs-warm (and reads
+	// exactly 1.0 at workers=1).
+	var baseline time.Duration
+	seen := map[int]bool{}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunGrid(gridSettings(workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if workers == 1 {
+				baseline = perOp
+			}
+			b.ReportMetric(float64(workers), "workers")
+			b.ReportMetric(float64(gridBenchQueries*cellCount)*float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			if baseline > 0 {
+				b.ReportMetric(baseline.Seconds()/perOp.Seconds(), "speedup-x")
+			}
+		})
 	}
 }
 

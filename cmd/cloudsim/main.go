@@ -28,6 +28,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	arrival := flag.String("arrival", "fixed", "arrival process: fixed or poisson")
 	dbBytes := flag.Int64("dbsize", catalog.PaperDatabaseBytes, "back-end database size in bytes")
+	batch := flag.Int("batch", 0, "queries per generation batch handed to the settlement stage (0 = default)")
 	flag.Parse()
 
 	cat := catalog.TPCH(catalog.ScaleFactorForBytes(*dbBytes))
@@ -61,6 +62,7 @@ func main() {
 		Scheme:    sch,
 		Generator: gen,
 		Queries:   *queries,
+		BatchSize: *batch,
 		OnProgress: func(done int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d queries", done, *queries)
 		},
@@ -71,10 +73,12 @@ func main() {
 	}
 	fmt.Fprintln(os.Stderr)
 
+	wall := time.Since(start)
 	fmt.Printf("scheme            %s\n", rep.SchemeName)
 	fmt.Printf("queries           %d (declined %d)\n", rep.Queries, rep.Declined)
 	fmt.Printf("simulated span    %s\n", rep.Elapsed.Round(time.Second))
-	fmt.Printf("wall time         %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wall time         %s (%.0f queries/s)\n",
+		wall.Round(time.Millisecond), float64(rep.Queries)/wall.Seconds())
 	fmt.Println()
 	fmt.Printf("operating cost    %s\n", rep.OperatingCost)
 	fmt.Printf("  execution       %s\n", rep.ExecCost)

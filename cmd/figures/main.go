@@ -26,10 +26,11 @@ func main() {
 	queries := flag.Int("queries", 150_000, "queries per simulation run")
 	seed := flag.Int64("seed", 42, "workload seed")
 	interval := flag.Duration("interval", time.Second, "inter-query interval for ablations")
+	workers := flag.Int("workers", 0, "concurrent grid cells (0 = all cores); results are identical for any value")
 	verbose := flag.Bool("v", false, "print per-cell progress")
 	flag.Parse()
 
-	s := experiments.Settings{Queries: *queries, Seed: *seed}
+	s := experiments.Settings{Queries: *queries, Seed: *seed, Workers: *workers}
 	if *verbose {
 		s.OnProgress = func(line string) { fmt.Println(line) }
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,18 +18,20 @@ func AblationRegretFraction(s Settings, fractions []float64, interval time.Durat
 	if len(fractions) == 0 {
 		fractions = []float64{0.001, 0.005, 0.02, 0.1, 0.5}
 	}
-	t := metrics.NewTable("regret fraction a", "cost ($)", "response (s)", "investments")
-	var cells []Cell
-	for _, a := range fractions {
+	jobs := make([]cellJob, len(fractions))
+	for i, a := range fractions {
 		s2 := s
 		s2.Params.RegretFraction = a
-		cell, err := RunCell(s2, "econ-cheap", interval)
-		if err != nil {
-			return nil, nil, err
-		}
-		cells = append(cells, cell)
+		jobs[i] = cellJob{settings: s2, scheme: "econ-cheap", interval: interval}
+	}
+	cells, err := runCellJobs(context.Background(), s, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := metrics.NewTable("regret fraction a", "cost ($)", "response (s)", "investments")
+	for i, cell := range cells {
 		t.AddRow(
-			fmt.Sprintf("%g", a),
+			fmt.Sprintf("%g", fractions[i]),
 			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
 			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
 			fmt.Sprintf("%d", cell.Report.Investments),
@@ -47,20 +50,22 @@ func AblationBudgetShape(s Settings, interval time.Duration) (*metrics.Table, []
 		return nil, nil, fmt.Errorf("experiments: budget-shape ablation needs a ScaledPolicy")
 	}
 	shapes := []workload.Shape{workload.ShapeStep, workload.ShapeLinear, workload.ShapeConvex, workload.ShapeConcave}
-	t := metrics.NewTable("budget shape", "cost ($)", "response (s)", "revenue ($)", "declined")
-	var cells []Cell
-	for _, shape := range shapes {
+	jobs := make([]cellJob, len(shapes))
+	for i, shape := range shapes {
 		pol := *base
 		pol.Shape = shape
 		s2 := s
 		s2.Budgets = &pol
-		cell, err := RunCell(s2, "econ-cheap", interval)
-		if err != nil {
-			return nil, nil, err
-		}
-		cells = append(cells, cell)
+		jobs[i] = cellJob{settings: s2, scheme: "econ-cheap", interval: interval}
+	}
+	cells, err := runCellJobs(context.Background(), s, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := metrics.NewTable("budget shape", "cost ($)", "response (s)", "revenue ($)", "declined")
+	for i, cell := range cells {
 		t.AddRow(
-			shape.String(),
+			shapes[i].String(),
 			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
 			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
 			fmt.Sprintf("%.2f", cell.Report.Revenue.Dollars()),
@@ -77,21 +82,23 @@ func AblationNetworkThroughput(s Settings, mbps []float64, interval time.Duratio
 	if len(mbps) == 0 {
 		mbps = []float64{5, 25, 100, 200}
 	}
-	t := metrics.NewTable("throughput (Mbps)", "cost ($)", "response (s)", "cache answered")
-	var cells []Cell
-	for _, m := range mbps {
+	jobs := make([]cellJob, len(mbps))
+	for i, m := range mbps {
 		sched := pricing.EC22008()
 		sched.NetworkThroughput = m * 1e6 / 8
 		s2 := s
 		s2.Params.Schedule = sched
 		s2.Accounting = sched
-		cell, err := RunCell(s2, "econ-cheap", interval)
-		if err != nil {
-			return nil, nil, err
-		}
-		cells = append(cells, cell)
+		jobs[i] = cellJob{settings: s2, scheme: "econ-cheap", interval: interval}
+	}
+	cells, err := runCellJobs(context.Background(), s, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := metrics.NewTable("throughput (Mbps)", "cost ($)", "response (s)", "cache answered")
+	for i, cell := range cells {
 		t.AddRow(
-			fmt.Sprintf("%g", m),
+			fmt.Sprintf("%g", mbps[i]),
 			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
 			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
 			fmt.Sprintf("%d", cell.Report.CacheAnswered),
@@ -107,18 +114,20 @@ func AblationCacheFraction(s Settings, fractions []float64, interval time.Durati
 	if len(fractions) == 0 {
 		fractions = []float64{0.10, 0.20, 0.30, 0.45, 0.60}
 	}
-	t := metrics.NewTable("cache fraction", "cost ($)", "response (s)", "cache answered")
-	var cells []Cell
-	for _, f := range fractions {
+	jobs := make([]cellJob, len(fractions))
+	for i, f := range fractions {
 		s2 := s
 		s2.Params.CacheFraction = f
-		cell, err := RunCell(s2, "bypass", interval)
-		if err != nil {
-			return nil, nil, err
-		}
-		cells = append(cells, cell)
+		jobs[i] = cellJob{settings: s2, scheme: "bypass", interval: interval}
+	}
+	cells, err := runCellJobs(context.Background(), s, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := metrics.NewTable("cache fraction", "cost ($)", "response (s)", "cache answered")
+	for i, cell := range cells {
 		t.AddRow(
-			fmt.Sprintf("%.0f%%", f*100),
+			fmt.Sprintf("%.0f%%", fractions[i]*100),
 			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
 			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
 			fmt.Sprintf("%d", cell.Report.CacheAnswered),
@@ -134,18 +143,20 @@ func AblationAmortization(s Settings, horizons []int64, interval time.Duration) 
 	if len(horizons) == 0 {
 		horizons = []int64{1_000, 10_000, 100_000, 1_000_000}
 	}
-	t := metrics.NewTable("amortization n", "cost ($)", "response (s)", "cache answered")
-	var cells []Cell
-	for _, n := range horizons {
+	jobs := make([]cellJob, len(horizons))
+	for i, n := range horizons {
 		s2 := s
 		s2.Params.AmortN = n
-		cell, err := RunCell(s2, "econ-cheap", interval)
-		if err != nil {
-			return nil, nil, err
-		}
-		cells = append(cells, cell)
+		jobs[i] = cellJob{settings: s2, scheme: "econ-cheap", interval: interval}
+	}
+	cells, err := runCellJobs(context.Background(), s, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := metrics.NewTable("amortization n", "cost ($)", "response (s)", "cache answered")
+	for i, cell := range cells {
 		t.AddRow(
-			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", horizons[i]),
 			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
 			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
 			fmt.Sprintf("%d", cell.Report.CacheAnswered),

@@ -9,7 +9,11 @@
 package experiments
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"runtime"
 	"time"
 
 	"repro/internal/catalog"
@@ -51,7 +55,13 @@ type Settings struct {
 	PhaseLength int
 	// Accounting is the true-dollar schedule (default EC22008).
 	Accounting *pricing.Schedule
-	// OnProgress, if set, receives a line per completed cell.
+	// Workers bounds how many grid cells simulate concurrently. Each
+	// cell owns its entire state (scheme, cache, economy, generator) and
+	// seeds its workload from CellSeed, so results are byte-identical
+	// for any worker count. Defaults to runtime.GOMAXPROCS(0).
+	Workers int
+	// OnProgress, if set, receives a line per completed cell, always in
+	// grid order regardless of Workers.
 	OnProgress func(line string)
 }
 
@@ -96,6 +106,9 @@ func (s Settings) withDefaults() Settings {
 	}
 	if s.Accounting == nil {
 		s.Accounting = pricing.EC22008()
+	}
+	if s.Workers <= 0 {
+		s.Workers = runtime.GOMAXPROCS(0)
 	}
 	return s
 }
@@ -159,55 +172,126 @@ func NewScheme(name string, p scheme.Params) (scheme.Scheme, error) {
 	}
 }
 
-// RunCell executes one (scheme, interval) simulation.
-func RunCell(s Settings, schemeName string, interval time.Duration) (Cell, error) {
-	s = s.withDefaults()
+// CellSeed derives the workload seed of one (scheme, interval) cell from
+// the base seed. Deriving per-cell seeds — rather than handing every cell
+// the base seed raw — decorrelates the streams across the grid and, more
+// importantly, makes each cell's stream a pure function of its coordinates,
+// so dispatch order and worker count cannot influence results.
+func CellSeed(base int64, schemeName string, interval time.Duration) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(base))
+	h.Write(b[:])
+	h.Write([]byte(schemeName))
+	binary.LittleEndian.PutUint64(b[:], uint64(interval))
+	h.Write(b[:])
+	return int64(h.Sum64())
+}
+
+// cellConfig assembles the self-contained simulation of one cell. Settings
+// must already have defaults applied.
+func (s Settings) cellConfig(schemeName string, interval time.Duration) (sim.Config, error) {
 	sch, err := NewScheme(schemeName, s.Params)
 	if err != nil {
-		return Cell{}, err
+		return sim.Config{}, err
 	}
 	gen, err := workload.NewGenerator(workload.Config{
 		Catalog:     s.Catalog,
-		Seed:        s.Seed,
+		Seed:        CellSeed(s.Seed, schemeName, interval),
 		Arrival:     workload.NewFixedArrival(interval),
 		Budgets:     s.Budgets,
 		Theta:       s.Theta,
 		PhaseLength: s.PhaseLength,
 	})
 	if err != nil {
-		return Cell{}, err
+		return sim.Config{}, err
 	}
-	rep, err := sim.Run(sim.Config{
+	return sim.Config{
 		Scheme:     sch,
 		Generator:  gen,
 		Queries:    s.Queries,
 		Accounting: s.Accounting,
-	})
+	}, nil
+}
+
+// RunCell executes one (scheme, interval) simulation.
+func RunCell(s Settings, schemeName string, interval time.Duration) (Cell, error) {
+	s = s.withDefaults()
+	cfg, err := s.cellConfig(schemeName, interval)
+	if err != nil {
+		return Cell{}, err
+	}
+	rep, err := sim.Run(cfg)
 	if err != nil {
 		return Cell{}, err
 	}
 	return Cell{Scheme: schemeName, Interval: interval, Report: rep}, nil
 }
 
-// RunGrid executes the full scheme × interval grid that backs Figures 4
-// and 5.
-func RunGrid(s Settings) ([]Cell, error) {
-	s = s.withDefaults()
-	var cells []Cell
-	for _, interval := range s.Intervals {
-		for _, name := range s.Schemes {
-			cell, err := RunCell(s, name, interval)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cell)
-			if s.OnProgress != nil {
-				s.OnProgress(fmt.Sprintf("%-10s interval=%-4s cost=%-12s resp=%.2fs",
-					cell.Scheme, cell.Interval, cell.Cost(), cell.MeanResponseSeconds()))
+// cellJob names one simulation of a grid: the (possibly variant) settings
+// plus the cell coordinates.
+type cellJob struct {
+	settings Settings
+	scheme   string
+	interval time.Duration
+}
+
+// runCellJobs executes the jobs on a bounded worker pool sized by
+// base.Workers and returns the cells in job order. Every job owns its
+// whole simulation state, built lazily inside the worker that runs it so
+// at most Workers cells are live at once; results match a sequential run
+// exactly. Progress lines are buffered and released in job order, keeping
+// the full observable output byte-identical for any worker count.
+func runCellJobs(ctx context.Context, base Settings, jobs []cellJob) ([]Cell, error) {
+	mkCell := func(i int, rep *sim.Report) Cell {
+		return Cell{Scheme: jobs[i].scheme, Interval: jobs[i].interval, Report: rep}
+	}
+	pool := sim.Pool{Workers: base.Workers}
+	if base.OnProgress != nil {
+		// Cells complete in any order; emit their lines in grid order.
+		done := make([]*sim.Report, len(jobs))
+		next := 0
+		pool.OnDone = func(i int, rep *sim.Report) {
+			done[i] = rep
+			for next < len(jobs) && done[next] != nil {
+				c := mkCell(next, done[next])
+				base.OnProgress(fmt.Sprintf("%-10s interval=%-4s cost=%-12s resp=%.2fs",
+					c.Scheme, c.Interval, c.Cost(), c.MeanResponseSeconds()))
+				next++
 			}
 		}
 	}
+
+	reports, err := sim.RunParallelFunc(ctx, len(jobs), func(i int) (sim.Config, error) {
+		return jobs[i].settings.cellConfig(jobs[i].scheme, jobs[i].interval)
+	}, pool)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, len(jobs))
+	for i, rep := range reports {
+		cells[i] = mkCell(i, rep)
+	}
 	return cells, nil
+}
+
+// RunGrid executes the full scheme × interval grid that backs Figures 4
+// and 5.
+func RunGrid(s Settings) ([]Cell, error) {
+	return RunGridContext(context.Background(), s)
+}
+
+// RunGridContext is RunGrid with first-error cancellation: ctx cancellation
+// or the first failing cell stops the remaining cells.
+func RunGridContext(ctx context.Context, s Settings) ([]Cell, error) {
+	s = s.withDefaults()
+	jobs := make([]cellJob, 0, len(s.Intervals)*len(s.Schemes))
+	for _, interval := range s.Intervals {
+		for _, name := range s.Schemes {
+			jobs = append(jobs, cellJob{settings: s, scheme: name, interval: interval})
+		}
+	}
+	return runCellJobs(ctx, s, jobs)
 }
 
 // Fig4Table renders the operating-cost table of Figure 4: one row per

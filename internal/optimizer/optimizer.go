@@ -57,6 +57,10 @@ type Optimizer struct {
 	tplIndexes map[*workload.Template]map[structure.ID]*structure.Structure
 	tplCandIDs map[*workload.Template][]structure.ID
 	cpuNodes   []*structure.Structure // cpuNodes[i] is node ordinal i+2
+
+	// scratch backs the slice Enumerate returns, reused across calls to
+	// keep the per-query hot path free of slice growth.
+	scratch []*plan.Plan
 }
 
 // New builds an optimizer.
@@ -118,11 +122,15 @@ func (o *Optimizer) indexFor(tpl *workload.Template, id structure.ID) (*structur
 // Enumerate produces the priced plan set PQ for the query given the current
 // cache state. The back-end plan is always present and always runnable, so
 // PQexist is never empty.
+//
+// The returned slice is backed by a per-optimizer scratch buffer and is
+// only valid until the next Enumerate call; callers that outlive one
+// query's handling must copy it. The *Plan values themselves are fresh.
 func (o *Optimizer) Enumerate(q *workload.Query, ca *cache.Cache) ([]*plan.Plan, error) {
 	if q == nil || ca == nil {
 		return nil, fmt.Errorf("optimizer: query and cache are required")
 	}
-	var plans []*plan.Plan
+	plans := o.scratch[:0]
 
 	backend, err := o.backendPlan(q)
 	if err != nil {
@@ -156,8 +164,11 @@ func (o *Optimizer) Enumerate(q *workload.Query, ca *cache.Cache) ([]*plan.Plan,
 		}
 	}
 
+	o.scratch = plans
 	if o.cfg.SkylineOnly {
-		plans = plan.Skyline(plans)
+		// Skyline copies into a fresh slice, so the scratch stays free
+		// for the next call and the caller gets an independent result.
+		return plan.Skyline(plans), nil
 	}
 	return plans, nil
 }

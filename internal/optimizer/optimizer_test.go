@@ -298,3 +298,47 @@ func TestNonParallelizableTemplateGetsNoNodePlans(t *testing.T) {
 		}
 	}
 }
+
+func TestEnumerateReusesScratchBuffer(t *testing.T) {
+	o, ca, _ := testSetup(t, true, true)
+	a, err := o.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := &a[0]
+	b, err := o.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &b[0] != first {
+		t.Error("second Enumerate did not reuse the scratch buffer")
+	}
+	if len(b) != len(a) {
+		t.Errorf("plan count changed on reuse: %d vs %d", len(b), len(a))
+	}
+	for _, p := range b {
+		if p == nil || p.Query == nil {
+			t.Fatal("reused enumeration produced an invalid plan")
+		}
+	}
+}
+
+func TestEnumerateSkylineResultIndependentOfScratch(t *testing.T) {
+	m, _ := cost.NewModel(catalog.TPCH(10), pricing.EC22008(), cost.DefaultTunables())
+	sky, _ := New(Config{Model: m, AmortN: 1000, AllowIndexes: true, AllowNodes: true, SkylineOnly: true})
+	ca := cache.New(0)
+	a, err := sky.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := make([]*plan.Plan, len(a))
+	copy(snapshot, a)
+	if _, err := sky.Enumerate(q6(5e-4), ca); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != snapshot[i] {
+			t.Error("skyline result was clobbered by the next Enumerate")
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,6 +40,14 @@ type Config struct {
 	// the number handled so far.
 	OnProgress    func(done int)
 	ProgressEvery int
+	// BatchSize is how many queries the generation stage hands to the
+	// settlement stage at a time. Generation runs in its own goroutine
+	// and stays BatchSize·Prefetch queries ahead, overlapping workload
+	// synthesis with economy settlement. Defaults to 256.
+	BatchSize int
+	// Prefetch is the depth of the generation channel in batches.
+	// Defaults to 4.
+	Prefetch int
 }
 
 // Report is the outcome of one run.
@@ -73,12 +82,23 @@ type Report struct {
 
 	// Elapsed is the simulated wall-clock span (first to last arrival).
 	Elapsed time.Duration
+	// EndOfRun is when the last execution completed (last arrival plus
+	// the longest outstanding response); rent is charged through it.
+	EndOfRun time.Duration
 	// FinalResidentBytes is the cache footprint at the end.
 	FinalResidentBytes int64
 }
 
 // Run executes the simulation.
 func Run(cfg Config) (*Report, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the simulation, aborting between batches when ctx is
+// cancelled. Workload generation runs in a producer goroutine that stays a
+// few batches ahead of settlement; the query stream and all results are
+// identical to a fully sequential run for any BatchSize/Prefetch.
+func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Scheme == nil {
 		return nil, fmt.Errorf("sim: Scheme is required")
 	}
@@ -97,6 +117,12 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.ReservoirCap == 0 {
 		cfg.ReservoirCap = 4096
 	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.Prefetch <= 0 {
+		cfg.Prefetch = 4
+	}
 
 	rep := &Report{
 		SchemeName: cfg.Scheme.Name(),
@@ -112,45 +138,114 @@ func Run(cfg Config) (*Report, error) {
 	lastClock := ca.Clock()
 	var firstArrival time.Duration
 	var lastArrival time.Duration
+	var endOfRun time.Duration
 
-	for i := 0; i < cfg.Queries; i++ {
-		q := cfg.Generator.Next()
-		if i == 0 {
-			firstArrival = q.Arrival
-		}
-		lastArrival = q.Arrival
-
-		// Integrate storage and node rent over the idle gap, using the
-		// cache state before this arrival mutates it.
-		if q.Arrival > lastClock {
-			dt := (q.Arrival - lastClock).Seconds()
-			storageGBSeconds += float64(ca.ResidentBytes()) / (1 << 30) * dt
-			nodeSeconds += float64(ca.NodeCount()) * dt
-			lastClock = q.Arrival
-		}
-
-		r, err := cfg.Scheme.HandleQuery(q)
-		if err != nil {
-			return nil, fmt.Errorf("sim: query %d: %w", q.ID, err)
-		}
-		execUsage.Add(r.ExecUsage)
-		buildUsage.Add(r.BuildUsage)
-		rep.Revenue = rep.Revenue.Add(r.Charged)
-		rep.Profit = rep.Profit.Add(r.Profit)
-		rep.Investments += int64(r.Investments)
-		rep.Failures += int64(r.Failures)
-		if r.Declined {
-			rep.Declined++
-		} else {
-			rep.Response.ObserveDuration(r.ResponseTime)
-			if r.Location == plan.Cache {
-				rep.CacheAnswered++
+	// Producer: the generator is single-owner, so exactly one goroutine
+	// calls Next. The deferred cancel-and-drain guarantees it has exited
+	// (and the generator is quiescent) before RunContext returns.
+	pctx, cancel := context.WithCancel(ctx)
+	produced := make(chan []*workload.Query, cfg.Prefetch)
+	// Consumed batch buffers recycle back to the producer, so a run of any
+	// length allocates at most Prefetch+1 batch slices.
+	free := make(chan []*workload.Query, cfg.Prefetch+1)
+	producerDone := make(chan struct{})
+	go func() {
+		defer close(producerDone)
+		defer close(produced)
+		for remaining := cfg.Queries; remaining > 0; {
+			n := cfg.BatchSize
+			if n > remaining {
+				n = remaining
+			}
+			var buf []*workload.Query
+			select {
+			case buf = <-free:
+				buf = buf[:0]
+			default:
+				buf = make([]*workload.Query, 0, n)
+			}
+			batch := cfg.Generator.Batch(n, buf)
+			select {
+			case produced <- batch:
+				remaining -= n
+			case <-pctx.Done():
+				return
 			}
 		}
+	}()
+	defer func() {
+		cancel()
+		<-producerDone
+	}()
 
-		if cfg.OnProgress != nil && cfg.ProgressEvery > 0 && (i+1)%cfg.ProgressEvery == 0 {
-			cfg.OnProgress(i + 1)
+	i := 0
+	for batch := range produced {
+		for _, q := range batch {
+			if i == 0 {
+				firstArrival = q.Arrival
+			}
+			lastArrival = q.Arrival
+
+			// Integrate storage and node rent over the idle gap, using the
+			// cache state before this arrival mutates it.
+			if q.Arrival > lastClock {
+				dt := (q.Arrival - lastClock).Seconds()
+				storageGBSeconds += float64(ca.ResidentBytes()) / (1 << 30) * dt
+				nodeSeconds += float64(ca.NodeCount()) * dt
+				lastClock = q.Arrival
+			}
+
+			r, err := cfg.Scheme.HandleQuery(q)
+			if err != nil {
+				return nil, fmt.Errorf("sim: query %d: %w", q.ID, err)
+			}
+			execUsage.Add(r.ExecUsage)
+			buildUsage.Add(r.BuildUsage)
+			rep.Revenue = rep.Revenue.Add(r.Charged)
+			rep.Profit = rep.Profit.Add(r.Profit)
+			rep.Investments += int64(r.Investments)
+			rep.Failures += int64(r.Failures)
+			if r.Declined {
+				rep.Declined++
+			} else {
+				rep.Response.ObserveDuration(r.ResponseTime)
+				if r.Location == plan.Cache {
+					rep.CacheAnswered++
+				}
+			}
+			if done := q.Arrival + r.ResponseTime; done > endOfRun {
+				endOfRun = done
+			}
+
+			i++
+			if cfg.OnProgress != nil && cfg.ProgressEvery > 0 && i%cfg.ProgressEvery == 0 {
+				cfg.OnProgress(i)
+			}
 		}
+		select {
+		case free <- batch:
+		default:
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if i != cfg.Queries {
+		// The producer stopped early; the only cause is cancellation.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("sim: generator produced %d of %d queries", i, cfg.Queries)
+	}
+
+	// Rent keeps accruing while the final queries execute: integrate the
+	// tail from the last arrival to the last completion, so a run's
+	// storage and node costs do not silently drop the closing window.
+	if endOfRun > lastClock {
+		dt := (endOfRun - lastClock).Seconds()
+		storageGBSeconds += float64(ca.ResidentBytes()) / (1 << 30) * dt
+		nodeSeconds += float64(ca.NodeCount()) * dt
+		lastClock = endOfRun
 	}
 
 	acct := cfg.Accounting
@@ -160,6 +255,7 @@ func Run(cfg Config) (*Report, error) {
 	rep.NodeCost = acct.CPUPerHour.MulFloat(nodeSeconds / 3600)
 	rep.OperatingCost = money.Sum(rep.ExecCost, rep.BuildCost, rep.StorageCost, rep.NodeCost)
 	rep.Elapsed = lastArrival - firstArrival
+	rep.EndOfRun = endOfRun
 	rep.FinalResidentBytes = ca.ResidentBytes()
 	return rep, nil
 }

@@ -166,11 +166,17 @@ func (g *Generator) rotate(n int) {
 // Generate materialises n queries. For long streams prefer calling Next in
 // a loop to keep memory flat.
 func (g *Generator) Generate(n int) []*Query {
-	out := make([]*Query, 0, n)
+	return g.Batch(n, make([]*Query, 0, n))
+}
+
+// Batch appends the next n queries of the stream to buf and returns it,
+// reusing buf's capacity. The stream is identical to n calls of Next; like
+// Next, Batch must only be called by the generator's single owner.
+func (g *Generator) Batch(n int, buf []*Query) []*Query {
 	for i := 0; i < n; i++ {
-		out = append(out, g.Next())
+		buf = append(buf, g.Next())
 	}
-	return out
+	return buf
 }
 
 // Clock returns the arrival time of the most recently generated query.

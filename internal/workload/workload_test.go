@@ -392,3 +392,33 @@ func TestShapeBuildVariants(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchMatchesNext(t *testing.T) {
+	c := paperCatalog()
+	g1, _ := NewGenerator(Config{Catalog: c, Seed: 21})
+	g2, _ := NewGenerator(Config{Catalog: c, Seed: 21})
+	want := make([]*Query, 0, 50)
+	for i := 0; i < 50; i++ {
+		want = append(want, g1.Next())
+	}
+	got := g2.Batch(50, nil)
+	if len(got) != len(want) {
+		t.Fatalf("batch length = %d", len(got))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].Template.Name != want[i].Template.Name ||
+			got[i].Selectivity != want[i].Selectivity || got[i].Arrival != want[i].Arrival {
+			t.Errorf("query %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchReusesBuffer(t *testing.T) {
+	c := paperCatalog()
+	g, _ := NewGenerator(Config{Catalog: c, Seed: 22})
+	buf := make([]*Query, 0, 16)
+	out := g.Batch(8, buf)
+	if len(out) != 8 || cap(out) != 16 {
+		t.Errorf("buffer not reused: len=%d cap=%d", len(out), cap(out))
+	}
+}
