@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench e2e ci
 
 all: ci
 
@@ -18,8 +18,18 @@ race:
 
 # Short smoke run of the parallel grid engine: one iteration per worker
 # count, reporting workers, queries/s, allocs and speedup over workers=1.
+# The serving-layer sweep also writes BENCH_server.json — the
+# machine-readable perf trajectory (queries/s, p50/p99, allocs per shard
+# count) that future PRs diff against.
 bench:
 	$(GO) test -run '^$$' -bench GridWorkers -benchtime 1x .
+	BENCH_JSON=BENCH_server.json $(GO) test -run '^$$' -bench ServerThroughput -benchtime 1000x .
+	@cat BENCH_server.json
+
+# End-to-end smoke of the cloudcached daemon: start, replay a stream over
+# HTTP with invariant checks, drain gracefully.
+e2e:
+	./scripts/e2e_smoke.sh
 
 # The tier-1 gate.
-ci: build vet race bench
+ci: build vet race bench e2e

@@ -14,8 +14,12 @@ package cloudcache
 // The ablation benchmarks cover the design choices DESIGN.md calls out.
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"os"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -109,6 +113,121 @@ func BenchmarkGridWorkers(b *testing.B) {
 				b.ReportMetric(baseline.Seconds()/perOp.Seconds(), "speedup-x")
 			}
 		})
+	}
+}
+
+// --- Online serving layer -------------------------------------------------
+
+// serverBenchCell is one row of the machine-readable perf trajectory.
+type serverBenchCell struct {
+	Shards        int     `json:"shards"`
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	P50Sec        float64 `json:"p50_s"`
+	P99Sec        float64 `json:"p99_s"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+}
+
+// serverBenchFile is the BENCH_server.json schema future PRs diff against.
+type serverBenchFile struct {
+	Benchmark  string            `json:"benchmark"`
+	Scheme     string            `json:"scheme"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	Cells      []serverBenchCell `json:"cells"`
+}
+
+// BenchmarkServerThroughput sweeps shard counts over the online serving
+// engine: concurrent submitters spread across tenants hammer the engine
+// in-process (no HTTP), so the number measures admission + economy
+// decision throughput and its scaling with shards. Each run reports
+// queries/s plus the economy's promised-response percentiles. When the
+// BENCH_JSON env var names a file, the sweep also writes the
+// machine-readable trajectory there (the `make bench` smoke target sets
+// BENCH_JSON=BENCH_server.json).
+func BenchmarkServerThroughput(b *testing.B) {
+	templates := make([]string, 0, 7)
+	for _, t := range PaperTemplates() {
+		templates = append(templates, t.Name)
+	}
+	out := serverBenchFile{
+		Benchmark:  "BenchmarkServerThroughput",
+		Scheme:     "econ-cheap",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cat := PaperCatalog()
+			srv, err := NewServer(ServerConfig{
+				Shards:  shards,
+				Scheme:  out.Scheme,
+				Params:  DefaultParams(cat),
+				Clock:   NewWallClock(60),
+				Budgets: PaperBudgets(),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Shutdown(context.Background())
+
+			b.ReportAllocs()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			var idx atomic.Int64
+			start := time.Now()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				ctx := context.Background()
+				for pb.Next() {
+					i := idx.Add(1)
+					_, err := srv.Submit(ctx, ServerRequest{
+						Tenant:   fmt.Sprintf("tenant-%02d", i%64),
+						Template: templates[i%int64(len(templates))],
+					})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&m1)
+
+			st := srv.Stats()
+			qps := float64(st.Queries) / elapsed.Seconds()
+			allocs := float64(m1.Mallocs-m0.Mallocs) / float64(b.N)
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(qps, "queries/s")
+			b.ReportMetric(st.ResponseP50Sec, "p50-sec")
+			b.ReportMetric(st.ResponseP99Sec, "p99-sec")
+			cell := serverBenchCell{
+				Shards:        shards,
+				Queries:       st.Queries,
+				QueriesPerSec: qps,
+				P50Sec:        st.ResponseP50Sec,
+				P99Sec:        st.ResponseP99Sec,
+				AllocsPerOp:   allocs,
+			}
+			// The harness re-runs sub-benchmarks (warm-up, calibration);
+			// keep only the final, longest run per shard count.
+			for i := range out.Cells {
+				if out.Cells[i].Shards == shards {
+					out.Cells[i] = cell
+					return
+				}
+			}
+			out.Cells = append(out.Cells, cell)
+		})
+	}
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s (%d cells)", path, len(out.Cells))
 	}
 }
 

@@ -20,6 +20,8 @@
 //   - Run drives a scheme over a stream and reports operating cost and
 //     response times (Figures 4 and 5 read directly off the Report).
 //   - ReproduceFigures regenerates the paper's figures end to end.
+//   - NewServer builds the concurrent online serving engine behind the
+//     cmd/cloudcached daemon: live queries against sharded economies.
 //
 // See examples/ for runnable walkthroughs and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -36,6 +38,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/pricing"
 	"repro/internal/scheme"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -75,6 +78,22 @@ type (
 	SchemeResult = scheme.Result
 	// Location says where a plan executed.
 	Location = plan.Location
+
+	// Server is the concurrent online serving engine: N economy shards
+	// behind one admission front, exposed over HTTP by cmd/cloudcached.
+	Server = server.Server
+	// ServerConfig parameterises a Server.
+	ServerConfig = server.Config
+	// ServerRequest is one live query submission.
+	ServerRequest = server.Request
+	// ServerResponse reports how the economy answered one query.
+	ServerResponse = server.Response
+	// ServerStats is the live metrics snapshot of GET /v1/stats.
+	ServerStats = server.Stats
+	// ServerClock drives the serving layer's economy time.
+	ServerClock = server.Clock
+	// VirtualClock is the manually advanced clock for deterministic runs.
+	VirtualClock = server.VirtualClock
 )
 
 // Execution locations.
@@ -214,6 +233,18 @@ func ReproduceFigures(s Settings) (cells []Cell, fig4, fig5 *Table, err error) {
 	}
 	return cells, experiments.Fig4Table(cells), experiments.Fig5Table(cells), nil
 }
+
+// NewServer builds and starts the online serving engine (see
+// internal/server and cmd/cloudcached).
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewWallClock returns a serving clock that maps real time onto economy
+// time with a speedup factor (1 = real time).
+func NewWallClock(speedup float64) ServerClock { return server.NewWallClock(speedup) }
+
+// NewVirtualClock returns a manually advanced serving clock for
+// deterministic tests and replays.
+func NewVirtualClock() *VirtualClock { return server.NewVirtualClock() }
 
 // PaperIntervals returns the inter-query intervals of Figures 4 and 5.
 func PaperIntervals() []time.Duration {

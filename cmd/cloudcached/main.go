@@ -1,0 +1,113 @@
+// Command cloudcached is the online cloud-cache daemon: it serves the
+// paper's self-tuned cache economy over HTTP, admitting concurrent live
+// queries against N independent economy shards instead of replaying a
+// synthetic stream through the offline simulator.
+//
+// API:
+//
+//	POST /v1/query      {"tenant","template","selectivity","budget":{"shape","price_usd","tmax_s"}}
+//	GET  /v1/stats      live aggregate + per-shard economy metrics
+//	GET  /v1/structures resident structures (columns, indexes, CPU nodes)
+//	GET  /healthz       liveness + headline counters
+//
+// SIGINT/SIGTERM drain gracefully: in-flight queries are answered, tail
+// rent is settled, and a final stats snapshot is printed to stdout.
+//
+// Usage:
+//
+//	cloudcached [-addr :8344] [-shards 4] [-scheme econ-cheap] [-sf 0]
+//	            [-speedup 1] [-tick 1s] [-seed 1] [-mailbox 256]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/experiments"
+	"repro/internal/scheme"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	shards := flag.Int("shards", 4, "independent economy shards")
+	schemeName := flag.String("scheme", "econ-cheap", "caching scheme: bypass, econ-col, econ-cheap or econ-fast")
+	sf := flag.Float64("sf", 0, "TPC-H scale factor for the back-end catalog (0 = the paper's 2.5 TB catalog)")
+	speedup := flag.Float64("speedup", 1, "economy-time speedup: 1 serves in real time, 60 makes a wall second count as a minute of rent")
+	tick := flag.Duration("tick", time.Second, "housekeeping cadence (rent accrual + build completion through idle time)")
+	seed := flag.Int64("seed", 1, "per-shard RNG seed (selectivity draws for queries that omit one)")
+	mailbox := flag.Int("mailbox", 256, "per-shard admission queue depth")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
+	flag.Parse()
+
+	cat := catalog.Paper()
+	if *sf > 0 {
+		cat = catalog.TPCH(*sf)
+	}
+	srv, err := server.New(server.Config{
+		Shards:       *shards,
+		Scheme:       *schemeName,
+		Params:       scheme.DefaultParams(cat),
+		Clock:        server.NewWallClock(*speedup),
+		Budgets:      experiments.PaperBudgetPolicy(),
+		TickEvery:    *tick,
+		Seed:         *seed,
+		MailboxDepth: *mailbox,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "cloudcached: serving %s economy on %s (%d shards, speedup %gx)\n",
+			*schemeName, *addr, srv.ShardCount(), *speedup)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		fail(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "cloudcached: %v, draining\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop admitting HTTP first (bounded by -drain-timeout), then drain
+	// the shards. The engine drain always terminates — decisions are
+	// CPU-bound and loops exit once their mailboxes empty — so waiting
+	// unbounded here guarantees the final snapshot below is post-drain,
+	// with every accepted query answered and tail rent settled.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudcached: http shutdown:", err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudcached: drain:", err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(srv.Stats()); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cloudcached:", err)
+	os.Exit(1)
+}

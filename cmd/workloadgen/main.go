@@ -1,23 +1,41 @@
-// Command workloadgen generates a query trace and writes it as CSV, for
-// inspection or for replay by external tools. Each row records the arrival
-// time, template, selectivity, sizing and headline budget of one query.
+// Command workloadgen generates a query trace and either writes it as CSV
+// (for inspection or replay by external tools) or replays it live against
+// a running cloudcached daemon at a target QPS, measuring end-to-end
+// throughput and verifying the economy's invariants from the outside.
 //
-// Usage:
+// Trace mode (default):
 //
 //	workloadgen [-queries N] [-interval D] [-seed S] [-arrival fixed|poisson]
 //	            [-theta Z] [-phase N] [-o trace.csv]
+//
+// Load mode (-serve):
+//
+//	workloadgen -serve http://localhost:8344 [-queries N] [-qps Q]
+//	            [-clients C] [-tenants T] [-check] ...
+//
+// In load mode each generated query is POSTed to /v1/query with its
+// budget, spread across T synthetic tenants so the daemon exercises all
+// its shards; the client reports achieved QPS and request-latency
+// percentiles, then fetches /v1/stats. With -check it exits non-zero if
+// the served count does not match or any shard's account went negative.
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -29,6 +47,11 @@ func main() {
 	theta := flag.Float64("theta", 1.1, "Zipf skew of template popularity")
 	phase := flag.Int("phase", 20_000, "queries per workload-evolution phase")
 	out := flag.String("o", "-", "output file (- for stdout)")
+	serve := flag.String("serve", "", "cloudcached base URL; empty writes a CSV trace instead")
+	qps := flag.Float64("qps", 0, "target request rate against -serve (0 = unthrottled)")
+	clients := flag.Int("clients", 8, "concurrent client connections in -serve mode")
+	tenants := flag.Int("tenants", 16, "synthetic tenants the stream is spread across in -serve mode")
+	check := flag.Bool("check", false, "verify server-side invariants after the run and exit non-zero on violation")
 	flag.Parse()
 
 	cat := catalog.Paper()
@@ -53,9 +76,20 @@ func main() {
 		fail(err)
 	}
 
+	if *serve != "" {
+		if err := serveLoad(gen, *serve, *queries, *qps, *clients, *tenants, *check); err != nil {
+			fail(err)
+		}
+		return
+	}
+	writeTrace(gen, cat, *queries, *out)
+}
+
+// writeTrace is the original CSV mode.
+func writeTrace(gen *workload.Generator, cat *catalog.Catalog, queries int, out string) {
 	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
+	if out != "-" {
+		f, err := os.Create(out)
 		if err != nil {
 			fail(err)
 		}
@@ -66,7 +100,7 @@ func main() {
 	defer bw.Flush()
 
 	fmt.Fprintln(bw, "id,arrival_s,template,selectivity,scan_bytes,result_bytes,budget_usd,budget_tmax_s")
-	for i := 0; i < *queries; i++ {
+	for i := 0; i < queries; i++ {
 		q := gen.Next()
 		scan, err := q.ScanBytes(cat)
 		if err != nil {
@@ -78,6 +112,163 @@ func main() {
 			scan, result,
 			q.Budget.At(time.Millisecond).Dollars(), q.Budget.Tmax().Seconds())
 	}
+}
+
+// loadResult tallies one replay run.
+type loadResult struct {
+	mu       sync.Mutex
+	ok       int64
+	declined int64
+	failed   int64
+	latency  *metrics.DurationStats
+}
+
+// serveLoad replays the generator stream against a cloudcached daemon.
+func serveLoad(gen *workload.Generator, base string, queries int, qps float64, clients, tenants int, check bool) error {
+	if clients < 1 {
+		clients = 1
+	}
+	if tenants < 1 {
+		tenants = 1
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// The generator is single-owner: one producer goroutine feeds the
+	// client pool, throttled to the target rate.
+	type job struct {
+		body   []byte
+		tenant string
+	}
+	jobs := make(chan job, clients*2)
+	go func() {
+		defer close(jobs)
+		var tick *time.Ticker
+		if qps > 0 {
+			if gap := time.Duration(float64(time.Second) / qps); gap > 0 {
+				tick = time.NewTicker(gap)
+				defer tick.Stop()
+			}
+			// Sub-nanosecond gaps degrade to unthrottled.
+		}
+		for i := 0; i < queries; i++ {
+			q := gen.Next()
+			req := server.QueryRequest{
+				Tenant:      fmt.Sprintf("tenant-%03d", i%tenants),
+				Template:    q.Template.Name,
+				Selectivity: q.Selectivity,
+				Budget: &server.BudgetJSON{
+					Shape:    "step",
+					PriceUSD: q.Budget.At(time.Millisecond).Dollars(),
+					TmaxSec:  q.Budget.Tmax().Seconds(),
+				},
+			}
+			body, err := json.Marshal(req)
+			if err != nil {
+				fail(err)
+			}
+			if tick != nil {
+				<-tick.C
+			}
+			jobs <- job{body: body, tenant: req.Tenant}
+		}
+	}()
+
+	res := &loadResult{latency: metrics.NewDurationStats(8192)}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				t0 := time.Now()
+				resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(j.body))
+				lat := time.Since(t0)
+				if err != nil {
+					res.mu.Lock()
+					res.failed++
+					res.mu.Unlock()
+					continue
+				}
+				var qr server.Response
+				decodeErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				res.mu.Lock()
+				if resp.StatusCode != http.StatusOK || decodeErr != nil {
+					res.failed++
+				} else {
+					res.ok++
+					if qr.Declined {
+						res.declined++
+					}
+					res.latency.ObserveDuration(lat)
+				}
+				res.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	achieved := float64(res.ok+res.failed) / elapsed.Seconds()
+	fmt.Printf("replayed %d queries in %.2fs: %d ok (%d declined), %d failed, %.0f req/s\n",
+		queries, elapsed.Seconds(), res.ok, res.declined, res.failed, achieved)
+	fmt.Printf("client latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		res.latency.Percentile(50)*1000, res.latency.Percentile(95)*1000, res.latency.Percentile(99)*1000)
+
+	// Pull the server's own view of the run.
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("fetching stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding stats: %w", err)
+	}
+	busy := 0
+	for _, sh := range st.PerShard {
+		if sh.Queries > 0 {
+			busy++
+		}
+	}
+	fmt.Printf("server: scheme=%s shards=%d (%d busy) queries=%d cache_answered=%d invests=%d cost=$%.4f revenue=$%.4f credit=$%.4f\n",
+		st.Scheme, st.Shards, busy, st.Queries, st.CacheAnswered, st.Investments,
+		st.OperatingCostUSD, st.RevenueUSD, st.CreditUSD)
+
+	if !check {
+		return nil
+	}
+	// Invariants, observed from outside the process boundary: every
+	// acknowledged query is accounted, no shard's conservative account
+	// went negative, and at least two shards carried load (the stream is
+	// spread across tenants).
+	var violations []string
+	if res.failed > 0 {
+		violations = append(violations, fmt.Sprintf("%d requests failed", res.failed))
+	}
+	if st.Queries != res.ok {
+		violations = append(violations, fmt.Sprintf("server counted %d queries, client got %d acks", st.Queries, res.ok))
+	}
+	for _, sh := range st.PerShard {
+		if sh.CreditUSD < 0 {
+			violations = append(violations, fmt.Sprintf("shard %d account negative: $%g", sh.Shard, sh.CreditUSD))
+		}
+		if sh.Declined > sh.Queries {
+			violations = append(violations, fmt.Sprintf("shard %d declined %d of %d", sh.Shard, sh.Declined, sh.Queries))
+		}
+	}
+	if st.Shards > 1 && busy < 2 {
+		violations = append(violations, fmt.Sprintf("only %d of %d shards saw traffic", busy, st.Shards))
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "workloadgen: INVARIANT VIOLATION:", v)
+		}
+		return fmt.Errorf("%d invariant violations", len(violations))
+	}
+	fmt.Println("invariants: OK")
+	return nil
 }
 
 func fail(err error) {

@@ -26,7 +26,7 @@ import (
 )
 
 // SchemeNames in canonical paper order.
-var SchemeNames = []string{"bypass", "econ-col", "econ-cheap", "econ-fast"}
+var SchemeNames = scheme.Names
 
 // PaperIntervals are the inter-query intervals of Figures 4 and 5.
 var PaperIntervals = []time.Duration{1 * time.Second, 10 * time.Second, 30 * time.Second, 60 * time.Second}
@@ -158,18 +158,7 @@ func (c Cell) MeanResponseSeconds() float64 { return c.Report.Response.Mean() }
 
 // NewScheme constructs a scheme by its paper name.
 func NewScheme(name string, p scheme.Params) (scheme.Scheme, error) {
-	switch name {
-	case "bypass":
-		return scheme.NewBypass(p)
-	case "econ-col":
-		return scheme.NewEconCol(p)
-	case "econ-cheap":
-		return scheme.NewEconCheap(p)
-	case "econ-fast":
-		return scheme.NewEconFast(p)
-	default:
-		return nil, fmt.Errorf("experiments: unknown scheme %q", name)
-	}
+	return scheme.New(name, p)
 }
 
 // CellSeed derives the workload seed of one (scheme, interval) cell from

@@ -121,7 +121,15 @@ func (r *Reservoir) Observe(x float64) {
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the reservoir using
 // linear interpolation. Returns 0 with no samples.
 func (r *Reservoir) Quantile(q float64) float64 {
-	if len(r.data) == 0 {
+	sorted := make([]float64, len(r.data))
+	copy(sorted, r.data)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted interpolates the q-quantile of an ascending sample set.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -130,9 +138,6 @@ func (r *Reservoir) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	sorted := make([]float64, len(r.data))
-	copy(sorted, r.data)
-	sort.Float64s(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(pos)
 	hi := lo + 1
@@ -145,6 +150,60 @@ func (r *Reservoir) Quantile(q float64) float64 {
 
 // Seen reports how many samples were observed (not how many are retained).
 func (r *Reservoir) Seen() int64 { return r.seen }
+
+// Samples returns a copy of the retained sample set, for merging reservoirs
+// across shards or exporting raw data. The copy is unsorted.
+func (r *Reservoir) Samples() []float64 {
+	out := make([]float64, len(r.data))
+	copy(out, r.data)
+	return out
+}
+
+// WeightedQuantilesOf estimates quantiles of samples carrying unequal
+// weights, sorting once for all requested quantiles. This is the correct
+// way to merge capped reservoirs from streams of different lengths: a
+// reservoir that retained k of n observations contributes each sample
+// with weight n/k, so a busy shard is not flattened to equal footing
+// with an idle one. Uses midpoint positions with linear interpolation;
+// values and weights must have equal length (weights <= 0 are skipped).
+// Results are 0 with no positive-weight samples.
+func WeightedQuantilesOf(values, weights []float64, qs ...float64) []float64 {
+	type pair struct{ v, w float64 }
+	ps := make([]pair, 0, len(values))
+	total := 0.0
+	for i, v := range values {
+		if w := weights[i]; w > 0 {
+			ps = append(ps, pair{v, w})
+			total += w
+		}
+	}
+	out := make([]float64, len(qs))
+	if len(ps) == 0 || total <= 0 {
+		return out
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	// pos[k] is the cumulative-midpoint position of sample k in [0,1].
+	pos := make([]float64, len(ps))
+	cum := 0.0
+	for i, p := range ps {
+		pos[i] = (cum + p.w/2) / total
+		cum += p.w
+	}
+	for j, q := range qs {
+		switch {
+		case q <= pos[0]:
+			out[j] = ps[0].v
+		case q >= pos[len(ps)-1]:
+			out[j] = ps[len(ps)-1].v
+		default:
+			i := sort.SearchFloat64s(pos, q)
+			lo, hi := i-1, i
+			frac := (q - pos[lo]) / (pos[hi] - pos[lo])
+			out[j] = ps[lo].v*(1-frac) + ps[hi].v*frac
+		}
+	}
+	return out
+}
 
 // DurationStats couples a Running and a Reservoir for a duration-valued
 // series, reporting in seconds.
@@ -169,6 +228,9 @@ func (d *DurationStats) ObserveDuration(t time.Duration) {
 func (d *DurationStats) Percentile(p float64) float64 {
 	return d.res.Quantile(p / 100)
 }
+
+// Samples returns a copy of the reservoir's retained samples in seconds.
+func (d *DurationStats) Samples() []float64 { return d.res.Samples() }
 
 // Table renders aligned textual tables for experiment output.
 type Table struct {

@@ -180,3 +180,35 @@ func TestQuantileMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWeightedQuantilesOf(t *testing.T) {
+	// Equal weights reduce to the ordinary quantile, within the midpoint
+	// interpolation's resolution.
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	w := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	got := WeightedQuantilesOf(append([]float64(nil), vals...), w, 0, 0.5, 1)
+	if got[0] != 1 || got[2] != 10 {
+		t.Errorf("extremes = %v, want min/max", got)
+	}
+	if got[1] < 5 || got[1] > 6 {
+		t.Errorf("median = %g, want in [5,6]", got[1])
+	}
+
+	// A heavy sample dominates: 99% of the weight at 100 pulls the
+	// median to 100 even though it is one value among many.
+	vals = []float64{1, 2, 3, 100}
+	w = []float64{1, 1, 1, 297}
+	got = WeightedQuantilesOf(vals, w, 0.5)
+	if got[0] < 99 {
+		t.Errorf("weighted median = %g, want ~100", got[0])
+	}
+
+	// Zero/negative weights are skipped; empty input yields zeros.
+	got = WeightedQuantilesOf([]float64{5, 7}, []float64{0, -1}, 0.5)
+	if got[0] != 0 {
+		t.Errorf("all-zero-weight median = %g, want 0", got[0])
+	}
+	if got := WeightedQuantilesOf(nil, nil, 0.5); got[0] != 0 {
+		t.Errorf("empty median = %g, want 0", got[0])
+	}
+}

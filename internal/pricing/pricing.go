@@ -125,6 +125,24 @@ func (s *Schedule) StorageCost(bytes int64, d time.Duration) money.Amount {
 	return s.DiskPerGBMonth.MulFloat(gbMonths)
 }
 
+// StorageRent prices an integral of resident bytes over time, expressed
+// in GiB-seconds. Residency changes while rent accrues, so the simulator
+// and the serving layer integrate first and price once.
+func (s *Schedule) StorageRent(gibSeconds float64) money.Amount {
+	if gibSeconds <= 0 {
+		return 0
+	}
+	return s.DiskPerGBMonth.MulFloat(gibSeconds / secondsPerMonth)
+}
+
+// NodeRent prices an integral of extra-node uptime in node-seconds.
+func (s *Schedule) NodeRent(nodeSeconds float64) money.Amount {
+	if nodeSeconds <= 0 {
+		return 0
+	}
+	return s.CPUPerHour.MulFloat(nodeSeconds / secondsPerHour)
+}
+
 // TransferCost prices moving `bytes` across the WAN (the `size·cb` terms of
 // Eq. 9 and Eq. 12).
 func (s *Schedule) TransferCost(bytes int64) money.Amount {

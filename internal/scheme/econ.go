@@ -118,6 +118,26 @@ func (p Params) withDefaults() (Params, error) {
 	return p, nil
 }
 
+// Names lists the four schemes in canonical paper order.
+var Names = []string{"bypass", "econ-col", "econ-cheap", "econ-fast"}
+
+// New constructs a scheme by its paper name: "bypass", "econ-col",
+// "econ-cheap" or "econ-fast".
+func New(name string, p Params) (Scheme, error) {
+	switch name {
+	case "bypass":
+		return NewBypass(p)
+	case "econ-col":
+		return NewEconCol(p)
+	case "econ-cheap":
+		return NewEconCheap(p)
+	case "econ-fast":
+		return NewEconFast(p)
+	default:
+		return nil, fmt.Errorf("scheme: unknown scheme %q", name)
+	}
+}
+
 // Econ is an economy-driven scheme (econ-col, econ-cheap, econ-fast).
 type Econ struct {
 	name string

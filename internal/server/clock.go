@@ -1,0 +1,69 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the serving layer's notion of economy time: a monotone
+// duration since the server's epoch. The discrete-event simulator stamps
+// queries with synthetic arrival times; the online engine instead reads a
+// clock on every arrival, so rent, uptime and build completion accrue
+// against real (or accelerated, or test-controlled virtual) time.
+type Clock interface {
+	// Now returns the elapsed economy time since the clock's epoch. It
+	// must be monotone non-decreasing and safe for concurrent use.
+	Now() time.Duration
+}
+
+// WallClock maps real time onto economy time with an optional speedup
+// factor. Speedup 1 serves in real time; speedup 60 makes one wall second
+// count as a simulated minute of rent and build progress, which lets a
+// load test exercise hours of economy evolution in seconds.
+type WallClock struct {
+	start   time.Time
+	speedup float64
+}
+
+// NewWallClock starts a wall clock at the current instant. Speedups <= 0
+// are treated as 1.
+func NewWallClock(speedup float64) *WallClock {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	return &WallClock{start: time.Now(), speedup: speedup}
+}
+
+// Now implements Clock.
+func (c *WallClock) Now() time.Duration {
+	return time.Duration(float64(time.Since(c.start)) * c.speedup)
+}
+
+// VirtualClock is a manually advanced clock for deterministic tests: time
+// stands still until Advance is called, so rent accrual and build
+// completion become exact, reproducible functions of the test script.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewVirtualClock starts a virtual clock at zero.
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
+
+// Now implements Clock.
+func (c *VirtualClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d. Negative advances are ignored:
+// economy time is monotone.
+func (c *VirtualClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}

@@ -1,0 +1,189 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/money"
+)
+
+// QueryRequest is the JSON body of POST /v1/query.
+type QueryRequest struct {
+	Tenant      string      `json:"tenant,omitempty"`
+	Template    string      `json:"template"`
+	Selectivity float64     `json:"selectivity,omitempty"`
+	Budget      *BudgetJSON `json:"budget,omitempty"`
+}
+
+// BudgetJSON is the wire form of a user budget function B_Q(t): a shape
+// name plus the headline price and support (Fig. 1).
+type BudgetJSON struct {
+	// Shape is "step", "linear", "convex" or "concave". Default "step".
+	Shape string `json:"shape,omitempty"`
+	// PriceUSD is the headline willingness to pay.
+	PriceUSD float64 `json:"price_usd"`
+	// TmaxSec is the largest tolerated response time, seconds.
+	TmaxSec float64 `json:"tmax_s"`
+	// K is the curvature of convex/concave shapes; <=1 means 2.
+	K float64 `json:"k,omitempty"`
+}
+
+// Func materialises the budget function. A nil receiver returns nil (use
+// the server's default policy).
+func (b *BudgetJSON) Func() (budget.Func, error) {
+	if b == nil {
+		return nil, nil
+	}
+	if b.PriceUSD <= 0 {
+		return nil, fmt.Errorf("budget: price_usd must be positive")
+	}
+	if b.TmaxSec <= 0 {
+		return nil, fmt.Errorf("budget: tmax_s must be positive")
+	}
+	price := money.FromDollars(b.PriceUSD)
+	tmax := time.Duration(b.TmaxSec * float64(time.Second))
+	switch b.Shape {
+	case "", "step":
+		return budget.NewStep(price, tmax), nil
+	case "linear":
+		return budget.NewLinear(price, tmax), nil
+	case "convex":
+		return budget.NewConvex(price, tmax, b.K), nil
+	case "concave":
+		return budget.NewConcave(price, tmax, b.K), nil
+	default:
+		return nil, fmt.Errorf("budget: unknown shape %q", b.Shape)
+	}
+}
+
+// Health is the JSON body of GET /healthz.
+type Health struct {
+	Status   string  `json:"status"`
+	Scheme   string  `json:"scheme"`
+	Shards   int     `json:"shards"`
+	ClockSec float64 `json:"clock_s"`
+	Queries  int64   `json:"queries"`
+	Draining bool    `json:"draining"`
+}
+
+// errorJSON is the wire form of a request failure.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the daemon's HTTP API:
+//
+//	POST /v1/query      — submit one query (QueryRequest -> Response)
+//	GET  /v1/stats      — live aggregate + per-shard metrics (Stats)
+//	GET  /v1/structures — resident structures across shards
+//	GET  /healthz       — liveness plus headline counters (Health)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/structures", s.handleStructures)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var qr QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&qr); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if qr.Template == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("template is required"))
+		return
+	}
+	bf, err := qr.Budget.Func()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp, err := s.Submit(r.Context(), Request{
+		Tenant:      qr.Tenant,
+		Template:    qr.Template,
+		Selectivity: qr.Selectivity,
+		Budget:      bf,
+	})
+	switch {
+	case errors.Is(err, ErrServerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrUnknownTemplate):
+		writeError(w, http.StatusBadRequest, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	structures := s.Structures()
+	if structures == nil {
+		structures = []StructureInfo{}
+	}
+	writeJSON(w, http.StatusOK, structures)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	var queries int64
+	var clockSec float64
+	for _, sh := range s.shards {
+		q, now := sh.quickCounters()
+		queries += q
+		if sec := now.Seconds(); sec > clockSec {
+			clockSec = sec
+		}
+	}
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, Health{
+		Status:   "ok",
+		Scheme:   s.cfg.Scheme,
+		Shards:   len(s.shards),
+		ClockSec: clockSec,
+		Queries:  queries,
+		Draining: draining,
+	})
+}

@@ -1,0 +1,197 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func newHTTPServer(t *testing.T) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := newTestServer(t, 4, "econ-cheap", server.NewVirtualClock())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postQuery(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPQuery(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, body := postQuery(t, ts.URL,
+		`{"tenant":"alice","template":"Q6","selectivity":0.0096,"budget":{"shape":"step","price_usd":0.002,"tmax_s":3600}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var qr server.Response
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.QueryID == 0 {
+		t.Error("missing query id")
+	}
+	if qr.Template != "Q6" {
+		t.Errorf("template = %q", qr.Template)
+	}
+	if qr.Location != "backend" && qr.Location != "cache" {
+		t.Errorf("location = %q", qr.Location)
+	}
+}
+
+func TestHTTPQueryDefaultsBudget(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, body := postQuery(t, ts.URL, `{"template":"Q1"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"unknown field", `{"template":"Q1","frobnicate":1}`, http.StatusBadRequest},
+		{"no template", `{}`, http.StatusBadRequest},
+		{"unknown template", `{"template":"Q999"}`, http.StatusBadRequest},
+		{"bad shape", `{"template":"Q1","budget":{"shape":"cubic","price_usd":1,"tmax_s":60}}`, http.StatusBadRequest},
+		{"bad price", `{"template":"Q1","budget":{"price_usd":-1,"tmax_s":60}}`, http.StatusBadRequest},
+		{"bad tmax", `{"template":"Q1","budget":{"price_usd":1,"tmax_s":0}}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postQuery(t, ts.URL, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status = %d, want %d (body %s)", c.name, resp.StatusCode, c.status, body)
+		}
+	}
+	// GET on the query endpoint is rejected.
+	resp, err := http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/query status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPBudgetShapes(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	for _, shape := range []string{"step", "linear", "convex", "concave"} {
+		resp, body := postQuery(t, ts.URL, fmt.Sprintf(
+			`{"template":"Q6","budget":{"shape":"%s","price_usd":0.01,"tmax_s":3600}}`, shape))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("shape %s: status = %d, body %s", shape, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestHTTPStatsAndHealthz(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	const n = 25
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postQuery(t, ts.URL, fmt.Sprintf(`{"tenant":"t%d","template":"Q6"}`, i%5))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("query %d: %d %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Queries != n {
+		t.Errorf("stats queries = %d, want %d", st.Queries, n)
+	}
+	if len(st.PerShard) != 4 {
+		t.Errorf("per-shard entries = %d, want 4", len(st.PerShard))
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h server.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Queries != n || h.Shards != 4 || h.Draining {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/structures")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var structs []server.StructureInfo
+	if err := json.NewDecoder(resp.Body).Decode(&structs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Cold server: the list is present (possibly empty), never null.
+}
+
+func TestHTTPAfterShutdown(t *testing.T) {
+	srv, ts := newHTTPServer(t)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postQuery(t, ts.URL, `{"template":"Q1"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown status = %d, body %s", resp.StatusCode, body)
+	}
+	// Read-only endpoints keep working for post-drain inspection.
+	r, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("stats after shutdown = %d", r.StatusCode)
+	}
+	r, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h server.Health
+	if err := json.NewDecoder(r.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if !h.Draining {
+		t.Error("healthz must report draining")
+	}
+}

@@ -1,0 +1,419 @@
+// Package server is the online serving layer over the paper's cache
+// economy: where package sim replays a synthetic stream through one
+// single-threaded scheme, Server admits concurrent live queries against N
+// independent economy shards.
+//
+// Each shard owns a complete scheme instance — cache, account, regret
+// ledger — and serializes its decisions through a mailbox goroutine, so
+// the paper's single-owner economy invariants hold per shard with no
+// locking on the decision path. Queries route to shards by tenant (or
+// template when no tenant is given), keeping each tenant's regret and
+// amortization history together. A shared Clock (wall, accelerated, or
+// virtual) drives rent and uptime accrual: a ticker integrates storage
+// and node rent through idle periods and completes due builds, mirroring
+// the discrete-event simulator's accounting on live time.
+//
+// Shutdown drains gracefully: no accepted query goes unanswered, and tail
+// rent is charged through the last promised completion exactly as
+// sim.Run's end-of-run accounting does.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/catalog"
+	"repro/internal/metrics"
+	"repro/internal/pricing"
+	"repro/internal/scheme"
+	"repro/internal/workload"
+)
+
+// ErrServerClosed is returned by Submit after Shutdown has begun.
+var ErrServerClosed = errors.New("server: closed")
+
+// ErrUnknownTemplate is returned for queries naming no known template.
+var ErrUnknownTemplate = errors.New("server: unknown template")
+
+// Request is one live query submission.
+type Request struct {
+	// Tenant routes the query to a shard; all queries of a tenant share
+	// one economy. Empty tenants route by template instead.
+	Tenant string
+	// Template names a query template (e.g. "Q6"). Required.
+	Template string
+	// Selectivity is the region fraction scanned; 0 draws one from the
+	// template's range with the shard's deterministic RNG. Out-of-range
+	// values clamp to the template's [SelMin, SelMax].
+	Selectivity float64
+	// Budget is the user's B_Q(t); nil applies the server's default
+	// budget policy.
+	Budget budget.Func
+}
+
+// Response reports how the economy answered one query.
+type Response struct {
+	QueryID         int64   `json:"query_id"`
+	Shard           int     `json:"shard"`
+	Template        string  `json:"template"`
+	Selectivity     float64 `json:"selectivity"`
+	ArrivalSec      float64 `json:"arrival_s"`
+	Declined        bool    `json:"declined"`
+	Location        string  `json:"location"`
+	ResponseTimeSec float64 `json:"response_time_s"`
+	ChargedUSD      float64 `json:"charged_usd"`
+	ProfitUSD       float64 `json:"profit_usd"`
+	Investments     int     `json:"investments"`
+	Failures        int     `json:"failures"`
+}
+
+// Config parameterises a Server.
+type Config struct {
+	// Shards is the number of independent economy shards. Default 4.
+	Shards int
+	// Scheme names the caching scheme each shard runs ("bypass",
+	// "econ-col", "econ-cheap", "econ-fast"). Default "econ-cheap".
+	Scheme string
+	// Params calibrates the schemes. Params.Catalog is required.
+	Params scheme.Params
+	// Clock drives arrival stamps and rent accrual. Default wall time.
+	Clock Clock
+	// Accounting prices true expenditure in stats. Default EC22008.
+	Accounting *pricing.Schedule
+	// Budgets is the default budget policy for requests without an
+	// explicit budget. Default workload.DefaultScaledPolicy.
+	Budgets workload.BudgetPolicy
+	// Templates is the admissible template pool. Default PaperTemplates.
+	Templates []*workload.Template
+	// TickEvery is the housekeeping cadence: how often idle shards
+	// accrue rent and complete due builds. 0 disables the ticker (tests
+	// with a VirtualClock call Housekeep explicitly). Default 1s when
+	// Clock is nil or a WallClock, else 0.
+	TickEvery time.Duration
+	// MailboxDepth bounds each shard's admission queue. Default 256.
+	MailboxDepth int
+	// Seed derives each shard's deterministic RNG. Default 1.
+	Seed int64
+	// ReservoirCap bounds each shard's response reservoir. Default 4096.
+	ReservoirCap int
+}
+
+// Server is the concurrent serving engine.
+type Server struct {
+	cfg        Config
+	catalog    *catalog.Catalog
+	accounting *pricing.Schedule
+	budgets    workload.BudgetPolicy
+	templates  map[string]*workload.Template
+	clock      Clock
+	shards     []*shard
+	nextID     atomic.Int64
+
+	mu       sync.Mutex
+	closed   bool
+	submitWG sync.WaitGroup
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+
+	shutdownOnce sync.Once
+	drained      chan struct{}
+}
+
+// New validates the config, builds the shards and starts their loops.
+func New(cfg Config) (*Server, error) {
+	if cfg.Params.Catalog == nil {
+		return nil, fmt.Errorf("server: Params.Catalog is required")
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("server: Shards must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = "econ-cheap"
+	}
+	wallClock := false
+	if cfg.Clock == nil {
+		cfg.Clock = NewWallClock(1)
+		wallClock = true
+	} else if _, ok := cfg.Clock.(*WallClock); ok {
+		wallClock = true
+	}
+	if cfg.TickEvery == 0 && wallClock {
+		cfg.TickEvery = time.Second
+	}
+	if cfg.TickEvery < 0 {
+		cfg.TickEvery = 0
+	}
+	if cfg.Accounting == nil {
+		cfg.Accounting = pricing.EC22008()
+	}
+	if err := cfg.Accounting.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Budgets == nil {
+		cfg.Budgets = workload.DefaultScaledPolicy()
+	}
+	if len(cfg.Templates) == 0 {
+		cfg.Templates = workload.PaperTemplates()
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 256
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ReservoirCap <= 0 {
+		cfg.ReservoirCap = 4096
+	}
+
+	srv := &Server{
+		cfg:        cfg,
+		catalog:    cfg.Params.Catalog,
+		accounting: cfg.Accounting,
+		budgets:    cfg.Budgets,
+		templates:  make(map[string]*workload.Template, len(cfg.Templates)),
+		clock:      cfg.Clock,
+	}
+	for _, t := range cfg.Templates {
+		// Validate also memoizes the template's group size, so the
+		// per-query sizing path is read-only and race-free afterwards.
+		if err := t.Validate(srv.catalog); err != nil {
+			return nil, err
+		}
+		if _, dup := srv.templates[t.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate template %q", t.Name)
+		}
+		srv.templates[t.Name] = t
+	}
+
+	srv.shards = make([]*shard, cfg.Shards)
+	for i := range srv.shards {
+		sch, err := scheme.New(cfg.Scheme, cfg.Params)
+		if err != nil {
+			return nil, err
+		}
+		srv.shards[i] = newShard(i, srv, sch, shardSeed(cfg.Seed, i), cfg.MailboxDepth, cfg.ReservoirCap)
+	}
+	for _, sh := range srv.shards {
+		go sh.loop()
+	}
+	if cfg.TickEvery > 0 {
+		srv.tickStop = make(chan struct{})
+		srv.tickDone = make(chan struct{})
+		go srv.runTicker(cfg.TickEvery)
+	}
+	return srv, nil
+}
+
+// shardSeed decorrelates the per-shard RNG streams.
+func shardSeed(base int64, shard int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%d", base, shard)
+	return int64(h.Sum64())
+}
+
+// runTicker fans housekeeping ticks out to every shard. Sends are
+// non-blocking into capacity-1 channels, so a busy shard coalesces ticks
+// instead of queueing them.
+func (s *Server) runTicker(every time.Duration) {
+	defer close(s.tickDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			for _, sh := range s.shards {
+				select {
+				case sh.tick <- struct{}{}:
+				default:
+				}
+			}
+		case <-s.tickStop:
+			return
+		}
+	}
+}
+
+// ShardCount returns the number of shards.
+func (s *Server) ShardCount() int { return len(s.shards) }
+
+// Clock returns the server's clock.
+func (s *Server) Clock() Clock { return s.clock }
+
+// ShardIndex returns the shard a request routes to: by tenant when set,
+// else by template, hashed stably so a tenant's whole history lands on
+// one economy.
+func (s *Server) ShardIndex(req Request) int {
+	key := req.Tenant
+	if key == "" {
+		key = req.Template
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Submit routes the query to its shard, waits for the economy's answer
+// and returns it. Safe for arbitrary concurrency. After Shutdown begins
+// it returns ErrServerClosed; a query accepted before that is always
+// answered, even if Shutdown is already in progress.
+func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
+	sh := s.shards[s.ShardIndex(req)]
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Response{}, ErrServerClosed
+	}
+	s.submitWG.Add(1)
+	s.mu.Unlock()
+	defer s.submitWG.Done()
+
+	reply := make(chan shardReply, 1)
+	select {
+	case sh.mailbox <- shardMsg{req: req, reply: reply}:
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+	// The shard always answers (the loop drains its mailbox before
+	// exiting), so an abandoned wait leaks nothing: the reply channel is
+	// buffered.
+	select {
+	case r := <-reply:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// Housekeep synchronously accrues rent and completes due builds on every
+// shard. The ticker calls the same path on wall clocks; virtual-clock
+// tests call it after Advance to make accrual deterministic.
+func (s *Server) Housekeep() {
+	for _, sh := range s.shards {
+		sh.housekeep()
+	}
+}
+
+// Stats snapshots live metrics across all shards. Aggregate percentiles
+// are estimated over the union of the per-shard reservoirs.
+func (s *Server) Stats() Stats {
+	agg := Stats{
+		Scheme: s.cfg.Scheme,
+		Shards: len(s.shards),
+	}
+	s.mu.Lock()
+	agg.Draining = s.closed
+	s.mu.Unlock()
+
+	var samples, weights []float64
+	var meanWeighted float64
+	for _, sh := range s.shards {
+		st, smp := sh.snapshot()
+		agg.PerShard = append(agg.PerShard, st)
+		// Reservoirs are capped: each retained sample stands for
+		// executed/len(smp) observations, so busy shards keep their
+		// weight in the merged percentiles.
+		if len(smp) > 0 {
+			w := float64(st.Queries-st.Declined) / float64(len(smp))
+			for _, v := range smp {
+				samples = append(samples, v)
+				weights = append(weights, w)
+			}
+		}
+		if st.ClockSec > agg.ClockSec {
+			agg.ClockSec = st.ClockSec
+		}
+		agg.Queries += st.Queries
+		agg.Declined += st.Declined
+		agg.CacheAnswered += st.CacheAnswered
+		agg.Investments += st.Investments
+		agg.Failures += st.Failures
+		agg.ExecCostUSD += st.ExecCostUSD
+		agg.BuildCostUSD += st.BuildCostUSD
+		agg.StorageCostUSD += st.StorageCostUSD
+		agg.NodeCostUSD += st.NodeCostUSD
+		agg.OperatingCostUSD += st.OperatingCostUSD
+		agg.RevenueUSD += st.RevenueUSD
+		agg.ProfitUSD += st.ProfitUSD
+		agg.ResidentBytes += st.ResidentBytes
+		agg.CreditUSD += st.CreditUSD
+		meanWeighted += st.ResponseMeanSec * float64(st.Queries-st.Declined)
+	}
+	if executed := agg.Queries - agg.Declined; executed > 0 {
+		agg.ResponseMeanSec = meanWeighted / float64(executed)
+	}
+	ps := metrics.WeightedQuantilesOf(samples, weights, 0.50, 0.95, 0.99)
+	agg.ResponseP50Sec, agg.ResponseP95Sec, agg.ResponseP99Sec = ps[0], ps[1], ps[2]
+	return agg
+}
+
+// Structures lists every resident structure across all shards.
+func (s *Server) Structures() []StructureInfo {
+	var out []StructureInfo
+	for _, sh := range s.shards {
+		out = append(out, sh.structures()...)
+	}
+	return out
+}
+
+// Shutdown drains the server: no new submissions are accepted, every
+// in-flight query is answered, idle-time rent is settled through the last
+// promised completion, and all goroutines exit. The drain itself always
+// runs to completion in the background; ctx only bounds this call's wait
+// for it. A later Shutdown with a fresh ctx waits on the same drain, so a
+// timed-out first attempt can be retried.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownOnce.Do(func() {
+		s.drained = make(chan struct{})
+		go func() {
+			s.drain()
+			close(s.drained)
+		}()
+	})
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// drain performs the actual teardown. Every step terminates on its own:
+// admitted Submits finish because the shard loops are still consuming,
+// and the loops exit once their closed mailboxes empty.
+func (s *Server) drain() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	// Wait for Submits that were admitted before the flag flipped: they
+	// hold submitWG and may still be enqueueing.
+	s.submitWG.Wait()
+
+	if s.tickStop != nil {
+		close(s.tickStop)
+		<-s.tickDone
+	}
+
+	// Closing the mailboxes lets each loop drain and exit; no accepted
+	// query is dropped.
+	for _, sh := range s.shards {
+		close(sh.mailbox)
+	}
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	for _, sh := range s.shards {
+		sh.finalize()
+	}
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/economy"
+	"repro/internal/metrics"
+	"repro/internal/money"
+	"repro/internal/plan"
+	"repro/internal/scheme"
+	"repro/internal/workload"
+)
+
+// shardMsg is one unit of mailbox work: a query plus its reply channel.
+// The reply channel is buffered (capacity 1) so the shard loop never
+// blocks on a caller that has already given up.
+type shardMsg struct {
+	req   Request
+	reply chan shardReply
+}
+
+// shardReply is the shard's answer to one submission.
+type shardReply struct {
+	resp Response
+	err  error
+}
+
+// shard owns one slice of the economy: its own scheme (cache, account,
+// regret ledger), its own deterministic RNG and its own metrics. All
+// decisions are serialized through the mailbox goroutine; the mutex exists
+// only so snapshots and housekeeping can observe (and accrue rent into) a
+// consistent state without joining the queue.
+type shard struct {
+	id  int
+	srv *Server
+
+	mailbox chan shardMsg
+	tick    chan struct{} // capacity 1; coalesces housekeeping ticks
+	done    chan struct{} // closed when the loop has drained and exited
+
+	mu  sync.Mutex
+	sch scheme.Scheme
+	eco *economy.Economy // nil for schemes without an economy (bypass)
+	rng *rand.Rand
+
+	// lastNow keeps shard time monotone even if the clock source jitters.
+	lastNow time.Duration
+	// lastAccrual is the point up to which storage and node rent have
+	// been integrated.
+	lastAccrual time.Duration
+	// endOfRun is the completion time of the latest-finishing execution;
+	// the drain path integrates tail rent through it, mirroring
+	// sim.Run's end-of-run accounting.
+	endOfRun time.Duration
+
+	storageGBSeconds float64
+	nodeSeconds      float64
+
+	queries       int64
+	declined      int64
+	cacheAnswered int64
+	investments   int64
+	failures      int64
+	revenue       money.Amount
+	profit        money.Amount
+	execUsage     cost.Usage
+	buildUsage    cost.Usage
+	response      *metrics.DurationStats
+}
+
+// economyOf extracts the economy from schemes that have one.
+func economyOf(s scheme.Scheme) *economy.Economy {
+	if e, ok := s.(interface{ Economy() *economy.Economy }); ok {
+		return e.Economy()
+	}
+	return nil
+}
+
+func newShard(id int, srv *Server, sch scheme.Scheme, seed int64, depth, reservoirCap int) *shard {
+	return &shard{
+		id:       id,
+		srv:      srv,
+		mailbox:  make(chan shardMsg, depth),
+		tick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		sch:      sch,
+		eco:      economyOf(sch),
+		rng:      rand.New(rand.NewSource(seed)),
+		response: metrics.NewDurationStats(reservoirCap),
+	}
+}
+
+// loop is the shard's serialized decision loop. It exits only when the
+// mailbox is closed AND fully drained, so every accepted submission is
+// answered — the graceful-drain guarantee.
+func (s *shard) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case m, ok := <-s.mailbox:
+			if !ok {
+				return
+			}
+			m.reply <- s.handle(m.req)
+		case <-s.tick:
+			s.housekeep()
+		}
+	}
+}
+
+// nowLocked reads the server clock clamped to monotone shard time.
+// Callers hold s.mu.
+func (s *shard) nowLocked() time.Duration {
+	now := s.srv.clock.Now()
+	if now < s.lastNow {
+		now = s.lastNow
+	}
+	s.lastNow = now
+	return now
+}
+
+// accrueLocked integrates storage and node rent over [lastAccrual, now)
+// using the residency state in force over that window (the cache has not
+// yet been mutated by whatever prompted the call). Callers hold s.mu.
+func (s *shard) accrueLocked(now time.Duration) {
+	if now <= s.lastAccrual {
+		return
+	}
+	dt := (now - s.lastAccrual).Seconds()
+	ca := s.sch.Cache()
+	s.storageGBSeconds += float64(ca.ResidentBytes()) / (1 << 30) * dt
+	s.nodeSeconds += float64(ca.NodeCount()) * dt
+	s.lastAccrual = now
+}
+
+// handle runs one query through the shard's economy.
+func (s *shard) handle(req Request) shardReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	now := s.nowLocked()
+	s.accrueLocked(now)
+
+	tpl, ok := s.srv.templates[req.Template]
+	if !ok {
+		return shardReply{err: fmt.Errorf("%w: %q", ErrUnknownTemplate, req.Template)}
+	}
+	sel := req.Selectivity
+	if sel == 0 {
+		sel = tpl.SelMin + s.rng.Float64()*(tpl.SelMax-tpl.SelMin)
+	}
+	if sel < tpl.SelMin {
+		sel = tpl.SelMin
+	}
+	if sel > tpl.SelMax {
+		sel = tpl.SelMax
+	}
+
+	q := &workload.Query{
+		ID:          s.srv.nextID.Add(1),
+		Template:    tpl,
+		Selectivity: sel,
+		Arrival:     now,
+		Budget:      req.Budget,
+	}
+	if q.Budget == nil {
+		scan, err := q.ScanBytes(s.srv.catalog)
+		if err != nil {
+			return shardReply{err: err}
+		}
+		result, _ := q.ResultBytes(s.srv.catalog)
+		q.Budget = s.srv.budgets.BudgetFor(q, scan, result)
+	}
+
+	r, err := s.sch.HandleQuery(q)
+	if err != nil {
+		return shardReply{err: fmt.Errorf("shard %d: query %d: %w", s.id, q.ID, err)}
+	}
+
+	s.queries++
+	s.execUsage.Add(r.ExecUsage)
+	s.buildUsage.Add(r.BuildUsage)
+	s.revenue = s.revenue.Add(r.Charged)
+	s.profit = s.profit.Add(r.Profit)
+	s.investments += int64(r.Investments)
+	s.failures += int64(r.Failures)
+	if r.Declined {
+		s.declined++
+	} else {
+		s.response.ObserveDuration(r.ResponseTime)
+		if r.Location == plan.Cache {
+			s.cacheAnswered++
+		}
+	}
+	if done := now + r.ResponseTime; done > s.endOfRun {
+		s.endOfRun = done
+	}
+
+	return shardReply{resp: Response{
+		QueryID:         q.ID,
+		Shard:           s.id,
+		Template:        tpl.Name,
+		Selectivity:     sel,
+		ArrivalSec:      now.Seconds(),
+		Declined:        r.Declined,
+		Location:        r.Location.String(),
+		ResponseTimeSec: r.ResponseTime.Seconds(),
+		ChargedUSD:      r.Charged.Dollars(),
+		ProfitUSD:       r.Profit.Dollars(),
+		Investments:     r.Investments,
+		Failures:        r.Failures,
+	}}
+}
+
+// housekeep advances the shard's economy through idle time: rent accrues
+// and due builds complete even when no query arrives. Driven by the
+// server ticker (wall clocks) or Housekeep (virtual clocks).
+func (s *shard) housekeep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.nowLocked()
+	s.accrueLocked(now)
+	ca := s.sch.Cache()
+	if now > ca.Clock() {
+		ca.Advance(now)
+	}
+	ca.CompleteDue()
+}
+
+// finalize integrates tail rent through the last promised completion, the
+// same closing window sim.Run charges. Called once, after the loop exits.
+func (s *shard) finalize() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := s.nowLocked()
+	if s.endOfRun > end {
+		end = s.endOfRun
+	}
+	s.accrueLocked(end)
+}
+
+// snapshot captures the shard's stats and returns the raw response-time
+// reservoir samples so the caller can estimate aggregate percentiles.
+func (s *shard) snapshot() (ShardStats, []float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.nowLocked()
+	s.accrueLocked(now)
+
+	acct := s.srv.accounting
+	ca := s.sch.Cache()
+	st := ShardStats{
+		Shard:              s.id,
+		Scheme:             s.sch.Name(),
+		ClockSec:           now.Seconds(),
+		Queries:            s.queries,
+		Declined:           s.declined,
+		CacheAnswered:      s.cacheAnswered,
+		Investments:        s.investments,
+		Failures:           s.failures,
+		ResponseMeanSec:    s.response.Mean(),
+		ResponseP50Sec:     s.response.Percentile(50),
+		ResponseP95Sec:     s.response.Percentile(95),
+		ResponseP99Sec:     s.response.Percentile(99),
+		ExecCostUSD:        cost.Price(acct, s.execUsage).Dollars(),
+		BuildCostUSD:       cost.Price(acct, s.buildUsage).Dollars(),
+		StorageCostUSD:     acct.StorageRent(s.storageGBSeconds).Dollars(),
+		NodeCostUSD:        acct.NodeRent(s.nodeSeconds).Dollars(),
+		RevenueUSD:         s.revenue.Dollars(),
+		ProfitUSD:          s.profit.Dollars(),
+		ResidentBytes:      ca.ResidentBytes(),
+		ResidentStructures: ca.Len(),
+		PendingBuilds:      ca.PendingCount(),
+		Nodes:              ca.NodeCount(),
+	}
+	st.OperatingCostUSD = st.ExecCostUSD + st.BuildCostUSD + st.StorageCostUSD + st.NodeCostUSD
+	if s.eco != nil {
+		es := s.eco.Stats()
+		st.CreditUSD = es.Credit.Dollars()
+		st.InvestedUSD = es.Invested.Dollars()
+		st.RecoveredUSD = es.Recovered.Dollars()
+		st.LedgerSize = es.LedgerSize
+	}
+	return st, s.response.Samples()
+}
+
+// quickCounters reads the headline liveness counters without pricing
+// costs or copying the reservoir — cheap enough for high-rate probes.
+func (s *shard) quickCounters() (queries int64, now time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now = s.srv.clock.Now()
+	if now < s.lastNow {
+		now = s.lastNow
+	}
+	return s.queries, now
+}
+
+// structures lists the shard's resident structures, sorted by ID.
+func (s *shard) structures() []StructureInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.sch.Cache().Entries()
+	out := make([]StructureInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, StructureInfo{
+			Shard:             s.id,
+			ID:                string(e.S.ID),
+			Kind:              e.S.Kind.String(),
+			Bytes:             e.S.Bytes,
+			BuiltAtSec:        e.BuiltAt.Seconds(),
+			LastUsedSec:       e.LastUsed.Seconds(),
+			Uses:              e.Uses,
+			BuildPriceUSD:     e.BuildPrice.Dollars(),
+			AmortRemainingUSD: e.AmortRemaining.Dollars(),
+			UnpaidMaintUSD:    e.UnpaidMaint.Dollars(),
+			EarnedValueUSD:    e.EarnedValue.Dollars(),
+		})
+	}
+	return out
+}

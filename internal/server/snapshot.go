@@ -1,0 +1,101 @@
+package server
+
+// Snapshot types: the JSON-serialisable view of the engine's live state
+// that GET /v1/stats and GET /v1/structures report. All monetary values
+// are dollars, all times seconds, so dashboards and the workloadgen
+// checker read them without knowing the internal fixed-point encoding.
+
+// ShardStats is the live view of one shard's economy.
+type ShardStats struct {
+	Shard  int    `json:"shard"`
+	Scheme string `json:"scheme"`
+	// ClockSec is the shard's economy time (seconds since server start).
+	ClockSec float64 `json:"clock_s"`
+
+	// Traffic counters.
+	Queries       int64 `json:"queries"`
+	Declined      int64 `json:"declined"`
+	CacheAnswered int64 `json:"cache_answered"`
+	Investments   int64 `json:"investments"`
+	Failures      int64 `json:"failures"`
+
+	// Response-time statistics over executed queries (seconds).
+	ResponseMeanSec float64 `json:"response_mean_s"`
+	ResponseP50Sec  float64 `json:"response_p50_s"`
+	ResponseP95Sec  float64 `json:"response_p95_s"`
+	ResponseP99Sec  float64 `json:"response_p99_s"`
+
+	// True expenditure by resource, priced with the accounting schedule
+	// (the Fig. 4 decomposition, live).
+	ExecCostUSD      float64 `json:"exec_cost_usd"`
+	BuildCostUSD     float64 `json:"build_cost_usd"`
+	StorageCostUSD   float64 `json:"storage_cost_usd"`
+	NodeCostUSD      float64 `json:"node_cost_usd"`
+	OperatingCostUSD float64 `json:"operating_cost_usd"`
+
+	// User-payment side.
+	RevenueUSD float64 `json:"revenue_usd"`
+	ProfitUSD  float64 `json:"profit_usd"`
+
+	// Cache residency.
+	ResidentBytes      int64 `json:"resident_bytes"`
+	ResidentStructures int   `json:"resident_structures"`
+	PendingBuilds      int   `json:"pending_builds"`
+	Nodes              int   `json:"nodes"`
+
+	// Economy account (zero for the bypass baseline, which has none).
+	CreditUSD    float64 `json:"credit_usd"`
+	InvestedUSD  float64 `json:"invested_usd"`
+	RecoveredUSD float64 `json:"recovered_usd"`
+	LedgerSize   int     `json:"ledger_size"`
+}
+
+// Stats is the aggregate view across all shards plus the per-shard detail.
+type Stats struct {
+	Scheme   string  `json:"scheme"`
+	Shards   int     `json:"shards"`
+	ClockSec float64 `json:"clock_s"`
+	Draining bool    `json:"draining"`
+
+	Queries       int64 `json:"queries"`
+	Declined      int64 `json:"declined"`
+	CacheAnswered int64 `json:"cache_answered"`
+	Investments   int64 `json:"investments"`
+	Failures      int64 `json:"failures"`
+
+	// Aggregate response percentiles, estimated over the union of the
+	// per-shard reservoirs.
+	ResponseMeanSec float64 `json:"response_mean_s"`
+	ResponseP50Sec  float64 `json:"response_p50_s"`
+	ResponseP95Sec  float64 `json:"response_p95_s"`
+	ResponseP99Sec  float64 `json:"response_p99_s"`
+
+	ExecCostUSD      float64 `json:"exec_cost_usd"`
+	BuildCostUSD     float64 `json:"build_cost_usd"`
+	StorageCostUSD   float64 `json:"storage_cost_usd"`
+	NodeCostUSD      float64 `json:"node_cost_usd"`
+	OperatingCostUSD float64 `json:"operating_cost_usd"`
+
+	RevenueUSD float64 `json:"revenue_usd"`
+	ProfitUSD  float64 `json:"profit_usd"`
+
+	ResidentBytes int64   `json:"resident_bytes"`
+	CreditUSD     float64 `json:"credit_usd"`
+
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// StructureInfo is the live view of one resident structure.
+type StructureInfo struct {
+	Shard             int     `json:"shard"`
+	ID                string  `json:"id"`
+	Kind              string  `json:"kind"`
+	Bytes             int64   `json:"bytes"`
+	BuiltAtSec        float64 `json:"built_at_s"`
+	LastUsedSec       float64 `json:"last_used_s"`
+	Uses              int64   `json:"uses"`
+	BuildPriceUSD     float64 `json:"build_price_usd"`
+	AmortRemainingUSD float64 `json:"amort_remaining_usd"`
+	UnpaidMaintUSD    float64 `json:"unpaid_maint_usd"`
+	EarnedValueUSD    float64 `json:"earned_value_usd"`
+}

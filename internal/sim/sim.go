@@ -251,16 +251,14 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	acct := cfg.Accounting
 	rep.ExecCost = cost.Price(acct, execUsage)
 	rep.BuildCost = cost.Price(acct, buildUsage)
-	rep.StorageCost = acct.DiskPerGBMonth.MulFloat(storageGBSeconds / secondsPerMonth)
-	rep.NodeCost = acct.CPUPerHour.MulFloat(nodeSeconds / 3600)
+	rep.StorageCost = acct.StorageRent(storageGBSeconds)
+	rep.NodeCost = acct.NodeRent(nodeSeconds)
 	rep.OperatingCost = money.Sum(rep.ExecCost, rep.BuildCost, rep.StorageCost, rep.NodeCost)
 	rep.Elapsed = lastArrival - firstArrival
 	rep.EndOfRun = endOfRun
 	rep.FinalResidentBytes = ca.ResidentBytes()
 	return rep, nil
 }
-
-const secondsPerMonth = 30 * 24 * 3600.0
 
 // MeanResponse returns the mean response time.
 func (r *Report) MeanResponse() time.Duration {
