@@ -17,13 +17,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/server/wire"
 )
 
 // benchQueries keeps one grid cell to roughly a second of wall time.
@@ -119,13 +125,22 @@ func BenchmarkGridWorkers(b *testing.B) {
 // --- Online serving layer -------------------------------------------------
 
 // serverBenchCell is one row of the machine-readable perf trajectory.
+// Mode distinguishes the admission path: "inproc" submits single queries
+// in-process, "batch" uses SubmitBatch, "http" goes through the JSON API
+// over a real socket, "bin" through the length-prefixed binary protocol.
+// AllocsPerQuery is normalized per query (not per benchmark op, which is
+// a whole batch in the batched modes) so cells compare across modes; the
+// key is renamed from the pre-batching allocs_per_op so old and new
+// trajectories cannot be silently conflated.
 type serverBenchCell struct {
-	Shards        int     `json:"shards"`
-	Queries       int64   `json:"queries"`
-	QueriesPerSec float64 `json:"queries_per_sec"`
-	P50Sec        float64 `json:"p50_s"`
-	P99Sec        float64 `json:"p99_s"`
-	AllocsPerOp   float64 `json:"allocs_per_op"`
+	Mode           string  `json:"mode"`
+	Shards         int     `json:"shards"`
+	Batch          int     `json:"batch"`
+	Queries        int64   `json:"queries"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	P50Sec         float64 `json:"p50_s"`
+	P99Sec         float64 `json:"p99_s"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
 }
 
 // serverBenchFile is the BENCH_server.json schema future PRs diff against.
@@ -136,19 +151,197 @@ type serverBenchFile struct {
 	Cells      []serverBenchCell `json:"cells"`
 }
 
-// BenchmarkServerThroughput sweeps shard counts over the online serving
-// engine: concurrent submitters spread across tenants hammer the engine
-// in-process (no HTTP), so the number measures admission + economy
-// decision throughput and its scaling with shards. Each run reports
-// queries/s plus the economy's promised-response percentiles. When the
-// BENCH_JSON env var names a file, the sweep also writes the
-// machine-readable trajectory there (the `make bench` smoke target sets
-// BENCH_JSON=BENCH_server.json).
-func BenchmarkServerThroughput(b *testing.B) {
+// benchTemplates lists the paper template names once for all modes.
+func benchTemplates() []string {
 	templates := make([]string, 0, 7)
 	for _, t := range PaperTemplates() {
 		templates = append(templates, t.Name)
 	}
+	return templates
+}
+
+// runServerThroughput drives one (mode, shards, batch) cell: concurrent
+// submitters spread across tenants push queries through the chosen
+// admission path, and the server's own counters price the result. One
+// b.N iteration is one submission — `batch` queries in the batched and
+// binary modes — so queries/s, not ns/op, is the comparable number.
+func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards, batch int) {
+	b.Helper()
+	templates := benchTemplates()
+	cat := PaperCatalog()
+	srv, err := NewServer(ServerConfig{
+		Shards:  shards,
+		Scheme:  out.Scheme,
+		Params:  DefaultParams(cat),
+		Clock:   NewWallClock(60),
+		Budgets: PaperBudgets(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	// The network modes serve over a real loopback socket so the cell
+	// pays genuine syscall, framing and (for http) JSON costs.
+	var baseURL, binAddr string
+	switch mode {
+	case "http":
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		baseURL = ts.URL
+	case "bin":
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		go wire.Serve(ln, srv)
+		binAddr = ln.Addr().String()
+	}
+
+	// benchQueryAt shapes query i identically for every mode — the
+	// cross-mode comparison only holds if all paths draw the same
+	// tenant/template stream.
+	benchQueryAt := func(i int64) (tenant, template string) {
+		return fmt.Sprintf("tenant-%02d", i%64), templates[i%int64(len(templates))]
+	}
+	makeRequests := func(from int64) []ServerRequest {
+		reqs := make([]ServerRequest, batch)
+		for j := range reqs {
+			tenant, template := benchQueryAt(from + int64(j))
+			reqs[j] = ServerRequest{Tenant: tenant, Template: template}
+		}
+		return reqs
+	}
+
+	// The non-inproc paths block on replies (a batch waits for its
+	// slowest shard group, a network client for its socket round trip),
+	// so oversubscribe the submitters to keep every shard loop busy —
+	// like a real daemon with more connections than cores.
+	if mode != "inproc" {
+		b.SetParallelism(4)
+	}
+
+	b.ReportAllocs()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	var idx atomic.Int64
+	start := time.Now()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		switch mode {
+		case "inproc":
+			for pb.Next() {
+				tenant, template := benchQueryAt(idx.Add(1))
+				if _, err := srv.Submit(ctx, ServerRequest{Tenant: tenant, Template: template}); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		case "batch":
+			for pb.Next() {
+				from := idx.Add(int64(batch)) - int64(batch)
+				items, err := srv.SubmitBatch(ctx, makeRequests(from))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for k := range items {
+					if items[k].Err != nil {
+						b.Error(items[k].Err)
+						return
+					}
+				}
+			}
+		case "http":
+			client := &http.Client{}
+			for pb.Next() {
+				tenant, template := benchQueryAt(idx.Add(1))
+				body := fmt.Sprintf(`{"tenant":"%s","template":"%s"}`, tenant, template)
+				resp, err := client.Post(baseURL+"/v1/query", "application/json", strings.NewReader(body))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		case "bin":
+			cl, err := wire.Dial(binAddr)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer cl.Close()
+			qs := make([]wire.Query, batch)
+			for pb.Next() {
+				from := idx.Add(int64(batch)) - int64(batch)
+				for j := range qs {
+					tenant, template := benchQueryAt(from + int64(j))
+					qs[j] = wire.Query{Tenant: tenant, Template: template}
+				}
+				replies, err := cl.Submit(qs)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for k := range replies {
+					if replies[k].Err != "" {
+						b.Errorf("reply error: %s", replies[k].Err)
+						return
+					}
+				}
+			}
+		default:
+			b.Errorf("unknown mode %q", mode)
+		}
+	})
+	b.StopTimer()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+
+	st := srv.Stats()
+	qps := float64(st.Queries) / elapsed.Seconds()
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(st.Queries)
+	b.ReportMetric(float64(shards), "shards")
+	b.ReportMetric(qps, "queries/s")
+	b.ReportMetric(st.ResponseP50Sec, "p50-sec")
+	b.ReportMetric(st.ResponseP99Sec, "p99-sec")
+	cell := serverBenchCell{
+		Mode:           mode,
+		Shards:         shards,
+		Batch:          batch,
+		Queries:        st.Queries,
+		QueriesPerSec:  qps,
+		P50Sec:         st.ResponseP50Sec,
+		P99Sec:         st.ResponseP99Sec,
+		AllocsPerQuery: allocs,
+	}
+	// The harness re-runs sub-benchmarks (warm-up, calibration); keep
+	// only the final, longest run per cell.
+	for i := range out.Cells {
+		if out.Cells[i].Mode == mode && out.Cells[i].Shards == shards && out.Cells[i].Batch == batch {
+			out.Cells[i] = cell
+			return
+		}
+	}
+	out.Cells = append(out.Cells, cell)
+}
+
+// BenchmarkServerThroughput sweeps the serving layer's admission paths:
+// the in-process shard sweep (the engine's ceiling), batched admission,
+// and the two network fronts — JSON/HTTP (the PR 2 baseline) and the
+// length-prefixed binary protocol with connection reuse and batching.
+// Each run reports queries/s plus the economy's promised-response
+// percentiles. When the BENCH_JSON env var names a file, the sweep also
+// writes the machine-readable trajectory there (the `make bench` smoke
+// target sets BENCH_JSON=BENCH_server.json).
+func BenchmarkServerThroughput(b *testing.B) {
 	out := serverBenchFile{
 		Benchmark:  "BenchmarkServerThroughput",
 		Scheme:     "econ-cheap",
@@ -156,67 +349,20 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			cat := PaperCatalog()
-			srv, err := NewServer(ServerConfig{
-				Shards:  shards,
-				Scheme:  out.Scheme,
-				Params:  DefaultParams(cat),
-				Clock:   NewWallClock(60),
-				Budgets: PaperBudgets(),
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			defer srv.Shutdown(context.Background())
-
-			b.ReportAllocs()
-			var m0, m1 runtime.MemStats
-			runtime.ReadMemStats(&m0)
-			var idx atomic.Int64
-			start := time.Now()
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				ctx := context.Background()
-				for pb.Next() {
-					i := idx.Add(1)
-					_, err := srv.Submit(ctx, ServerRequest{
-						Tenant:   fmt.Sprintf("tenant-%02d", i%64),
-						Template: templates[i%int64(len(templates))],
-					})
-					if err != nil {
-						b.Error(err)
-						return
-					}
-				}
-			})
-			b.StopTimer()
-			elapsed := time.Since(start)
-			runtime.ReadMemStats(&m1)
-
-			st := srv.Stats()
-			qps := float64(st.Queries) / elapsed.Seconds()
-			allocs := float64(m1.Mallocs-m0.Mallocs) / float64(b.N)
-			b.ReportMetric(float64(shards), "shards")
-			b.ReportMetric(qps, "queries/s")
-			b.ReportMetric(st.ResponseP50Sec, "p50-sec")
-			b.ReportMetric(st.ResponseP99Sec, "p99-sec")
-			cell := serverBenchCell{
-				Shards:        shards,
-				Queries:       st.Queries,
-				QueriesPerSec: qps,
-				P50Sec:        st.ResponseP50Sec,
-				P99Sec:        st.ResponseP99Sec,
-				AllocsPerOp:   allocs,
-			}
-			// The harness re-runs sub-benchmarks (warm-up, calibration);
-			// keep only the final, longest run per shard count.
-			for i := range out.Cells {
-				if out.Cells[i].Shards == shards {
-					out.Cells[i] = cell
-					return
-				}
-			}
-			out.Cells = append(out.Cells, cell)
+			runServerThroughput(b, &out, "inproc", shards, 1)
+		})
+	}
+	for _, batch := range []int{16, 64} {
+		b.Run(fmt.Sprintf("mode=batch/shards=4/batch=%d", batch), func(b *testing.B) {
+			runServerThroughput(b, &out, "batch", 4, batch)
+		})
+	}
+	b.Run("mode=http/shards=4", func(b *testing.B) {
+		runServerThroughput(b, &out, "http", 4, 1)
+	})
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("mode=bin/shards=4/batch=%d", batch), func(b *testing.B) {
+			runServerThroughput(b, &out, "bin", 4, batch)
 		})
 	}
 	if path := os.Getenv("BENCH_JSON"); path != "" {

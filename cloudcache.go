@@ -88,6 +88,10 @@ type (
 	ServerRequest = server.Request
 	// ServerResponse reports how the economy answered one query.
 	ServerResponse = server.Response
+	// ServerBatchItem is one positional result of Server.SubmitBatch:
+	// the batched admission path that amortizes mailbox and lock traffic
+	// across many queries per shard hop.
+	ServerBatchItem = server.BatchItem
 	// ServerStats is the live metrics snapshot of GET /v1/stats.
 	ServerStats = server.Stats
 	// ServerClock drives the serving layer's economy time.

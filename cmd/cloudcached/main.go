@@ -6,17 +6,24 @@
 // API:
 //
 //	POST /v1/query      {"tenant","template","selectivity","budget":{"shape","price_usd","tmax_s"}}
-//	GET  /v1/stats      live aggregate + per-shard economy metrics
+//	POST /v1/batch      [QueryRequest, ...] — batched admission
+//	GET  /v1/stats      live aggregate + per-shard economy metrics (?pretty=1 indents)
 //	GET  /v1/structures resident structures (columns, indexes, CPU nodes)
 //	GET  /healthz       liveness + headline counters
+//
+// With -listen-bin the daemon also serves the length-prefixed binary
+// protocol (internal/server/wire) on a second port: persistent
+// connections carrying query batches with no HTTP or JSON overhead —
+// the high-throughput front.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight queries are answered, tail
 // rent is settled, and a final stats snapshot is printed to stdout.
 //
 // Usage:
 //
-//	cloudcached [-addr :8344] [-shards 4] [-scheme econ-cheap] [-sf 0]
-//	            [-speedup 1] [-tick 1s] [-seed 1] [-mailbox 256]
+//	cloudcached [-addr :8344] [-listen-bin :8345] [-shards 4]
+//	            [-scheme econ-cheap] [-sf 0] [-speedup 1] [-tick 1s]
+//	            [-seed 1] [-mailbox 256]
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,10 +43,12 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/scheme"
 	"repro/internal/server"
+	"repro/internal/server/wire"
 )
 
 func main() {
-	addr := flag.String("addr", ":8344", "listen address")
+	addr := flag.String("addr", ":8344", "HTTP listen address")
+	listenBin := flag.String("listen-bin", "", "binary-protocol listen address (length-prefixed wire frames); empty disables")
 	shards := flag.Int("shards", 4, "independent economy shards")
 	schemeName := flag.String("scheme", "econ-cheap", "caching scheme: bypass, econ-col, econ-cheap or econ-fast")
 	sf := flag.Float64("sf", 0, "TPC-H scale factor for the back-end catalog (0 = the paper's 2.5 TB catalog)")
@@ -77,6 +87,20 @@ func main() {
 		}
 	}()
 
+	var binLn net.Listener
+	if *listenBin != "" {
+		binLn, err = net.Listen("tcp", *listenBin)
+		if err != nil {
+			fail(err)
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "cloudcached: binary protocol on %s\n", *listenBin)
+			if err := wire.Serve(binLn, srv); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
@@ -95,6 +119,12 @@ func main() {
 	// with every accepted query answered and tail rent settled.
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudcached: http shutdown:", err)
+	}
+	if binLn != nil {
+		// Stop accepting binary connections; established connections see
+		// ErrServerClosed on their next frame once the drain flips, and
+		// batches accepted before that are still answered.
+		_ = binLn.Close()
 	}
 	if err := srv.Shutdown(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudcached: drain:", err)

@@ -11,13 +11,18 @@
 // Load mode (-serve):
 //
 //	workloadgen -serve http://localhost:8344 [-queries N] [-qps Q]
-//	            [-clients C] [-tenants T] [-check] ...
+//	            [-clients C] [-tenants T] [-batch B] [-check] ...
+//	workloadgen -serve localhost:8345 -proto bin -batch 64
+//	            -stats-url http://localhost:8344 [-check] ...
 //
-// In load mode each generated query is POSTed to /v1/query with its
-// budget, spread across T synthetic tenants so the daemon exercises all
-// its shards; the client reports achieved QPS and request-latency
-// percentiles, then fetches /v1/stats. With -check it exits non-zero if
-// the served count does not match or any shard's account went negative.
+// In load mode each generated query is submitted with its budget, spread
+// across T synthetic tenants so the daemon exercises all its shards. With
+// -proto http, batches of B ride POST /v1/query (B=1) or /v1/batch; with
+// -proto bin they ride the length-prefixed binary protocol over C
+// persistent connections. The client reports achieved QPS and
+// request-latency percentiles, then fetches /v1/stats. With -check it
+// exits non-zero if the server's query-count delta over the run does not
+// match the client's acks or any shard's account went negative.
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -36,6 +42,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/server/wire"
 	"repro/internal/workload"
 )
 
@@ -47,10 +54,13 @@ func main() {
 	theta := flag.Float64("theta", 1.1, "Zipf skew of template popularity")
 	phase := flag.Int("phase", 20_000, "queries per workload-evolution phase")
 	out := flag.String("o", "-", "output file (- for stdout)")
-	serve := flag.String("serve", "", "cloudcached base URL; empty writes a CSV trace instead")
+	serve := flag.String("serve", "", "cloudcached address: an http://host:port base URL, or with -proto bin the binary listener's host:port; empty writes a CSV trace instead")
+	proto := flag.String("proto", "http", "serving protocol: http (JSON) or bin (length-prefixed wire frames)")
+	batch := flag.Int("batch", 1, "queries per submission batch in -serve mode")
 	qps := flag.Float64("qps", 0, "target request rate against -serve (0 = unthrottled)")
 	clients := flag.Int("clients", 8, "concurrent client connections in -serve mode")
 	tenants := flag.Int("tenants", 16, "synthetic tenants the stream is spread across in -serve mode")
+	statsURL := flag.String("stats-url", "", "HTTP base URL for /v1/stats (defaults to -serve with -proto http; required for -check with -proto bin)")
 	check := flag.Bool("check", false, "verify server-side invariants after the run and exit non-zero on violation")
 	flag.Parse()
 
@@ -77,7 +87,18 @@ func main() {
 	}
 
 	if *serve != "" {
-		if err := serveLoad(gen, *serve, *queries, *qps, *clients, *tenants, *check); err != nil {
+		cfg := loadConfig{
+			base:     *serve,
+			proto:    *proto,
+			queries:  *queries,
+			qps:      *qps,
+			clients:  *clients,
+			tenants:  *tenants,
+			batch:    *batch,
+			statsURL: *statsURL,
+			check:    *check,
+		}
+		if err := serveLoad(gen, cfg); err != nil {
 			fail(err)
 		}
 		return
@@ -114,6 +135,171 @@ func writeTrace(gen *workload.Generator, cat *catalog.Catalog, queries int, out 
 	}
 }
 
+// loadConfig parameterises one replay run.
+type loadConfig struct {
+	base     string
+	proto    string
+	queries  int
+	qps      float64
+	clients  int
+	tenants  int
+	batch    int
+	statsURL string
+	check    bool
+}
+
+// genQuery is one generated query in protocol-agnostic form; the client
+// runners convert it to JSON or wire records.
+type genQuery struct {
+	tenant      string
+	template    string
+	selectivity float64
+	priceUSD    float64
+	tmaxSec     float64
+}
+
+// runHTTPClient drains job batches over the JSON/HTTP front: singleton
+// batches ride POST /v1/query, larger ones POST /v1/batch.
+func runHTTPClient(client *http.Client, base string, jobs <-chan []genQuery, res *loadResult) {
+	for batch := range jobs {
+		var body []byte
+		var err error
+		single := len(batch) == 1
+		if single {
+			body, err = json.Marshal(httpRequestOf(batch[0]))
+		} else {
+			reqs := make([]server.QueryRequest, len(batch))
+			for i, g := range batch {
+				reqs[i] = httpRequestOf(g)
+			}
+			body, err = json.Marshal(reqs)
+		}
+		if err != nil {
+			fail(err)
+		}
+		path := "/v1/batch"
+		if single {
+			path = "/v1/query"
+		}
+		t0 := time.Now()
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+		lat := time.Since(t0)
+		if err != nil {
+			res.observe(0, 0, int64(len(batch)), 0)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			res.observe(0, 0, int64(len(batch)), 0)
+			continue
+		}
+		var ok, declined, failed int64
+		decodeOK := true
+		if single {
+			var qr server.Response
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				failed++
+				decodeOK = false
+			} else {
+				ok++
+				if qr.Declined {
+					declined++
+				}
+			}
+		} else {
+			var items []server.BatchResponseItem
+			if err := json.NewDecoder(resp.Body).Decode(&items); err != nil || len(items) != len(batch) {
+				failed += int64(len(batch))
+				decodeOK = false
+			} else {
+				for _, it := range items {
+					if it.Response == nil {
+						failed++
+						continue
+					}
+					ok++
+					if it.Response.Declined {
+						declined++
+					}
+				}
+			}
+		}
+		resp.Body.Close()
+		// Undecodable replies count as failures and stay out of the
+		// latency percentiles, like transport errors above.
+		if !decodeOK {
+			lat = 0
+		}
+		res.observe(ok, declined, failed, lat)
+	}
+}
+
+func httpRequestOf(g genQuery) server.QueryRequest {
+	sel := g.selectivity
+	return server.QueryRequest{
+		Tenant:      g.tenant,
+		Template:    g.template,
+		Selectivity: &sel,
+		Budget: &server.BudgetJSON{
+			Shape:    "step",
+			PriceUSD: g.priceUSD,
+			TmaxSec:  g.tmaxSec,
+		},
+	}
+}
+
+// runBinClient drains job batches over one persistent binary-protocol
+// connection.
+func runBinClient(addr string, jobs <-chan []genQuery, res *loadResult) {
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		// The whole connection failed: count everything this worker
+		// would have sent as failed so the totals still add up.
+		for batch := range jobs {
+			res.observe(0, 0, int64(len(batch)), 0)
+		}
+		return
+	}
+	defer cl.Close()
+	var qs []wire.Query
+	for batch := range jobs {
+		qs = qs[:0]
+		for _, g := range batch {
+			qs = append(qs, wire.Query{
+				Tenant:         g.tenant,
+				Template:       g.template,
+				Selectivity:    g.selectivity,
+				HasSelectivity: true,
+				Budget: &server.BudgetJSON{
+					Shape:    "step",
+					PriceUSD: g.priceUSD,
+					TmaxSec:  g.tmaxSec,
+				},
+			})
+		}
+		t0 := time.Now()
+		replies, err := cl.Submit(qs)
+		lat := time.Since(t0)
+		if err != nil {
+			res.observe(0, 0, int64(len(batch)), 0)
+			continue
+		}
+		var ok, declined, failed int64
+		for i := range replies {
+			if replies[i].Err != "" {
+				failed++
+				continue
+			}
+			ok++
+			if replies[i].Resp.Declined {
+				declined++
+			}
+		}
+		res.observe(ok, declined, failed, lat)
+	}
+}
+
 // loadResult tallies one replay run.
 type loadResult struct {
 	mu       sync.Mutex
@@ -123,87 +309,101 @@ type loadResult struct {
 	latency  *metrics.DurationStats
 }
 
-// serveLoad replays the generator stream against a cloudcached daemon.
-func serveLoad(gen *workload.Generator, base string, queries int, qps float64, clients, tenants int, check bool) error {
-	if clients < 1 {
-		clients = 1
+func (r *loadResult) observe(ok, declined, failed int64, lat time.Duration) {
+	r.mu.Lock()
+	r.ok += ok
+	r.declined += declined
+	r.failed += failed
+	if lat > 0 {
+		r.latency.ObserveDuration(lat)
 	}
-	if tenants < 1 {
-		tenants = 1
+	r.mu.Unlock()
+}
+
+// serveLoad replays the generator stream against a cloudcached daemon
+// over the selected protocol.
+func serveLoad(gen *workload.Generator, cfg loadConfig) error {
+	if cfg.clients < 1 {
+		cfg.clients = 1
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	if cfg.tenants < 1 {
+		cfg.tenants = 1
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	if cfg.proto == "bin" && cfg.batch > wire.MaxBatch {
+		// The HTTP endpoint enforces its own (server-side) batch limit.
+		return fmt.Errorf("-batch %d exceeds the wire protocol limit %d", cfg.batch, wire.MaxBatch)
+	}
+	switch cfg.proto {
+	case "http", "bin":
+	default:
+		return fmt.Errorf("unknown protocol %q (want http or bin)", cfg.proto)
+	}
+	if cfg.statsURL == "" && cfg.proto == "http" {
+		cfg.statsURL = cfg.base
+	}
+	if cfg.statsURL == "" && cfg.check {
+		return fmt.Errorf("-check with -proto bin needs -stats-url (the daemon's HTTP base URL)")
+	}
+	httpClient := &http.Client{Timeout: 30 * time.Second}
+
+	// The server's counters are cumulative over its lifetime; take a
+	// baseline so the post-run check compares only this run's delta and
+	// repeated replays against one daemon stay checkable.
+	var before server.Stats
+	if cfg.statsURL != "" {
+		if err := fetchStats(httpClient, cfg.statsURL, &before); err != nil {
+			return fmt.Errorf("fetching baseline stats: %w", err)
+		}
+	}
 
 	// The generator is single-owner: one producer goroutine feeds the
-	// client pool, throttled to the target rate.
-	type job struct {
-		body   []byte
-		tenant string
-	}
-	jobs := make(chan job, clients*2)
+	// client pool whole batches, throttled per query to the target rate.
+	jobs := make(chan []genQuery, cfg.clients*2)
 	go func() {
 		defer close(jobs)
 		var tick *time.Ticker
-		if qps > 0 {
-			if gap := time.Duration(float64(time.Second) / qps); gap > 0 {
+		if cfg.qps > 0 {
+			if gap := time.Duration(float64(time.Second) / cfg.qps); gap > 0 {
 				tick = time.NewTicker(gap)
 				defer tick.Stop()
 			}
 			// Sub-nanosecond gaps degrade to unthrottled.
 		}
-		for i := 0; i < queries; i++ {
+		pending := make([]genQuery, 0, cfg.batch)
+		for i := 0; i < cfg.queries; i++ {
 			q := gen.Next()
-			req := server.QueryRequest{
-				Tenant:      fmt.Sprintf("tenant-%03d", i%tenants),
-				Template:    q.Template.Name,
-				Selectivity: q.Selectivity,
-				Budget: &server.BudgetJSON{
-					Shape:    "step",
-					PriceUSD: q.Budget.At(time.Millisecond).Dollars(),
-					TmaxSec:  q.Budget.Tmax().Seconds(),
-				},
-			}
-			body, err := json.Marshal(req)
-			if err != nil {
-				fail(err)
-			}
 			if tick != nil {
 				<-tick.C
 			}
-			jobs <- job{body: body, tenant: req.Tenant}
+			pending = append(pending, genQuery{
+				tenant:      fmt.Sprintf("tenant-%03d", i%cfg.tenants),
+				template:    q.Template.Name,
+				selectivity: q.Selectivity,
+				priceUSD:    q.Budget.At(time.Millisecond).Dollars(),
+				tmaxSec:     q.Budget.Tmax().Seconds(),
+			})
+			if len(pending) == cfg.batch || i == cfg.queries-1 {
+				jobs <- pending
+				pending = make([]genQuery, 0, cfg.batch)
+			}
 		}
 	}()
 
 	res := &loadResult{latency: metrics.NewDurationStats(8192)}
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < clients; c++ {
+	for c := 0; c < cfg.clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				t0 := time.Now()
-				resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(j.body))
-				lat := time.Since(t0)
-				if err != nil {
-					res.mu.Lock()
-					res.failed++
-					res.mu.Unlock()
-					continue
-				}
-				var qr server.Response
-				decodeErr := json.NewDecoder(resp.Body).Decode(&qr)
-				resp.Body.Close()
-				res.mu.Lock()
-				if resp.StatusCode != http.StatusOK || decodeErr != nil {
-					res.failed++
-				} else {
-					res.ok++
-					if qr.Declined {
-						res.declined++
-					}
-					res.latency.ObserveDuration(lat)
-				}
-				res.mu.Unlock()
+			switch cfg.proto {
+			case "http":
+				runHTTPClient(httpClient, cfg.base, jobs, res)
+			case "bin":
+				runBinClient(cfg.base, jobs, res)
 			}
 		}()
 	}
@@ -211,20 +411,18 @@ func serveLoad(gen *workload.Generator, base string, queries int, qps float64, c
 	elapsed := time.Since(start)
 
 	achieved := float64(res.ok+res.failed) / elapsed.Seconds()
-	fmt.Printf("replayed %d queries in %.2fs: %d ok (%d declined), %d failed, %.0f req/s\n",
-		queries, elapsed.Seconds(), res.ok, res.declined, res.failed, achieved)
-	fmt.Printf("client latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
+	fmt.Printf("replayed %d queries in %.2fs over %s (batch=%d): %d ok (%d declined), %d failed, %.0f req/s\n",
+		cfg.queries, elapsed.Seconds(), cfg.proto, cfg.batch, res.ok, res.declined, res.failed, achieved)
+	fmt.Printf("request latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		res.latency.Percentile(50)*1000, res.latency.Percentile(95)*1000, res.latency.Percentile(99)*1000)
 
-	// Pull the server's own view of the run.
-	resp, err := client.Get(base + "/v1/stats")
-	if err != nil {
-		return fmt.Errorf("fetching stats: %w", err)
+	if cfg.statsURL == "" {
+		return nil
 	}
-	defer resp.Body.Close()
+	// Pull the server's own view of the run.
 	var st server.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return fmt.Errorf("decoding stats: %w", err)
+	if err := fetchStats(httpClient, cfg.statsURL, &st); err != nil {
+		return fmt.Errorf("fetching stats: %w", err)
 	}
 	busy := 0
 	for _, sh := range st.PerShard {
@@ -232,23 +430,24 @@ func serveLoad(gen *workload.Generator, base string, queries int, qps float64, c
 			busy++
 		}
 	}
-	fmt.Printf("server: scheme=%s shards=%d (%d busy) queries=%d cache_answered=%d invests=%d cost=$%.4f revenue=$%.4f credit=$%.4f\n",
-		st.Scheme, st.Shards, busy, st.Queries, st.CacheAnswered, st.Investments,
+	fmt.Printf("server: scheme=%s shards=%d (%d busy) queries=%d errors=%d cache_answered=%d invests=%d cost=$%.4f revenue=$%.4f credit=$%.4f\n",
+		st.Scheme, st.Shards, busy, st.Queries, st.Errors, st.CacheAnswered, st.Investments,
 		st.OperatingCostUSD, st.RevenueUSD, st.CreditUSD)
 
-	if !check {
+	if !cfg.check {
 		return nil
 	}
 	// Invariants, observed from outside the process boundary: every
-	// acknowledged query is accounted, no shard's conservative account
-	// went negative, and at least two shards carried load (the stream is
-	// spread across tenants).
+	// acknowledged query is accounted (as a delta over the pre-run
+	// baseline), no shard's conservative account went negative, and at
+	// least two shards carried load (the stream is spread across
+	// tenants).
 	var violations []string
 	if res.failed > 0 {
 		violations = append(violations, fmt.Sprintf("%d requests failed", res.failed))
 	}
-	if st.Queries != res.ok {
-		violations = append(violations, fmt.Sprintf("server counted %d queries, client got %d acks", st.Queries, res.ok))
+	if delta := st.Queries - before.Queries; delta != res.ok {
+		violations = append(violations, fmt.Sprintf("server counted %d new queries, client got %d acks", delta, res.ok))
 	}
 	for _, sh := range st.PerShard {
 		if sh.CreditUSD < 0 {
@@ -269,6 +468,15 @@ func serveLoad(gen *workload.Generator, base string, queries int, qps float64, c
 	}
 	fmt.Println("invariants: OK")
 	return nil
+}
+
+func fetchStats(client *http.Client, base string, st *server.Stats) error {
+	resp, err := client.Get(strings.TrimSuffix(base, "/") + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(st)
 }
 
 func fail(err error) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"time"
 
@@ -11,12 +12,34 @@ import (
 	"repro/internal/money"
 )
 
-// QueryRequest is the JSON body of POST /v1/query.
+// QueryRequest is the JSON body of POST /v1/query and one element of
+// POST /v1/batch. Selectivity is a pointer so an explicit
+// `"selectivity": 0` is distinguishable from an absent field: absent
+// draws from the template's range, zero clamps to the template's
+// minimum like any other out-of-range value.
 type QueryRequest struct {
 	Tenant      string      `json:"tenant,omitempty"`
 	Template    string      `json:"template"`
-	Selectivity float64     `json:"selectivity,omitempty"`
+	Selectivity *float64    `json:"selectivity,omitempty"`
 	Budget      *BudgetJSON `json:"budget,omitempty"`
+}
+
+// Request converts the wire form into the engine's Request.
+func (qr *QueryRequest) Request() (Request, error) {
+	bf, err := qr.Budget.Func()
+	if err != nil {
+		return Request{}, err
+	}
+	req := Request{
+		Tenant:   qr.Tenant,
+		Template: qr.Template,
+		Budget:   bf,
+	}
+	if qr.Selectivity != nil {
+		req.Selectivity = *qr.Selectivity
+		req.HasSelectivity = true
+	}
+	return req, nil
 }
 
 // BudgetJSON is the wire form of a user budget function B_Q(t): a shape
@@ -78,24 +101,45 @@ type errorJSON struct {
 // Handler returns the daemon's HTTP API:
 //
 //	POST /v1/query      — submit one query (QueryRequest -> Response)
-//	GET  /v1/stats      — live aggregate + per-shard metrics (Stats)
-//	GET  /v1/structures — resident structures across shards
+//	POST /v1/batch      — submit many ([]QueryRequest -> []BatchResponseItem)
+//	GET  /v1/stats      — live aggregate + per-shard metrics (Stats); ?pretty=1 indents
+//	GET  /v1/structures — resident structures across shards; ?pretty=1 indents
 //	GET  /healthz       — liveness plus headline counters (Health)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/structures", s.handleStructures)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
+// writeJSON encodes v compactly — the hot /v1/query path pays no
+// indentation — and reports encode failures instead of swallowing them:
+// the status line is already on the wire by then, so the best we can do
+// is log and let the truncated body fail the client's decode.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSONIndent(w, status, v, false)
+}
+
+func writeJSONIndent(w http.ResponseWriter, status int, v any, indent bool) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if indent {
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(v); err != nil {
+		log.Printf("server: encoding %T response: %v", v, err)
+	}
+}
+
+// wantPretty reports whether the client asked for indented output
+// (?pretty=1) on the read endpoints.
+func wantPretty(r *http.Request) bool {
+	p := r.URL.Query().Get("pretty")
+	return p == "1" || p == "true"
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -118,17 +162,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("template is required"))
 		return
 	}
-	bf, err := qr.Budget.Func()
+	req, err := qr.Request()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	resp, err := s.Submit(r.Context(), Request{
-		Tenant:      qr.Tenant,
-		Template:    qr.Template,
-		Selectivity: qr.Selectivity,
-		Budget:      bf,
-	})
+	resp, err := s.Submit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrServerClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -141,12 +180,81 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// BatchResponseItem is one positional element of the POST /v1/batch
+// reply: exactly one of Response or Error is set.
+type BatchResponseItem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// maxHTTPBatch bounds one /v1/batch submission; larger batches gain
+// nothing (they only delay the first reply) and unbounded ones are a
+// memory hazard.
+const maxHTTPBatch = 4096
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var qrs []QueryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&qrs); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(qrs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		return
+	}
+	if len(qrs) > maxHTTPBatch {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(qrs), maxHTTPBatch))
+		return
+	}
+	reqs := make([]Request, len(qrs))
+	for i := range qrs {
+		// Malformed items are client errors for the whole request, same
+		// as on /v1/query — they must not reach the shards and pollute
+		// the Errors counter.
+		if qrs[i].Template == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch[%d]: template is required", i))
+			return
+		}
+		req, err := qrs[i].Request()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("batch[%d]: %w", i, err))
+			return
+		}
+		reqs[i] = req
+	}
+	items, err := s.SubmitBatch(r.Context(), reqs)
+	switch {
+	case errors.Is(err, ErrServerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	out := make([]BatchResponseItem, len(items))
+	for i := range items {
+		if items[i].Err != nil {
+			out[i].Error = items[i].Err.Error()
+		} else {
+			resp := items[i].Resp
+			out[i].Response = &resp
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	writeJSON(w, http.StatusOK, s.Stats())
+	writeJSONIndent(w, http.StatusOK, s.Stats(), wantPretty(r))
 }
 
 func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
@@ -158,7 +266,7 @@ func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
 	if structures == nil {
 		structures = []StructureInfo{}
 	}
-	writeJSON(w, http.StatusOK, structures)
+	writeJSONIndent(w, http.StatusOK, structures, wantPretty(r))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

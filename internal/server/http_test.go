@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/server"
+	"repro/internal/workload"
 )
 
 func newHTTPServer(t *testing.T) (*server.Server, *httptest.Server) {
@@ -23,7 +25,12 @@ func newHTTPServer(t *testing.T) (*server.Server, *httptest.Server) {
 
 func postQuery(t *testing.T, url string, body string) (*http.Response, []byte) {
 	t.Helper()
-	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewBufferString(body))
+	return postBody(t, url+"/v1/query", body)
+}
+
+func postBody(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewBufferString(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,6 +169,103 @@ func TestHTTPStatsAndHealthz(t *testing.T) {
 	}
 	resp.Body.Close()
 	// Cold server: the list is present (possibly empty), never null.
+}
+
+// TestHTTPExplicitZeroSelectivity: `"selectivity": 0` in the JSON body
+// is an explicit request, not an invitation to draw randomly — it clamps
+// to the template's minimum like any other out-of-range value.
+func TestHTTPExplicitZeroSelectivity(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	var selMin float64
+	for _, tpl := range workload.PaperTemplates() {
+		if tpl.Name == "Q6" {
+			selMin = tpl.SelMin
+		}
+	}
+	for i := 0; i < 3; i++ {
+		resp, body := postQuery(t, ts.URL, `{"template":"Q6","selectivity":0}`)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+		}
+		var qr server.Response
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if qr.Selectivity != selMin {
+			t.Fatalf("explicit zero selectivity = %g, want SelMin %g", qr.Selectivity, selMin)
+		}
+	}
+}
+
+func TestHTTPBatch(t *testing.T) {
+	srv, ts := newHTTPServer(t)
+	resp, body := postBody(t, ts.URL+"/v1/batch",
+		`[{"tenant":"a","template":"Q6","selectivity":0.0096},
+		  {"tenant":"b","template":"Q999"},
+		  {"tenant":"a","template":"Q1"}]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var items []server.BatchResponseItem
+	if err := json.Unmarshal(body, &items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("items = %d, want 3", len(items))
+	}
+	if items[0].Response == nil || items[0].Response.Template != "Q6" {
+		t.Errorf("item 0 = %+v", items[0])
+	}
+	if items[1].Error == "" || items[1].Response != nil {
+		t.Errorf("item 1 = %+v, want per-item error", items[1])
+	}
+	if items[2].Response == nil || items[2].Response.Template != "Q1" {
+		t.Errorf("item 2 = %+v", items[2])
+	}
+	st := srv.Stats()
+	if st.Queries != 2 || st.Errors != 1 {
+		t.Errorf("queries/errors = %d/%d, want 2/1", st.Queries, st.Errors)
+	}
+
+	// Malformed batches are whole-request errors.
+	for name, body := range map[string]string{
+		"empty":                 `[]`,
+		"not a list":            `{"template":"Q1"}`,
+		"bad budget":            `[{"template":"Q1","budget":{"price_usd":-1,"tmax_s":60}}]`,
+		"item missing template": `[{"tenant":"a"}]`,
+	} {
+		resp, _ := postBody(t, ts.URL+"/v1/batch", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPStatsPretty: the hot paths answer compact JSON; ?pretty=1
+// keeps the human-readable form on the read endpoints.
+func TestHTTPStatsPretty(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	get := func(path string) string {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if compact := get("/v1/stats"); strings.Contains(compact, "\n  ") {
+		t.Error("/v1/stats default output is indented")
+	}
+	if pretty := get("/v1/stats?pretty=1"); !strings.Contains(pretty, "\n  ") {
+		t.Error("/v1/stats?pretty=1 output is not indented")
+	}
+	if _, body := postQuery(t, ts.URL, `{"template":"Q1"}`); bytes.Contains(body, []byte("\n  ")) {
+		t.Error("/v1/query response is indented")
+	}
 }
 
 func TestHTTPAfterShutdown(t *testing.T) {

@@ -48,10 +48,16 @@ type Request struct {
 	Tenant string
 	// Template names a query template (e.g. "Q6"). Required.
 	Template string
-	// Selectivity is the region fraction scanned; 0 draws one from the
-	// template's range with the shard's deterministic RNG. Out-of-range
-	// values clamp to the template's [SelMin, SelMax].
+	// Selectivity is the region fraction scanned. Zero with
+	// HasSelectivity unset means "not specified": the shard draws one
+	// from the template's range with its deterministic RNG. Any other
+	// value — including an explicit zero, marked by HasSelectivity —
+	// clamps to the template's [SelMin, SelMax].
 	Selectivity float64
+	// HasSelectivity distinguishes an explicitly requested selectivity
+	// of 0 from the unset zero value. Non-zero selectivities need not
+	// set it.
+	HasSelectivity bool
 	// Budget is the user's B_Q(t); nil applies the server's default
 	// budget policy.
 	Budget budget.Func
@@ -295,6 +301,90 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	}
 }
 
+// BatchItem is one positional result of SubmitBatch: the economy's
+// answer to the request at the same index, or the per-request error that
+// prevented one (e.g. an unknown template).
+type BatchItem struct {
+	Resp Response
+	Err  error
+}
+
+// SubmitBatch submits many queries in one call: requests are grouped by
+// destination shard and each group travels the mailbox as a single
+// message, amortizing channel sends, lock acquisitions and reply
+// allocations across the group. Within a shard, requests are decided in
+// slice order with one shared arrival stamp, so results are
+// deterministic given the shard's prior state. The returned slice aligns
+// positionally with reqs; per-request failures land in BatchItem.Err
+// while the call-level error reports only whole-batch conditions
+// (ErrServerClosed, ctx cancellation). The graceful-drain guarantee of
+// Submit holds: an accepted batch is always fully answered.
+func (s *Server) SubmitBatch(ctx context.Context, reqs []Request) ([]BatchItem, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	s.submitWG.Add(1)
+	s.mu.Unlock()
+	defer s.submitWG.Done()
+
+	// Group request positions by shard, preserving submission order
+	// within each group.
+	type group struct {
+		reqs  []Request
+		pos   []int
+		reply chan []shardReply
+	}
+	groups := make([]*group, len(s.shards))
+	for i, req := range reqs {
+		idx := s.ShardIndex(req)
+		g := groups[idx]
+		if g == nil {
+			g = &group{reply: make(chan []shardReply, 1)}
+			groups[idx] = g
+		}
+		g.reqs = append(g.reqs, req)
+		g.pos = append(g.pos, i)
+	}
+
+	// Enqueue every group, then collect. Sends may block on a full
+	// mailbox, but the shard loops drain independently of this
+	// goroutine, so sequential sends cannot deadlock. If ctx dies
+	// after some sends, the already-accepted groups are still decided
+	// (and their buffered replies dropped) — same semantics as an
+	// abandoned Submit.
+	for idx, g := range groups {
+		if g == nil {
+			continue
+		}
+		select {
+		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchReply: g.reply}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	out := make([]BatchItem, len(reqs))
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		select {
+		case replies := <-g.reply:
+			for i, r := range replies {
+				out[g.pos[i]] = BatchItem{Resp: r.resp, Err: r.err}
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return out, nil
+}
+
 // Housekeep synchronously accrues rent and completes due builds on every
 // shard. The ticker calls the same path on wall clocks; virtual-clock
 // tests call it after Advance to make accrual deterministic.
@@ -338,6 +428,7 @@ func (s *Server) Stats() Stats {
 		agg.CacheAnswered += st.CacheAnswered
 		agg.Investments += st.Investments
 		agg.Failures += st.Failures
+		agg.Errors += st.Errors
 		agg.ExecCostUSD += st.ExecCostUSD
 		agg.BuildCostUSD += st.BuildCostUSD
 		agg.StorageCostUSD += st.StorageCostUSD

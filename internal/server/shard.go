@@ -15,12 +15,21 @@ import (
 	"repro/internal/workload"
 )
 
-// shardMsg is one unit of mailbox work: a query plus its reply channel.
-// The reply channel is buffered (capacity 1) so the shard loop never
-// blocks on a caller that has already given up.
+// shardMsg is one unit of mailbox work: a single query or a whole batch,
+// plus the matching reply channel. Reply channels are buffered (capacity
+// 1) so the shard loop never blocks on a caller that has already given
+// up. Batches keep the mailbox traffic proportional to submissions, not
+// queries: one send, one dequeue and one reply allocation cover the
+// entire slice.
 type shardMsg struct {
+	// req/reply carry a single submission when batch is nil.
 	req   Request
 	reply chan shardReply
+
+	// batch/batchReply carry a batched submission. The slice is owned by
+	// the shard until the reply is sent.
+	batch      []Request
+	batchReply chan []shardReply
 }
 
 // shardReply is the shard's answer to one submission.
@@ -65,6 +74,7 @@ type shard struct {
 	cacheAnswered int64
 	investments   int64
 	failures      int64
+	errors        int64
 	revenue       money.Amount
 	profit        money.Amount
 	execUsage     cost.Usage
@@ -105,7 +115,11 @@ func (s *shard) loop() {
 			if !ok {
 				return
 			}
-			m.reply <- s.handle(m.req)
+			if m.batch != nil {
+				m.batchReply <- s.handleBatch(m.batch)
+			} else {
+				m.reply <- s.handle(m.req)
+			}
 		case <-s.tick:
 			s.housekeep()
 		}
@@ -144,13 +158,41 @@ func (s *shard) handle(req Request) shardReply {
 
 	now := s.nowLocked()
 	s.accrueLocked(now)
+	return s.handleLocked(req, now)
+}
 
+// handleBatch runs a whole batch under one lock acquisition, one clock
+// read and one rent accrual: the queries share an arrival stamp (they
+// were submitted together) and are decided strictly in slice order, so a
+// batch is deterministic given the shard's prior state — exactly the
+// sequence of decisions the same requests would produce submitted
+// back-to-back at the same instant.
+func (s *shard) handleBatch(reqs []Request) []shardReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	now := s.nowLocked()
+	s.accrueLocked(now)
+	replies := make([]shardReply, len(reqs))
+	for i, req := range reqs {
+		replies[i] = s.handleLocked(req, now)
+	}
+	return replies
+}
+
+// handleLocked decides one query at arrival time now. Callers hold s.mu
+// and have already accrued rent through now.
+func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
 	tpl, ok := s.srv.templates[req.Template]
 	if !ok {
+		s.errors++
 		return shardReply{err: fmt.Errorf("%w: %q", ErrUnknownTemplate, req.Template)}
 	}
 	sel := req.Selectivity
-	if sel == 0 {
+	if sel == 0 && !req.HasSelectivity {
+		// Unset: draw one from the template's range. An explicit zero
+		// (HasSelectivity true) instead clamps below, like any other
+		// out-of-range value.
 		sel = tpl.SelMin + s.rng.Float64()*(tpl.SelMax-tpl.SelMin)
 	}
 	if sel < tpl.SelMin {
@@ -170,6 +212,7 @@ func (s *shard) handle(req Request) shardReply {
 	if q.Budget == nil {
 		scan, err := q.ScanBytes(s.srv.catalog)
 		if err != nil {
+			s.errors++
 			return shardReply{err: err}
 		}
 		result, _ := q.ResultBytes(s.srv.catalog)
@@ -178,6 +221,7 @@ func (s *shard) handle(req Request) shardReply {
 
 	r, err := s.sch.HandleQuery(q)
 	if err != nil {
+		s.errors++
 		return shardReply{err: fmt.Errorf("shard %d: query %d: %w", s.id, q.ID, err)}
 	}
 
@@ -195,9 +239,13 @@ func (s *shard) handle(req Request) shardReply {
 		if r.Location == plan.Cache {
 			s.cacheAnswered++
 		}
-	}
-	if done := now + r.ResponseTime; done > s.endOfRun {
-		s.endOfRun = done
+		// Only executions widen the tail-rent window: a declined query
+		// runs nothing, so it must not push endOfRun (and with it the
+		// storage/node rent finalize charges) past its arrival — the
+		// same window sim.Run bills.
+		if done := now + r.ResponseTime; done > s.endOfRun {
+			s.endOfRun = done
+		}
 	}
 
 	return shardReply{resp: Response{
@@ -262,6 +310,7 @@ func (s *shard) snapshot() (ShardStats, []float64) {
 		CacheAnswered:      s.cacheAnswered,
 		Investments:        s.investments,
 		Failures:           s.failures,
+		Errors:             s.errors,
 		ResponseMeanSec:    s.response.Mean(),
 		ResponseP50Sec:     s.response.Percentile(50),
 		ResponseP95Sec:     s.response.Percentile(95),

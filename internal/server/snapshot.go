@@ -12,12 +12,15 @@ type ShardStats struct {
 	// ClockSec is the shard's economy time (seconds since server start).
 	ClockSec float64 `json:"clock_s"`
 
-	// Traffic counters.
+	// Traffic counters. Errors counts requests the shard could not
+	// decide (unknown template, sizing or scheme failures): an unhealthy
+	// shard is visibly erroring, not idle.
 	Queries       int64 `json:"queries"`
 	Declined      int64 `json:"declined"`
 	CacheAnswered int64 `json:"cache_answered"`
 	Investments   int64 `json:"investments"`
 	Failures      int64 `json:"failures"`
+	Errors        int64 `json:"errors"`
 
 	// Response-time statistics over executed queries (seconds).
 	ResponseMeanSec float64 `json:"response_mean_s"`
@@ -62,6 +65,7 @@ type Stats struct {
 	CacheAnswered int64 `json:"cache_answered"`
 	Investments   int64 `json:"investments"`
 	Failures      int64 `json:"failures"`
+	Errors        int64 `json:"errors"`
 
 	// Aggregate response percentiles, estimated over the union of the
 	// per-shard reservoirs.

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Serve accepts connections on l and speaks the binary protocol against
+// srv until l is closed (the caller's shutdown signal) or srv drains.
+// Each connection gets its own goroutine and is reused for any number of
+// query-batch frames; one frame becomes one Server.SubmitBatch call, so
+// the client's batching decision is the engine's batching decision.
+// Transient accept failures (fd exhaustion under connection load) are
+// retried with backoff, like net/http's Serve, so a busy front does not
+// take the whole daemon down.
+func Serve(l net.Listener, srv *server.Server) error {
+	var delay time.Duration
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else if delay *= 2; delay > time.Second {
+					delay = time.Second
+				}
+				time.Sleep(delay)
+				continue
+			}
+			return err
+		}
+		delay = 0
+		go serveConn(conn, srv)
+	}
+}
+
+// serveConn runs one connection's frame loop. Any protocol violation
+// answers with a msgError frame and drops the connection; a drained
+// server answers ErrServerClosed the same way. Accepted batches are
+// always fully answered before the next frame is read.
+func serveConn(conn net.Conn, srv *server.Server) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+
+	var (
+		rbuf    []byte
+		wbuf    []byte
+		queries []Query
+		reqs    []server.Request
+		replies []Reply
+	)
+	fail := func(err error) {
+		wbuf = appendErrorPayload(wbuf[:0], err.Error())
+		if werr := WriteFrame(bw, wbuf); werr == nil {
+			_ = bw.Flush()
+		}
+	}
+	for {
+		payload, err := ReadFrame(br, rbuf)
+		if err != nil {
+			// io.EOF (clean close) and dead-conn read errors both just
+			// end the loop; there is no one left to tell.
+			return
+		}
+		rbuf = payload[:0]
+
+		queries, err = DecodeQueryBatch(payload, queries)
+		if err != nil {
+			fail(err)
+			return
+		}
+		reqs = reqs[:0]
+		for i := range queries {
+			req, err := queries[i].Request()
+			if err != nil {
+				err = fmt.Errorf("batch[%d]: %w", i, err)
+				fail(err)
+				return
+			}
+			reqs = append(reqs, req)
+		}
+
+		items, err := srv.SubmitBatch(context.Background(), reqs)
+		if err != nil {
+			fail(err)
+			return
+		}
+		replies = replies[:0]
+		for i := range items {
+			if items[i].Err != nil {
+				replies = append(replies, Reply{Err: items[i].Err.Error()})
+			} else {
+				replies = append(replies, Reply{Resp: items[i].Resp})
+			}
+		}
+		wbuf = AppendReplyBatch(wbuf[:0], replies)
+		if err := WriteFrame(bw, wbuf); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Client is one reusable client connection. It is not safe for
+// concurrent use: open one Client per submitting goroutine, exactly like
+// one would pool HTTP connections.
+type Client struct {
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	rbuf    []byte
+	wbuf    []byte
+	replies []Reply
+}
+
+// Dial connects to a binary-protocol listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Submit sends one query batch and reads the positional replies. The
+// returned slice is reused by the next Submit; copy anything kept.
+func (c *Client) Submit(qs []Query) ([]Reply, error) {
+	var err error
+	c.wbuf, err = AppendQueryBatch(c.wbuf[:0], qs)
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(c.bw, c.wbuf); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	payload, err := ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return nil, err
+	}
+	c.rbuf = payload[:0]
+	c.replies, err = DecodeReplyBatch(payload, c.replies)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.replies) != len(qs) {
+		return nil, fmt.Errorf("wire: %d replies for %d queries", len(c.replies), len(qs))
+	}
+	return c.replies, nil
+}

@@ -1,0 +1,229 @@
+package wire_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+)
+
+// newWireServer starts an engine plus a binary listener on a loopback
+// port, mirroring the HTTP tests' newHTTPServer.
+func newWireServer(t *testing.T, shards int) (*server.Server, string) {
+	t.Helper()
+	cat := catalog.TPCH(20)
+	params := scheme.DefaultParams(cat)
+	params.RegretFraction = 0.0001
+	params.LoadFactor = 0.02
+	srv, err := server.New(server.Config{
+		Shards: shards,
+		Scheme: "econ-cheap",
+		Params: params,
+		Clock:  server.NewVirtualClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- wire.Serve(ln, srv) }()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		if err := <-serveDone; err != nil {
+			t.Errorf("wire.Serve: %v", err)
+		}
+		_ = srv.Shutdown(context.Background())
+	})
+	return srv, ln.Addr().String()
+}
+
+// TestWireQuery is the binary-protocol echo of TestHTTPQuery: one query
+// with an explicit budget comes back fully populated.
+func TestWireQuery(t *testing.T) {
+	_, addr := newWireServer(t, 4)
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	replies, err := cl.Submit([]wire.Query{{
+		Tenant:         "alice",
+		Template:       "Q6",
+		Selectivity:    0.0096,
+		HasSelectivity: true,
+		Budget:         &server.BudgetJSON{Shape: "step", PriceUSD: 0.002, TmaxSec: 3600},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 || replies[0].Err != "" {
+		t.Fatalf("replies = %+v", replies)
+	}
+	qr := replies[0].Resp
+	if qr.QueryID == 0 {
+		t.Error("missing query id")
+	}
+	if qr.Template != "Q6" {
+		t.Errorf("template = %q", qr.Template)
+	}
+	if qr.Selectivity != 0.0096 {
+		t.Errorf("selectivity = %g", qr.Selectivity)
+	}
+	if qr.Location != "backend" && qr.Location != "cache" {
+		t.Errorf("location = %q", qr.Location)
+	}
+}
+
+// TestWireBatchAndReuse: one connection carries many frames, batches mix
+// successes with per-query errors, and the server's counters agree.
+func TestWireBatchAndReuse(t *testing.T) {
+	srv, addr := newWireServer(t, 4)
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const rounds = 10
+	var ok, failed int64
+	for r := 0; r < rounds; r++ {
+		batch := []wire.Query{
+			{Tenant: fmt.Sprintf("t%d", r), Template: "Q1"},
+			{Tenant: fmt.Sprintf("t%d", r), Template: "Q999"}, // per-item error
+			{Tenant: fmt.Sprintf("u%d", r), Template: "Q6"},
+		}
+		replies, err := cl.Submit(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range replies {
+			if replies[i].Err != "" {
+				failed++
+				if !strings.Contains(replies[i].Err, "unknown template") {
+					t.Errorf("round %d item %d: err = %q", r, i, replies[i].Err)
+				}
+			} else {
+				ok++
+			}
+		}
+	}
+	if ok != 2*rounds || failed != rounds {
+		t.Errorf("ok/failed = %d/%d, want %d/%d", ok, failed, 2*rounds, rounds)
+	}
+	st := srv.Stats()
+	if st.Queries != 2*rounds {
+		t.Errorf("server queries = %d, want %d", st.Queries, 2*rounds)
+	}
+	if st.Errors != rounds {
+		t.Errorf("server errors = %d, want %d", st.Errors, rounds)
+	}
+}
+
+// TestWireConcurrentClients: many connections submit at once (-race).
+func TestWireConcurrentClients(t *testing.T) {
+	srv, addr := newWireServer(t, 4)
+	const clients = 8
+	const perClient = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := wire.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			templates := []string{"Q1", "Q3", "Q6", "Q10"}
+			for i := 0; i < perClient; i++ {
+				replies, err := cl.Submit([]wire.Query{{
+					Tenant:   fmt.Sprintf("tenant-%d", (c+i)%7),
+					Template: templates[i%len(templates)],
+				}})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if replies[0].Err != "" {
+					errs <- fmt.Errorf("reply error: %s", replies[0].Err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Queries != clients*perClient {
+		t.Errorf("queries = %d, want %d", st.Queries, clients*perClient)
+	}
+}
+
+// TestWireServerClosed: a drained engine answers with an error frame.
+func TestWireServerClosed(t *testing.T) {
+	srv, addr := newWireServer(t, 2)
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Submit([]wire.Query{{Template: "Q1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cl.Submit([]wire.Query{{Template: "Q1"}})
+	if err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("post-drain submit: err = %v, want server-closed error", err)
+	}
+}
+
+// TestWireGarbageFrame: a protocol violation gets an error frame and the
+// connection is dropped without hurting the server.
+func TestWireGarbageFrame(t *testing.T) {
+	srv, addr := newWireServer(t, 2)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A framed payload that is not a query batch.
+	if err := wire.WriteFrame(conn, []byte{0x7F, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeReplyBatch(payload, nil); err == nil || !strings.Contains(err.Error(), "server error") {
+		t.Errorf("garbage frame answered with %v, want a server-error payload", err)
+	}
+	// The server still serves fresh connections.
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Submit([]wire.Query{{Template: "Q6"}}); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Queries != 1 {
+		t.Errorf("queries = %d, want 1", st.Queries)
+	}
+}

@@ -1,0 +1,471 @@
+// Package wire is the daemon's length-prefixed binary protocol: the
+// fast front the JSON/HTTP API is too slow for. A connection carries a
+// sequence of frames, each a 4-byte little-endian payload length
+// followed by the payload; the first payload byte is the message type.
+// Clients send query batches (one frame per batch, a single query being
+// a batch of one) and read one reply batch per request frame, so a
+// connection is reused for its whole lifetime — no per-query connection
+// setup, no HTTP headers, no JSON.
+//
+//	frame      := len uint32 LE | payload
+//	payload    := msgQueryBatch  | uvarint n | n × query
+//	            | msgReplyBatch  | uvarint n | n × reply
+//	            | msgError       | string          (whole-frame failure)
+//	query      := string tenant | string template | byte flags
+//	              | f64 selectivity?   (flags&flagSelectivity)
+//	              | budget?            (flags&flagBudget)
+//	budget     := byte shape | f64 priceUSD | f64 tmaxSec | f64 k
+//	reply      := byte 0 | response  — or —  byte 1 | string error
+//	response   := varint queryID | uvarint shard | string template
+//	              | f64 selectivity | f64 arrivalSec | byte declined
+//	              | string location | f64 responseSec | f64 chargedUSD
+//	              | f64 profitUSD | uvarint investments | uvarint failures
+//	string     := uvarint len | bytes
+//
+// Numbers that are naturally small ride varints; money and time ride
+// IEEE-754 doubles, matching the JSON API's dollar/second units exactly.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/server"
+)
+
+// Message types.
+const (
+	msgQueryBatch byte = 1
+	msgReplyBatch byte = 2
+	msgError      byte = 3
+)
+
+// Query flags.
+const (
+	flagSelectivity byte = 1 << 0
+	flagBudget      byte = 1 << 1
+)
+
+// Budget shapes on the wire.
+const (
+	shapeStep byte = iota
+	shapeLinear
+	shapeConvex
+	shapeConcave
+)
+
+// MaxFrame bounds one frame's payload: far above any sane batch, low
+// enough that a corrupt length prefix cannot balloon memory.
+const MaxFrame = 16 << 20
+
+// MaxBatch bounds the queries in one frame.
+const MaxBatch = 4096
+
+// Query is the wire form of one submission — the binary twin of the
+// HTTP API's QueryRequest.
+type Query struct {
+	Tenant   string
+	Template string
+	// Selectivity with HasSelectivity false means "unset": the shard
+	// draws one. HasSelectivity true submits the value verbatim, so an
+	// explicit zero survives the trip.
+	Selectivity    float64
+	HasSelectivity bool
+	// Budget nil applies the server's default budget policy.
+	Budget *server.BudgetJSON
+}
+
+// Request materialises the engine request (budget function included).
+func (q *Query) Request() (server.Request, error) {
+	bf, err := q.Budget.Func()
+	if err != nil {
+		return server.Request{}, err
+	}
+	return server.Request{
+		Tenant:         q.Tenant,
+		Template:       q.Template,
+		Selectivity:    q.Selectivity,
+		HasSelectivity: q.HasSelectivity,
+		Budget:         bf,
+	}, nil
+}
+
+// Reply is the wire form of one positional result: the response, or the
+// per-query error that prevented one.
+type Reply struct {
+	Resp server.Response
+	Err  string
+}
+
+// --- primitive append/consume helpers ------------------------------------
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func consumeUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+func consumeVarint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad varint")
+	}
+	return v, b[n:], nil
+}
+
+func consumeString(b []byte) (string, []byte, error) {
+	n, b, err := consumeUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(b)) {
+		return "", nil, fmt.Errorf("wire: string length %d overruns frame", n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func consumeF64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("wire: truncated float64")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func consumeByte(b []byte) (byte, []byte, error) {
+	if len(b) < 1 {
+		return 0, nil, fmt.Errorf("wire: truncated byte")
+	}
+	return b[0], b[1:], nil
+}
+
+// --- query batch ----------------------------------------------------------
+
+func budgetShapeByte(shape string) (byte, error) {
+	switch shape {
+	case "", "step":
+		return shapeStep, nil
+	case "linear":
+		return shapeLinear, nil
+	case "convex":
+		return shapeConvex, nil
+	case "concave":
+		return shapeConcave, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown budget shape %q", shape)
+	}
+}
+
+func budgetShapeString(b byte) (string, error) {
+	switch b {
+	case shapeStep:
+		return "step", nil
+	case shapeLinear:
+		return "linear", nil
+	case shapeConvex:
+		return "convex", nil
+	case shapeConcave:
+		return "concave", nil
+	default:
+		return "", fmt.Errorf("wire: unknown budget shape byte %d", b)
+	}
+}
+
+// AppendQueryBatch appends one query-batch payload to b.
+func AppendQueryBatch(b []byte, qs []Query) ([]byte, error) {
+	if len(qs) == 0 || len(qs) > MaxBatch {
+		return nil, fmt.Errorf("wire: batch size %d outside [1, %d]", len(qs), MaxBatch)
+	}
+	b = append(b, msgQueryBatch)
+	b = binary.AppendUvarint(b, uint64(len(qs)))
+	for i := range qs {
+		q := &qs[i]
+		b = appendString(b, q.Tenant)
+		b = appendString(b, q.Template)
+		// A non-zero Selectivity is an explicit request even without the
+		// flag, matching server.Request's contract ("non-zero
+		// selectivities need not set it") — only the explicit-zero case
+		// needs HasSelectivity to be distinguishable from unset.
+		hasSel := q.HasSelectivity || q.Selectivity != 0
+		var flags byte
+		if hasSel {
+			flags |= flagSelectivity
+		}
+		if q.Budget != nil {
+			flags |= flagBudget
+		}
+		b = append(b, flags)
+		if hasSel {
+			b = appendF64(b, q.Selectivity)
+		}
+		if q.Budget != nil {
+			shape, err := budgetShapeByte(q.Budget.Shape)
+			if err != nil {
+				return nil, err
+			}
+			b = append(b, shape)
+			b = appendF64(b, q.Budget.PriceUSD)
+			b = appendF64(b, q.Budget.TmaxSec)
+			b = appendF64(b, q.Budget.K)
+		}
+	}
+	return b, nil
+}
+
+// DecodeQueryBatch parses a query-batch payload (msg byte included),
+// appending into qs to reuse its capacity.
+func DecodeQueryBatch(payload []byte, qs []Query) ([]Query, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgQueryBatch {
+		return nil, fmt.Errorf("wire: expected query batch, got message type %d", typ)
+	}
+	n, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 || n > MaxBatch {
+		return nil, fmt.Errorf("wire: batch size %d outside [1, %d]", n, MaxBatch)
+	}
+	qs = qs[:0]
+	for i := uint64(0); i < n; i++ {
+		var q Query
+		if q.Tenant, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		if q.Template, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		var flags byte
+		if flags, rest, err = consumeByte(rest); err != nil {
+			return nil, err
+		}
+		if flags&flagSelectivity != 0 {
+			q.HasSelectivity = true
+			if q.Selectivity, rest, err = consumeF64(rest); err != nil {
+				return nil, err
+			}
+		}
+		if flags&flagBudget != 0 {
+			var shape byte
+			if shape, rest, err = consumeByte(rest); err != nil {
+				return nil, err
+			}
+			shapeName, err2 := budgetShapeString(shape)
+			if err2 != nil {
+				return nil, err2
+			}
+			bj := &server.BudgetJSON{Shape: shapeName}
+			if bj.PriceUSD, rest, err = consumeF64(rest); err != nil {
+				return nil, err
+			}
+			if bj.TmaxSec, rest, err = consumeF64(rest); err != nil {
+				return nil, err
+			}
+			if bj.K, rest, err = consumeF64(rest); err != nil {
+				return nil, err
+			}
+			q.Budget = bj
+		}
+		qs = append(qs, q)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after query batch", len(rest))
+	}
+	return qs, nil
+}
+
+// --- reply batch ----------------------------------------------------------
+
+// AppendReplyBatch appends one reply-batch payload to b.
+func AppendReplyBatch(b []byte, rs []Reply) []byte {
+	b = append(b, msgReplyBatch)
+	b = binary.AppendUvarint(b, uint64(len(rs)))
+	for i := range rs {
+		r := &rs[i]
+		if r.Err != "" {
+			b = append(b, 1)
+			b = appendString(b, r.Err)
+			continue
+		}
+		b = append(b, 0)
+		resp := &r.Resp
+		b = binary.AppendVarint(b, resp.QueryID)
+		b = binary.AppendUvarint(b, uint64(resp.Shard))
+		b = appendString(b, resp.Template)
+		b = appendF64(b, resp.Selectivity)
+		b = appendF64(b, resp.ArrivalSec)
+		b = appendBool(b, resp.Declined)
+		b = appendString(b, resp.Location)
+		b = appendF64(b, resp.ResponseTimeSec)
+		b = appendF64(b, resp.ChargedUSD)
+		b = appendF64(b, resp.ProfitUSD)
+		b = binary.AppendUvarint(b, uint64(resp.Investments))
+		b = binary.AppendUvarint(b, uint64(resp.Failures))
+	}
+	return b
+}
+
+// DecodeReplyBatch parses a reply-batch payload (msg byte included),
+// appending into rs to reuse its capacity. A msgError payload comes back
+// as an error.
+func DecodeReplyBatch(payload []byte, rs []Reply) ([]Reply, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return nil, err
+	}
+	if typ == msgError {
+		msg, _, err := consumeString(rest)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: server error: %s", msg)
+	}
+	if typ != msgReplyBatch {
+		return nil, fmt.Errorf("wire: expected reply batch, got message type %d", typ)
+	}
+	n, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxBatch {
+		return nil, fmt.Errorf("wire: reply batch size %d exceeds %d", n, MaxBatch)
+	}
+	rs = rs[:0]
+	for i := uint64(0); i < n; i++ {
+		var r Reply
+		status, rest2, err := consumeByte(rest)
+		if err != nil {
+			return nil, err
+		}
+		rest = rest2
+		if status == 1 {
+			if r.Err, rest, err = consumeString(rest); err != nil {
+				return nil, err
+			}
+			rs = append(rs, r)
+			continue
+		}
+		if status != 0 {
+			return nil, fmt.Errorf("wire: bad reply status %d", status)
+		}
+		resp := &r.Resp
+		if resp.QueryID, rest, err = consumeVarint(rest); err != nil {
+			return nil, err
+		}
+		var u uint64
+		if u, rest, err = consumeUvarint(rest); err != nil {
+			return nil, err
+		}
+		resp.Shard = int(u)
+		if resp.Template, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		if resp.Selectivity, rest, err = consumeF64(rest); err != nil {
+			return nil, err
+		}
+		if resp.ArrivalSec, rest, err = consumeF64(rest); err != nil {
+			return nil, err
+		}
+		var declined byte
+		if declined, rest, err = consumeByte(rest); err != nil {
+			return nil, err
+		}
+		resp.Declined = declined != 0
+		if resp.Location, rest, err = consumeString(rest); err != nil {
+			return nil, err
+		}
+		if resp.ResponseTimeSec, rest, err = consumeF64(rest); err != nil {
+			return nil, err
+		}
+		if resp.ChargedUSD, rest, err = consumeF64(rest); err != nil {
+			return nil, err
+		}
+		if resp.ProfitUSD, rest, err = consumeF64(rest); err != nil {
+			return nil, err
+		}
+		if u, rest, err = consumeUvarint(rest); err != nil {
+			return nil, err
+		}
+		resp.Investments = int(u)
+		if u, rest, err = consumeUvarint(rest); err != nil {
+			return nil, err
+		}
+		resp.Failures = int(u)
+		rs = append(rs, r)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after reply batch", len(rest))
+	}
+	return rs, nil
+}
+
+// appendErrorPayload builds a msgError payload.
+func appendErrorPayload(b []byte, msg string) []byte {
+	b = append(b, msgError)
+	return appendString(b, msg)
+}
+
+// --- framing --------------------------------------------------------------
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame's payload, reusing buf when it is large
+// enough. io.EOF before the first header byte means a clean close.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("wire: truncated frame header")
+		}
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds %d", n, MaxFrame)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return buf, nil
+}

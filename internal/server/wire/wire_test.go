@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func TestQueryBatchRoundTrip(t *testing.T) {
+	sel := 0.0096
+	in := []Query{
+		{Tenant: "alice", Template: "Q6", Selectivity: sel, HasSelectivity: true,
+			Budget: &server.BudgetJSON{Shape: "step", PriceUSD: 0.002, TmaxSec: 3600}},
+		{Template: "Q1"}, // no tenant, no selectivity, no budget
+		{Tenant: "bob", Template: "Q18", Selectivity: 0, HasSelectivity: true,
+			Budget: &server.BudgetJSON{Shape: "concave", PriceUSD: 1.5, TmaxSec: 60, K: 3}},
+	}
+	payload, err := AppendQueryBatch(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeQueryBatch(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip diverged:\nin  %+v\nout %+v", in, out)
+	}
+	// An explicit zero selectivity survives the trip.
+	if !out[2].HasSelectivity || out[2].Selectivity != 0 {
+		t.Errorf("explicit zero selectivity lost: %+v", out[2])
+	}
+}
+
+// TestNonZeroSelectivityWithoutFlag: per server.Request's contract a
+// non-zero selectivity is explicit even without HasSelectivity, so the
+// codec must carry it (normalized to the flagged form), not drop it.
+func TestNonZeroSelectivityWithoutFlag(t *testing.T) {
+	payload, err := AppendQueryBatch(nil, []Query{{Template: "Q6", Selectivity: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeQueryBatch(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].HasSelectivity || out[0].Selectivity != 0.5 {
+		t.Errorf("unflagged non-zero selectivity lost: %+v", out[0])
+	}
+}
+
+func TestReplyBatchRoundTrip(t *testing.T) {
+	in := []Reply{
+		{Resp: server.Response{
+			QueryID: 42, Shard: 3, Template: "Q6", Selectivity: 0.004,
+			ArrivalSec: 12.5, Declined: false, Location: "cache",
+			ResponseTimeSec: 0.25, ChargedUSD: 0.002, ProfitUSD: 0.0005,
+			Investments: 2, Failures: 1,
+		}},
+		{Err: "server: unknown template \"Q999\""},
+		{Resp: server.Response{QueryID: 43, Declined: true, Location: "none"}},
+	}
+	payload := AppendReplyBatch(nil, in)
+	out, err := DecodeReplyBatch(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip diverged:\nin  %+v\nout %+v", in, out)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	good, err := AppendQueryBatch(nil, []Query{{Template: "Q1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"wrong type":     {99, 1},
+		"truncated":      good[:len(good)-1],
+		"trailing":       append(append([]byte{}, good...), 0xFF),
+		"zero batch":     {msgQueryBatch, 0},
+		"oversize":       {msgQueryBatch, 0xFF, 0xFF, 0xFF, 0x7F},
+		"bad shape":      {msgQueryBatch, 1, 0, 2, 'Q', '1', flagBudget, 9},
+		"string overrun": {msgQueryBatch, 1, 200},
+	}
+	for name, payload := range cases {
+		if _, err := DecodeQueryBatch(payload, nil); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, err := DecodeReplyBatch([]byte{}, nil); err == nil {
+		t.Error("empty reply payload decoded")
+	}
+	if _, err := DecodeReplyBatch([]byte{msgReplyBatch, 1, 7}, nil); err == nil {
+		t.Error("bad reply status decoded")
+	}
+}
+
+func TestErrorPayload(t *testing.T) {
+	payload := appendErrorPayload(nil, "server: closed")
+	if _, err := DecodeReplyBatch(payload, nil); err == nil || err.Error() != "wire: server error: server: closed" {
+		t.Errorf("error payload decoded to %v", err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{{1}, bytes.Repeat([]byte{0xAB}, 1000), {3, 2, 1}}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var reuse []byte
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf, reuse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame = %v, want %v", got, want)
+		}
+		reuse = got[:0]
+	}
+	if _, err := ReadFrame(&buf, nil); err == nil {
+		t.Error("read past last frame succeeded")
+	}
+
+	// Corrupt length prefixes are rejected, not allocated.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0}), nil); err == nil {
+		t.Error("oversized frame accepted")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{5, 0, 0, 0, 1, 2}), nil); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestBatchSizeLimits(t *testing.T) {
+	if _, err := AppendQueryBatch(nil, nil); err == nil {
+		t.Error("empty batch encoded")
+	}
+	big := make([]Query, MaxBatch+1)
+	for i := range big {
+		big[i].Template = "Q1"
+	}
+	if _, err := AppendQueryBatch(nil, big); err == nil {
+		t.Error("oversized batch encoded")
+	}
+}

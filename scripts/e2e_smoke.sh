@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the online serving layer: build the daemon, start
-# it, replay a workload through the HTTP front with invariant checks,
+# it with both fronts (JSON/HTTP and the length-prefixed binary
+# protocol), replay a workload through each with invariant checks,
 # inspect the read endpoints, then drain gracefully and verify the final
 # snapshot accounts every query. Used by `make e2e` and CI.
 set -euo pipefail
 
 ADDR="${ADDR:-127.0.0.1:18344}"
+BIN_ADDR="${BIN_ADDR:-127.0.0.1:18345}"
 QUERIES="${QUERIES:-10000}"
 SHARDS="${SHARDS:-4}"
 SCHEME="${SCHEME:-econ-cheap}"
@@ -16,7 +18,7 @@ trap '[ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$B
 go build -o "$BIN/cloudcached" ./cmd/cloudcached
 go build -o "$BIN/workloadgen" ./cmd/workloadgen
 
-"$BIN/cloudcached" -addr "$ADDR" -shards "$SHARDS" -scheme "$SCHEME" -speedup 60 \
+"$BIN/cloudcached" -addr "$ADDR" -listen-bin "$BIN_ADDR" -shards "$SHARDS" -scheme "$SCHEME" -speedup 60 \
     >"$BIN/final.json" 2>"$BIN/daemon.log" &
 DAEMON_PID=$!
 
@@ -30,26 +32,34 @@ for i in $(seq 1 50); do
 done
 curl -sf "http://$ADDR/healthz"
 
-# Replay the stream and verify invariants from the client side.
-"$BIN/workloadgen" -serve "http://$ADDR" -queries "$QUERIES" -clients 8 -tenants 16 -check
+# Replay the stream over HTTP (batched: exercises POST /v1/batch) and
+# verify invariants from the client side.
+"$BIN/workloadgen" -serve "http://$ADDR" -queries "$QUERIES" -clients 8 -tenants 16 -batch 8 -check
 
-# Read endpoints answer.
+# Same stream again over the binary protocol with connection reuse and
+# batching; the delta-based check tolerates the earlier run's counters.
+"$BIN/workloadgen" -serve "$BIN_ADDR" -proto bin -batch 32 -queries "$QUERIES" \
+    -clients 8 -tenants 16 -stats-url "http://$ADDR" -check
+
+# Read endpoints answer, compact and pretty.
 curl -sf "http://$ADDR/v1/stats" >/dev/null
+curl -sf "http://$ADDR/v1/stats?pretty=1" >/dev/null
 curl -sf "http://$ADDR/v1/structures" >/dev/null
 
 # Graceful drain: SIGTERM, wait for exit, then check the final snapshot.
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 
-python3 - "$BIN/final.json" "$QUERIES" <<'EOF'
+python3 - "$BIN/final.json" "$((QUERIES * 2))" <<'EOF'
 import json, sys
 snap = json.load(open(sys.argv[1]))
 want = int(sys.argv[2])
 assert snap["queries"] == want, f"final snapshot has {snap['queries']} queries, want {want}"
+assert snap["errors"] == 0, f"final snapshot has {snap['errors']} request errors"
 assert snap["draining"] is True, "final snapshot must be draining"
 assert snap["credit_usd"] >= 0, f"account went negative: {snap['credit_usd']}"
 busy = sum(1 for s in snap["per_shard"] if s["queries"] > 0)
 assert busy >= 2, f"only {busy} shards saw traffic"
-print(f"e2e OK: {snap['queries']} queries over {busy}/{snap['shards']} shards, "
-      f"cost=${snap['operating_cost_usd']:.2f} credit=${snap['credit_usd']:.2f}")
+print(f"e2e OK: {snap['queries']} queries over {busy}/{snap['shards']} shards "
+      f"(http+bin), cost=${snap['operating_cost_usd']:.2f} credit=${snap['credit_usd']:.2f}")
 EOF
