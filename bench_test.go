@@ -126,8 +126,12 @@ func BenchmarkGridWorkers(b *testing.B) {
 
 // serverBenchCell is one row of the machine-readable perf trajectory.
 // Mode distinguishes the admission path: "inproc" submits single queries
-// in-process, "batch" uses SubmitBatch, "http" goes through the JSON API
-// over a real socket, "bin" through the length-prefixed binary protocol.
+// in-process with the shard loops' group commit disabled (the historical
+// one-message-per-wakeup baseline), "microbatch" is the same singleton
+// Submit load with group commit on (the shard drains its whole mailbox
+// into one lock acquisition per wakeup), "batch" uses SubmitBatch, "http"
+// goes through the JSON API over a real socket, "bin" through the
+// length-prefixed binary protocol.
 // AllocsPerQuery is normalized per query (not per benchmark op, which is
 // a whole batch in the batched modes) so cells compare across modes; the
 // key is renamed from the pre-batching allocs_per_op so old and new
@@ -175,6 +179,10 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		Params:  DefaultParams(cat),
 		Clock:   NewWallClock(60),
 		Budgets: PaperBudgets(),
+		// "inproc" preserves the pre-group-commit baseline so the
+		// "microbatch" row isolates the server-side micro-batching gain
+		// on the identical singleton-Submit load.
+		DisableMicroBatch: mode == "inproc",
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -214,13 +222,15 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		return reqs
 	}
 
-	// The non-inproc paths block on replies (a batch waits for its
-	// slowest shard group, a network client for its socket round trip),
-	// so oversubscribe the submitters to keep every shard loop busy —
-	// like a real daemon with more connections than cores.
-	if mode != "inproc" {
-		b.SetParallelism(4)
-	}
+	// Every submission path blocks on replies (a singleton Submit on its
+	// shard's decision, a batch on its slowest shard group, a network
+	// client on its socket round trip), so oversubscribe the submitters
+	// to keep every shard loop busy — like a real daemon with more
+	// connections than cores. This includes "inproc": the micro-batching
+	// comparison only means something if queues actually form, and a
+	// single submitter per core never leaves more than one message in a
+	// mailbox.
+	b.SetParallelism(4)
 
 	b.ReportAllocs()
 	var m0, m1 runtime.MemStats
@@ -231,7 +241,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	b.RunParallel(func(pb *testing.PB) {
 		ctx := context.Background()
 		switch mode {
-		case "inproc":
+		case "inproc", "microbatch":
 			for pb.Next() {
 				tenant, template := benchQueryAt(idx.Add(1))
 				if _, err := srv.Submit(ctx, ServerRequest{Tenant: tenant, Template: template}); err != nil {
@@ -352,6 +362,9 @@ func BenchmarkServerThroughput(b *testing.B) {
 			runServerThroughput(b, &out, "inproc", shards, 1)
 		})
 	}
+	b.Run("mode=microbatch/shards=4", func(b *testing.B) {
+		runServerThroughput(b, &out, "microbatch", 4, 1)
+	})
 	for _, batch := range []int{16, 64} {
 		b.Run(fmt.Sprintf("mode=batch/shards=4/batch=%d", batch), func(b *testing.B) {
 			runServerThroughput(b, &out, "batch", 4, batch)

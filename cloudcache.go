@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/catalog"
+	"repro/internal/economy"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/money"
@@ -68,6 +69,12 @@ type (
 	SchemeParams = scheme.Params
 	// Report is the outcome of one simulation run.
 	Report = sim.Report
+	// TenantReport is one tenant's section of a simulation report.
+	TenantReport = sim.TenantReport
+	// Provider selects the economy's accounting stance: altruistic
+	// (pooled communal account, §IV's default) or selfish (per-tenant
+	// ledgers over the shared structure pool).
+	Provider = economy.Provider
 	// Table is a rendered result table.
 	Table = metrics.Table
 	// Cell is one (scheme, interval) measurement of the figure grid.
@@ -94,6 +101,9 @@ type (
 	ServerBatchItem = server.BatchItem
 	// ServerStats is the live metrics snapshot of GET /v1/stats.
 	ServerStats = server.Stats
+	// ServerTenantStats is one tenant's merged ledger view in
+	// ServerStats.
+	ServerTenantStats = server.TenantStats
 	// ServerClock drives the serving layer's economy time.
 	ServerClock = server.Clock
 	// VirtualClock is the manually advanced clock for deterministic runs.
@@ -107,6 +117,17 @@ const (
 	// LocationCache marks in-cache execution.
 	LocationCache = plan.Cache
 )
+
+// Economy providers (§IV's altruistic-vs-selfish discussion).
+const (
+	// ProviderAltruistic pools all tenants into one communal account.
+	ProviderAltruistic = economy.ProviderAltruistic
+	// ProviderSelfish accounts budgets and regret per tenant.
+	ProviderSelfish = economy.ProviderSelfish
+)
+
+// ParseProvider parses a provider name ("altruistic" or "selfish").
+func ParseProvider(s string) (Provider, error) { return economy.ParseProvider(s) }
 
 // Dollars converts a float dollar value into an Amount.
 func Dollars(d float64) Amount { return money.FromDollars(d) }

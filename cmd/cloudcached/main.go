@@ -22,8 +22,10 @@
 // Usage:
 //
 //	cloudcached [-addr :8344] [-listen-bin :8345] [-shards 4]
-//	            [-scheme econ-cheap] [-sf 0] [-speedup 1] [-tick 1s]
-//	            [-seed 1] [-mailbox 256]
+//	            [-scheme econ-cheap] [-provider altruistic|selfish]
+//	            [-sf 0] [-speedup 1] [-tick 1s] [-seed 1] [-mailbox 256]
+//	            [-failure-floor USD] [-maint-failure-factor F]
+//	            [-no-microbatch]
 package main
 
 import (
@@ -40,7 +42,9 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/economy"
 	"repro/internal/experiments"
+	"repro/internal/money"
 	"repro/internal/scheme"
 	"repro/internal/server"
 	"repro/internal/server/wire"
@@ -57,21 +61,38 @@ func main() {
 	seed := flag.Int64("seed", 1, "per-shard RNG seed (selectivity draws for queries that omit one)")
 	mailbox := flag.Int("mailbox", 256, "per-shard admission queue depth")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
+	providerName := flag.String("provider", "altruistic", "economy accounting: altruistic (pooled account per shard) or selfish (per-tenant ledgers)")
+	failureFloor := flag.Float64("failure-floor", 0, "minimum arrears (USD) before a used structure can fail; 0 keeps the default calibration")
+	maintFactor := flag.Float64("maint-failure-factor", 0, "rent-vs-value ratio that evicts a structure (footnote 3); 0 keeps the default calibration")
+	noMicroBatch := flag.Bool("no-microbatch", false, "disable the shard loops' mailbox group commit")
 	flag.Parse()
 
+	provider, err := economy.ParseProvider(*providerName)
+	if err != nil {
+		fail(err)
+	}
 	cat := catalog.Paper()
 	if *sf > 0 {
 		cat = catalog.TPCH(*sf)
 	}
+	params := scheme.DefaultParams(cat)
+	params.Provider = provider
+	if *failureFloor > 0 {
+		params.FailureFloor = money.FromDollars(*failureFloor)
+	}
+	if *maintFactor > 0 {
+		params.MaintFailureFactor = *maintFactor
+	}
 	srv, err := server.New(server.Config{
-		Shards:       *shards,
-		Scheme:       *schemeName,
-		Params:       scheme.DefaultParams(cat),
-		Clock:        server.NewWallClock(*speedup),
-		Budgets:      experiments.PaperBudgetPolicy(),
-		TickEvery:    *tick,
-		Seed:         *seed,
-		MailboxDepth: *mailbox,
+		Shards:            *shards,
+		Scheme:            *schemeName,
+		Params:            params,
+		Clock:             server.NewWallClock(*speedup),
+		Budgets:           experiments.PaperBudgetPolicy(),
+		TickEvery:         *tick,
+		Seed:              *seed,
+		MailboxDepth:      *mailbox,
+		DisableMicroBatch: *noMicroBatch,
 	})
 	if err != nil {
 		fail(err)

@@ -6,6 +6,8 @@
 //
 //	cloudsim [-scheme bypass|econ-col|econ-cheap|econ-fast] [-queries N]
 //	         [-interval D] [-seed S] [-arrival fixed|poisson] [-dbsize bytes]
+//	         [-provider altruistic|selfish] [-tenants N] [-tenant-skew Z]
+//	         [-failure-floor USD] [-maint-failure-factor F]
 package main
 
 import (
@@ -15,7 +17,9 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/economy"
 	"repro/internal/experiments"
+	"repro/internal/money"
 	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -29,10 +33,27 @@ func main() {
 	arrival := flag.String("arrival", "fixed", "arrival process: fixed or poisson")
 	dbBytes := flag.Int64("dbsize", catalog.PaperDatabaseBytes, "back-end database size in bytes")
 	batch := flag.Int("batch", 0, "queries per generation batch handed to the settlement stage (0 = default)")
+	providerName := flag.String("provider", "altruistic", "economy accounting: altruistic (pooled account) or selfish (per-tenant ledgers)")
+	tenants := flag.Int("tenants", 0, "synthetic tenants the stream is spread across (0 = untagged)")
+	tenantSkew := flag.Float64("tenant-skew", 1.1, "Zipf skew of tenant popularity")
+	failureFloor := flag.Float64("failure-floor", 0, "minimum arrears (USD) before a used structure can fail; 0 keeps the default calibration")
+	maintFactor := flag.Float64("maint-failure-factor", 0, "rent-vs-value ratio that evicts a structure (footnote 3); 0 keeps the default calibration")
 	flag.Parse()
 
+	provider, err := economy.ParseProvider(*providerName)
+	if err != nil {
+		fail(err)
+	}
 	cat := catalog.TPCH(catalog.ScaleFactorForBytes(*dbBytes))
-	sch, err := experiments.NewScheme(*schemeName, scheme.DefaultParams(cat))
+	params := scheme.DefaultParams(cat)
+	params.Provider = provider
+	if *failureFloor > 0 {
+		params.FailureFloor = money.FromDollars(*failureFloor)
+	}
+	if *maintFactor > 0 {
+		params.MaintFailureFactor = *maintFactor
+	}
+	sch, err := experiments.NewScheme(*schemeName, params)
 	if err != nil {
 		fail(err)
 	}
@@ -48,10 +69,12 @@ func main() {
 	}
 
 	gen, err := workload.NewGenerator(workload.Config{
-		Catalog: cat,
-		Seed:    *seed,
-		Arrival: proc,
-		Budgets: experiments.PaperBudgetPolicy(),
+		Catalog:     cat,
+		Seed:        *seed,
+		Arrival:     proc,
+		Budgets:     experiments.PaperBudgetPolicy(),
+		Tenants:     *tenants,
+		TenantTheta: *tenantSkew,
 	})
 	if err != nil {
 		fail(err)
@@ -94,6 +117,19 @@ func main() {
 		100*float64(rep.CacheAnswered)/float64(rep.Queries))
 	fmt.Printf("investments       %d (failures %d)\n", rep.Investments, rep.Failures)
 	fmt.Printf("resident at end   %.1f GB\n", float64(rep.FinalResidentBytes)/(1<<30))
+
+	if len(rep.Tenants) > 0 {
+		fmt.Println()
+		fmt.Printf("tenant economies  (%s provider)\n", provider)
+		fmt.Printf("%-12s %8s %8s %6s %10s %10s %10s %6s\n",
+			"tenant", "queries", "hits", "decl", "spend", "credit", "invested", "built")
+		for _, tr := range rep.Tenants {
+			fmt.Printf("%-12s %8d %8d %6d %10.4f %10.4f %10.4f %6d\n",
+				tr.Tenant, tr.Queries, tr.CacheAnswered, tr.Declined,
+				tr.Spend.Dollars(), tr.Credit.Dollars(), tr.Invested.Dollars(),
+				tr.StructuresCharged)
+		}
+	}
 }
 
 func fail(err error) {

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	figures [-fig grid|ablation-a|ablation-budget|ablation-net|ablation-cachesize|ablation-amort|all]
-//	        [-queries N] [-seed S] [-interval D]
+//	figures [-fig grid|ablation-a|ablation-budget|ablation-net|ablation-cachesize|ablation-amort|provider|all]
+//	        [-queries N] [-seed S] [-interval D] [-tenants N] [-tenant-skew Z]
 //
 // The default 150000-query stream regenerates the full grid in about half a
 // minute; the paper's million-query evolution sharpens the same shapes.
@@ -22,11 +22,13 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "grid", "which figure to regenerate: grid (Fig. 4+5), ablation-a, ablation-budget, ablation-net, ablation-cachesize, ablation-amort, all")
+	fig := flag.String("fig", "grid", "which figure to regenerate: grid (Fig. 4+5), ablation-a, ablation-budget, ablation-net, ablation-cachesize, ablation-amort, provider (altruistic vs selfish), all")
 	queries := flag.Int("queries", 150_000, "queries per simulation run")
 	seed := flag.Int64("seed", 42, "workload seed")
 	interval := flag.Duration("interval", time.Second, "inter-query interval for ablations")
 	workers := flag.Int("workers", 0, "concurrent grid cells (0 = all cores); results are identical for any value")
+	tenants := flag.Int("tenants", 2, "synthetic tenants for -fig provider")
+	tenantSkew := flag.Float64("tenant-skew", 1.1, "Zipf skew of tenant popularity for -fig provider")
 	verbose := flag.Bool("v", false, "print per-cell progress")
 	flag.Parse()
 
@@ -81,6 +83,16 @@ func main() {
 			}
 			fmt.Println("Ablation E — amortization horizon n (Eq. 7)")
 			fmt.Println(t)
+		case "provider":
+			s2 := s
+			s2.Tenants = *tenants
+			s2.TenantTheta = *tenantSkew
+			t, _, err := experiments.AblationProvider(s2, *interval)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Provider — altruistic (pooled) vs selfish (per-tenant ledgers), econ-cheap")
+			fmt.Println(t)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -89,7 +101,7 @@ func main() {
 
 	targets := []string{*fig}
 	if *fig == "all" {
-		targets = []string{"grid", "ablation-a", "ablation-budget", "ablation-net", "ablation-cachesize", "ablation-amort"}
+		targets = []string{"grid", "ablation-a", "ablation-budget", "ablation-net", "ablation-cachesize", "ablation-amort", "provider"}
 	}
 	for _, name := range targets {
 		if err := run(name); err != nil {

@@ -60,7 +60,8 @@ func main() {
 	qps := flag.Float64("qps", 0, "target request rate against -serve (0 = unthrottled)")
 	clients := flag.Int("clients", 8, "concurrent client connections in -serve mode")
 	tenants := flag.Int("tenants", 16, "synthetic tenants the stream is spread across in -serve mode")
-	statsURL := flag.String("stats-url", "", "HTTP base URL for /v1/stats (defaults to -serve with -proto http; required for -check with -proto bin)")
+	tenantSkew := flag.Float64("tenant-skew", 0, "Zipf skew of tenant popularity in -serve mode (0 = round-robin)")
+	statsURL := flag.String("stats-url", "", "HTTP base URL for /v1/stats (defaults to -serve with -proto http; -proto bin fetches stats over the wire when unset)")
 	check := flag.Bool("check", false, "verify server-side invariants after the run and exit non-zero on violation")
 	flag.Parse()
 
@@ -74,14 +75,22 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown arrival process %q", *arrival))
 	}
-	gen, err := workload.NewGenerator(workload.Config{
+	gcfg := workload.Config{
 		Catalog:     cat,
 		Seed:        *seed,
 		Arrival:     proc,
 		Budgets:     experiments.PaperBudgetPolicy(),
 		Theta:       *theta,
 		PhaseLength: *phase,
-	})
+	}
+	if *serve != "" && *tenantSkew > 0 {
+		// Skewed tenant mixes come from the generator's own tenant
+		// sampler (a dedicated RNG, so the query stream itself is
+		// unchanged); skew 0 keeps the legacy round-robin spread below.
+		gcfg.Tenants = *tenants
+		gcfg.TenantTheta = *tenantSkew
+	}
+	gen, err := workload.NewGenerator(gcfg)
 	if err != nil {
 		fail(err)
 	}
@@ -344,17 +353,41 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 	if cfg.statsURL == "" && cfg.proto == "http" {
 		cfg.statsURL = cfg.base
 	}
-	if cfg.statsURL == "" && cfg.check {
-		return fmt.Errorf("-check with -proto bin needs -stats-url (the daemon's HTTP base URL)")
-	}
 	httpClient := &http.Client{Timeout: 30 * time.Second}
+
+	// Stats come over HTTP when a stats URL is known; the binary front
+	// fetches them over the wire protocol's stats frame instead, so a
+	// bin-only replay needs no HTTP port at all.
+	fetch := func(st *server.Stats) error {
+		return fetchStats(httpClient, cfg.statsURL, st)
+	}
+	haveStats := cfg.statsURL != ""
+	if !haveStats && cfg.proto == "bin" {
+		haveStats = true
+		fetch = func(st *server.Stats) error {
+			cl, err := wire.Dial(cfg.base)
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			s, err := cl.Stats()
+			if err != nil {
+				return err
+			}
+			*st = s
+			return nil
+		}
+	}
+	if !haveStats && cfg.check {
+		return fmt.Errorf("-check needs a stats source (-stats-url, or -proto bin/http)")
+	}
 
 	// The server's counters are cumulative over its lifetime; take a
 	// baseline so the post-run check compares only this run's delta and
 	// repeated replays against one daemon stay checkable.
 	var before server.Stats
-	if cfg.statsURL != "" {
-		if err := fetchStats(httpClient, cfg.statsURL, &before); err != nil {
+	if haveStats {
+		if err := fetch(&before); err != nil {
 			return fmt.Errorf("fetching baseline stats: %w", err)
 		}
 	}
@@ -378,8 +411,14 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 			if tick != nil {
 				<-tick.C
 			}
+			// Skewed runs carry the generator's own tenant tag; the
+			// legacy round-robin spread covers untagged streams.
+			tenant := q.Tenant
+			if tenant == "" {
+				tenant = fmt.Sprintf("tenant-%03d", i%cfg.tenants)
+			}
 			pending = append(pending, genQuery{
-				tenant:      fmt.Sprintf("tenant-%03d", i%cfg.tenants),
+				tenant:      tenant,
 				template:    q.Template.Name,
 				selectivity: q.Selectivity,
 				priceUSD:    q.Budget.At(time.Millisecond).Dollars(),
@@ -416,12 +455,12 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 	fmt.Printf("request latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		res.latency.Percentile(50)*1000, res.latency.Percentile(95)*1000, res.latency.Percentile(99)*1000)
 
-	if cfg.statsURL == "" {
+	if !haveStats {
 		return nil
 	}
 	// Pull the server's own view of the run.
 	var st server.Stats
-	if err := fetchStats(httpClient, cfg.statsURL, &st); err != nil {
+	if err := fetch(&st); err != nil {
 		return fmt.Errorf("fetching stats: %w", err)
 	}
 	busy := 0
@@ -430,9 +469,19 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 			busy++
 		}
 	}
-	fmt.Printf("server: scheme=%s shards=%d (%d busy) queries=%d errors=%d cache_answered=%d invests=%d cost=$%.4f revenue=$%.4f credit=$%.4f\n",
-		st.Scheme, st.Shards, busy, st.Queries, st.Errors, st.CacheAnswered, st.Investments,
+	fmt.Printf("server: scheme=%s provider=%s shards=%d (%d busy) queries=%d errors=%d cache_answered=%d invests=%d cost=$%.4f revenue=$%.4f credit=$%.4f\n",
+		st.Scheme, st.Provider, st.Shards, busy, st.Queries, st.Errors, st.CacheAnswered, st.Investments,
 		st.OperatingCostUSD, st.RevenueUSD, st.CreditUSD)
+	if n := len(st.Tenants); n > 0 {
+		hot := st.Tenants[0]
+		for _, ts := range st.Tenants {
+			if ts.Queries > hot.Queries {
+				hot = ts
+			}
+		}
+		fmt.Printf("server: %d tenant ledgers; hottest %s: %d queries, spend=$%.4f credit=$%.4f structures=%d\n",
+			n, hot.Tenant, hot.Queries, hot.SpendUSD, hot.CreditUSD, hot.StructuresCharged)
+	}
 
 	if !cfg.check {
 		return nil
@@ -459,6 +508,17 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 	}
 	if st.Shards > 1 && busy < 2 {
 		violations = append(violations, fmt.Sprintf("only %d of %d shards saw traffic", busy, st.Shards))
+	}
+	// Every query the economy handled carries a tenant, so the merged
+	// tenant ledgers must account the server's whole query counter.
+	if len(st.Tenants) > 0 {
+		var tenantQ int64
+		for _, ts := range st.Tenants {
+			tenantQ += ts.Queries
+		}
+		if tenantQ != st.Queries {
+			violations = append(violations, fmt.Sprintf("tenant ledgers account %d queries, server counted %d", tenantQ, st.Queries))
+		}
 	}
 	if len(violations) > 0 {
 		for _, v := range violations {

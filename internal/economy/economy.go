@@ -1,21 +1,38 @@
 // Package economy implements the paper's primary contribution: the
-// self-tuned altruistic economy of §IV. It maintains the cloud account CR,
-// classifies each query into case A/B/C against the user's budget function
-// (§IV-C, Fig. 2), selects a plan under the scheme's criterion, credits
-// profit, collects amortized build shares and maintenance arrears
-// (Eq. 4–7, footnote 3), accumulates regret for rejected possible plans
-// (Eq. 1–2), and invests in new structures when regret crosses the Eq. 3
-// threshold. Structures whose unpaid maintenance exceeds their build cost
-// fail and are evicted (footnote 3 "structure failure").
+// self-tuned economy of §IV, split into two layers. The Market is the
+// shared structure pool — residency, build mechanics, maintenance-failure
+// eviction, investment backoff — and Ledgers are the accounts played
+// against it: credit, spend, regret attribution and budget settlement,
+// one per tenant plus (for the altruistic provider) one communal pool.
+//
+// The Provider knob selects the §IV framing of who owns the money:
+//
+//   - ProviderAltruistic — one communal account CR and one regret ledger,
+//     pooled across every tenant before the Eq. 3 `a·capital` investment
+//     test. This is the paper's provider and the single-tenant
+//     degenerate case reproduces the classic single-account economy
+//     byte for byte.
+//   - ProviderSelfish — per-tenant accounting: each tenant's ledger is
+//     seeded with the initial capital on first contact, only that
+//     tenant's regret triggers builds, builds are charged to (and
+//     amortize back into) that tenant, and recovery for shared residents
+//     flows to the tenant that financed them as other tenants use them.
+//
+// In both modes the economy classifies each query into case A/B/C against
+// the user's budget function (§IV-C, Fig. 2), selects a plan under the
+// scheme's criterion, credits profit, collects amortized build shares and
+// maintenance arrears (Eq. 4–7, footnote 3), accumulates regret for
+// rejected possible plans (Eq. 1–2), and invests in new structures when
+// regret crosses the Eq. 3 threshold. Structures whose unpaid maintenance
+// exceeds their build cost fail and are evicted (footnote 3 "structure
+// failure").
 package economy
 
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/cache"
-	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/money"
 	"repro/internal/optimizer"
@@ -52,6 +69,44 @@ func (c Criterion) String() string {
 	}
 }
 
+// Provider selects the §IV accounting stance of the cloud.
+type Provider int
+
+const (
+	// ProviderAltruistic pools all tenants into one communal account and
+	// regret ledger before the Eq. 3 investment test (the paper's
+	// provider; the default).
+	ProviderAltruistic Provider = iota
+	// ProviderSelfish accounts budgets and regret per tenant: only a
+	// tenant's own regret triggers builds, charged to that tenant.
+	ProviderSelfish
+)
+
+// String implements fmt.Stringer.
+func (p Provider) String() string {
+	switch p {
+	case ProviderAltruistic:
+		return "altruistic"
+	case ProviderSelfish:
+		return "selfish"
+	default:
+		return fmt.Sprintf("Provider(%d)", int(p))
+	}
+}
+
+// ParseProvider parses a provider name ("altruistic" or "selfish"; ""
+// means altruistic).
+func ParseProvider(s string) (Provider, error) {
+	switch s {
+	case "", "altruistic":
+		return ProviderAltruistic, nil
+	case "selfish":
+		return ProviderSelfish, nil
+	default:
+		return 0, fmt.Errorf("economy: unknown provider %q (want altruistic or selfish)", s)
+	}
+}
+
 // Case is the §IV-C classification of a query against its budget.
 type Case int
 
@@ -78,12 +133,16 @@ type Config struct {
 	Optimizer *optimizer.Optimizer
 	// Criterion is the plan-selection rule.
 	Criterion Criterion
+	// Provider selects altruistic (pooled, the default) or selfish
+	// (per-tenant) accounting.
+	Provider Provider
 	// RegretFraction is `a` of Eq. 3 (0 < a < 1).
 	RegretFraction float64
 	// AmortN is the amortization horizon n of Eq. 7.
 	AmortN int64
 	// InitialCredit seeds the cloud account so the first investments are
-	// possible before profit accumulates.
+	// possible before profit accumulates. Under the selfish provider each
+	// tenant's ledger is seeded with this capital on first contact.
 	InitialCredit money.Amount
 	// Conservative providers build only structures whose build price the
 	// account covers ("builds structures only when her profit exceeds
@@ -114,10 +173,17 @@ type Config struct {
 	// InvestKinds limits which structure kinds the economy may build;
 	// nil means all kinds (econ-col passes only KindColumn).
 	InvestKinds map[structure.Kind]bool
-	// LedgerCap bounds the regret ledger; least-recently-touched
+	// LedgerCap bounds each regret ledger; least-recently-touched
 	// entries are garbage collected (§IV-B "garbage collected using LRU
 	// policy"). 0 means a generous default.
 	LedgerCap int
+	// TenantCap bounds the number of distinct tenant ledgers. Billing
+	// state must never be silently dropped, so beyond the cap new tenant
+	// names fold into one shared overflow ledger — bounding both memory
+	// and (under the selfish provider, where each fresh ledger opens
+	// with the initial capital) the credit untrusted clients can mint by
+	// inventing names. 0 means a generous default.
+	TenantCap int
 }
 
 // Validate checks the config.
@@ -136,6 +202,12 @@ func (c Config) Validate() error {
 	}
 	if c.LedgerCap < 0 {
 		return fmt.Errorf("economy: LedgerCap must be >= 0")
+	}
+	if c.TenantCap < 0 {
+		return fmt.Errorf("economy: TenantCap must be >= 0")
+	}
+	if c.Provider != ProviderAltruistic && c.Provider != ProviderSelfish {
+		return fmt.Errorf("economy: unknown provider %d", c.Provider)
 	}
 	return nil
 }
@@ -156,7 +228,7 @@ type Decision struct {
 	Declined bool
 	// Charged is what the user paid.
 	Charged money.Amount
-	// Profit is Charged minus the plan price (credited to CR).
+	// Profit is Charged minus the plan price (credited to the account).
 	Profit money.Amount
 	// Investments lists structures whose construction this query
 	// triggered.
@@ -166,38 +238,33 @@ type Decision struct {
 	Failures []structure.ID
 }
 
-// Economy is the mutable account + regret state. Not safe for concurrent
-// use; one simulation owns one economy.
+// Economy is the mutable market + ledger state. Not safe for concurrent
+// use; one simulation (or one server shard) owns one economy.
 type Economy struct {
 	cfg    Config
-	credit money.Amount
+	market *Market
 
-	ledger      map[structure.ID]*regretEntry
-	ledgerClock int64
-	// failCount records how many times a structure has failed, for
-	// investment backoff.
-	failCount map[structure.ID]int
-
-	// buildUsage accumulates the physical resource usage of investments
-	// since the last drain, so the simulator can account true build
-	// expenditure separately from the scheme's deciding prices.
-	buildUsage cost.Usage
-
-	// stats
-	invested      money.Amount
-	recovered     money.Amount
-	profitTotal   money.Amount
-	investCount   int64
-	failureCount  int64
-	declinedCount int64
+	// pool is the communal account of the altruistic provider: the
+	// single-ledger economy of §IV. Nil under the selfish provider.
+	pool *Ledger
+	// tenants maps tenant name -> per-tenant ledger. Under the
+	// altruistic provider these are attribution mirrors (no credit);
+	// under the selfish provider they are the real accounts. Bounded by
+	// cfg.TenantCap; overflow names share one ledger.
+	tenants map[string]*Ledger
 }
+
+// OverflowTenant is the shared ledger name that tenants beyond TenantCap
+// fold into. The name is not reserved at admission: a client that
+// submits it joins the shared pot deliberately, which grants nothing a
+// fresh name would not — the pot is seeded at most once, and its members
+// already share spend, regret and capital by construction.
+const OverflowTenant = "(overflow)"
 
 // DrainBuildUsage returns the physical usage of all investments since the
 // previous drain and resets the accumulator.
 func (e *Economy) DrainBuildUsage() cost.Usage {
-	u := e.buildUsage
-	e.buildUsage = cost.Usage{}
-	return u
+	return e.market.drainBuildUsage()
 }
 
 // New builds an economy.
@@ -208,26 +275,87 @@ func New(cfg Config) (*Economy, error) {
 	if cfg.LedgerCap == 0 {
 		cfg.LedgerCap = 4096
 	}
+	if cfg.TenantCap == 0 {
+		cfg.TenantCap = 10_000
+	}
 	if cfg.NeverUsedFloor == 0 {
 		cfg.NeverUsedFloor = money.FromDollars(1)
 	}
-	return &Economy{
-		cfg:       cfg,
-		credit:    cfg.InitialCredit,
-		ledger:    make(map[structure.ID]*regretEntry),
-		failCount: make(map[structure.ID]int),
-	}, nil
+	e := &Economy{
+		cfg:     cfg,
+		market:  newMarket(cfg),
+		tenants: make(map[string]*Ledger),
+	}
+	if cfg.Provider == ProviderAltruistic {
+		e.pool = newLedger("", cfg.InitialCredit, cfg.LedgerCap)
+	}
+	return e, nil
 }
 
-// Credit returns the current account balance CR.
-func (e *Economy) Credit() money.Amount { return e.credit }
+// Provider returns the accounting stance.
+func (e *Economy) Provider() Provider { return e.cfg.Provider }
 
-// Regret returns the accumulated regret for a structure.
-func (e *Economy) Regret(id structure.ID) money.Amount {
-	if r, ok := e.ledger[id]; ok {
-		return r.regret
+// Market exposes the shared structure pool.
+func (e *Economy) Market() *Market { return e.market }
+
+// Credit returns the total account balance CR: the communal pool under
+// the altruistic provider, the sum of tenant accounts under the selfish
+// one.
+func (e *Economy) Credit() money.Amount {
+	if e.pool != nil {
+		return e.pool.credit
 	}
-	return 0
+	var total money.Amount
+	for _, l := range e.tenants {
+		total = total.Add(l.credit)
+	}
+	return total
+}
+
+// Regret returns the accumulated live regret for a structure across all
+// ledgers.
+func (e *Economy) Regret(id structure.ID) money.Amount {
+	if e.pool != nil {
+		return e.pool.regretOf(id)
+	}
+	var total money.Amount
+	for _, l := range e.tenants {
+		total = total.Add(l.regretOf(id))
+	}
+	return total
+}
+
+// ledgerFor returns (creating on first contact) the tenant's ledger.
+// Under the selfish provider a fresh ledger opens with the initial
+// capital; under the altruistic provider mirrors open empty — the
+// communal pool holds the money. Beyond TenantCap, new names share the
+// overflow ledger (which opens — and mints capital — exactly once).
+func (e *Economy) ledgerFor(tenant string) *Ledger {
+	if l, ok := e.tenants[tenant]; ok {
+		return l
+	}
+	if len(e.tenants) >= e.cfg.TenantCap {
+		if l, ok := e.tenants[OverflowTenant]; ok {
+			return l
+		}
+		tenant = OverflowTenant
+	}
+	seed := money.Amount(0)
+	if e.cfg.Provider == ProviderSelfish {
+		seed = e.cfg.InitialCredit
+	}
+	l := newLedger(tenant, seed, e.cfg.LedgerCap)
+	e.tenants[tenant] = l
+	return l
+}
+
+// account returns the ledger whose credit and regret drive decisions for
+// this tenant: the pool when altruistic, the tenant's own when selfish.
+func (e *Economy) account(led *Ledger) *Ledger {
+	if e.pool != nil {
+		return e.pool
+	}
+	return led
 }
 
 // HandleQuery runs the full §IV-C pipeline for one query whose plan set has
@@ -240,12 +368,16 @@ func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, 
 
 	// Structure failure sweep (footnote 3) happens before planning so a
 	// failed structure cannot be chosen.
-	d.Failures = e.sweepFailures()
+	d.Failures = e.market.sweepFailures()
 
 	exist, _ := plan.Partition(plans)
 	if len(exist) == 0 {
 		return Decision{}, fmt.Errorf("economy: no runnable plan (the backend plan must always exist)")
 	}
+
+	led := e.ledgerFor(q.Tenant)
+	acct := e.account(led)
+	led.queries++
 
 	// Affordability and case classification over the full PQ.
 	affordable := func(p *plan.Plan) bool {
@@ -281,7 +413,7 @@ func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, 
 		d.Chosen = plan.Cheapest(exist)
 	default:
 		d.Declined = true
-		e.declinedCount++
+		led.declinedCount++
 	}
 
 	// Payment, profit and per-structure collections. Two anchor plans
@@ -300,12 +432,18 @@ func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, 
 		}
 	}
 	if d.Chosen != nil {
-		e.settle(q, d.Chosen, backendExec, scanExec, haveScan, &d)
+		e.settle(q, d.Chosen, backendExec, scanExec, haveScan, led, &d)
+		if d.Chosen.Location == plan.Cache {
+			led.cacheAnswered++
+		}
 	}
 
-	// Regret accrual for rejected possible plans, then investment.
-	e.accrueRegret(q, plans, d.Chosen)
-	d.Investments = e.invest()
+	// Regret accrual for rejected possible plans, then investment. Regret
+	// lands in the deciding account's live map (the pool when altruistic,
+	// the tenant's own when selfish) and is attributed to the tenant in
+	// either case.
+	e.accrueRegret(q, plans, d.Chosen, led, acct)
+	d.Investments = e.invest(acct)
 	return d, nil
 }
 
@@ -331,7 +469,15 @@ func (e *Economy) selectPlan(q *workload.Query, plans []*plan.Plan) *plan.Plan {
 }
 
 // settle charges the user, credits profit and collects the amortized and
-// maintenance components into the account.
+// maintenance components.
+//
+// Under the altruistic provider everything lands in the communal pool,
+// exactly the single-account settlement of §IV-C. Under the selfish
+// provider the money splits by role: the paying tenant's ledger keeps the
+// profit, while each structure's amortized share and maintenance recovery
+// flow to the ledger of the tenant that financed it — "rent for shared
+// residents split by measured usage": whoever uses a resident next pays
+// its accrued arrears, and that payment reimburses its owner.
 //
 // Value attribution is marginal: when a cache plan is chosen, its columns
 // split the execution saving of the plain column scan over the back-end
@@ -339,7 +485,7 @@ func (e *Economy) selectPlan(q *workload.Query, plans []*plan.Plan) *plan.Plan {
 // the chosen plan achieves over the plain scan. This keeps base data
 // "less eligible for eviction" than accelerators (§VII-B), because the
 // columns carry the bulk of the measured value.
-func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec money.Amount, haveScan bool, d *Decision) {
+func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec money.Amount, haveScan bool, led *Ledger, d *Decision) {
 	price := p.Price()
 	budgetAt := q.Budget.At(p.Time())
 	charged := price
@@ -349,11 +495,17 @@ func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec 
 	d.Charged = charged
 	d.Profit = charged.Sub(price)
 
+	led.spend = led.spend.Add(charged)
+	led.profitTotal = led.profitTotal.Add(d.Profit)
+
 	// Execution cost is paid through to the infrastructure; profit,
-	// amortized shares and maintenance recovery stay in the account.
-	e.credit = e.credit.Add(charged.Sub(p.ExecPrice))
-	e.profitTotal = e.profitTotal.Add(d.Profit)
-	e.recovered = e.recovered.Add(p.AmortPrice).Add(p.MaintPrice)
+	// amortized shares and maintenance recovery stay in the accounts.
+	if e.pool != nil {
+		e.pool.credit = e.pool.credit.Add(charged.Sub(p.ExecPrice))
+		e.pool.recovered = e.pool.recovered.Add(p.AmortPrice).Add(p.MaintPrice)
+	} else {
+		led.credit = led.credit.Add(d.Profit)
+	}
 
 	// Marginal execution savings.
 	var colShare, extraShare money.Amount
@@ -382,13 +534,28 @@ func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec 
 		}
 	}
 
-	// Per-structure bookkeeping on the chosen plan.
+	// Per-structure bookkeeping on the chosen plan. Chosen plans were
+	// runnable at enumeration time, so the per-structure amortized
+	// shares and arrears below are the components the optimizer priced
+	// into p.AmortPrice and p.MaintPrice — except for a structure this
+	// query's own failure sweep evicted after enumeration: its cache
+	// entry is gone, the Get below misses, and its priced components go
+	// unreimbursed (the provider absorbs them, in both modes the rent
+	// risk of a failed structure).
 	for _, st := range p.Structures.Items() {
 		entry, ok := e.cfg.Cache.Get(st.ID)
 		if !ok {
 			continue
 		}
 		share := cache.AmortShare(entry, e.cfg.AmortN)
+		if e.pool == nil {
+			// Selfish: reimburse the structure's owner for the amortized
+			// build share plus the maintenance arrears this use settles.
+			recovery := share.Add(e.market.maintDueOf(entry))
+			owner := e.ledgerFor(e.market.owner[st.ID])
+			owner.credit = owner.credit.Add(recovery)
+			owner.recovered = owner.recovered.Add(recovery)
+		}
 		entry.AmortRemaining = entry.AmortRemaining.Sub(share)
 		entry.UnpaidMaint = 0
 		entry.MaintPaidUntil = e.cfg.Cache.Clock()
@@ -411,7 +578,7 @@ func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec 
 // expensive — on a skyline, faster — is a lost service/profit opportunity
 // (Eq. 2, the case-B regret). The union applies in every case; each term
 // is only ever non-negative.
-func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *plan.Plan) {
+func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *plan.Plan, led, acct *Ledger) {
 	for _, p := range plans {
 		if p.Runnable() || p == chosen {
 			continue
@@ -428,15 +595,17 @@ func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *pl
 		if !r.IsPositive() {
 			continue
 		}
-		e.distribute(p, r)
+		e.distribute(p, r, led, acct)
 	}
 }
 
 // distribute splits a plan's regret uniformly across its missing structures
 // ("the regret ... is distributed uniformly to every physical structure
 // used by the plan"; resident structures need no investment so only the
-// missing ones are tracked).
-func (e *Economy) distribute(p *plan.Plan, r money.Amount) {
+// missing ones are tracked). The share lands in the deciding account's
+// live map and is attributed to the generating tenant's cumulative
+// counter.
+func (e *Economy) distribute(p *plan.Plan, r money.Amount, led, acct *Ledger) {
 	if len(p.Missing) == 0 {
 		return
 	}
@@ -449,15 +618,10 @@ func (e *Economy) distribute(p *plan.Plan, r money.Amount) {
 		if st == nil || !e.kindAllowed(st.Kind) {
 			continue
 		}
-		e.ledgerClock++
-		entry, ok := e.ledger[id]
-		if !ok {
-			entry = &regretEntry{}
-			e.ledger[id] = entry
-			e.gcLedger()
+		acct.add(id, share)
+		if acct != led {
+			led.regretAccrued = led.regretAccrued.Add(share)
 		}
-		entry.regret = entry.regret.Add(share)
-		entry.touched = e.ledgerClock
 	}
 }
 
@@ -469,211 +633,50 @@ func (e *Economy) kindAllowed(k structure.Kind) bool {
 	return e.cfg.InvestKinds[k]
 }
 
-// gcLedger enforces the LRU cap on the regret ledger (§IV-B).
-func (e *Economy) gcLedger() {
-	if len(e.ledger) <= e.cfg.LedgerCap {
-		return
-	}
-	// Evict the least recently touched entry.
-	var victim structure.ID
-	var oldest int64 = 1<<63 - 1
-	for id, entry := range e.ledger {
-		if entry.touched < oldest {
-			oldest, victim = entry.touched, id
-		}
-	}
-	delete(e.ledger, victim)
-}
-
-// invest scans the ledger and builds every structure whose accumulated
-// regret satisfies Eq. 3: round(regret_S / (a·CR)) >= 1, i.e. regret has
-// risen to the fraction a of the account. Investments deduct the build
-// price from CR; construction completes after the build duration.
-func (e *Economy) invest() []structure.ID {
-	if !e.credit.IsPositive() {
+// invest scans the account's regret ledger and builds every structure
+// whose accumulated regret satisfies Eq. 3: round(regret_S / (a·CR)) >= 1,
+// i.e. regret has risen to the fraction a of the account. Investments
+// deduct the build price from the account; construction completes after
+// the build duration. The altruistic provider tests the communal pool on
+// every query; the selfish provider tests only the arriving tenant's
+// ledger, so one tenant's regret never spends another tenant's money.
+func (e *Economy) invest(acct *Ledger) []structure.ID {
+	if !acct.credit.IsPositive() {
 		return nil
 	}
-	threshold := e.credit.MulFloat(e.cfg.RegretFraction)
+	threshold := acct.credit.MulFloat(e.cfg.RegretFraction)
 	if !threshold.IsPositive() {
 		return nil
 	}
-	// Deterministic scan order.
-	ids := make([]structure.ID, 0, len(e.ledger))
-	for id := range e.ledger {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
 	var built []structure.ID
-	for _, id := range ids {
-		entry := e.ledger[id]
+	for _, id := range acct.sortedIDs() {
+		entry := acct.entries[id]
 		// Eq. 3 with round(): triggers at regret >= 0.5·a·CR. A history
 		// of failed builds raises the bar exponentially.
-		bar := threshold
-		if e.cfg.InvestBackoff > 1 {
-			for i := 0; i < e.failCount[id] && i < 30; i++ {
-				bar = bar.MulFloat(e.cfg.InvestBackoff)
-			}
-		}
+		bar := e.market.investmentBar(threshold, id)
 		if entry.regret.MulInt(2) < bar {
 			continue
 		}
 		ca := e.cfg.Cache
 		if ca.Has(id) || ca.Building(id) {
-			delete(e.ledger, id)
+			delete(acct.entries, id)
 			continue
 		}
-		st, err := e.resolveStructure(id)
+		st, err := e.market.resolveStructure(id)
 		if err != nil {
-			delete(e.ledger, id)
+			delete(acct.entries, id)
 			continue
 		}
-		if e.buildStructure(st) {
+		if e.market.buildStructure(st, acct) {
 			built = append(built, id)
-			delete(e.ledger, id)
+			delete(acct.entries, id)
 		}
 	}
 	return built
 }
 
-// buildStructure starts construction of st (and, for indexes, of its
-// missing columns first, per Eq. 14). It reports whether the investment was
-// made; a conservative provider skips builds the account cannot cover.
-func (e *Economy) buildStructure(st *structure.Structure) bool {
-	ca := e.cfg.Cache
-	price, out, err := e.cfg.Optimizer.BuildPrice(st, ca)
-	if err != nil {
-		return false
-	}
-	if e.cfg.Conservative && e.credit < price {
-		return false
-	}
-
-	now := ca.Clock()
-	readyAt := now + out.Time
-	if st.Kind == structure.KindIndex {
-		// Build missing columns first; the index build waits for them.
-		var colsReady = now
-		for _, ref := range st.Index.Refs() {
-			colID := structure.ColumnID(ref)
-			if ca.Has(colID) {
-				continue
-			}
-			if ca.Building(colID) {
-				continue
-			}
-			colSt, err := structure.ColumnStructure(e.cfg.Model.Catalog(), ref)
-			if err != nil {
-				return false
-			}
-			colPrice, colOut, err := e.cfg.Optimizer.BuildPrice(colSt, ca)
-			if err != nil {
-				return false
-			}
-			if err := ca.StartBuild(colSt, now+colOut.Time, colPrice); err != nil {
-				return false
-			}
-			e.credit = e.credit.Sub(colPrice)
-			e.invested = e.invested.Add(colPrice)
-			e.buildUsage.Add(colOut.Usage)
-			if now+colOut.Time > colsReady {
-				colsReady = now + colOut.Time
-			}
-		}
-		// The composite BuildPrice included the missing columns, but
-		// those were just charged individually; re-price the sort-only
-		// component by pretending all columns are cached.
-		sortOnly, sortOut, err := e.indexSortOnly(st)
-		if err != nil {
-			return false
-		}
-		price, out = sortOnly, sortOut
-		readyAt = colsReady + out.Time
-	}
-
-	if err := ca.StartBuild(st, readyAt, price); err != nil {
-		return false
-	}
-	e.credit = e.credit.Sub(price)
-	e.invested = e.invested.Add(price)
-	e.buildUsage.Add(out.Usage)
-	e.investCount++
-	return true
-}
-
-// indexSortOnly prices just the in-cache sort of an index build.
-func (e *Economy) indexSortOnly(st *structure.Structure) (money.Amount, cost.Outcome, error) {
-	out, err := e.cfg.Model.BuildIndex(st.Index, func(catalog.ColumnRef) bool { return true })
-	if err != nil {
-		return 0, cost.Outcome{}, err
-	}
-	return cost.Price(e.cfg.Model.Schedule(), out.Usage), out, nil
-}
-
-// resolveStructure reconstructs the Structure behind a ledger ID by asking
-// the catalog. Ledger entries always originate from plans, so the ID shape
-// is trusted.
-func (e *Economy) resolveStructure(id structure.ID) (*structure.Structure, error) {
-	return ResolveID(e.cfg.Model.Catalog(), id)
-}
-
-// sweepFailures evicts structures whose maintenance rent no longer pays
-// (footnote 3 "structure failure"). Two rules apply:
-//
-//   - Never-used structures fail when their accrued arrears exceed
-//     MaintFailureFactor × build price: the investment clearly missed.
-//   - Used structures fail when their rent *rate* exceeds
-//     MaintFailureFactor × their lifetime value rate
-//     (EarnedValue / time since build): at long inter-query intervals the
-//     rent a structure accrues outweighs the value it produces, and a
-//     rational provider evicts to save disk money (§VII-B, the 10 s and
-//     60 s regimes). Rates — not single gaps — are compared so a busy
-//     structure survives an occasional long idle stretch.
-//
-// The floors suppress evictions over negligible arrears so structures do
-// not flap at short intervals, and give fresh builds time to see their
-// first use (partial structure sets are unusable until complete).
-func (e *Economy) sweepFailures() []structure.ID {
-	if e.cfg.MaintFailureFactor <= 0 {
-		return nil
-	}
-	ca := e.cfg.Cache
-	var victims []structure.ID
-	ca.ForEach(func(entry *cache.Entry) {
-		due := cache.MaintDue(entry, func(en *cache.Entry) money.Amount {
-			return e.cfg.Model.MaintCost(en.S.Kind == structure.KindCPUNode, en.S.Bytes, ca.Clock()-en.MaintPaidUntil)
-		})
-		evict := false
-		if entry.Uses == 0 {
-			evict = due > e.cfg.NeverUsedFloor &&
-				due > entry.BuildPrice.MulFloat(e.cfg.MaintFailureFactor)
-		} else if due > e.cfg.FailureFloor {
-			// Grace window: rates need at least an hour of post-first-
-			// use history to mean anything.
-			window := ca.Clock() - entry.FirstUsed
-			if window >= time.Hour {
-				rentPerHour := e.cfg.Model.MaintCost(
-					entry.S.Kind == structure.KindCPUNode, entry.S.Bytes, time.Hour).Dollars()
-				valuePerHour := entry.EarnedValue.Dollars() / window.Hours()
-				evict = rentPerHour > e.cfg.MaintFailureFactor*valuePerHour
-			}
-		}
-		if evict {
-			victims = append(victims, entry.S.ID)
-		}
-	})
-	// Eviction decisions are independent per entry, so the victim SET is
-	// deterministic even though map order is not; sort for stable output.
-	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
-	for _, id := range victims {
-		ca.Evict(id)
-		e.failCount[id]++
-		e.failureCount++
-	}
-	return victims
-}
-
-// Stats is a snapshot of the economy's lifetime counters.
+// Stats is a snapshot of the economy's lifetime counters, aggregated
+// across all ledgers.
 type Stats struct {
 	Credit        money.Amount
 	Invested      money.Amount
@@ -687,14 +690,36 @@ type Stats struct {
 
 // Stats returns the lifetime counters.
 func (e *Economy) Stats() Stats {
-	return Stats{
-		Credit:        e.credit,
-		Invested:      e.invested,
-		Recovered:     e.recovered,
-		ProfitTotal:   e.profitTotal,
-		InvestCount:   e.investCount,
-		FailureCount:  e.failureCount,
-		DeclinedCount: e.declinedCount,
-		LedgerSize:    len(e.ledger),
+	s := Stats{
+		Credit:       e.Credit(),
+		FailureCount: e.market.failureCount,
 	}
+	if e.pool != nil {
+		s.Invested = e.pool.invested
+		s.Recovered = e.pool.recovered
+		s.InvestCount = e.pool.investCount
+		s.LedgerSize = len(e.pool.entries)
+	}
+	for _, l := range e.tenants {
+		s.ProfitTotal = s.ProfitTotal.Add(l.profitTotal)
+		s.DeclinedCount += l.declinedCount
+		if e.pool == nil {
+			s.Invested = s.Invested.Add(l.invested)
+			s.Recovered = s.Recovered.Add(l.recovered)
+			s.InvestCount += l.investCount
+			s.LedgerSize += len(l.entries)
+		}
+	}
+	return s
+}
+
+// TenantStats returns per-tenant ledger snapshots sorted by tenant name,
+// so repeated snapshots of the same state are deterministic.
+func (e *Economy) TenantStats() []TenantStats {
+	out := make([]TenantStats, 0, len(e.tenants))
+	for _, l := range e.tenants {
+		out = append(out, l.stats())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
 }

@@ -1,0 +1,153 @@
+package economy
+
+import (
+	"sort"
+
+	"repro/internal/money"
+	"repro/internal/structure"
+)
+
+// Ledger is one tenant's account with the cloud: credit, spend, profit
+// and regret attribution, plus the live per-structure regret entries that
+// drive the Eq. 3 investment test when the provider is selfish.
+//
+// Under the altruistic provider there is one communal Ledger (the pool)
+// holding the account and the live regret map — exactly the single-account
+// economy of §IV — while per-tenant Ledgers act as mirrors: they attribute
+// spend, profit and accrued regret to the tenant that generated them but
+// carry no credit of their own. Under the selfish provider every tenant
+// Ledger is a real account: it is seeded with the initial capital on first
+// contact, its own regret alone triggers builds, and those builds are
+// charged to (and amortized back into) it.
+type Ledger struct {
+	tenant string
+	credit money.Amount
+
+	// entries is the live regret map (Eq. 1–2 accumulation, LRU-capped
+	// per §IV-B); clock is its logical LRU clock.
+	entries map[structure.ID]*regretEntry
+	clock   int64
+	cap     int
+
+	// Attribution counters. regretAccrued is cumulative (monotone) so
+	// per-tenant regret stays reportable and mergeable even after ledger
+	// entries are consumed by investment or garbage collected.
+	spend         money.Amount
+	profitTotal   money.Amount
+	invested      money.Amount
+	recovered     money.Amount
+	regretAccrued money.Amount
+	investCount   int64
+	declinedCount int64
+	queries       int64
+	cacheAnswered int64
+}
+
+// newLedger opens a ledger with the given seed capital and regret cap.
+func newLedger(tenant string, seed money.Amount, cap int) *Ledger {
+	return &Ledger{
+		tenant:  tenant,
+		credit:  seed,
+		entries: make(map[structure.ID]*regretEntry),
+		cap:     cap,
+	}
+}
+
+// Tenant returns the ledger's tenant name ("" for the communal pool).
+func (l *Ledger) Tenant() string { return l.tenant }
+
+// Credit returns the account balance.
+func (l *Ledger) Credit() money.Amount { return l.credit }
+
+// regretOf returns the live regret accumulated against a structure.
+func (l *Ledger) regretOf(id structure.ID) money.Amount {
+	if e, ok := l.entries[id]; ok {
+		return e.regret
+	}
+	return 0
+}
+
+// add accrues a regret share against a structure, touching its LRU slot.
+func (l *Ledger) add(id structure.ID, share money.Amount) {
+	l.clock++
+	entry, ok := l.entries[id]
+	if !ok {
+		entry = &regretEntry{}
+		l.entries[id] = entry
+		l.gc()
+	}
+	entry.regret = entry.regret.Add(share)
+	entry.touched = l.clock
+	l.regretAccrued = l.regretAccrued.Add(share)
+}
+
+// gc enforces the LRU cap on the regret map (§IV-B "garbage collected
+// using LRU policy").
+func (l *Ledger) gc() {
+	if len(l.entries) <= l.cap {
+		return
+	}
+	var victim structure.ID
+	var oldest int64 = 1<<63 - 1
+	for id, entry := range l.entries {
+		if entry.touched < oldest {
+			oldest, victim = entry.touched, id
+		}
+	}
+	delete(l.entries, victim)
+}
+
+// sortedIDs returns the regret map's keys in deterministic order for the
+// investment scan.
+func (l *Ledger) sortedIDs() []structure.ID {
+	ids := make([]structure.ID, 0, len(l.entries))
+	for id := range l.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TenantStats is the reportable snapshot of one tenant's ledger.
+type TenantStats struct {
+	// Tenant is the tenant name ("" for untagged queries).
+	Tenant string
+	// Traffic attribution.
+	Queries       int64
+	Declined      int64
+	CacheAnswered int64
+	// Money attribution. Credit is zero under the altruistic provider,
+	// whose account is communal; Spend is the total the tenant's users
+	// were charged; RegretAccrued is cumulative Eq. 1–2 regret attributed
+	// to the tenant's queries.
+	Credit        money.Amount
+	Spend         money.Amount
+	Profit        money.Amount
+	RegretAccrued money.Amount
+	Invested      money.Amount
+	Recovered     money.Amount
+	// InvestCount is the number of structure builds charged to this
+	// tenant (always zero under the altruistic provider).
+	InvestCount int64
+	// LedgerSize is the tenant's live regret-map size (zero under the
+	// altruistic provider, whose live map is communal).
+	LedgerSize int
+}
+
+// stats snapshots the ledger.
+func (l *Ledger) stats() TenantStats {
+	return TenantStats{
+		Tenant:        l.tenant,
+		Queries:       l.queries,
+		Declined:      l.declinedCount,
+		CacheAnswered: l.cacheAnswered,
+		Credit:        l.credit,
+		Spend:         l.spend,
+		Profit:        l.profitTotal,
+		RegretAccrued: l.regretAccrued,
+		Invested:      l.invested,
+		Recovered:     l.recovered,
+		InvestCount:   l.investCount,
+		LedgerSize:    len(l.entries),
+	}
+}

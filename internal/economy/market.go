@@ -1,0 +1,223 @@
+package economy
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/money"
+	"repro/internal/structure"
+)
+
+// Market is the shared structure pool: the one cache all tenants answer
+// from, plus the mechanics every account uses against it — residency,
+// build pricing and construction, maintenance-failure eviction, the
+// investment backoff history, and the physical-usage accumulator the
+// simulator prices builds with. The Market holds no money of its own;
+// Ledgers pay into it and are recorded as the owners of what they
+// financed, so amortization and maintenance recovery can flow back to
+// whoever built each resident.
+type Market struct {
+	cfg Config
+
+	// owner records which tenant financed each structure's build ("" for
+	// the altruistic pool). Cleared on eviction: a rebuild may be financed
+	// by someone else.
+	owner map[structure.ID]string
+
+	// failCount records how many times a structure has failed, for
+	// investment backoff. Survives eviction by design.
+	failCount map[structure.ID]int
+
+	// buildUsage accumulates the physical resource usage of investments
+	// since the last drain.
+	buildUsage cost.Usage
+
+	failureCount int64
+}
+
+// newMarket wires the shared pool.
+func newMarket(cfg Config) *Market {
+	return &Market{
+		cfg:       cfg,
+		owner:     make(map[structure.ID]string),
+		failCount: make(map[structure.ID]int),
+	}
+}
+
+// Cache exposes the shared residency state.
+func (m *Market) Cache() *cache.Cache { return m.cfg.Cache }
+
+// Owner returns the tenant that financed a resident structure ("" for
+// the communal pool or unknown structures).
+func (m *Market) Owner(id structure.ID) string { return m.owner[id] }
+
+// drainBuildUsage returns the physical usage of all investments since the
+// previous drain and resets the accumulator.
+func (m *Market) drainBuildUsage() cost.Usage {
+	u := m.buildUsage
+	m.buildUsage = cost.Usage{}
+	return u
+}
+
+// investmentBar raises the Eq. 3 threshold exponentially with the
+// structure's failure history, damping build-evict-rebuild cycles.
+func (m *Market) investmentBar(threshold money.Amount, id structure.ID) money.Amount {
+	bar := threshold
+	if m.cfg.InvestBackoff > 1 {
+		for i := 0; i < m.failCount[id] && i < 30; i++ {
+			bar = bar.MulFloat(m.cfg.InvestBackoff)
+		}
+	}
+	return bar
+}
+
+// buildStructure starts construction of st (and, for indexes, of its
+// missing columns first, per Eq. 14), charging the payer ledger. It
+// reports whether the investment was made; a conservative provider skips
+// builds the payer's account cannot cover.
+func (m *Market) buildStructure(st *structure.Structure, payer *Ledger) bool {
+	ca := m.cfg.Cache
+	price, out, err := m.cfg.Optimizer.BuildPrice(st, ca)
+	if err != nil {
+		return false
+	}
+	if m.cfg.Conservative && payer.credit < price {
+		return false
+	}
+
+	now := ca.Clock()
+	readyAt := now + out.Time
+	if st.Kind == structure.KindIndex {
+		// Build missing columns first; the index build waits for them.
+		var colsReady = now
+		for _, ref := range st.Index.Refs() {
+			colID := structure.ColumnID(ref)
+			if ca.Has(colID) {
+				continue
+			}
+			if ca.Building(colID) {
+				continue
+			}
+			colSt, err := structure.ColumnStructure(m.cfg.Model.Catalog(), ref)
+			if err != nil {
+				return false
+			}
+			colPrice, colOut, err := m.cfg.Optimizer.BuildPrice(colSt, ca)
+			if err != nil {
+				return false
+			}
+			if err := ca.StartBuild(colSt, now+colOut.Time, colPrice); err != nil {
+				return false
+			}
+			payer.credit = payer.credit.Sub(colPrice)
+			payer.invested = payer.invested.Add(colPrice)
+			m.owner[colID] = payer.tenant
+			m.buildUsage.Add(colOut.Usage)
+			if now+colOut.Time > colsReady {
+				colsReady = now + colOut.Time
+			}
+		}
+		// The composite BuildPrice included the missing columns, but
+		// those were just charged individually; re-price the sort-only
+		// component by pretending all columns are cached.
+		sortOnly, sortOut, err := m.indexSortOnly(st)
+		if err != nil {
+			return false
+		}
+		price, out = sortOnly, sortOut
+		readyAt = colsReady + out.Time
+	}
+
+	if err := ca.StartBuild(st, readyAt, price); err != nil {
+		return false
+	}
+	payer.credit = payer.credit.Sub(price)
+	payer.invested = payer.invested.Add(price)
+	payer.investCount++
+	m.owner[st.ID] = payer.tenant
+	m.buildUsage.Add(out.Usage)
+	return true
+}
+
+// indexSortOnly prices just the in-cache sort of an index build.
+func (m *Market) indexSortOnly(st *structure.Structure) (money.Amount, cost.Outcome, error) {
+	out, err := m.cfg.Model.BuildIndex(st.Index, func(catalog.ColumnRef) bool { return true })
+	if err != nil {
+		return 0, cost.Outcome{}, err
+	}
+	return cost.Price(m.cfg.Model.Schedule(), out.Usage), out, nil
+}
+
+// resolveStructure reconstructs the Structure behind a ledger ID by asking
+// the catalog. Ledger entries always originate from plans, so the ID shape
+// is trusted.
+func (m *Market) resolveStructure(id structure.ID) (*structure.Structure, error) {
+	return ResolveID(m.cfg.Model.Catalog(), id)
+}
+
+// maintDueOf returns the maintenance arrears a resident entry has accrued
+// at the current cache clock — the same quantity the optimizer priced into
+// the plan's MaintPrice.
+func (m *Market) maintDueOf(entry *cache.Entry) money.Amount {
+	return cache.MaintDue(entry, func(en *cache.Entry) money.Amount {
+		return m.cfg.Model.MaintCost(en.S.Kind == structure.KindCPUNode, en.S.Bytes, m.cfg.Cache.Clock()-en.MaintPaidUntil)
+	})
+}
+
+// sweepFailures evicts structures whose maintenance rent no longer pays
+// (footnote 3 "structure failure"). Two rules apply:
+//
+//   - Never-used structures fail when their accrued arrears exceed
+//     MaintFailureFactor × build price: the investment clearly missed.
+//   - Used structures fail when their rent *rate* exceeds
+//     MaintFailureFactor × their lifetime value rate
+//     (EarnedValue / time since build): at long inter-query intervals the
+//     rent a structure accrues outweighs the value it produces, and a
+//     rational provider evicts to save disk money (§VII-B, the 10 s and
+//     60 s regimes). Rates — not single gaps — are compared so a busy
+//     structure survives an occasional long idle stretch.
+//
+// The floors suppress evictions over negligible arrears so structures do
+// not flap at short intervals, and give fresh builds time to see their
+// first use (partial structure sets are unusable until complete).
+func (m *Market) sweepFailures() []structure.ID {
+	if m.cfg.MaintFailureFactor <= 0 {
+		return nil
+	}
+	ca := m.cfg.Cache
+	var victims []structure.ID
+	ca.ForEach(func(entry *cache.Entry) {
+		due := m.maintDueOf(entry)
+		evict := false
+		if entry.Uses == 0 {
+			evict = due > m.cfg.NeverUsedFloor &&
+				due > entry.BuildPrice.MulFloat(m.cfg.MaintFailureFactor)
+		} else if due > m.cfg.FailureFloor {
+			// Grace window: rates need at least an hour of post-first-
+			// use history to mean anything.
+			window := ca.Clock() - entry.FirstUsed
+			if window >= time.Hour {
+				rentPerHour := m.cfg.Model.MaintCost(
+					entry.S.Kind == structure.KindCPUNode, entry.S.Bytes, time.Hour).Dollars()
+				valuePerHour := entry.EarnedValue.Dollars() / window.Hours()
+				evict = rentPerHour > m.cfg.MaintFailureFactor*valuePerHour
+			}
+		}
+		if evict {
+			victims = append(victims, entry.S.ID)
+		}
+	})
+	// Eviction decisions are independent per entry, so the victim SET is
+	// deterministic even though map order is not; sort for stable output.
+	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
+	for _, id := range victims {
+		ca.Evict(id)
+		delete(m.owner, id)
+		m.failCount[id]++
+		m.failureCount++
+	}
+	return victims
+}

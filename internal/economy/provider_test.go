@@ -1,0 +1,282 @@
+package economy
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/money"
+	"repro/internal/structure"
+)
+
+// tq builds a tenant-tagged Q6 query.
+func (r *rig) tq(t *testing.T, tenant string, sel float64, b budget.Func) Decision {
+	t.Helper()
+	q := r.query(t, sel, b)
+	q.Tenant = tenant
+	return r.handle(t, q)
+}
+
+func hotBudget() budget.Func {
+	return budget.NewStep(money.FromDollars(1000), time.Hour)
+}
+
+// TestAltruisticIsTenantBlind: under the altruistic provider, tenant tags
+// are pure attribution — the same query sequence with and without tags
+// must produce byte-identical decisions, account state and residency.
+// This is the refactor's parity guarantee: the single-tenant degenerate
+// case IS the classic single-account economy.
+func TestAltruisticIsTenantBlind(t *testing.T) {
+	run := func(tenants []string) (Stats, int, int) {
+		r := newRig(t, func(c *Config) {
+			c.RegretFraction = 0.0001
+			c.InitialCredit = money.FromDollars(10000)
+		})
+		for i := 0; i < 40; i++ {
+			tenant := ""
+			if len(tenants) > 0 {
+				tenant = tenants[i%len(tenants)]
+			}
+			r.tq(t, tenant, 5e-4, hotBudget())
+		}
+		return r.econ.Stats(), r.cache.Len(), r.cache.PendingCount()
+	}
+
+	plain, plainLen, plainPending := run(nil)
+	tagged, taggedLen, taggedPending := run([]string{"alice", "bob", "carol"})
+	if plain != tagged {
+		t.Errorf("tenant tags changed altruistic accounting:\nplain  %+v\ntagged %+v", plain, tagged)
+	}
+	if plainLen != taggedLen || plainPending != taggedPending {
+		t.Errorf("tenant tags changed residency: %d/%d vs %d/%d",
+			plainLen, plainPending, taggedLen, taggedPending)
+	}
+}
+
+// TestAltruisticTenantAttribution: the mirrors still attribute spend,
+// profit and regret per tenant, with zero per-tenant credit (the account
+// is communal) and deterministic ordering.
+func TestAltruisticTenantAttribution(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.RegretFraction = 0.99 // no investment noise
+	})
+	r.tq(t, "bob", 5e-4, hotBudget())
+	r.tq(t, "alice", 5e-4, hotBudget())
+	r.tq(t, "alice", 5e-4, hotBudget())
+
+	ts := r.econ.TenantStats()
+	if len(ts) != 2 || ts[0].Tenant != "alice" || ts[1].Tenant != "bob" {
+		t.Fatalf("tenant stats = %+v, want sorted [alice bob]", ts)
+	}
+	if ts[0].Queries != 2 || ts[1].Queries != 1 {
+		t.Errorf("query attribution wrong: %+v", ts)
+	}
+	for _, s := range ts {
+		if s.Credit != 0 || s.Invested != 0 || s.InvestCount != 0 {
+			t.Errorf("altruistic tenant %s carries account state: %+v", s.Tenant, s)
+		}
+		if !s.Spend.IsPositive() {
+			t.Errorf("tenant %s has no spend", s.Tenant)
+		}
+		if !s.RegretAccrued.IsPositive() {
+			t.Errorf("tenant %s accrued no regret on a cold cache", s.Tenant)
+		}
+	}
+	// The communal pool carries all the money.
+	agg := r.econ.Stats()
+	if agg.Credit <= money.FromDollars(100) {
+		t.Errorf("pool credit %v did not grow", agg.Credit)
+	}
+}
+
+// TestSelfishChargesBuilderOnly: under the selfish provider only the hot
+// tenant's regret triggers builds, charged to that tenant's ledger; the
+// idle tenant's account is untouched by the investment.
+func TestSelfishChargesBuilderOnly(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Provider = ProviderSelfish
+		c.RegretFraction = 0.0001
+		c.InitialCredit = money.FromDollars(10000)
+	})
+
+	// Alice hammers until she builds; only then does bob open his
+	// account with a single query (by then every structure alice's
+	// stream wants is resident or building, so bob invests in nothing).
+	var built []structure.ID
+	for i := 0; i < 50 && len(built) == 0; i++ {
+		d := r.tq(t, "alice", 5e-4, hotBudget())
+		built = d.Investments
+	}
+	if len(built) == 0 {
+		t.Fatal("no selfish investment after 50 hot queries with a hair trigger")
+	}
+	r.tq(t, "bob", 5e-4, hotBudget())
+	for _, id := range built {
+		if owner := r.econ.Market().Owner(id); owner != "alice" {
+			t.Errorf("structure %s owned by %q, want alice", id, owner)
+		}
+	}
+
+	ts := r.econ.TenantStats()
+	if len(ts) != 2 {
+		t.Fatalf("want 2 tenant ledgers, got %+v", ts)
+	}
+	alice, bob := ts[0], ts[1]
+	if alice.Tenant != "alice" || bob.Tenant != "bob" {
+		t.Fatalf("unexpected order: %+v", ts)
+	}
+	if alice.Invested.IsZero() || alice.InvestCount == 0 {
+		t.Errorf("alice financed nothing: %+v", alice)
+	}
+	if !bob.Invested.IsZero() || bob.InvestCount != 0 {
+		t.Errorf("bob was charged for alice's build: %+v", bob)
+	}
+	// Bob's account: seed + his own profit, minus nothing.
+	wantBob := money.FromDollars(10000).Add(bob.Profit)
+	if bob.Credit != wantBob {
+		t.Errorf("bob credit = %v, want %v", bob.Credit, wantBob)
+	}
+	// Aggregate credit is the sum of the tenant accounts.
+	if got, want := r.econ.Credit(), alice.Credit.Add(bob.Credit); got != want {
+		t.Errorf("aggregate credit %v != ledger sum %v", got, want)
+	}
+}
+
+// TestSelfishRecoveryFlowsToOwner: when another tenant answers from a
+// structure alice financed, the amortized share and maintenance arrears in
+// that plan's price reimburse alice's ledger.
+func TestSelfishRecoveryFlowsToOwner(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Provider = ProviderSelfish
+		// Fastest-plan selection: once structures are resident, queries
+		// actually answer from the cache (at this test's scale the tiny
+		// backend plan stays cheapest, which would starve the recovery
+		// path under SelectCheapest).
+		c.Criterion = SelectFastest
+		c.RegretFraction = 0.0001
+		c.InitialCredit = money.FromDollars(10000)
+		// The long idle advance below would otherwise trip the
+		// maintenance-failure sweep and evict alice's structures before
+		// bob ever uses them.
+		c.MaintFailureFactor = 0
+	})
+	var built []structure.ID
+	for i := 0; i < 50 && len(built) == 0; i++ {
+		built = r.tq(t, "alice", 5e-4, hotBudget()).Investments
+	}
+	if len(built) == 0 {
+		t.Fatal("alice never invested")
+	}
+	// Let the builds complete.
+	r.cache.Advance(r.cache.Clock() + 100*time.Hour)
+	r.cache.CompleteDue()
+	if r.cache.Len() == 0 {
+		t.Fatal("builds never completed")
+	}
+
+	statsOf := func(tenant string) TenantStats {
+		for _, s := range r.econ.TenantStats() {
+			if s.Tenant == tenant {
+				return s
+			}
+		}
+		t.Fatalf("no ledger for %s", tenant)
+		return TenantStats{}
+	}
+	before := statsOf("alice")
+	d := r.tq(t, "bob", 5e-4, hotBudget())
+	if d.Chosen == nil {
+		t.Fatal("bob's query was not answered")
+	}
+	after := statsOf("alice")
+	if after.Recovered <= before.Recovered {
+		t.Errorf("bob's use of alice's structures recovered nothing: %v -> %v",
+			before.Recovered, after.Recovered)
+	}
+	if after.Credit <= before.Credit {
+		t.Errorf("alice's credit did not grow from bob's use: %v -> %v",
+			before.Credit, after.Credit)
+	}
+}
+
+// TestTenantCapFoldsOverflow: beyond TenantCap, fresh tenant names share
+// one overflow ledger — bounding both memory and, under the selfish
+// provider, the capital invented names could otherwise mint (each real
+// ledger opens with the initial credit; the overflow ledger opens once).
+func TestTenantCapFoldsOverflow(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.Provider = ProviderSelfish
+		c.TenantCap = 2
+	})
+	for i := 0; i < 6; i++ {
+		r.tq(t, fmt.Sprintf("t%d", i), 5e-4, hotBudget())
+	}
+	ts := r.econ.TenantStats()
+	if len(ts) != 3 {
+		t.Fatalf("got %d ledgers with cap 2, want 3 (2 + overflow): %+v", len(ts), ts)
+	}
+	var overflow *TenantStats
+	for i := range ts {
+		if ts[i].Tenant == OverflowTenant {
+			overflow = &ts[i]
+		}
+	}
+	if overflow == nil {
+		t.Fatalf("no overflow ledger: %+v", ts)
+	}
+	if overflow.Queries != 4 {
+		t.Errorf("overflow queries = %d, want 4", overflow.Queries)
+	}
+	// 2 real ledgers + 1 overflow ledger were seeded: capital is bounded
+	// by (cap+1)·InitialCredit plus earnings, no matter how many names
+	// arrive.
+	agg := r.econ.Stats()
+	seeded := money.FromDollars(100).MulInt(3)
+	want := seeded.Add(agg.ProfitTotal).Sub(agg.Invested).Add(agg.Recovered)
+	if got := r.econ.Credit(); got != want {
+		t.Errorf("credit = %v, want %v (3 seeds + profit - invested + recovered)", got, want)
+	}
+}
+
+// TestProviderParsing covers the knob's string round trip.
+func TestProviderParsing(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Provider
+		ok   bool
+	}{
+		{"", ProviderAltruistic, true},
+		{"altruistic", ProviderAltruistic, true},
+		{"selfish", ProviderSelfish, true},
+		{"greedy", 0, false},
+	} {
+		got, err := ParseProvider(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseProvider(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseProvider(%q) accepted", tc.in)
+		}
+	}
+	if ProviderAltruistic.String() != "altruistic" || ProviderSelfish.String() != "selfish" {
+		t.Error("provider names wrong")
+	}
+}
+
+// TestTenantStatsSnapshotStable: repeated snapshots of unchanged state are
+// deeply equal — the property the server's deterministic merge rests on.
+func TestTenantStatsSnapshotStable(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Provider = ProviderSelfish })
+	for _, tenant := range []string{"zoe", "ann", "zoe", "mel"} {
+		r.tq(t, tenant, 5e-4, hotBudget())
+	}
+	a, b := r.econ.TenantStats(), r.econ.TenantStats()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("snapshots differ:\n%+v\n%+v", a, b)
+	}
+	if len(a) != 3 || a[0].Tenant != "ann" || a[1].Tenant != "mel" || a[2].Tenant != "zoe" {
+		t.Errorf("not sorted: %+v", a)
+	}
+}

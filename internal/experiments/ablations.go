@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/economy"
 	"repro/internal/metrics"
 	"repro/internal/pricing"
 	"repro/internal/workload"
@@ -132,6 +133,58 @@ func AblationCacheFraction(s Settings, fractions []float64, interval time.Durati
 			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
 			fmt.Sprintf("%d", cell.Report.CacheAnswered),
 		)
+	}
+	return t, cells, nil
+}
+
+// AblationProvider measures the §IV altruistic-vs-selfish provider
+// discussion as a figure: the same two-tenant skewed stream runs once
+// against the pooled communal account and once against per-tenant
+// ledgers. The run rows carry the Fig. 4/5 values; the tenant rows show
+// how the selfish provider redistributes spend, credit and structure
+// financing that the altruistic pool blends together.
+func AblationProvider(s Settings, interval time.Duration) (*metrics.Table, []Cell, error) {
+	s = s.withDefaults()
+	if s.Tenants == 0 {
+		s.Tenants = 2
+	}
+	if s.TenantTheta == 0 {
+		s.TenantTheta = 1.1
+	}
+	providers := []economy.Provider{economy.ProviderAltruistic, economy.ProviderSelfish}
+	jobs := make([]cellJob, len(providers))
+	for i, p := range providers {
+		s2 := s
+		s2.Params.Provider = p
+		jobs[i] = cellJob{settings: s2, scheme: "econ-cheap", interval: interval}
+	}
+	cells, err := runCellJobs(context.Background(), s, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := metrics.NewTable("provider", "tenant", "queries", "cost ($)", "response (s)",
+		"investments", "spend ($)", "credit ($)", "structures charged")
+	for i, cell := range cells {
+		t.AddRow(
+			providers[i].String(), "(run)",
+			fmt.Sprintf("%d", cell.Report.Queries),
+			fmt.Sprintf("%.2f", cell.Cost().Dollars()),
+			fmt.Sprintf("%.2f", cell.MeanResponseSeconds()),
+			fmt.Sprintf("%d", cell.Report.Investments),
+			"", "", "",
+		)
+		for _, tr := range cell.Report.Tenants {
+			t.AddRow(
+				providers[i].String(), tr.Tenant,
+				fmt.Sprintf("%d", tr.Queries),
+				"",
+				fmt.Sprintf("%.2f", tr.MeanResponseSeconds()),
+				"",
+				fmt.Sprintf("%.2f", tr.Spend.Dollars()),
+				fmt.Sprintf("%.2f", tr.Credit.Dollars()),
+				fmt.Sprintf("%d", tr.StructuresCharged),
+			)
+		}
 	}
 	return t, cells, nil
 }

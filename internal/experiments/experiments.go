@@ -53,6 +53,11 @@ type Settings struct {
 	// phase (default 20k queries).
 	Theta       float64
 	PhaseLength int
+	// Tenants spreads the stream across synthetic tenants with Zipf skew
+	// TenantTheta (see workload.Config); 0 leaves the stream untagged,
+	// the regime of the paper's figures.
+	Tenants     int
+	TenantTheta float64
 	// Accounting is the true-dollar schedule (default EC22008).
 	Accounting *pricing.Schedule
 	// Workers bounds how many grid cells simulate concurrently. Each
@@ -116,8 +121,14 @@ func (s Settings) withDefaults() Settings {
 // paperParams merges user overrides into the paper calibration.
 func paperParams(cat *catalog.Catalog, over scheme.Params) scheme.Params {
 	p := scheme.DefaultParams(cat)
+	// Provider's zero value is the default (altruistic), so it always
+	// copies through.
+	p.Provider = over.Provider
 	if over.RegretFraction != 0 {
 		p.RegretFraction = over.RegretFraction
+	}
+	if over.FailureFloor != 0 {
+		p.FailureFloor = over.FailureFloor
 	}
 	if over.AmortN != 0 {
 		p.AmortN = over.AmortN
@@ -191,6 +202,8 @@ func (s Settings) cellConfig(schemeName string, interval time.Duration) (sim.Con
 		Budgets:     s.Budgets,
 		Theta:       s.Theta,
 		PhaseLength: s.PhaseLength,
+		Tenants:     s.Tenants,
+		TenantTheta: s.TenantTheta,
 	})
 	if err != nil {
 		return sim.Config{}, err

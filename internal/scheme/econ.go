@@ -26,6 +26,10 @@ type Params struct {
 	Tunables cost.Tunables
 	// AmortN is the amortization horizon (Eq. 7).
 	AmortN int64
+	// Provider selects the economy's accounting stance: altruistic
+	// (pooled single account, the paper's §IV default) or selfish
+	// (per-tenant ledgers over the shared structure pool).
+	Provider economy.Provider
 	// RegretFraction is `a` of Eq. 3.
 	RegretFraction float64
 	// InitialCredit seeds the account.
@@ -44,6 +48,9 @@ type Params struct {
 	InvestBackoff float64
 	// LedgerCap bounds the regret ledger.
 	LedgerCap int
+	// TenantCap bounds distinct tenant ledgers per economy; overflow
+	// names share one ledger. 0 takes the economy's generous default.
+	TenantCap int
 	// CacheFraction is the bypass cache size as a fraction of the
 	// database ("the ideal cache size for net-only, which is 30%").
 	CacheFraction float64
@@ -171,6 +178,7 @@ func newEcon(name string, p Params, criterion economy.Criterion, kinds map[struc
 		Cache:                 ca,
 		Optimizer:             opt,
 		Criterion:             criterion,
+		Provider:              p.Provider,
 		RegretFraction:        p.RegretFraction,
 		AmortN:                p.AmortN,
 		InitialCredit:         p.InitialCredit,
@@ -182,6 +190,7 @@ func newEcon(name string, p Params, criterion economy.Criterion, kinds map[struc
 		InvestBackoff:         p.InvestBackoff,
 		InvestKinds:           kinds,
 		LedgerCap:             p.LedgerCap,
+		TenantCap:             p.TenantCap,
 	})
 	if err != nil {
 		return nil, err

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,6 +105,15 @@ type Config struct {
 	TickEvery time.Duration
 	// MailboxDepth bounds each shard's admission queue. Default 256.
 	MailboxDepth int
+	// DisableMicroBatch turns off the shard loops' group commit (one
+	// lock acquisition and clock read per mailbox drain) and restores
+	// the one-message-per-wakeup loop. A drained group shares one
+	// arrival stamp — the same same-instant semantics SubmitBatch gives
+	// a batch — so on a virtual clock decisions are identical either
+	// way; on a wall clock queued messages are stamped at drain time
+	// rather than with per-message clock reads. The knob exists so
+	// benchmarks can measure the gain.
+	DisableMicroBatch bool
 	// Seed derives each shard's deterministic RNG. Default 1.
 	Seed int64
 	// ReservoirCap bounds each shard's response reservoir. Default 4096.
@@ -398,18 +408,40 @@ func (s *Server) Housekeep() {
 // are estimated over the union of the per-shard reservoirs.
 func (s *Server) Stats() Stats {
 	agg := Stats{
-		Scheme: s.cfg.Scheme,
-		Shards: len(s.shards),
+		Scheme:   s.cfg.Scheme,
+		Provider: s.cfg.Params.Provider.String(),
+		Shards:   len(s.shards),
 	}
 	s.mu.Lock()
 	agg.Draining = s.closed
 	s.mu.Unlock()
+
+	// Tenant-routed traffic keeps a tenant on one shard, but untagged
+	// (template-routed) queries spread the "" tenant across shards: merge
+	// by summing per tenant name, then sort for a deterministic section.
+	tenants := make(map[string]TenantStats)
 
 	var samples, weights []float64
 	var meanWeighted float64
 	for _, sh := range s.shards {
 		st, smp := sh.snapshot()
 		agg.PerShard = append(agg.PerShard, st)
+		for _, ts := range st.Tenants {
+			m := tenants[ts.Tenant]
+			m.Tenant = ts.Tenant
+			m.Queries += ts.Queries
+			m.Declined += ts.Declined
+			m.CacheAnswered += ts.CacheAnswered
+			m.CreditUSD += ts.CreditUSD
+			m.SpendUSD += ts.SpendUSD
+			m.ProfitUSD += ts.ProfitUSD
+			m.RegretUSD += ts.RegretUSD
+			m.InvestedUSD += ts.InvestedUSD
+			m.RecoveredUSD += ts.RecoveredUSD
+			m.StructuresCharged += ts.StructuresCharged
+			m.LedgerSize += ts.LedgerSize
+			tenants[ts.Tenant] = m
+		}
 		// Reservoirs are capped: each retained sample stands for
 		// executed/len(smp) observations, so busy shards keep their
 		// weight in the merged percentiles.
@@ -445,6 +477,16 @@ func (s *Server) Stats() Stats {
 	}
 	ps := metrics.WeightedQuantilesOf(samples, weights, 0.50, 0.95, 0.99)
 	agg.ResponseP50Sec, agg.ResponseP95Sec, agg.ResponseP99Sec = ps[0], ps[1], ps[2]
+	if len(tenants) > 0 {
+		agg.Tenants = make([]TenantStats, 0, len(tenants))
+		for _, ts := range tenants {
+			if executed := ts.Queries - ts.Declined; executed > 0 {
+				ts.HitRate = float64(ts.CacheAnswered) / float64(executed)
+			}
+			agg.Tenants = append(agg.Tenants, ts)
+		}
+		sort.Slice(agg.Tenants, func(i, j int) bool { return agg.Tenants[i].Tenant < agg.Tenants[j].Tenant })
+	}
 	return agg
 }
 

@@ -107,21 +107,72 @@ func newShard(id int, srv *Server, sch scheme.Scheme, seed int64, depth, reservo
 // loop is the shard's serialized decision loop. It exits only when the
 // mailbox is closed AND fully drained, so every accepted submission is
 // answered — the graceful-drain guarantee.
+//
+// Each wakeup opportunistically drains the whole mailbox into one
+// handleMsgs call — group commit: under load, singleton Submits that
+// queued while the shard was busy share a single lock acquisition, clock
+// read and rent accrual instead of paying one each. Decisions stay in
+// strict dequeue order with one shared arrival stamp (SubmitBatch's
+// same-instant semantics applied to the drain), so on a virtual clock
+// results are exactly those of the one-message-per-wakeup loop;
+// Config.DisableMicroBatch restores that loop for comparison.
 func (s *shard) loop() {
 	defer close(s.done)
+	var pending []shardMsg
 	for {
+		pending = pending[:0]
 		select {
 		case m, ok := <-s.mailbox:
 			if !ok {
 				return
 			}
-			if m.batch != nil {
-				m.batchReply <- s.handleBatch(m.batch)
-			} else {
-				m.reply <- s.handle(m.req)
+			pending = append(pending, m)
+			// A closed mailbox ends the drain too; the outer receive
+			// observes the close on the next iteration and exits.
+			drained := false
+			for !drained && !s.srv.cfg.DisableMicroBatch {
+				select {
+				case m2, ok2 := <-s.mailbox:
+					if !ok2 {
+						drained = true
+						break
+					}
+					pending = append(pending, m2)
+				default:
+					drained = true
+				}
+			}
+			s.handleMsgs(pending)
+			// Drop reply-channel references before the slice is reused.
+			for i := range pending {
+				pending[i] = shardMsg{}
 			}
 		case <-s.tick:
 			s.housekeep()
+		}
+	}
+}
+
+// handleMsgs decides a whole mailbox drain under one lock acquisition and
+// one clock read: every message in the group shares the arrival stamp, as
+// if its queries had been submitted back-to-back at the same instant.
+// Replies go out per message in order; the channels are buffered, so a
+// caller that gave up blocks nothing.
+func (s *shard) handleMsgs(msgs []shardMsg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	now := s.nowLocked()
+	s.accrueLocked(now)
+	for _, m := range msgs {
+		if m.batch != nil {
+			replies := make([]shardReply, len(m.batch))
+			for i, req := range m.batch {
+				replies[i] = s.handleLocked(req, now)
+			}
+			m.batchReply <- replies
+		} else {
+			m.reply <- s.handleLocked(m.req, now)
 		}
 	}
 }
@@ -151,35 +202,6 @@ func (s *shard) accrueLocked(now time.Duration) {
 	s.lastAccrual = now
 }
 
-// handle runs one query through the shard's economy.
-func (s *shard) handle(req Request) shardReply {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	now := s.nowLocked()
-	s.accrueLocked(now)
-	return s.handleLocked(req, now)
-}
-
-// handleBatch runs a whole batch under one lock acquisition, one clock
-// read and one rent accrual: the queries share an arrival stamp (they
-// were submitted together) and are decided strictly in slice order, so a
-// batch is deterministic given the shard's prior state — exactly the
-// sequence of decisions the same requests would produce submitted
-// back-to-back at the same instant.
-func (s *shard) handleBatch(reqs []Request) []shardReply {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	now := s.nowLocked()
-	s.accrueLocked(now)
-	replies := make([]shardReply, len(reqs))
-	for i, req := range reqs {
-		replies[i] = s.handleLocked(req, now)
-	}
-	return replies
-}
-
 // handleLocked decides one query at arrival time now. Callers hold s.mu
 // and have already accrued rent through now.
 func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
@@ -204,6 +226,7 @@ func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
 
 	q := &workload.Query{
 		ID:          s.srv.nextID.Add(1),
+		Tenant:      req.Tenant,
 		Template:    tpl,
 		Selectivity: sel,
 		Arrival:     now,
@@ -333,8 +356,33 @@ func (s *shard) snapshot() (ShardStats, []float64) {
 		st.InvestedUSD = es.Invested.Dollars()
 		st.RecoveredUSD = es.Recovered.Dollars()
 		st.LedgerSize = es.LedgerSize
+		for _, ts := range s.eco.TenantStats() {
+			st.Tenants = append(st.Tenants, tenantStatsView(ts))
+		}
 	}
 	return st, s.response.Samples()
+}
+
+// tenantStatsView converts an economy ledger snapshot into the wire view.
+func tenantStatsView(ts economy.TenantStats) TenantStats {
+	v := TenantStats{
+		Tenant:            ts.Tenant,
+		Queries:           ts.Queries,
+		Declined:          ts.Declined,
+		CacheAnswered:     ts.CacheAnswered,
+		CreditUSD:         ts.Credit.Dollars(),
+		SpendUSD:          ts.Spend.Dollars(),
+		ProfitUSD:         ts.Profit.Dollars(),
+		RegretUSD:         ts.RegretAccrued.Dollars(),
+		InvestedUSD:       ts.Invested.Dollars(),
+		RecoveredUSD:      ts.Recovered.Dollars(),
+		StructuresCharged: ts.InvestCount,
+		LedgerSize:        ts.LedgerSize,
+	}
+	if executed := ts.Queries - ts.Declined; executed > 0 {
+		v.HitRate = float64(ts.CacheAnswered) / float64(executed)
+	}
+	return v
 }
 
 // quickCounters reads the headline liveness counters without pricing

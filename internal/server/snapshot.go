@@ -51,11 +51,41 @@ type ShardStats struct {
 	InvestedUSD  float64 `json:"invested_usd"`
 	RecoveredUSD float64 `json:"recovered_usd"`
 	LedgerSize   int     `json:"ledger_size"`
+
+	// Tenants are the shard's per-tenant ledgers, sorted by tenant name
+	// (economy schemes only; nil for the bypass baseline).
+	Tenants []TenantStats `json:"tenants,omitempty"`
+}
+
+// TenantStats is the live view of one tenant's economy ledger. Under the
+// altruistic provider the account fields (credit, invested,
+// structures_charged, ledger_size) are zero — the account is communal —
+// while spend, profit, regret and traffic still attribute per tenant.
+type TenantStats struct {
+	Tenant string `json:"tenant"`
+
+	Queries       int64 `json:"queries"`
+	Declined      int64 `json:"declined"`
+	CacheAnswered int64 `json:"cache_answered"`
+	// HitRate is CacheAnswered over executed (non-declined) queries.
+	HitRate float64 `json:"hit_rate"`
+
+	CreditUSD    float64 `json:"credit_usd"`
+	SpendUSD     float64 `json:"spend_usd"`
+	ProfitUSD    float64 `json:"profit_usd"`
+	RegretUSD    float64 `json:"regret_usd"`
+	InvestedUSD  float64 `json:"invested_usd"`
+	RecoveredUSD float64 `json:"recovered_usd"`
+
+	// StructuresCharged counts builds financed by this tenant's ledger.
+	StructuresCharged int64 `json:"structures_charged"`
+	LedgerSize        int   `json:"ledger_size"`
 }
 
 // Stats is the aggregate view across all shards plus the per-shard detail.
 type Stats struct {
 	Scheme   string  `json:"scheme"`
+	Provider string  `json:"provider"`
 	Shards   int     `json:"shards"`
 	ClockSec float64 `json:"clock_s"`
 	Draining bool    `json:"draining"`
@@ -85,6 +115,13 @@ type Stats struct {
 
 	ResidentBytes int64   `json:"resident_bytes"`
 	CreditUSD     float64 `json:"credit_usd"`
+
+	// Tenants merges the per-shard tenant ledgers, sorted by tenant
+	// name. Tenant-routed queries keep each tenant on one shard, but
+	// untagged (template-routed) traffic lands a "" tenant on several
+	// shards; the merge sums either way, so the section is deterministic
+	// for a given engine state.
+	Tenants []TenantStats `json:"tenants,omitempty"`
 
 	PerShard []ShardStats `json:"per_shard"`
 }

@@ -1,0 +1,152 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/economy"
+	"repro/internal/server"
+)
+
+// tenantScript is one tenant's deterministic submission stream: a mix of
+// singleton Submits and SubmitBatches, always in the same order.
+func tenantScript(t *testing.T, srv *server.Server, tenant string) {
+	t.Helper()
+	ctx := context.Background()
+	templates := []string{"Q1", "Q6", "Q3", "Q10", "Q6", "Q14"}
+	mk := func(i int) server.Request {
+		return server.Request{
+			Tenant:      tenant,
+			Template:    templates[i%len(templates)],
+			Selectivity: 0.001 + 0.0001*float64(i%7),
+			Budget:      testBudget(),
+		}
+	}
+	for i := 0; i < 60; {
+		if i%10 < 7 {
+			if _, err := srv.Submit(ctx, mk(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			i++
+			continue
+		}
+		batch := []server.Request{mk(i), mk(i + 1), mk(i + 2)}
+		items, err := srv.SubmitBatch(ctx, batch)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, it := range items {
+			if it.Err != nil {
+				t.Error(it.Err)
+				return
+			}
+		}
+		i += len(batch)
+	}
+}
+
+// distinctShardTenants picks n tenant names that all land on different
+// shards, so each tenant's stream is the only traffic its shard sees.
+func distinctShardTenants(srv *server.Server, n int) []string {
+	taken := make(map[int]bool)
+	var out []string
+	for i := 0; len(out) < n && i < 10_000; i++ {
+		name := fmt.Sprintf("tenant-%04d", i)
+		idx := srv.ShardIndex(server.Request{Tenant: name})
+		if !taken[idx] {
+			taken[idx] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// TestPerTenantStatsDeterministic is the -race acceptance test for the
+// tenant ledgers: many tenants submitting concurrently (each tenant's own
+// stream ordered, tenants racing each other) on a virtual clock must
+// produce byte-identical per-tenant ledgers versus a fully sequential
+// replay of the same streams — including after the graceful drain has
+// settled tail rent. Tenants are placed on distinct shards, so the only
+// nondeterminism in play is goroutine scheduling, which per-tenant
+// accounting must be immune to.
+func TestPerTenantStatsDeterministic(t *testing.T) {
+	for _, provider := range []economy.Provider{economy.ProviderAltruistic, economy.ProviderSelfish} {
+		t.Run(provider.String(), func(t *testing.T) {
+			newSrv := func() *server.Server {
+				cat := testCatalog()
+				params := testParams(cat)
+				params.Provider = provider
+				srv, err := server.New(server.Config{
+					Shards: 8,
+					Scheme: "econ-cheap",
+					Params: params,
+					Clock:  server.NewVirtualClock(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return srv
+			}
+
+			concurrent := newSrv()
+			tenants := distinctShardTenants(concurrent, 6)
+			if len(tenants) < 6 {
+				t.Fatalf("could not place 6 tenants on distinct shards")
+			}
+
+			var wg sync.WaitGroup
+			for _, tenant := range tenants {
+				wg.Add(1)
+				go func(tenant string) {
+					defer wg.Done()
+					tenantScript(t, concurrent, tenant)
+				}(tenant)
+			}
+			wg.Wait()
+			if err := concurrent.Shutdown(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			sequential := newSrv()
+			for _, tenant := range tenants {
+				tenantScript(t, sequential, tenant)
+			}
+			if err := sequential.Shutdown(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+
+			a, b := concurrent.Stats(), sequential.Stats()
+			if !a.Draining || !b.Draining {
+				t.Fatal("post-drain snapshots must be draining")
+			}
+			if !reflect.DeepEqual(a.Tenants, b.Tenants) {
+				t.Errorf("per-tenant ledgers diverged from sequential replay:\nconcurrent %+v\nsequential %+v",
+					a.Tenants, b.Tenants)
+			}
+			if len(a.Tenants) != len(tenants) {
+				t.Errorf("got %d tenant sections, want %d", len(a.Tenants), len(tenants))
+			}
+			for _, ts := range a.Tenants {
+				if ts.Queries != 60 {
+					t.Errorf("tenant %s: queries = %d, want 60", ts.Tenant, ts.Queries)
+				}
+				if provider == economy.ProviderSelfish && ts.CreditUSD <= 0 {
+					t.Errorf("selfish tenant %s has no account: %+v", ts.Tenant, ts)
+				}
+				if provider == economy.ProviderAltruistic && ts.CreditUSD != 0 {
+					t.Errorf("altruistic tenant %s carries credit: %+v", ts.Tenant, ts)
+				}
+			}
+			// The whole engine state — not just the ledgers — must match:
+			// tenants on distinct shards make the full run deterministic.
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("aggregate stats diverged:\nconcurrent %+v\nsequential %+v", a, b)
+			}
+		})
+	}
+}

@@ -75,6 +75,23 @@ func serveConn(conn net.Conn, srv *server.Server) {
 		}
 		rbuf = payload[:0]
 
+		// Stats requests share the connection with query traffic: answer
+		// the snapshot and keep framing.
+		if IsStatsRequest(payload) {
+			wbuf, err = AppendStats(wbuf[:0], srv.Stats())
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := WriteFrame(bw, wbuf); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+
 		queries, err = DecodeQueryBatch(payload, queries)
 		if err != nil {
 			fail(err)
@@ -174,4 +191,23 @@ func (c *Client) Submit(qs []Query) ([]Reply, error) {
 		return nil, fmt.Errorf("wire: %d replies for %d queries", len(c.replies), len(qs))
 	}
 	return c.replies, nil
+}
+
+// Stats requests the live engine snapshot over the wire — the binary
+// front's answer to GET /v1/stats, including the merged per-tenant
+// ledgers.
+func (c *Client) Stats() (server.Stats, error) {
+	c.wbuf = AppendStatsRequest(c.wbuf[:0])
+	if err := WriteFrame(c.bw, c.wbuf); err != nil {
+		return server.Stats{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return server.Stats{}, err
+	}
+	payload, err := ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return server.Stats{}, err
+	}
+	c.rbuf = payload[:0]
+	return DecodeStats(payload)
 }

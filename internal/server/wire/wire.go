@@ -8,9 +8,11 @@
 // setup, no HTTP headers, no JSON.
 //
 //	frame      := len uint32 LE | payload
-//	payload    := msgQueryBatch  | uvarint n | n × query
-//	            | msgReplyBatch  | uvarint n | n × reply
-//	            | msgError       | string          (whole-frame failure)
+//	payload    := msgQueryBatch   | uvarint n | n × query
+//	            | msgReplyBatch   | uvarint n | n × reply
+//	            | msgError        | string          (whole-frame failure)
+//	            | msgStatsRequest                   (live snapshot request)
+//	            | msgStats        | json            (server.Stats snapshot)
 //	query      := string tenant | string template | byte flags
 //	              | f64 selectivity?   (flags&flagSelectivity)
 //	              | budget?            (flags&flagBudget)
@@ -28,6 +30,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
@@ -37,9 +40,11 @@ import (
 
 // Message types.
 const (
-	msgQueryBatch byte = 1
-	msgReplyBatch byte = 2
-	msgError      byte = 3
+	msgQueryBatch   byte = 1
+	msgReplyBatch   byte = 2
+	msgError        byte = 3
+	msgStatsRequest byte = 4
+	msgStats        byte = 5
 )
 
 // Query flags.
@@ -425,6 +430,58 @@ func DecodeReplyBatch(payload []byte, rs []Reply) ([]Reply, error) {
 func appendErrorPayload(b []byte, msg string) []byte {
 	b = append(b, msgError)
 	return appendString(b, msg)
+}
+
+// --- stats frames ---------------------------------------------------------
+
+// AppendStatsRequest appends a stats-request payload: a client asking for
+// the live engine snapshot over the same connection it submits on,
+// replacing /v1/stats polling for binary-front clients.
+func AppendStatsRequest(b []byte) []byte {
+	return append(b, msgStatsRequest)
+}
+
+// AppendStats appends a stats payload. The snapshot rides as JSON inside
+// the binary frame: stats are read at human cadence, not per query, so
+// the self-describing encoding (which tracks the evolving Stats schema
+// for free) beats hand-rolled field codecs here — framing, connection
+// reuse and the hot query path stay fully binary.
+func AppendStats(b []byte, st server.Stats) ([]byte, error) {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, msgStats)
+	return append(b, data...), nil
+}
+
+// DecodeStats parses a stats payload (msg byte included). A msgError
+// payload comes back as an error.
+func DecodeStats(payload []byte) (server.Stats, error) {
+	var st server.Stats
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return st, err
+	}
+	if typ == msgError {
+		msg, _, err := consumeString(rest)
+		if err != nil {
+			return st, err
+		}
+		return st, fmt.Errorf("wire: server error: %s", msg)
+	}
+	if typ != msgStats {
+		return st, fmt.Errorf("wire: expected stats, got message type %d", typ)
+	}
+	if err := json.Unmarshal(rest, &st); err != nil {
+		return st, fmt.Errorf("wire: bad stats payload: %w", err)
+	}
+	return st, nil
+}
+
+// IsStatsRequest reports whether a decoded payload is a stats request.
+func IsStatsRequest(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == msgStatsRequest
 }
 
 // --- framing --------------------------------------------------------------

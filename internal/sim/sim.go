@@ -12,9 +12,11 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cost"
+	"repro/internal/economy"
 	"repro/internal/metrics"
 	"repro/internal/money"
 	"repro/internal/plan"
@@ -87,6 +89,45 @@ type Report struct {
 	EndOfRun time.Duration
 	// FinalResidentBytes is the cache footprint at the end.
 	FinalResidentBytes int64
+
+	// Tenants holds the per-tenant sections, sorted by tenant name. Nil
+	// when the stream carried no tenant tags (the paper's single-tenant
+	// figures).
+	Tenants []TenantReport
+}
+
+// TenantReport is one tenant's slice of the run: traffic and payment
+// attribution from the stream, plus the tenant's ledger state when the
+// scheme runs an economy (zero-valued for the bypass baseline).
+type TenantReport struct {
+	// Tenant is the tenant name ("" for untagged queries in a mixed
+	// stream).
+	Tenant string
+	// Traffic.
+	Queries       int64
+	Declined      int64
+	CacheAnswered int64
+	// Payments.
+	Revenue money.Amount
+	Profit  money.Amount
+	// Response time over the tenant's executed queries.
+	ResponseSum time.Duration
+	// Ledger state at end of run (economy schemes only). Credit and
+	// StructuresCharged are zero under the altruistic provider, whose
+	// account is communal.
+	Credit            money.Amount
+	Spend             money.Amount
+	RegretAccrued     money.Amount
+	Invested          money.Amount
+	StructuresCharged int64
+}
+
+// MeanResponseSeconds returns the tenant's mean response time in seconds.
+func (t TenantReport) MeanResponseSeconds() float64 {
+	if n := t.Queries - t.Declined; n > 0 {
+		return t.ResponseSum.Seconds() / float64(n)
+	}
+	return 0
 }
 
 // Run executes the simulation.
@@ -178,6 +219,18 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 		<-producerDone
 	}()
 
+	// Per-tenant attribution. The map cost per query is negligible next
+	// to plan enumeration and settlement.
+	tenantReps := make(map[string]*TenantReport)
+	tenantOf := func(name string) *TenantReport {
+		tr, ok := tenantReps[name]
+		if !ok {
+			tr = &TenantReport{Tenant: name}
+			tenantReps[name] = tr
+		}
+		return tr
+	}
+
 	i := 0
 	for batch := range produced {
 		for _, q := range batch {
@@ -205,12 +258,19 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 			rep.Profit = rep.Profit.Add(r.Profit)
 			rep.Investments += int64(r.Investments)
 			rep.Failures += int64(r.Failures)
+			tr := tenantOf(q.Tenant)
+			tr.Queries++
+			tr.Revenue = tr.Revenue.Add(r.Charged)
+			tr.Profit = tr.Profit.Add(r.Profit)
 			if r.Declined {
 				rep.Declined++
+				tr.Declined++
 			} else {
 				rep.Response.ObserveDuration(r.ResponseTime)
+				tr.ResponseSum += r.ResponseTime
 				if r.Location == plan.Cache {
 					rep.CacheAnswered++
+					tr.CacheAnswered++
 				}
 			}
 			if done := q.Arrival + r.ResponseTime; done > endOfRun {
@@ -257,6 +317,30 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	rep.Elapsed = lastArrival - firstArrival
 	rep.EndOfRun = endOfRun
 	rep.FinalResidentBytes = ca.ResidentBytes()
+
+	// Per-tenant sections: only for tagged streams, so the classic
+	// single-tenant reports keep their shape.
+	_, untaggedOnly := tenantReps[""]
+	if len(tenantReps) > 1 || !untaggedOnly {
+		// Enrich with end-of-run ledger state when the scheme runs an
+		// economy.
+		if ec, ok := cfg.Scheme.(interface{ Economy() *economy.Economy }); ok {
+			for _, ts := range ec.Economy().TenantStats() {
+				if tr, ok := tenantReps[ts.Tenant]; ok {
+					tr.Credit = ts.Credit
+					tr.Spend = ts.Spend
+					tr.RegretAccrued = ts.RegretAccrued
+					tr.Invested = ts.Invested
+					tr.StructuresCharged = ts.InvestCount
+				}
+			}
+		}
+		rep.Tenants = make([]TenantReport, 0, len(tenantReps))
+		for _, tr := range tenantReps {
+			rep.Tenants = append(rep.Tenants, *tr)
+		}
+		sort.Slice(rep.Tenants, func(i, j int) bool { return rep.Tenants[i].Tenant < rep.Tenants[j].Tenant })
+	}
 	return rep, nil
 }
 

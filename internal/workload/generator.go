@@ -32,6 +32,15 @@ type Config struct {
 	// EvolutionStride is the number of rank positions the popularity
 	// order rotates between phases. Defaults to 1.
 	EvolutionStride int
+	// Tenants spreads the stream across this many synthetic tenants
+	// ("tenant-000" … "tenant-NNN"), drawn per query with Zipf skew
+	// TenantTheta from a dedicated RNG — so the query stream itself
+	// (templates, selectivities, arrivals, budgets) is byte-identical
+	// for any tenant configuration. 0 leaves queries untagged.
+	Tenants int
+	// TenantTheta is the Zipf skew of tenant popularity (0 = uniform).
+	// Only meaningful when Tenants > 0.
+	TenantTheta float64
 }
 
 // withDefaults fills the optional fields.
@@ -71,6 +80,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.EvolutionStride < 0 {
 		return c, fmt.Errorf("workload: EvolutionStride must be >= 0")
 	}
+	if c.Tenants < 0 {
+		return c, fmt.Errorf("workload: Tenants must be >= 0")
+	}
+	if c.TenantTheta < 0 {
+		return c, fmt.Errorf("workload: TenantTheta must be >= 0")
+	}
 	return c, nil
 }
 
@@ -81,6 +96,13 @@ type Generator struct {
 	rng   *rand.Rand
 	zipf  *Zipf
 	order []int // order[rank] = template index; rotated between phases
+
+	// Tenant draws come from their own RNG and sampler so tagging a
+	// stream with tenants never perturbs the template/selectivity/
+	// arrival draws of the main rng.
+	tenantRng  *rand.Rand
+	tenantZipf *Zipf
+	tenantName []string
 
 	nextID  int64
 	clock   time.Duration
@@ -101,12 +123,27 @@ func NewGenerator(cfg Config) (*Generator, error) {
 	for i := range order {
 		order[i] = i
 	}
-	return &Generator{
+	g := &Generator{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		zipf:  z,
 		order: order,
-	}, nil
+	}
+	if cfg.Tenants > 0 {
+		tz, err := NewZipf(cfg.Tenants, cfg.TenantTheta)
+		if err != nil {
+			return nil, err
+		}
+		g.tenantZipf = tz
+		// Decorrelate from the main stream but stay a pure function of
+		// the seed.
+		g.tenantRng = rand.New(rand.NewSource(cfg.Seed ^ 0x7e4a7e4a7e4a7e4a))
+		g.tenantName = make([]string, cfg.Tenants)
+		for i := range g.tenantName {
+			g.tenantName[i] = fmt.Sprintf("tenant-%03d", i)
+		}
+	}
+	return g, nil
 }
 
 // Next produces the next query in the stream.
@@ -135,6 +172,9 @@ func (g *Generator) Next() *Query {
 		Template:    tpl,
 		Selectivity: sel,
 		Arrival:     g.clock,
+	}
+	if g.tenantZipf != nil {
+		q.Tenant = g.tenantName[g.tenantZipf.Sample(g.tenantRng)]
 	}
 	scan, err := q.ScanBytes(g.cfg.Catalog)
 	if err != nil {

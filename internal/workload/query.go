@@ -14,6 +14,10 @@ import (
 type Query struct {
 	// ID is the 1-based sequence number in the stream.
 	ID int64
+	// Tenant names the user community the query belongs to. Empty means
+	// untagged (the single-tenant streams of the paper's figures); the
+	// economy keeps a ledger per distinct tenant name.
+	Tenant string
 	// Template the query instantiates.
 	Template *Template
 	// Selectivity is the region fraction actually scanned by this

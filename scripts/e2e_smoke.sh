@@ -41,6 +41,12 @@ curl -sf "http://$ADDR/healthz"
 "$BIN/workloadgen" -serve "$BIN_ADDR" -proto bin -batch 32 -queries "$QUERIES" \
     -clients 8 -tenants 16 -stats-url "http://$ADDR" -check
 
+# Multi-tenant skewed replay: a Zipf(1.1) hot-tenant mix over the binary
+# front, stats fetched over the wire protocol's stats frame (no -stats-url),
+# with the per-tenant ledger-sum invariant checked from the client side.
+"$BIN/workloadgen" -serve "$BIN_ADDR" -proto bin -batch 16 -queries "$QUERIES" \
+    -clients 8 -tenants 8 -tenant-skew 1.1 -check
+
 # Read endpoints answer, compact and pretty.
 curl -sf "http://$ADDR/v1/stats" >/dev/null
 curl -sf "http://$ADDR/v1/stats?pretty=1" >/dev/null
@@ -50,7 +56,7 @@ curl -sf "http://$ADDR/v1/structures" >/dev/null
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 
-python3 - "$BIN/final.json" "$((QUERIES * 2))" <<'EOF'
+python3 - "$BIN/final.json" "$((QUERIES * 3))" <<'EOF'
 import json, sys
 snap = json.load(open(sys.argv[1]))
 want = int(sys.argv[2])
@@ -60,6 +66,17 @@ assert snap["draining"] is True, "final snapshot must be draining"
 assert snap["credit_usd"] >= 0, f"account went negative: {snap['credit_usd']}"
 busy = sum(1 for s in snap["per_shard"] if s["queries"] > 0)
 assert busy >= 2, f"only {busy} shards saw traffic"
+# Per-tenant ledgers: every query was tenant-tagged, so the drained
+# snapshot's tenant sections must account the full query counter and
+# agree between the aggregate merge and the per-shard detail.
+tenants = snap.get("tenants") or []
+assert tenants, "drained snapshot has no tenant ledgers"
+tq = sum(t["queries"] for t in tenants)
+assert tq == snap["queries"], f"tenant ledgers account {tq} of {snap['queries']} queries"
+shard_tq = sum(t["queries"] for s in snap["per_shard"] for t in s.get("tenants") or [])
+assert shard_tq == tq, f"per-shard tenant sums {shard_tq} != merged {tq}"
+assert all(t["declined"] <= t["queries"] for t in tenants), "tenant declined > queries"
 print(f"e2e OK: {snap['queries']} queries over {busy}/{snap['shards']} shards "
-      f"(http+bin), cost=${snap['operating_cost_usd']:.2f} credit=${snap['credit_usd']:.2f}")
+      f"(http+bin+multi-tenant), {len(tenants)} tenant ledgers, "
+      f"cost=${snap['operating_cost_usd']:.2f} credit=${snap['credit_usd']:.2f}")
 EOF
