@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench e2e ci
+.PHONY: all build vet test race bench fuzz e2e ci
 
 all: ci
 
@@ -26,10 +26,19 @@ bench:
 	BENCH_JSON=BENCH_server.json $(GO) test -run '^$$' -bench ServerThroughput -benchtime 1000x .
 	@cat BENCH_server.json
 
+# Short fuzz of the hostile-input decoders: wire frames and state
+# snapshots must never panic or load partial state. Seed corpora live in
+# the packages' testdata/fuzz directories.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 10s ./internal/server/wire
+	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/persist
+
 # End-to-end smoke of the cloudcached daemon: start, replay a stream over
-# HTTP with invariant checks, drain gracefully.
+# HTTP with invariant checks, drain gracefully — then the crash-recovery
+# leg: SIGKILL halfway (no drain), restore from the periodic checkpoint,
+# resume, and compare the books with an uninterrupted run.
 e2e:
 	./scripts/e2e_smoke.sh
 
 # The tier-1 gate.
-ci: build vet race bench e2e
+ci: build vet race bench fuzz e2e

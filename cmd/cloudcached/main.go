@@ -19,13 +19,22 @@
 // SIGINT/SIGTERM drain gracefully: in-flight queries are answered, tail
 // rent is settled, and a final stats snapshot is printed to stdout.
 //
+// With -state-dir the economy state is durable: the drain writes a
+// versioned, CRC-checked snapshot (accounts, regret ledgers, resident
+// structures, clocks, counters) to <state-dir>/econ.snap, and the next
+// boot restores it — resuming the same credit, tenants and cache instead
+// of cold-starting. -checkpoint-interval adds periodic checkpoints so a
+// crash loses at most one interval; a wire-protocol snapshot frame (or
+// wire.Client.Snapshot) checkpoints on demand. A truncated or corrupt
+// snapshot fails restore cleanly: the daemon logs it and boots fresh.
+//
 // Usage:
 //
 //	cloudcached [-addr :8344] [-listen-bin :8345] [-shards 4]
 //	            [-scheme econ-cheap] [-provider altruistic|selfish]
 //	            [-sf 0] [-speedup 1] [-tick 1s] [-seed 1] [-mailbox 256]
 //	            [-failure-floor USD] [-maint-failure-factor F]
-//	            [-no-microbatch]
+//	            [-no-microbatch] [-state-dir DIR] [-checkpoint-interval D]
 package main
 
 import (
@@ -38,6 +47,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -45,6 +55,7 @@ import (
 	"repro/internal/economy"
 	"repro/internal/experiments"
 	"repro/internal/money"
+	"repro/internal/persist"
 	"repro/internal/scheme"
 	"repro/internal/server"
 	"repro/internal/server/wire"
@@ -65,6 +76,8 @@ func main() {
 	failureFloor := flag.Float64("failure-floor", 0, "minimum arrears (USD) before a used structure can fail; 0 keeps the default calibration")
 	maintFactor := flag.Float64("maint-failure-factor", 0, "rent-vs-value ratio that evicts a structure (footnote 3); 0 keeps the default calibration")
 	noMicroBatch := flag.Bool("no-microbatch", false, "disable the shard loops' mailbox group commit")
+	stateDir := flag.String("state-dir", "", "directory for durable economy state: restore <dir>/econ.snap on boot, write it on drain/checkpoint; empty disables persistence")
+	checkpointInterval := flag.Duration("checkpoint-interval", 0, "periodic state checkpoint cadence (0 disables; requires -state-dir)")
 	flag.Parse()
 
 	provider, err := economy.ParseProvider(*providerName)
@@ -83,16 +96,57 @@ func main() {
 	if *maintFactor > 0 {
 		params.MaintFailureFactor = *maintFactor
 	}
+	if *checkpointInterval > 0 && *stateDir == "" {
+		fail(errors.New("-checkpoint-interval requires -state-dir"))
+	}
+
+	// Durable state: restore a previous snapshot when one exists. A
+	// truncated or corrupt snapshot (CRC/decode failure) must not load
+	// partial state — log it and boot fresh. A snapshot that decodes but
+	// contradicts the flags (scheme, shards, provider, catalog) fails
+	// startup loudly below instead: that is an operator error, and
+	// silently discarding the economy's money would be worse.
+	var snapshotPath string
+	var restored *persist.Snapshot
+	clock := server.NewWallClock(*speedup)
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			fail(err)
+		}
+		snapshotPath = filepath.Join(*stateDir, "econ.snap")
+		if data, err := os.ReadFile(snapshotPath); err == nil {
+			t0 := time.Now()
+			snap, err := persist.Decode(data)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cloudcached: snapshot %s unusable (%v): starting fresh\n", snapshotPath, err)
+			} else {
+				restored = snap
+				clock = server.NewWallClockAt(snap.Clock, *speedup)
+				var q int64
+				for _, sh := range snap.Shards {
+					q += sh.Queries
+				}
+				fmt.Fprintf(os.Stderr, "cloudcached: restored %s: %d shards, %d queries, clock %.0fs, %d bytes in %v\n",
+					snapshotPath, len(snap.Shards), q, snap.Clock.Seconds(), len(data), time.Since(t0).Round(time.Millisecond))
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fail(err)
+		}
+	}
+
 	srv, err := server.New(server.Config{
 		Shards:            *shards,
 		Scheme:            *schemeName,
 		Params:            params,
-		Clock:             server.NewWallClock(*speedup),
+		Clock:             clock,
 		Budgets:           experiments.PaperBudgetPolicy(),
 		TickEvery:         *tick,
 		Seed:              *seed,
 		MailboxDepth:      *mailbox,
 		DisableMicroBatch: *noMicroBatch,
+		SnapshotPath:      snapshotPath,
+		CheckpointEvery:   *checkpointInterval,
+		Restore:           restored,
 	})
 	if err != nil {
 		fail(err)
@@ -149,6 +203,9 @@ func main() {
 	}
 	if err := srv.Shutdown(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "cloudcached: drain:", err)
+	}
+	if snapshotPath != "" {
+		fmt.Fprintf(os.Stderr, "cloudcached: state persisted to %s\n", snapshotPath)
 	}
 
 	enc := json.NewEncoder(os.Stdout)

@@ -48,6 +48,7 @@ import (
 
 func main() {
 	queries := flag.Int("queries", 10_000, "queries to generate")
+	skip := flag.Int("skip", 0, "generate and discard this many queries first: resume a stream from query skip+1 (e.g. after a daemon restart)")
 	interval := flag.Duration("interval", time.Second, "inter-query interval")
 	seed := flag.Int64("seed", 1, "stream seed")
 	arrival := flag.String("arrival", "fixed", "arrival process: fixed or poisson")
@@ -94,12 +95,19 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Fast-forward the deterministic stream so a replay can resume where
+	// an interrupted one stopped (the generator's RNG advances exactly as
+	// if the skipped queries had been submitted).
+	for i := 0; i < *skip; i++ {
+		gen.Next()
+	}
 
 	if *serve != "" {
 		cfg := loadConfig{
 			base:     *serve,
 			proto:    *proto,
 			queries:  *queries,
+			skip:     *skip,
 			qps:      *qps,
 			clients:  *clients,
 			tenants:  *tenants,
@@ -149,6 +157,7 @@ type loadConfig struct {
 	base     string
 	proto    string
 	queries  int
+	skip     int
 	qps      float64
 	clients  int
 	tenants  int
@@ -412,10 +421,13 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 				<-tick.C
 			}
 			// Skewed runs carry the generator's own tenant tag; the
-			// legacy round-robin spread covers untagged streams.
+			// legacy round-robin spread covers untagged streams. The
+			// round-robin index counts from the stream's true position so
+			// a resumed replay (-skip) tags queries exactly as the
+			// uninterrupted one would.
 			tenant := q.Tenant
 			if tenant == "" {
-				tenant = fmt.Sprintf("tenant-%03d", i%cfg.tenants)
+				tenant = fmt.Sprintf("tenant-%03d", (cfg.skip+i)%cfg.tenants)
 			}
 			pending = append(pending, genQuery{
 				tenant:      tenant,

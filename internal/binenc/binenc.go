@@ -1,0 +1,93 @@
+// Package binenc holds the binary codec primitives shared by the wire
+// protocol (internal/server/wire) and the state-snapshot format
+// (internal/persist): varint-prefixed strings, IEEE-754 doubles and
+// bounds-checked consumption that fails with an error — never a panic,
+// never an out-of-range read — on truncated or hostile input. One
+// implementation means one place to get the bounds checks right; both
+// fuzz targets (FuzzWireDecode, FuzzSnapshotDecode) hammer it.
+package binenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendString appends a uvarint length prefix and the string bytes.
+func AppendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// AppendF64 appends an IEEE-754 double, little endian.
+func AppendF64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// AppendU64 appends a fixed-width uint64, little endian.
+func AppendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendBool appends one byte: 1 for true, 0 for false.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// Uvarint consumes a uvarint.
+func Uvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("binenc: bad uvarint")
+	}
+	return v, b[n:], nil
+}
+
+// Varint consumes a varint.
+func Varint(b []byte) (int64, []byte, error) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("binenc: bad varint")
+	}
+	return v, b[n:], nil
+}
+
+// String consumes a length-prefixed string, validating the length
+// against the bytes that remain.
+func String(b []byte) (string, []byte, error) {
+	n, b, err := Uvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(b)) {
+		return "", nil, fmt.Errorf("binenc: string length %d overruns input", n)
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// F64 consumes an IEEE-754 double.
+func F64(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("binenc: truncated float64")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+// U64 consumes a fixed-width uint64.
+func U64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("binenc: truncated uint64")
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], nil
+}
+
+// Byte consumes one byte.
+func Byte(b []byte) (byte, []byte, error) {
+	if len(b) < 1 {
+		return 0, nil, fmt.Errorf("binenc: truncated byte")
+	}
+	return b[0], b[1:], nil
+}

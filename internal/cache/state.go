@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/money"
+	"repro/internal/structure"
+)
+
+// EntryState is the exported form of one resident entry. The structure
+// itself is stored by ID only: structures are immutable and derivable
+// from the catalog, so restore reconstructs them through a resolver
+// instead of persisting sizes that could drift from the catalog.
+type EntryState struct {
+	ID             structure.ID
+	BuiltAt        time.Duration
+	FirstUsed      time.Duration
+	LastUsed       time.Duration
+	Uses           int64
+	BuildPrice     money.Amount
+	AmortRemaining money.Amount
+	MaintPaidUntil time.Duration
+	UnpaidMaint    money.Amount
+	EarnedValue    money.Amount
+}
+
+// PendingState is the exported form of one in-flight build.
+type PendingState struct {
+	ID             structure.ID
+	ReadyAt        time.Duration
+	BuildPrice     money.Amount
+	AmortRemaining money.Amount
+}
+
+// State is the exported form of a Cache: clock, residency and pending
+// builds. Entries and pending builds are sorted by ID so repeated
+// snapshots of the same cache are byte-identical.
+type State struct {
+	Clock    time.Duration
+	Capacity int64
+	Entries  []EntryState
+	Pending  []PendingState
+}
+
+// Snapshot exports the cache state.
+func (c *Cache) Snapshot() State {
+	st := State{Clock: c.clock, Capacity: c.capacity}
+	for _, e := range c.Entries() {
+		st.Entries = append(st.Entries, EntryState{
+			ID:             e.S.ID,
+			BuiltAt:        e.BuiltAt,
+			FirstUsed:      e.FirstUsed,
+			LastUsed:       e.LastUsed,
+			Uses:           e.Uses,
+			BuildPrice:     e.BuildPrice,
+			AmortRemaining: e.AmortRemaining,
+			MaintPaidUntil: e.MaintPaidUntil,
+			UnpaidMaint:    e.UnpaidMaint,
+			EarnedValue:    e.EarnedValue,
+		})
+	}
+	for id, pb := range c.pending {
+		st.Pending = append(st.Pending, PendingState{
+			ID:             id,
+			ReadyAt:        pb.readyAt,
+			BuildPrice:     pb.entry.BuildPrice,
+			AmortRemaining: pb.entry.AmortRemaining,
+		})
+	}
+	sort.Slice(st.Pending, func(i, j int) bool { return st.Pending[i].ID < st.Pending[j].ID })
+	return st
+}
+
+// Restore replaces the cache's state with a previously exported one.
+// Structures are rebuilt through resolve (typically economy.ResolveID
+// over the scheme's catalog), so a snapshot taken against a different
+// catalog fails loudly instead of restoring stale sizes. The receiving
+// cache must be empty (fresh from New) and its capacity must match the
+// snapshot's: a capacity change means the scheme was reconfigured and
+// the snapshot no longer describes this cache.
+func (c *Cache) Restore(st State, resolve func(structure.ID) (*structure.Structure, error)) error {
+	if len(c.entries) != 0 || len(c.pending) != 0 {
+		return fmt.Errorf("cache: restore into non-empty cache")
+	}
+	if c.capacity != st.Capacity {
+		return fmt.Errorf("cache: snapshot capacity %d != configured %d", st.Capacity, c.capacity)
+	}
+	if st.Clock < 0 {
+		return fmt.Errorf("cache: snapshot clock %v is negative", st.Clock)
+	}
+	entries := make(map[structure.ID]*Entry, len(st.Entries))
+	var resident int64
+	for _, es := range st.Entries {
+		if _, dup := entries[es.ID]; dup {
+			return fmt.Errorf("cache: duplicate entry %s in snapshot", es.ID)
+		}
+		s, err := resolve(es.ID)
+		if err != nil {
+			return fmt.Errorf("cache: restoring %s: %w", es.ID, err)
+		}
+		entries[es.ID] = &Entry{
+			S:              s,
+			BuiltAt:        es.BuiltAt,
+			FirstUsed:      es.FirstUsed,
+			LastUsed:       es.LastUsed,
+			Uses:           es.Uses,
+			BuildPrice:     es.BuildPrice,
+			AmortRemaining: es.AmortRemaining,
+			MaintPaidUntil: es.MaintPaidUntil,
+			UnpaidMaint:    es.UnpaidMaint,
+			EarnedValue:    es.EarnedValue,
+		}
+		resident += s.Bytes
+	}
+	pending := make(map[structure.ID]*pendingBuild, len(st.Pending))
+	for _, ps := range st.Pending {
+		if _, dup := pending[ps.ID]; dup {
+			return fmt.Errorf("cache: duplicate pending build %s in snapshot", ps.ID)
+		}
+		if _, dup := entries[ps.ID]; dup {
+			return fmt.Errorf("cache: %s both resident and pending in snapshot", ps.ID)
+		}
+		s, err := resolve(ps.ID)
+		if err != nil {
+			return fmt.Errorf("cache: restoring pending %s: %w", ps.ID, err)
+		}
+		pending[ps.ID] = &pendingBuild{
+			entry: &Entry{
+				S:              s,
+				BuildPrice:     ps.BuildPrice,
+				AmortRemaining: ps.AmortRemaining,
+			},
+			readyAt: ps.ReadyAt,
+		}
+	}
+	c.clock = st.Clock
+	c.entries = entries
+	c.pending = pending
+	c.resident = resident
+	return nil
+}

@@ -1,0 +1,188 @@
+package economy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/money"
+	"repro/internal/structure"
+)
+
+// This file exports the economy's mutable state for persistence. The
+// exported structs are plain data — no behavior, no unexported fields —
+// so internal/persist can serialize them without reaching into the
+// economy, and a restored economy continues byte-for-byte: same credits,
+// same regret entries with the same LRU clocks, same failure history,
+// same investment backoff.
+
+// RegretEntryState is one live regret-ledger row.
+type RegretEntryState struct {
+	ID      structure.ID
+	Regret  money.Amount
+	Touched int64
+}
+
+// LedgerState is the exported form of one Ledger.
+type LedgerState struct {
+	Tenant string
+	Credit money.Amount
+	// Clock is the ledger's logical LRU clock; Entries are sorted by ID.
+	Clock   int64
+	Entries []RegretEntryState
+
+	Spend         money.Amount
+	ProfitTotal   money.Amount
+	Invested      money.Amount
+	Recovered     money.Amount
+	RegretAccrued money.Amount
+	InvestCount   int64
+	DeclinedCount int64
+	Queries       int64
+	CacheAnswered int64
+}
+
+// OwnerState records which tenant financed one resident structure.
+type OwnerState struct {
+	ID     structure.ID
+	Tenant string
+}
+
+// FailCountState records a structure's failure history (investment
+// backoff input).
+type FailCountState struct {
+	ID    structure.ID
+	Count int64
+}
+
+// MarketState is the exported form of the shared structure pool's
+// bookkeeping. Residency itself lives in the cache's own state.
+type MarketState struct {
+	Owners       []OwnerState
+	FailCounts   []FailCountState
+	BuildUsage   cost.Usage
+	FailureCount int64
+}
+
+// State is the exported form of an Economy: the communal pool (altruistic
+// provider only), every tenant ledger, and the market bookkeeping. All
+// slices are sorted so repeated snapshots of the same economy are
+// byte-identical.
+type State struct {
+	Provider Provider
+	Pool     *LedgerState
+	Tenants  []LedgerState
+	Market   MarketState
+}
+
+// snapshotLedger exports one ledger.
+func snapshotLedger(l *Ledger) LedgerState {
+	st := LedgerState{
+		Tenant:        l.tenant,
+		Credit:        l.credit,
+		Clock:         l.clock,
+		Spend:         l.spend,
+		ProfitTotal:   l.profitTotal,
+		Invested:      l.invested,
+		Recovered:     l.recovered,
+		RegretAccrued: l.regretAccrued,
+		InvestCount:   l.investCount,
+		DeclinedCount: l.declinedCount,
+		Queries:       l.queries,
+		CacheAnswered: l.cacheAnswered,
+	}
+	for _, id := range l.sortedIDs() {
+		e := l.entries[id]
+		st.Entries = append(st.Entries, RegretEntryState{ID: id, Regret: e.regret, Touched: e.touched})
+	}
+	return st
+}
+
+// restoreLedger rebuilds one ledger with the economy's configured cap.
+func restoreLedger(st LedgerState, cap int) *Ledger {
+	l := newLedger(st.Tenant, 0, cap)
+	l.credit = st.Credit
+	l.clock = st.Clock
+	l.spend = st.Spend
+	l.profitTotal = st.ProfitTotal
+	l.invested = st.Invested
+	l.recovered = st.Recovered
+	l.regretAccrued = st.RegretAccrued
+	l.investCount = st.InvestCount
+	l.declinedCount = st.DeclinedCount
+	l.queries = st.Queries
+	l.cacheAnswered = st.CacheAnswered
+	for _, es := range st.Entries {
+		l.entries[es.ID] = &regretEntry{regret: es.Regret, touched: es.Touched}
+	}
+	return l
+}
+
+// Snapshot exports the economy's state. The cache is not included: the
+// economy shares it with the scheme, and the owner of both (a shard, a
+// simulation) snapshots it alongside.
+func (e *Economy) Snapshot() *State {
+	st := &State{Provider: e.cfg.Provider}
+	if e.pool != nil {
+		pl := snapshotLedger(e.pool)
+		st.Pool = &pl
+	}
+	names := make([]string, 0, len(e.tenants))
+	for name := range e.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Tenants = append(st.Tenants, snapshotLedger(e.tenants[name]))
+	}
+	for id, tenant := range e.market.owner {
+		st.Market.Owners = append(st.Market.Owners, OwnerState{ID: id, Tenant: tenant})
+	}
+	sort.Slice(st.Market.Owners, func(i, j int) bool { return st.Market.Owners[i].ID < st.Market.Owners[j].ID })
+	for id, n := range e.market.failCount {
+		st.Market.FailCounts = append(st.Market.FailCounts, FailCountState{ID: id, Count: int64(n)})
+	}
+	sort.Slice(st.Market.FailCounts, func(i, j int) bool { return st.Market.FailCounts[i].ID < st.Market.FailCounts[j].ID })
+	st.Market.BuildUsage = e.market.buildUsage
+	st.Market.FailureCount = e.market.failureCount
+	return st
+}
+
+// Restore replaces the economy's mutable state with a previously
+// exported one. The receiving economy must be fresh (straight from New)
+// and configured with the same provider the snapshot was taken under: a
+// provider change redefines whose money is whose, so the snapshot no
+// longer describes this economy.
+func (e *Economy) Restore(st *State) error {
+	if st == nil {
+		return fmt.Errorf("economy: nil state")
+	}
+	if st.Provider != e.cfg.Provider {
+		return fmt.Errorf("economy: snapshot provider %v != configured %v", st.Provider, e.cfg.Provider)
+	}
+	if len(e.tenants) != 0 {
+		return fmt.Errorf("economy: restore into non-fresh economy")
+	}
+	if (st.Pool != nil) != (e.cfg.Provider == ProviderAltruistic) {
+		return fmt.Errorf("economy: snapshot pool/provider mismatch")
+	}
+	for _, ls := range st.Tenants {
+		if _, dup := e.tenants[ls.Tenant]; dup {
+			return fmt.Errorf("economy: duplicate tenant %q in snapshot", ls.Tenant)
+		}
+		e.tenants[ls.Tenant] = restoreLedger(ls, e.cfg.LedgerCap)
+	}
+	if st.Pool != nil {
+		e.pool = restoreLedger(*st.Pool, e.cfg.LedgerCap)
+	}
+	m := e.market
+	for _, os := range st.Market.Owners {
+		m.owner[os.ID] = os.Tenant
+	}
+	for _, fs := range st.Market.FailCounts {
+		m.failCount[fs.ID] = int(fs.Count)
+	}
+	m.buildUsage = st.Market.BuildUsage
+	m.failureCount = st.Market.FailureCount
+	return nil
+}

@@ -4,6 +4,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -95,13 +96,25 @@ func NewReservoir(capacity int) *Reservoir {
 	return &Reservoir{cap: capacity, state: 0x9E3779B97F4A7C15}
 }
 
-// nextRand is a SplitMix64 step.
-func (r *Reservoir) nextRand() uint64 {
-	r.state += 0x9E3779B97F4A7C15
-	z := r.state
+// SplitMix64 advances a SplitMix64 state and returns the next state and
+// output. It is the one PRNG implementation shared by every component
+// whose random state must be persistable as a plain uint64 (the
+// reservoir's replacement draws, the serving layer's selectivity
+// draws): a single uint64 restores the exact sequence, which math/rand
+// cannot offer.
+func SplitMix64(state uint64) (next, out uint64) {
+	state += 0x9E3779B97F4A7C15
+	z := state
 	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	return z ^ (z >> 31)
+	return state, z ^ (z >> 31)
+}
+
+// nextRand is a SplitMix64 step.
+func (r *Reservoir) nextRand() uint64 {
+	var out uint64
+	r.state, out = SplitMix64(r.state)
+	return out
 }
 
 // Observe adds one sample.
@@ -205,11 +218,102 @@ func WeightedQuantilesOf(values, weights []float64, qs ...float64) []float64 {
 	return out
 }
 
+// RunningState is the exported form of a Running accumulator, for
+// persistence. Restoring it reproduces the accumulator bit for bit, so
+// means and variances continue exactly where they left off.
+type RunningState struct {
+	N          int64
+	Mean       float64
+	M2         float64
+	Min        float64
+	Max        float64
+	Sum        float64
+	HasSamples bool
+}
+
+// State exports the accumulator.
+func (r *Running) State() RunningState {
+	return RunningState{N: r.n, Mean: r.mean, M2: r.m2, Min: r.min, Max: r.max, Sum: r.sum, HasSamples: r.hasSamples}
+}
+
+// Restore adopts a previously exported state wholesale.
+func (r *Running) Restore(st RunningState) {
+	r.n, r.mean, r.m2, r.min, r.max, r.sum, r.hasSamples = st.N, st.Mean, st.M2, st.Min, st.Max, st.Sum, st.HasSamples
+}
+
+// ReservoirState is the exported form of a Reservoir, including the
+// internal PRNG state, so a restored reservoir continues the exact
+// replacement sequence of the original — percentile estimates after a
+// restart are byte-identical to an uninterrupted run's.
+type ReservoirState struct {
+	Cap  int
+	Seen int64
+	Data []float64
+	PRNG uint64
+}
+
+// State exports the reservoir (the sample slice is copied).
+func (r *Reservoir) State() ReservoirState {
+	return ReservoirState{Cap: r.cap, Seen: r.seen, Data: r.Samples(), PRNG: r.state}
+}
+
+// Restore adopts a previously exported state. The state's capacity wins
+// over the receiver's so restored percentile behavior matches the
+// original exactly; insane values are clamped rather than rejected.
+// Seen in particular must stay >= len(Data) and >= 0, or the next
+// Observe's replacement draw (mod seen) would divide by zero.
+func (r *Reservoir) Restore(st ReservoirState) {
+	if st.Cap < 1 {
+		st.Cap = 1
+	}
+	data := make([]float64, len(st.Data))
+	copy(data, st.Data)
+	if len(data) > st.Cap {
+		data = data[:st.Cap]
+	}
+	if st.Seen < int64(len(data)) {
+		st.Seen = int64(len(data))
+	}
+	r.cap, r.seen, r.data, r.state = st.Cap, st.Seen, data, st.PRNG
+}
+
 // DurationStats couples a Running and a Reservoir for a duration-valued
 // series, reporting in seconds.
 type DurationStats struct {
 	Running
 	res *Reservoir
+}
+
+// DurationStatsState is the exported form of a DurationStats.
+type DurationStatsState struct {
+	Running   RunningState
+	Reservoir ReservoirState
+}
+
+// State exports the statistics.
+func (d *DurationStats) State() DurationStatsState {
+	return DurationStatsState{Running: d.Running.State(), Reservoir: d.res.State()}
+}
+
+// Restore adopts a previously exported state.
+func (d *DurationStats) Restore(st DurationStatsState) {
+	d.Running.Restore(st.Running)
+	d.res.Restore(st.Reservoir)
+}
+
+// MarshalJSON reports the series' headline statistics (count, mean and
+// percentiles in seconds) instead of the opaque internals, so reports
+// embedding a DurationStats serialize meaningfully — and golden-file
+// tests pin the reported values.
+func (d *DurationStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		N       int64   `json:"n"`
+		MeanSec float64 `json:"mean_s"`
+		P50Sec  float64 `json:"p50_s"`
+		P95Sec  float64 `json:"p95_s"`
+		P99Sec  float64 `json:"p99_s"`
+		MaxSec  float64 `json:"max_s"`
+	}{d.N(), d.Mean(), d.Percentile(50), d.Percentile(95), d.Percentile(99), d.Max()})
 }
 
 // NewDurationStats creates duration statistics with a percentile reservoir.

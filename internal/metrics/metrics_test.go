@@ -212,3 +212,38 @@ func TestWeightedQuantilesOf(t *testing.T) {
 		t.Errorf("empty median = %g, want 0", got[0])
 	}
 }
+
+// TestStateRestoreContinuity: a restored DurationStats continues the
+// exact sequence of the original — same means, same reservoir
+// replacements — so statistics survive a snapshot/restore bit for bit.
+func TestStateRestoreContinuity(t *testing.T) {
+	a := NewDurationStats(8)
+	for i := 1; i <= 100; i++ {
+		a.ObserveDuration(time.Duration(i) * time.Millisecond)
+	}
+	b := NewDurationStats(8)
+	b.Restore(a.State())
+	for i := 101; i <= 200; i++ {
+		a.ObserveDuration(time.Duration(i) * time.Millisecond)
+		b.ObserveDuration(time.Duration(i) * time.Millisecond)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Percentile(50) != b.Percentile(50) ||
+		a.Percentile(99) != b.Percentile(99) {
+		t.Errorf("restored stats diverged: n %d/%d mean %v/%v p50 %v/%v",
+			a.N(), b.N(), a.Mean(), b.Mean(), a.Percentile(50), b.Percentile(50))
+	}
+}
+
+// TestReservoirRestoreClampsSeen: hostile state claiming fewer
+// observations than it retains must not leave a reservoir that panics
+// (mod zero) on its next Observe.
+func TestReservoirRestoreClampsSeen(t *testing.T) {
+	for _, seen := range []int64{-5, 0, 1} {
+		r := NewReservoir(1)
+		r.Restore(ReservoirState{Cap: 1, Seen: seen, Data: []float64{1}, PRNG: 7})
+		r.Observe(2) // must not panic
+		if r.Seen() != 2 {
+			t.Errorf("Seen after clamped restore (%d) + 1 observe = %d, want 2", seen, r.Seen())
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode feeds arbitrary bytes to the snapshot decoder. It
+// must never panic and never allocate past a small multiple of the
+// input — a corrupt or truncated state file must fail restore cleanly
+// (the daemon logs it and boots fresh), not crash the boot or load
+// partial state. Any input that does decode must survive an
+// encode/decode round trip unchanged: decoding is a bijection between
+// valid files and snapshots.
+func FuzzSnapshotDecode(f *testing.F) {
+	valid := EncodeBytes(sampleSnapshot())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte("CCSNAP"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// The round trip is compared as re-encoded BYTES, not values: a
+		// CRC-valid input can carry NaN floats, which decode fine but
+		// never compare equal to themselves.
+		enc := EncodeBytes(s)
+		s2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		if enc2 := EncodeBytes(s2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("snapshot round trip diverged:\n%x\n%x", enc, enc2)
+		}
+	})
+}

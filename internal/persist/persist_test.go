@@ -1,0 +1,215 @@
+package persist
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cost"
+	"repro/internal/economy"
+	"repro/internal/metrics"
+	"repro/internal/money"
+)
+
+// sampleSnapshot exercises every field of the format: two shards, one
+// with a full economy (pool + tenants + market), one bypass-shaped
+// (no economy, yield accumulators), pending builds, reservoir samples.
+func sampleSnapshot() *Snapshot {
+	pool := economy.LedgerState{
+		Tenant: "",
+		Credit: money.FromDollars(42.5),
+		Clock:  17,
+		Entries: []economy.RegretEntryState{
+			{ID: "col:lineitem.l_extendedprice", Regret: money.FromDollars(0.004), Touched: 9},
+			{ID: "cpu:2", Regret: money.FromDollars(0.001), Touched: 17},
+		},
+		Spend:         money.FromDollars(10),
+		ProfitTotal:   money.FromDollars(3),
+		Invested:      money.FromDollars(7),
+		Recovered:     money.FromDollars(2),
+		RegretAccrued: money.FromDollars(0.5),
+		InvestCount:   4,
+		DeclinedCount: 2,
+		Queries:       100,
+		CacheAnswered: 31,
+	}
+	return &Snapshot{
+		Scheme:          "econ-cheap",
+		Provider:        "altruistic",
+		CatalogBytes:    123456789,
+		NextID:          4242,
+		Clock:           90 * time.Minute,
+		CreatedUnixNano: 1700000000000000000,
+		Shards: []ShardState{
+			{
+				Index:            0,
+				LastNow:          time.Hour,
+				LastAccrual:      time.Hour - time.Second,
+				EndOfRun:         time.Hour + 3*time.Second,
+				StorageGBSeconds: 123.456,
+				NodeSeconds:      7.5,
+				Queries:          100, Declined: 2, CacheAnswered: 31,
+				Investments: 4, Failures: 1, Errors: 3,
+				Revenue:    money.FromDollars(10),
+				Profit:     money.FromDollars(3),
+				ExecUsage:  cost.Usage{CPUSeconds: 1.5, IOOps: 200, NetBytes: 1 << 30, Boots: 1},
+				BuildUsage: cost.Usage{CPUSeconds: 0.5, IOOps: 10, NetBytes: 1 << 20},
+				RNG:        0xDEADBEEFCAFEF00D,
+				Response: metrics.DurationStatsState{
+					Running:   metrics.RunningState{N: 98, Mean: 0.4, M2: 0.01, Min: 0.1, Max: 2.0, Sum: 39.2, HasSamples: true},
+					Reservoir: metrics.ReservoirState{Cap: 4, Seen: 98, Data: []float64{0.1, 0.4, 0.5, 2.0}, PRNG: 12345},
+				},
+				Cache: cache.State{
+					Clock: time.Hour,
+					Entries: []cache.EntryState{{
+						ID: "col:lineitem.l_shipdate", BuiltAt: time.Minute, FirstUsed: 2 * time.Minute,
+						LastUsed: 50 * time.Minute, Uses: 12, BuildPrice: money.FromDollars(1.5),
+						AmortRemaining: money.FromDollars(0.75), MaintPaidUntil: 49 * time.Minute,
+						UnpaidMaint: money.FromDollars(0.01), EarnedValue: money.FromDollars(2.25),
+					}},
+					Pending: []cache.PendingState{{
+						ID: "cpu:2", ReadyAt: time.Hour + time.Second,
+						BuildPrice: money.FromDollars(0.2), AmortRemaining: money.FromDollars(0.2),
+					}},
+				},
+				Economy: &economy.State{
+					Provider: economy.ProviderAltruistic,
+					Pool:     &pool,
+					Tenants: []economy.LedgerState{
+						{Tenant: "alice", Spend: money.FromDollars(4), Queries: 40},
+						{Tenant: "bob", Spend: money.FromDollars(6), Queries: 60, CacheAnswered: 31},
+					},
+					Market: economy.MarketState{
+						Owners:       []economy.OwnerState{{ID: "col:lineitem.l_shipdate", Tenant: ""}},
+						FailCounts:   []economy.FailCountState{{ID: "cpu:3", Count: 2}},
+						BuildUsage:   cost.Usage{CPUSeconds: 0.25},
+						FailureCount: 1,
+					},
+				},
+			},
+			{
+				Index:   1,
+				LastNow: time.Hour,
+				Queries: 7,
+				Response: metrics.DurationStatsState{
+					Reservoir: metrics.ReservoirState{Cap: 4, PRNG: 99},
+				},
+				Cache: cache.State{Clock: time.Hour, Capacity: 1 << 40},
+				Yield: []YieldState{
+					{ID: "col:orders.o_orderdate", Bytes: 1 << 20},
+					{ID: "col:orders.o_totalprice", Bytes: 42},
+				},
+			},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	data := EncodeBytes(want)
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Encoding is deterministic: same snapshot, same bytes.
+	if string(EncodeBytes(want)) != string(data) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestWriteLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "econ.snap")
+	want := sampleSnapshot()
+	n, err := Write(path, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != n {
+		t.Fatalf("stat: %v, size %v want %d", err, fi.Size(), n)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("loaded snapshot diverged")
+	}
+	// Overwrite goes through rename: no temp litter is left behind.
+	if _, err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("state dir holds %d files after rewrites, want 1", len(entries))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := EncodeBytes(sampleSnapshot())
+
+	// Every strict prefix fails.
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := Decode(data[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded", cut, len(data))
+		}
+	}
+	// Every single-byte flip fails: the header by the magic/version
+	// match, everything else by a frame CRC.
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, err := Decode(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded", i)
+		}
+	}
+	// Trailing garbage fails.
+	if _, err := Decode(append(append([]byte(nil), data...), 0xFF)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+	// A future version fails.
+	mut := append([]byte(nil), data...)
+	mut[6] = 0xFF
+	if _, err := Decode(mut); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+// TestDecodeRejectsLyingReservoir: a CRC-valid snapshot whose reservoir
+// claims fewer observations than it retains (or a negative count) must
+// be rejected at decode — restored, its next replacement draw would
+// divide by the bogus count.
+func TestDecodeRejectsLyingReservoir(t *testing.T) {
+	for _, seen := range []int64{-1, 0, 3} {
+		s := sampleSnapshot()
+		s.Shards[0].Response.Reservoir.Seen = seen // retains 4 samples
+		if _, err := Decode(EncodeBytes(s)); err == nil {
+			t.Errorf("reservoir claiming %d observations over 4 samples decoded", seen)
+		}
+	}
+	s := sampleSnapshot()
+	s.Shards[0].Response.Running.N = -1
+	if _, err := Decode(EncodeBytes(s)); err == nil {
+		t.Error("negative running sample count decoded")
+	}
+}
+
+func TestDecodeEmptyAndGarbage(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("CCSNAP"), []byte("not a snapshot at all")} {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("Decode(%q) succeeded", data)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+}

@@ -63,6 +63,25 @@ func NewBypass(p Params) (*Bypass, error) {
 // Name implements Scheme.
 func (b *Bypass) Name() string { return "bypass" }
 
+// YieldSnapshot exports the per-column yield accumulators (the scheme's
+// only mutable state beyond the cache), for persistence.
+func (b *Bypass) YieldSnapshot() map[structure.ID]int64 {
+	out := make(map[structure.ID]int64, len(b.yield))
+	for id, y := range b.yield {
+		out[id] = y
+	}
+	return out
+}
+
+// RestoreYield replaces the yield accumulators with a previously
+// exported set.
+func (b *Bypass) RestoreYield(m map[structure.ID]int64) {
+	b.yield = make(map[structure.ID]int64, len(m))
+	for id, y := range m {
+		b.yield[id] = y
+	}
+}
+
 // Cache implements Scheme.
 func (b *Bypass) Cache() *cache.Cache { return b.ca }
 

@@ -34,6 +34,22 @@ func NewWallClock(speedup float64) *WallClock {
 	return &WallClock{start: time.Now(), speedup: speedup}
 }
 
+// NewWallClockAt starts a wall clock whose economy time already reads
+// elapsed — how a restored daemon resumes the snapshot's clock instead
+// of replaying rent and build schedules from zero.
+func NewWallClockAt(elapsed time.Duration, speedup float64) *WallClock {
+	if speedup <= 0 {
+		speedup = 1
+	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return &WallClock{
+		start:   time.Now().Add(-time.Duration(float64(elapsed) / speedup)),
+		speedup: speedup,
+	}
+}
+
 // Now implements Clock.
 func (c *WallClock) Now() time.Duration {
 	return time.Duration(float64(time.Since(c.start)) * c.speedup)

@@ -1,0 +1,312 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/economy"
+	"repro/internal/money"
+	"repro/internal/persist"
+	"repro/internal/server"
+)
+
+// The restart-parity harness: a server drained at query k, restored from
+// its snapshot and fed queries k+1..n must be indistinguishable — byte
+// for byte, in both the replies it sends and its final Stats — from a
+// server that never restarted. This is the headline guarantee of the
+// durable-state subsystem: restarts are invisible to clients and to the
+// books.
+
+const (
+	parityGroups  = 80 // groups of parityPerGroup queries each
+	parityPer     = 6
+	parityRestart = 40 // drain after this many groups
+)
+
+var parityTenants = []string{"alice", "bob", "carol", ""}
+
+// parityGroup scripts one deterministic submission group. Every group is
+// homogeneous in tenant (the "" group homogeneous in template too), so a
+// batched group lands on exactly one shard and query IDs are assigned in
+// submission order — the determinism SubmitBatch promises per shard.
+// The mix deliberately exercises every restore surface: explicit and
+// server-drawn selectivities (the shard RNG), explicit and
+// default-policy budgets, and all four tenants' ledgers.
+func parityGroup(g int) []server.Request {
+	tenant := parityTenants[g%len(parityTenants)]
+	templates := []string{"Q1", "Q6", "Q3", "Q10", "Q14", "Q18"}
+	reqs := make([]server.Request, parityPer)
+	for i := range reqs {
+		n := g*parityPer + i
+		req := server.Request{
+			Tenant:   tenant,
+			Template: templates[i],
+		}
+		if tenant == "" {
+			// Untagged queries route by template; keep the group on one
+			// shard.
+			req.Template = "Q6"
+		}
+		if i%3 != 2 {
+			req.Selectivity = 0.001 + 0.0001*float64(n%9)
+		} // else: unset — the shard draws one from its RNG stream.
+		if i%4 != 3 {
+			// A generous budget keeps Eq. 2 regret flowing so investments
+			// (and with them market ownership, amortization and failure
+			// state) exist on both sides of the restart.
+			req.Budget = budget.NewStep(money.FromDollars(0.05), time.Hour)
+		} // else: nil — the server's default budget policy prices it.
+		reqs[i] = req
+	}
+	return reqs
+}
+
+// runParityGroups feeds groups [from, to) to srv on its virtual clock,
+// collecting every reply in submission order.
+func runParityGroups(t *testing.T, srv *server.Server, clock *server.VirtualClock, from, to int, batched bool) []server.Response {
+	t.Helper()
+	ctx := context.Background()
+	var out []server.Response
+	for g := from; g < to; g++ {
+		clock.Advance(20 * time.Second)
+		srv.Housekeep()
+		reqs := parityGroup(g)
+		if batched {
+			items, err := srv.SubmitBatch(ctx, reqs)
+			if err != nil {
+				t.Fatalf("group %d: %v", g, err)
+			}
+			for i, it := range items {
+				if it.Err != nil {
+					t.Fatalf("group %d item %d: %v", g, i, it.Err)
+				}
+				out = append(out, it.Resp)
+			}
+		} else {
+			for i, req := range reqs {
+				resp, err := srv.Submit(ctx, req)
+				if err != nil {
+					t.Fatalf("group %d item %d: %v", g, i, err)
+				}
+				out = append(out, resp)
+			}
+		}
+	}
+	return out
+}
+
+func parityServer(t *testing.T, provider economy.Provider, clock server.Clock, snapshotPath string, restore *persist.Snapshot) *server.Server {
+	t.Helper()
+	params := testParams(testCatalog())
+	params.Provider = provider
+	srv, err := server.New(server.Config{
+		Shards:       4,
+		Scheme:       "econ-cheap",
+		Params:       params,
+		Clock:        clock,
+		SnapshotPath: snapshotPath,
+		Restore:      restore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRestartParity drains a server mid-stream, restores it from the
+// snapshot the drain wrote, replays the rest of the stream and demands
+// byte-identical replies and final Stats versus an uninterrupted
+// control — for both providers, via both Submit and SubmitBatch.
+func TestRestartParity(t *testing.T) {
+	for _, provider := range []economy.Provider{economy.ProviderAltruistic, economy.ProviderSelfish} {
+		for _, batched := range []bool{false, true} {
+			mode := "submit"
+			if batched {
+				mode = "batch"
+			}
+			t.Run(fmt.Sprintf("%s/%s", provider, mode), func(t *testing.T) {
+				// Control: one server lives through the whole stream.
+				ctlClock := server.NewVirtualClock()
+				ctl := parityServer(t, provider, ctlClock, "", nil)
+				ctlReplies := runParityGroups(t, ctl, ctlClock, 0, parityGroups, batched)
+				if err := ctl.Shutdown(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+				ctlStats := ctl.Stats()
+
+				// Interrupted: drain at the restart point; the drain
+				// persists the snapshot.
+				path := filepath.Join(t.TempDir(), "econ.snap")
+				clock1 := server.NewVirtualClock()
+				srv1 := parityServer(t, provider, clock1, path, nil)
+				runParityGroups(t, srv1, clock1, 0, parityRestart, batched)
+				if err := srv1.Shutdown(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+
+				snap, err := persist.Load(path)
+				if err != nil {
+					t.Fatalf("loading drain snapshot: %v", err)
+				}
+				var invested int64
+				for _, sh := range snap.Shards {
+					invested += sh.Investments
+				}
+				if invested == 0 {
+					t.Fatal("snapshot carries no investments; the parity run is not exercising the economy")
+				}
+
+				// Restored: a fresh process adopts the snapshot and the
+				// stream resumes where it stopped.
+				clock2 := server.NewVirtualClock()
+				clock2.Advance(snap.Clock)
+				srv2 := parityServer(t, provider, clock2, "", snap)
+				replies := runParityGroups(t, srv2, clock2, parityRestart, parityGroups, batched)
+				if err := srv2.Shutdown(context.Background()); err != nil {
+					t.Fatal(err)
+				}
+
+				wantReplies := ctlReplies[parityRestart*parityPer:]
+				if got, want := mustJSON(t, replies), mustJSON(t, wantReplies); got != want {
+					t.Errorf("replies after restart diverge from uninterrupted run:\ngot  %s\nwant %s", got, want)
+				}
+				if got, want := mustJSON(t, srv2.Stats()), mustJSON(t, ctlStats); got != want {
+					t.Errorf("final stats after restart diverge from uninterrupted run:\ngot  %s\nwant %s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreRejectsReconfiguration pins the mismatch guards: a snapshot
+// must not restore across a scheme, provider or shard-count change.
+func TestRestoreRejectsReconfiguration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "econ.snap")
+	clock := server.NewVirtualClock()
+	srv := parityServer(t, economy.ProviderSelfish, clock, path, nil)
+	runParityGroups(t, srv, clock, 0, 4, false)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := persist.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	try := func(mutate func(cfg *server.Config)) error {
+		params := testParams(testCatalog())
+		params.Provider = economy.ProviderSelfish
+		cfg := server.Config{
+			Shards:  4,
+			Scheme:  "econ-cheap",
+			Params:  params,
+			Clock:   server.NewVirtualClock(),
+			Restore: snap,
+		}
+		mutate(&cfg)
+		s, err := server.New(cfg)
+		if err == nil {
+			s.Shutdown(context.Background())
+		}
+		return err
+	}
+	if err := try(func(cfg *server.Config) { cfg.Shards = 8 }); err == nil {
+		t.Error("restore across a shard-count change accepted")
+	}
+	if err := try(func(cfg *server.Config) { cfg.Scheme = "econ-fast" }); err == nil {
+		t.Error("restore across a scheme change accepted")
+	}
+	if err := try(func(cfg *server.Config) { cfg.Params.Provider = economy.ProviderAltruistic }); err == nil {
+		t.Error("restore across a provider change accepted")
+	}
+	if err := try(func(cfg *server.Config) {}); err != nil {
+		t.Errorf("matching config rejected: %v", err)
+	}
+}
+
+// TestCheckpointWhileServing exercises the on-demand checkpoint on a
+// live server: the snapshot must be decodable and internally consistent
+// while traffic continues.
+func TestCheckpointWhileServing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "econ.snap")
+	clock := server.NewVirtualClock()
+	srv := parityServer(t, economy.ProviderAltruistic, clock, path, nil)
+	defer srv.Shutdown(context.Background())
+
+	runParityGroups(t, srv, clock, 0, 6, false)
+	gotPath, size, err := srv.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != path || size <= 0 {
+		t.Fatalf("Checkpoint() = %q, %d", gotPath, size)
+	}
+	snap, err := persist.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q int64
+	for _, sh := range snap.Shards {
+		q += sh.Queries
+	}
+	if want := int64(6 * parityPer); q != want {
+		t.Errorf("checkpoint accounts %d queries, want %d", q, want)
+	}
+	runParityGroups(t, srv, clock, 6, 8, false)
+
+	// A server with no snapshot path refuses on-demand checkpoints.
+	bare := parityServer(t, economy.ProviderAltruistic, server.NewVirtualClock(), "", nil)
+	defer bare.Shutdown(context.Background())
+	if _, _, err := bare.Checkpoint(); err == nil {
+		t.Error("checkpoint without a snapshot path accepted")
+	}
+}
+
+// TestTruncatedSnapshotFailsCleanly walks a valid snapshot file through
+// every truncation point and a bit flip: no prefix may decode, and the
+// failure must be an error, never a panic or partial state.
+func TestTruncatedSnapshotFailsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "econ.snap")
+	clock := server.NewVirtualClock()
+	srv := parityServer(t, economy.ProviderSelfish, clock, path, nil)
+	runParityGroups(t, srv, clock, 0, 4, true)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := persist.Decode(data); err != nil {
+		t.Fatalf("pristine snapshot does not decode: %v", err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := persist.Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", cut, len(data))
+		}
+	}
+	// Every byte is covered: the header by the magic/version match, every
+	// frame payload and length prefix by the CRC trailer.
+	for _, flip := range []int{0, 7, 8, len(data) / 2, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[flip] ^= 0x40
+		if _, err := persist.Decode(mut); err == nil {
+			t.Errorf("bit flip at byte %d decoded successfully", flip)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/catalog"
 	"repro/internal/metrics"
+	"repro/internal/persist"
 	"repro/internal/pricing"
 	"repro/internal/scheme"
 	"repro/internal/workload"
@@ -118,6 +120,19 @@ type Config struct {
 	Seed int64
 	// ReservoirCap bounds each shard's response reservoir. Default 4096.
 	ReservoirCap int
+	// SnapshotPath, when set, is where the engine persists its economy
+	// state: atomically on graceful drain, on every Checkpoint call, and
+	// on the periodic checkpoint ticker.
+	SnapshotPath string
+	// CheckpointEvery is the periodic checkpoint cadence. 0 disables the
+	// ticker; drain and on-demand Checkpoint still write. Requires
+	// SnapshotPath.
+	CheckpointEvery time.Duration
+	// Restore is a previously persisted snapshot to adopt before serving
+	// begins. Scheme, provider, shard count and catalog must match the
+	// rest of this config; a mismatch fails New rather than silently
+	// dropping state.
+	Restore *persist.Snapshot
 }
 
 // Server is the concurrent serving engine.
@@ -137,6 +152,12 @@ type Server struct {
 
 	tickStop chan struct{}
 	tickDone chan struct{}
+
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	// snapMu serializes snapshot writes (checkpoints, ticker, drain), so
+	// the drain's final write is always the last one on disk.
+	snapMu sync.Mutex
 
 	shutdownOnce sync.Once
 	drained      chan struct{}
@@ -211,6 +232,10 @@ func New(cfg Config) (*Server, error) {
 		srv.templates[t.Name] = t
 	}
 
+	if cfg.CheckpointEvery > 0 && cfg.SnapshotPath == "" {
+		return nil, fmt.Errorf("server: CheckpointEvery requires SnapshotPath")
+	}
+
 	srv.shards = make([]*shard, cfg.Shards)
 	for i := range srv.shards {
 		sch, err := scheme.New(cfg.Scheme, cfg.Params)
@@ -219,6 +244,13 @@ func New(cfg Config) (*Server, error) {
 		}
 		srv.shards[i] = newShard(i, srv, sch, shardSeed(cfg.Seed, i), cfg.MailboxDepth, cfg.ReservoirCap)
 	}
+	// Adopt persisted state before any loop starts: restore is
+	// all-or-nothing, so a failed restore leaves no half-built server.
+	if cfg.Restore != nil {
+		if err := srv.restore(cfg.Restore); err != nil {
+			return nil, err
+		}
+	}
 	for _, sh := range srv.shards {
 		go sh.loop()
 	}
@@ -226,6 +258,11 @@ func New(cfg Config) (*Server, error) {
 		srv.tickStop = make(chan struct{})
 		srv.tickDone = make(chan struct{})
 		go srv.runTicker(cfg.TickEvery)
+	}
+	if cfg.SnapshotPath != "" && cfg.CheckpointEvery > 0 {
+		srv.ckptStop = make(chan struct{})
+		srv.ckptDone = make(chan struct{})
+		go srv.runCheckpointer(cfg.CheckpointEvery)
 	}
 	return srv, nil
 }
@@ -537,6 +574,10 @@ func (s *Server) drain() {
 		close(s.tickStop)
 		<-s.tickDone
 	}
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		<-s.ckptDone
+	}
 
 	// Closing the mailboxes lets each loop drain and exit; no accepted
 	// query is dropped.
@@ -545,6 +586,15 @@ func (s *Server) drain() {
 	}
 	for _, sh := range s.shards {
 		<-sh.done
+	}
+	// Persist the drained state BEFORE tail-rent finalization: endOfRun
+	// travels in the snapshot and the restored server settles that window
+	// at its own drain, so rent is charged exactly once across restarts
+	// and a restored run stays byte-identical to an uninterrupted one.
+	if s.cfg.SnapshotPath != "" {
+		if _, err := s.writeSnapshot(); err != nil {
+			log.Printf("server: drain snapshot: %v", err)
+		}
 	}
 	for _, sh := range s.shards {
 		sh.finalize()

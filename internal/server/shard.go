@@ -2,7 +2,6 @@ package server
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -54,7 +53,10 @@ type shard struct {
 	mu  sync.Mutex
 	sch scheme.Scheme
 	eco *economy.Economy // nil for schemes without an economy (bypass)
-	rng *rand.Rand
+	// rng is a SplitMix64 state driving selectivity draws for queries
+	// that omit one. A plain uint64 — not math/rand — so snapshots can
+	// persist it and a restored shard continues the exact draw sequence.
+	rng uint64
 
 	// lastNow keeps shard time monotone even if the clock source jitters.
 	lastNow time.Duration
@@ -99,9 +101,17 @@ func newShard(id int, srv *Server, sch scheme.Scheme, seed int64, depth, reservo
 		done:     make(chan struct{}),
 		sch:      sch,
 		eco:      economyOf(sch),
-		rng:      rand.New(rand.NewSource(seed)),
+		rng:      uint64(seed),
 		response: metrics.NewDurationStats(reservoirCap),
 	}
+}
+
+// randFloat64 draws the next uniform [0,1) from the shard's SplitMix64
+// stream. Callers hold s.mu.
+func (s *shard) randFloat64() float64 {
+	var out uint64
+	s.rng, out = metrics.SplitMix64(s.rng)
+	return float64(out>>11) / (1 << 53)
 }
 
 // loop is the shard's serialized decision loop. It exits only when the
@@ -215,7 +225,7 @@ func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
 		// Unset: draw one from the template's range. An explicit zero
 		// (HasSelectivity true) instead clamps below, like any other
 		// out-of-range value.
-		sel = tpl.SelMin + s.rng.Float64()*(tpl.SelMax-tpl.SelMin)
+		sel = tpl.SelMin + s.randFloat64()*(tpl.SelMax-tpl.SelMin)
 	}
 	if sel < tpl.SelMin {
 		sel = tpl.SelMin

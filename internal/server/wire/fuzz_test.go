@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// fuzzSeeds returns valid payloads for every frame type, so the fuzzer
+// starts from deep inside the grammar instead of rediscovering it.
+func fuzzSeeds(t testing.TB) [][]byte {
+	sel := 0.0096
+	queries := []Query{
+		{Tenant: "alice", Template: "Q6", Selectivity: sel, HasSelectivity: true},
+		{Template: "Q1", Budget: &server.BudgetJSON{Shape: "linear", PriceUSD: 0.01, TmaxSec: 60, K: 2}},
+		{Tenant: "bob", Template: "Q3"},
+	}
+	qb, err := AppendQueryBatch(nil, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb := AppendReplyBatch(nil, []Reply{
+		{Resp: server.Response{QueryID: 7, Shard: 2, Template: "Q6", Selectivity: sel,
+			ArrivalSec: 1.5, Location: "cache", ResponseTimeSec: 0.25, ChargedUSD: 0.002}},
+		{Err: "unknown template \"Q99\""},
+	})
+	st, err := AppendStats(nil, server.Stats{Scheme: "econ-cheap", Shards: 4, Queries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{
+		qb,
+		rb,
+		st,
+		AppendStatsRequest(nil),
+		AppendSnapshotRequest(nil),
+		AppendSnapshotReply(nil, "/tmp/state/econ.snap", 123456),
+		appendErrorPayload(nil, "server: closed"),
+	}
+}
+
+// FuzzWireDecode feeds arbitrary bytes to every payload decoder and the
+// frame reader. The decoders must never panic — a malicious or corrupt
+// client frame must never take the daemon down — and anything that does
+// decode must survive an encode/decode round trip unchanged.
+func FuzzWireDecode(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		// Truncations of valid payloads probe every mid-field error path.
+		if len(seed) > 2 {
+			f.Add(seed[:len(seed)/2])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Round trips are compared as re-encoded BYTES, not values:
+		// arbitrary inputs can carry NaN floats, which decode fine but
+		// never compare equal to themselves.
+		if qs, err := DecodeQueryBatch(data, nil); err == nil {
+			enc, err := AppendQueryBatch(nil, qs)
+			if err == nil {
+				qs2, err := DecodeQueryBatch(enc, nil)
+				if err != nil {
+					t.Fatalf("re-decode of re-encoded query batch failed: %v", err)
+				}
+				enc2, err := AppendQueryBatch(nil, qs2)
+				if err != nil || !bytes.Equal(enc, enc2) {
+					t.Fatalf("query batch round trip diverged (%v):\n%x\n%x", err, enc, enc2)
+				}
+			}
+		}
+		if rs, err := DecodeReplyBatch(data, nil); err == nil && len(rs) != 0 {
+			enc := AppendReplyBatch(nil, rs)
+			rs2, err := DecodeReplyBatch(enc, nil)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded reply batch failed: %v", err)
+			}
+			if enc2 := AppendReplyBatch(nil, rs2); !bytes.Equal(enc, enc2) {
+				t.Fatalf("reply batch round trip diverged:\n%x\n%x", enc, enc2)
+			}
+		}
+		_, _ = DecodeStats(data)
+		_, _, _ = DecodeSnapshotReply(data)
+		_, _ = ReadFrame(bytes.NewReader(data), nil)
+	})
+}

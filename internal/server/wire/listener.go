@@ -75,6 +75,26 @@ func serveConn(conn net.Conn, srv *server.Server) {
 		}
 		rbuf = payload[:0]
 
+		// Admin snapshot requests trigger an on-demand checkpoint. A
+		// failure (no state path configured, disk trouble) answers with
+		// an error frame but keeps the connection: the client asked for
+		// an action, not a protocol exchange, and may retry or move on.
+		if IsSnapshotRequest(payload) {
+			path, size, err := srv.Checkpoint()
+			if err != nil {
+				wbuf = appendErrorPayload(wbuf[:0], err.Error())
+			} else {
+				wbuf = AppendSnapshotReply(wbuf[:0], path, size)
+			}
+			if err := WriteFrame(bw, wbuf); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+			continue
+		}
+
 		// Stats requests share the connection with query traffic: answer
 		// the snapshot and keep framing.
 		if IsStatsRequest(payload) {
@@ -191,6 +211,26 @@ func (c *Client) Submit(qs []Query) ([]Reply, error) {
 		return nil, fmt.Errorf("wire: %d replies for %d queries", len(c.replies), len(qs))
 	}
 	return c.replies, nil
+}
+
+// Snapshot asks the daemon to persist its economy state to the
+// configured state path right now — the wire protocol's admin
+// checkpoint. It returns where the snapshot landed and its encoded
+// size; a daemon running without a state path answers an error.
+func (c *Client) Snapshot() (path string, size int64, err error) {
+	c.wbuf = AppendSnapshotRequest(c.wbuf[:0])
+	if err := WriteFrame(c.bw, c.wbuf); err != nil {
+		return "", 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return "", 0, err
+	}
+	payload, err := ReadFrame(c.br, c.rbuf)
+	if err != nil {
+		return "", 0, err
+	}
+	c.rbuf = payload[:0]
+	return DecodeSnapshotReply(payload)
 }
 
 // Stats requests the live engine snapshot over the wire — the binary

@@ -1,0 +1,133 @@
+package wire_test
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/persist"
+	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+)
+
+// newWireServerWithState mirrors newWireServer but configures a snapshot
+// path, so the admin snapshot frame has somewhere to checkpoint to.
+func newWireServerWithState(t *testing.T, shards int, snapshotPath string) (*server.Server, string) {
+	t.Helper()
+	cat := catalog.TPCH(20)
+	params := scheme.DefaultParams(cat)
+	params.RegretFraction = 0.0001
+	srv, err := server.New(server.Config{
+		Shards:       shards,
+		Scheme:       "econ-cheap",
+		Params:       params,
+		Clock:        server.NewVirtualClock(),
+		SnapshotPath: snapshotPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- wire.Serve(ln, srv) }()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		if err := <-serveDone; err != nil {
+			t.Errorf("wire.Serve: %v", err)
+		}
+		_ = srv.Shutdown(context.Background())
+	})
+	return srv, ln.Addr().String()
+}
+
+// TestWireSnapshotFrame: the admin frame checkpoints the live engine to
+// the configured state path, shares the connection with query traffic,
+// and the written file decodes to the engine's current state.
+func TestWireSnapshotFrame(t *testing.T) {
+	statePath := filepath.Join(t.TempDir(), "econ.snap")
+	_, addr := newWireServerWithState(t, 2, statePath)
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Submit([]wire.Query{
+		{Tenant: "alice", Template: "Q6"},
+		{Tenant: "bob", Template: "Q1"},
+		{Tenant: "carol", Template: "Q3"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	path, size, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != statePath || size <= 0 {
+		t.Fatalf("Snapshot() = %q, %d; want %q, >0", path, size, statePath)
+	}
+	snap, err := persist.Load(statePath)
+	if err != nil {
+		t.Fatalf("on-demand checkpoint does not decode: %v", err)
+	}
+	var q int64
+	for _, sh := range snap.Shards {
+		q += sh.Queries
+	}
+	if q != 3 {
+		t.Errorf("checkpoint accounts %d queries, want 3", q)
+	}
+
+	// The connection still carries queries after the admin exchange.
+	if _, err := cl.Submit([]wire.Query{{Tenant: "alice", Template: "Q6"}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWireSnapshotFrameUnconfigured: a daemon without a state path
+// answers the admin frame with an error frame and keeps the connection.
+func TestWireSnapshotFrameUnconfigured(t *testing.T) {
+	_, addr := newWireServer(t, 2)
+	cl, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, _, err := cl.Snapshot(); err == nil {
+		t.Fatal("snapshot without a configured state path succeeded")
+	}
+	// The error is a reply, not a hangup: the connection still serves.
+	if _, err := cl.Submit([]wire.Query{{Tenant: "alice", Template: "Q6"}}); err != nil {
+		t.Fatalf("connection dead after snapshot error: %v", err)
+	}
+}
+
+// TestWireSnapshotReplyCodec round-trips the reply payload without a
+// socket.
+func TestWireSnapshotReplyCodec(t *testing.T) {
+	payload := wire.AppendSnapshotReply(nil, "/var/lib/ccd/econ.snap", 123456)
+	path, size, err := wire.DecodeSnapshotReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "/var/lib/ccd/econ.snap" || size != 123456 {
+		t.Errorf("round trip = %q, %d", path, size)
+	}
+	if !wire.IsSnapshotRequest(wire.AppendSnapshotRequest(nil)) {
+		t.Error("snapshot request not recognized")
+	}
+	if _, _, err := wire.DecodeSnapshotReply([]byte{42}); err == nil {
+		t.Error("bad snapshot reply accepted")
+	}
+	if _, _, err := wire.DecodeSnapshotReply(payload[:3]); err == nil {
+		t.Error("truncated snapshot reply accepted")
+	}
+}

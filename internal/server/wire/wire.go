@@ -13,6 +13,8 @@
 //	            | msgError        | string          (whole-frame failure)
 //	            | msgStatsRequest                   (live snapshot request)
 //	            | msgStats        | json            (server.Stats snapshot)
+//	            | msgSnapshotRequest                (admin: persist state now)
+//	            | msgSnapshotReply | string path | uvarint bytes
 //	query      := string tenant | string template | byte flags
 //	              | f64 selectivity?   (flags&flagSelectivity)
 //	              | budget?            (flags&flagBudget)
@@ -35,16 +37,19 @@ import (
 	"io"
 	"math"
 
+	"repro/internal/binenc"
 	"repro/internal/server"
 )
 
 // Message types.
 const (
-	msgQueryBatch   byte = 1
-	msgReplyBatch   byte = 2
-	msgError        byte = 3
-	msgStatsRequest byte = 4
-	msgStats        byte = 5
+	msgQueryBatch      byte = 1
+	msgReplyBatch      byte = 2
+	msgError           byte = 3
+	msgStatsRequest    byte = 4
+	msgStats           byte = 5
+	msgSnapshotRequest byte = 6
+	msgSnapshotReply   byte = 7
 )
 
 // Query flags.
@@ -105,63 +110,20 @@ type Reply struct {
 }
 
 // --- primitive append/consume helpers ------------------------------------
+//
+// Thin aliases over the shared codec (internal/binenc), which owns the
+// bounds checks for both this protocol and the state-snapshot format.
 
-func appendString(b []byte, s string) []byte {
-	b = binary.AppendUvarint(b, uint64(len(s)))
-	return append(b, s...)
-}
-
-func appendF64(b []byte, f float64) []byte {
-	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
-}
-
-func appendBool(b []byte, v bool) []byte {
-	if v {
-		return append(b, 1)
-	}
-	return append(b, 0)
-}
-
-func consumeUvarint(b []byte) (uint64, []byte, error) {
-	v, n := binary.Uvarint(b)
-	if n <= 0 {
-		return 0, nil, fmt.Errorf("wire: bad uvarint")
-	}
-	return v, b[n:], nil
-}
-
-func consumeVarint(b []byte) (int64, []byte, error) {
-	v, n := binary.Varint(b)
-	if n <= 0 {
-		return 0, nil, fmt.Errorf("wire: bad varint")
-	}
-	return v, b[n:], nil
-}
-
-func consumeString(b []byte) (string, []byte, error) {
-	n, b, err := consumeUvarint(b)
-	if err != nil {
-		return "", nil, err
-	}
-	if n > uint64(len(b)) {
-		return "", nil, fmt.Errorf("wire: string length %d overruns frame", n)
-	}
-	return string(b[:n]), b[n:], nil
-}
-
-func consumeF64(b []byte) (float64, []byte, error) {
-	if len(b) < 8 {
-		return 0, nil, fmt.Errorf("wire: truncated float64")
-	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
-}
-
-func consumeByte(b []byte) (byte, []byte, error) {
-	if len(b) < 1 {
-		return 0, nil, fmt.Errorf("wire: truncated byte")
-	}
-	return b[0], b[1:], nil
-}
+var (
+	appendString   = binenc.AppendString
+	appendF64      = binenc.AppendF64
+	appendBool     = binenc.AppendBool
+	consumeUvarint = binenc.Uvarint
+	consumeVarint  = binenc.Varint
+	consumeString  = binenc.String
+	consumeF64     = binenc.F64
+	consumeByte    = binenc.Byte
+)
 
 // --- query batch ----------------------------------------------------------
 
@@ -482,6 +444,62 @@ func DecodeStats(payload []byte) (server.Stats, error) {
 // IsStatsRequest reports whether a decoded payload is a stats request.
 func IsStatsRequest(payload []byte) bool {
 	return len(payload) > 0 && payload[0] == msgStatsRequest
+}
+
+// --- snapshot (admin) frames ----------------------------------------------
+
+// AppendSnapshotRequest appends a snapshot-request payload: an admin
+// client asking the daemon to persist its economy state to the
+// configured state path right now (an on-demand checkpoint).
+func AppendSnapshotRequest(b []byte) []byte {
+	return append(b, msgSnapshotRequest)
+}
+
+// IsSnapshotRequest reports whether a decoded payload is a snapshot
+// request.
+func IsSnapshotRequest(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == msgSnapshotRequest
+}
+
+// AppendSnapshotReply appends a snapshot-reply payload: where the
+// snapshot landed and how many bytes it encoded to.
+func AppendSnapshotReply(b []byte, path string, size int64) []byte {
+	b = append(b, msgSnapshotReply)
+	b = appendString(b, path)
+	return binary.AppendUvarint(b, uint64(size))
+}
+
+// DecodeSnapshotReply parses a snapshot-reply payload (msg byte
+// included). A msgError payload comes back as an error.
+func DecodeSnapshotReply(payload []byte) (path string, size int64, err error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return "", 0, err
+	}
+	if typ == msgError {
+		msg, _, err := consumeString(rest)
+		if err != nil {
+			return "", 0, err
+		}
+		return "", 0, fmt.Errorf("wire: server error: %s", msg)
+	}
+	if typ != msgSnapshotReply {
+		return "", 0, fmt.Errorf("wire: expected snapshot reply, got message type %d", typ)
+	}
+	if path, rest, err = consumeString(rest); err != nil {
+		return "", 0, err
+	}
+	u, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return "", 0, err
+	}
+	if u > math.MaxInt64 {
+		return "", 0, fmt.Errorf("wire: snapshot size %d out of range", u)
+	}
+	if len(rest) != 0 {
+		return "", 0, fmt.Errorf("wire: %d trailing bytes after snapshot reply", len(rest))
+	}
+	return path, int64(u), nil
 }
 
 // --- framing --------------------------------------------------------------

@@ -80,3 +80,80 @@ print(f"e2e OK: {snap['queries']} queries over {busy}/{snap['shards']} shards "
       f"(http+bin+multi-tenant), {len(tenants)} tenant ledgers, "
       f"cost=${snap['operating_cost_usd']:.2f} credit=${snap['credit_usd']:.2f}")
 EOF
+
+# ── Crash-recovery leg ────────────────────────────────────────────────
+# Crash a daemon halfway through the stream (SIGKILL — no drain, no
+# goodbye; the state on disk is whatever the periodic checkpoint ticker
+# last persisted), restart it from that checkpoint, resume the stream
+# where it stopped (-skip), and check the resumed run's drained snapshot
+# against an uninterrupted control run of the same stream. Wall-clock
+# timing varies run to run (rent, failure sweeps), so the comparison
+# pins the timing-independent dimensions: admitted queries, per-tenant
+# attribution, zero request errors.
+R_ADDR="${R_ADDR:-127.0.0.1:18346}"
+RQ="${RQ:-3000}"
+HALF=$((RQ / 2))
+STATE="$BIN/state"
+CTL_STATE="$BIN/state-control"
+
+start_daemon() { # state_dir final_json log
+    "$BIN/cloudcached" -addr "$R_ADDR" -shards "$SHARDS" -scheme "$SCHEME" -speedup 60 \
+        -state-dir "$1" -checkpoint-interval 1s >"$2" 2>"$3" &
+    DAEMON_PID=$!
+    for i in $(seq 1 50); do
+        if curl -sf "http://$R_ADDR/healthz" >/dev/null 2>&1; then return; fi
+        if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+            echo "daemon died on startup:"; cat "$3"; exit 1
+        fi
+        sleep 0.1
+    done
+    curl -sf "http://$R_ADDR/healthz" >/dev/null
+}
+
+replay() { # queries skip
+    "$BIN/workloadgen" -serve "http://$R_ADDR" -queries "$1" -skip "$2" \
+        -clients 4 -tenants 8 -batch 8 -check
+}
+
+# Uninterrupted control (graceful drain writes its snapshot).
+start_daemon "$CTL_STATE" "$BIN/control.json" "$BIN/control.log"
+replay "$RQ" 0
+kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID"; DAEMON_PID=""
+
+# Crashed run: first half, a checkpoint tick to persist it, then
+# SIGKILL. Nothing is drained and no final snapshot is written — the
+# next boot has only the ticker's checkpoint to stand on.
+start_daemon "$STATE" "$BIN/partial.json" "$BIN/partial.log"
+replay "$HALF" 0
+sleep 1.5 # let the checkpoint ticker capture the post-replay state
+kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
+[ -s "$STATE/econ.snap" ] || { echo "checkpoint ticker left no snapshot in $STATE"; exit 1; }
+
+# Restart from the checkpoint and resume the second half.
+start_daemon "$STATE" "$BIN/resumed.json" "$BIN/resumed.log"
+grep -q "restored $STATE/econ.snap" "$BIN/resumed.log" || {
+    echo "restart did not restore the snapshot:"; cat "$BIN/resumed.log"; exit 1
+}
+replay "$HALF" "$HALF"
+kill -TERM "$DAEMON_PID"; wait "$DAEMON_PID"; DAEMON_PID=""
+
+python3 - "$BIN/resumed.json" "$BIN/control.json" "$RQ" <<'EOF'
+import json, sys
+resumed = json.load(open(sys.argv[1]))
+control = json.load(open(sys.argv[2]))
+rq = int(sys.argv[3])
+# The restart must be invisible in the books' stream-determined
+# dimensions: the resumed run's drained snapshot equals the
+# uninterrupted control's.
+assert resumed["queries"] == rq, f"resumed snapshot has {resumed['queries']} queries, want {rq}"
+assert resumed["queries"] == control["queries"], \
+    f"resumed {resumed['queries']} queries != control {control['queries']}"
+assert resumed["errors"] == 0 and control["errors"] == 0, "request errors in recovery leg"
+assert resumed["scheme"] == control["scheme"] and resumed["shards"] == control["shards"]
+rt = {t["tenant"]: t["queries"] for t in resumed.get("tenants") or []}
+ct = {t["tenant"]: t["queries"] for t in control.get("tenants") or []}
+assert rt == ct, f"per-tenant attribution diverged after restart:\nresumed {rt}\ncontrol {ct}"
+assert resumed["credit_usd"] >= 0, f"restored account went negative: {resumed['credit_usd']}"
+print(f"recovery OK: kill at {rq//2}, resumed to {resumed['queries']} queries, "
+      f"{len(rt)} tenant ledgers match the uninterrupted run")
+EOF
