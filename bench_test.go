@@ -24,6 +24,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -131,15 +132,23 @@ func BenchmarkGridWorkers(b *testing.B) {
 // Submit load with group commit on (the shard drains its whole mailbox
 // into one lock acquisition per wakeup), "batch" uses SubmitBatch, "http"
 // goes through the JSON API over a real socket, "bin" through the
-// length-prefixed binary protocol.
+// length-prefixed binary protocol with one lockstep connection per
+// submitter, "lockstep" shares ONE v1 connection between all submitters
+// behind a mutex (one outstanding batch — the round-trip-bound baseline
+// the multiplexed protocol exists to beat), and "pipelined" shares ONE
+// v2 MuxClient between all submitters with their batches tagged and in
+// flight concurrently.
 // AllocsPerQuery is normalized per query (not per benchmark op, which is
 // a whole batch in the batched modes) so cells compare across modes; the
 // key is renamed from the pre-batching allocs_per_op so old and new
-// trajectories cannot be silently conflated.
+// trajectories cannot be silently conflated. GoMaxProcs records the
+// scheduler width the cell ran at, for the multi-core sweep rows.
 type serverBenchCell struct {
 	Mode           string  `json:"mode"`
 	Shards         int     `json:"shards"`
 	Batch          int     `json:"batch"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	SimRTTMs       float64 `json:"sim_rtt_ms,omitempty"`
 	Queries        int64   `json:"queries"`
 	QueriesPerSec  float64 `json:"queries_per_sec"`
 	P50Sec         float64 `json:"p50_s"`
@@ -155,6 +164,73 @@ type serverBenchFile struct {
 	Cells      []serverBenchCell `json:"cells"`
 }
 
+// simRTT is the round-trip time simulated on the shared-socket protocol
+// rows ("lockstep" and "pipelined"): a conservative same-zone cloud
+// RTT. Loopback has essentially none, and without one the lockstep
+// protocol's deficiency is invisible — the blocked client donates its
+// core to the server, so one-outstanding-batch costs nothing. The delay
+// is injected on reply delivery only (requests travel instantly), which
+// is equivalent for both protocols, and the affected cells record it in
+// sim_rtt_ms so they are never mistaken for raw-loopback rows. The
+// nominal value is a floor: sleep granularity stretches the realized
+// RTT (to ~1.4 ms on the reference container), identically for both
+// modes, so the lockstep/pipelined ratio is unaffected.
+const simRTT = 500 * time.Microsecond
+
+// latConn wraps a connection so inbound bytes become visible `delay`
+// after they actually arrived — a one-way network delay on top of an
+// otherwise zero-latency loopback socket. Bandwidth is not modeled.
+type latConn struct {
+	net.Conn
+	pr *io.PipeReader
+}
+
+func newLatConn(c net.Conn, delay time.Duration) net.Conn {
+	pr, pw := io.Pipe()
+	type chunk struct {
+		due time.Time
+		b   []byte
+	}
+	ch := make(chan chunk, 1024)
+	go func() {
+		defer pw.Close()
+		for ck := range ch {
+			if d := time.Until(ck.due); d > 0 {
+				time.Sleep(d)
+			}
+			if _, err := pw.Write(ck.b); err != nil {
+				// Reader gone: keep draining so the read loop can exit.
+				for range ch {
+				}
+				return
+			}
+		}
+	}()
+	go func() {
+		defer close(ch)
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := c.Read(buf)
+			if n > 0 {
+				b := make([]byte, n)
+				copy(b, buf[:n])
+				ch <- chunk{due: time.Now().Add(delay), b: b}
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return &latConn{Conn: c, pr: pr}
+}
+
+func (l *latConn) Read(p []byte) (int, error) { return l.pr.Read(p) }
+
+func (l *latConn) Close() error {
+	l.pr.Close()
+	return l.Conn.Close()
+}
+
 // benchTemplates lists the paper template names once for all modes.
 func benchTemplates() []string {
 	templates := make([]string, 0, 7)
@@ -164,13 +240,20 @@ func benchTemplates() []string {
 	return templates
 }
 
-// runServerThroughput drives one (mode, shards, batch) cell: concurrent
-// submitters spread across tenants push queries through the chosen
-// admission path, and the server's own counters price the result. One
-// b.N iteration is one submission — `batch` queries in the batched and
-// binary modes — so queries/s, not ns/op, is the comparable number.
-func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards, batch int) {
+// runServerThroughput drives one (mode, shards, batch, procs) cell:
+// concurrent submitters spread across tenants push queries through the
+// chosen admission path, and the server's own counters price the
+// result. One b.N iteration is one submission — `batch` queries in the
+// batched and binary modes — so queries/s, not ns/op, is the comparable
+// number. procs > 0 pins GOMAXPROCS for the cell (the multi-core sweep
+// rows); 0 keeps the process default.
+func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards, batch, procs int) {
 	b.Helper()
+	if procs <= 0 {
+		procs = runtime.GOMAXPROCS(0)
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
 	templates := benchTemplates()
 	cat := PaperCatalog()
 	srv, err := NewServer(ServerConfig{
@@ -197,7 +280,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		baseURL = ts.URL
-	case "bin":
+	case "bin", "lockstep", "pipelined":
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			b.Fatal(err)
@@ -205,6 +288,37 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		defer ln.Close()
 		go wire.Serve(ln, srv)
 		binAddr = ln.Addr().String()
+	}
+
+	// The shared-connection modes dial exactly once: "lockstep" is the
+	// one-outstanding-batch baseline (every submitter queues on the same
+	// mutex and waits its round trip out), "pipelined" multiplexes all
+	// submitters' tagged batches over the same socket concurrently.
+	var (
+		lockstepMu sync.Mutex
+		lockstepCl *wire.Client
+		muxCl      *wire.MuxClient
+	)
+	switch mode {
+	case "lockstep", "pipelined":
+		raw, err := net.Dial("tcp", binAddr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn := newLatConn(raw, simRTT)
+		if mode == "lockstep" {
+			cl := wire.NewClient(conn)
+			defer cl.Close()
+			lockstepCl = cl
+		} else {
+			cl, err := wire.NewMuxClient(conn)
+			if err != nil {
+				conn.Close()
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			muxCl = cl
+		}
 	}
 
 	// benchQueryAt shapes query i identically for every mode — the
@@ -229,8 +343,15 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	// connections than cores. This includes "inproc": the micro-batching
 	// comparison only means something if queues actually form, and a
 	// single submitter per core never leaves more than one message in a
-	// mailbox.
-	b.SetParallelism(4)
+	// mailbox. "pipelined" goes much wider — its whole point is many
+	// batches in flight on one socket, and the submitter count is the
+	// in-flight window: wide enough that the simulated RTT stops being
+	// the bottleneck and the engine is again.
+	if mode == "pipelined" {
+		b.SetParallelism(64)
+	} else {
+		b.SetParallelism(4)
+	}
 
 	b.ReportAllocs()
 	var m0, m1 runtime.MemStats
@@ -307,6 +428,50 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 					}
 				}
 			}
+		case "lockstep":
+			for pb.Next() {
+				from := idx.Add(int64(batch)) - int64(batch)
+				lockstepMu.Lock()
+				qs := make([]wire.Query, batch)
+				for j := range qs {
+					tenant, template := benchQueryAt(from + int64(j))
+					qs[j] = wire.Query{Tenant: tenant, Template: template}
+				}
+				replies, err := lockstepCl.Submit(qs)
+				if err == nil {
+					for k := range replies {
+						if replies[k].Err != "" {
+							err = fmt.Errorf("reply error: %s", replies[k].Err)
+							break
+						}
+					}
+				}
+				lockstepMu.Unlock()
+				if err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		case "pipelined":
+			qs := make([]wire.Query, batch)
+			for pb.Next() {
+				from := idx.Add(int64(batch)) - int64(batch)
+				for j := range qs {
+					tenant, template := benchQueryAt(from + int64(j))
+					qs[j] = wire.Query{Tenant: tenant, Template: template}
+				}
+				replies, err := muxCl.Submit(ctx, qs)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for k := range replies {
+					if replies[k].Err != "" {
+						b.Errorf("reply error: %s", replies[k].Err)
+						return
+					}
+				}
+			}
 		default:
 			b.Errorf("unknown mode %q", mode)
 		}
@@ -322,10 +487,16 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	b.ReportMetric(qps, "queries/s")
 	b.ReportMetric(st.ResponseP50Sec, "p50-sec")
 	b.ReportMetric(st.ResponseP99Sec, "p99-sec")
+	var rttMs float64
+	if mode == "lockstep" || mode == "pipelined" {
+		rttMs = simRTT.Seconds() * 1e3
+	}
 	cell := serverBenchCell{
 		Mode:           mode,
 		Shards:         shards,
 		Batch:          batch,
+		GoMaxProcs:     procs,
+		SimRTTMs:       rttMs,
 		Queries:        st.Queries,
 		QueriesPerSec:  qps,
 		P50Sec:         st.ResponseP50Sec,
@@ -335,8 +506,9 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	// The harness re-runs sub-benchmarks (warm-up, calibration); keep
 	// only the final, longest run per cell.
 	for i := range out.Cells {
-		if out.Cells[i].Mode == mode && out.Cells[i].Shards == shards && out.Cells[i].Batch == batch {
-			out.Cells[i] = cell
+		c := &out.Cells[i]
+		if c.Mode == mode && c.Shards == shards && c.Batch == batch && c.GoMaxProcs == procs {
+			*c = cell
 			return
 		}
 	}
@@ -359,23 +531,47 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			runServerThroughput(b, &out, "inproc", shards, 1)
+			runServerThroughput(b, &out, "inproc", shards, 1, 0)
 		})
 	}
 	b.Run("mode=microbatch/shards=4", func(b *testing.B) {
-		runServerThroughput(b, &out, "microbatch", 4, 1)
+		runServerThroughput(b, &out, "microbatch", 4, 1, 0)
 	})
 	for _, batch := range []int{16, 64} {
 		b.Run(fmt.Sprintf("mode=batch/shards=4/batch=%d", batch), func(b *testing.B) {
-			runServerThroughput(b, &out, "batch", 4, batch)
+			runServerThroughput(b, &out, "batch", 4, batch, 0)
 		})
 	}
 	b.Run("mode=http/shards=4", func(b *testing.B) {
-		runServerThroughput(b, &out, "http", 4, 1)
+		runServerThroughput(b, &out, "http", 4, 1, 0)
 	})
 	for _, batch := range []int{1, 64} {
 		b.Run(fmt.Sprintf("mode=bin/shards=4/batch=%d", batch), func(b *testing.B) {
-			runServerThroughput(b, &out, "bin", 4, batch)
+			runServerThroughput(b, &out, "bin", 4, batch, 0)
+		})
+	}
+	// One shared connection, two protocols: the lockstep baseline pays a
+	// full round trip per batch; the multiplexed client keeps the socket
+	// and the shards busy with tagged batches in flight. The batch=1 pair
+	// is the pipelining headline — same load, same single socket.
+	for _, batch := range []int{1, 64} {
+		b.Run(fmt.Sprintf("mode=lockstep/shards=4/batch=%d", batch), func(b *testing.B) {
+			runServerThroughput(b, &out, "lockstep", 4, batch, 0)
+		})
+		b.Run(fmt.Sprintf("mode=pipelined/shards=4/batch=%d", batch), func(b *testing.B) {
+			runServerThroughput(b, &out, "pipelined", 4, batch, 0)
+		})
+	}
+	// Scheduler-width sweep: the engine ceiling (inproc) and the
+	// multiplexed front at 1/2/4/8 Ps. On a single-core host the >1 rows
+	// measure oversubscription, not speedup — the row records its width
+	// so trajectories from different hosts stay comparable.
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("mode=inproc/shards=4/procs=%d", procs), func(b *testing.B) {
+			runServerThroughput(b, &out, "inproc", 4, 1, procs)
+		})
+		b.Run(fmt.Sprintf("mode=pipelined/shards=4/batch=1/procs=%d", procs), func(b *testing.B) {
+			runServerThroughput(b, &out, "pipelined", 4, 1, procs)
 		})
 	}
 	if path := os.Getenv("BENCH_JSON"); path != "" {

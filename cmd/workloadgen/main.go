@@ -14,20 +14,27 @@
 //	            [-clients C] [-tenants T] [-batch B] [-check] ...
 //	workloadgen -serve localhost:8345 -proto bin -batch 64
 //	            -stats-url http://localhost:8344 [-check] ...
+//	workloadgen -serve localhost:8345 -proto bin -pipeline 32 [-check] ...
 //
 // In load mode each generated query is submitted with its budget, spread
 // across T synthetic tenants so the daemon exercises all its shards. With
 // -proto http, batches of B ride POST /v1/query (B=1) or /v1/batch; with
 // -proto bin they ride the length-prefixed binary protocol over C
-// persistent connections. The client reports achieved QPS and
-// request-latency percentiles, then fetches /v1/stats. With -check it
-// exits non-zero if the server's query-count delta over the run does not
-// match the client's acks or any shard's account went negative.
+// persistent connections — lockstep (v1, one batch outstanding per
+// connection) by default, or multiplexed (v2) with -pipeline N, which
+// keeps N tagged batches in flight per connection and lets the daemon
+// complete them out of order. The client reports achieved QPS and
+// request-latency percentiles, then fetches /v1/stats; pipelined runs
+// skip the polling entirely and take the daemon's server-pushed stats
+// stream over the same protocol instead. With -check it exits non-zero
+// if the server's query-count delta over the run does not match the
+// client's acks or any shard's account went negative.
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +43,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
@@ -58,6 +66,7 @@ func main() {
 	serve := flag.String("serve", "", "cloudcached address: an http://host:port base URL, or with -proto bin the binary listener's host:port; empty writes a CSV trace instead")
 	proto := flag.String("proto", "http", "serving protocol: http (JSON) or bin (length-prefixed wire frames)")
 	batch := flag.Int("batch", 1, "queries per submission batch in -serve mode")
+	pipeline := flag.Int("pipeline", 0, "with -proto bin: keep this many tagged batches in flight per connection over the multiplexed v2 protocol (0 = lockstep v1)")
 	qps := flag.Float64("qps", 0, "target request rate against -serve (0 = unthrottled)")
 	clients := flag.Int("clients", 8, "concurrent client connections in -serve mode")
 	tenants := flag.Int("tenants", 16, "synthetic tenants the stream is spread across in -serve mode")
@@ -112,6 +121,7 @@ func main() {
 			clients:  *clients,
 			tenants:  *tenants,
 			batch:    *batch,
+			pipeline: *pipeline,
 			statsURL: *statsURL,
 			check:    *check,
 		}
@@ -162,6 +172,7 @@ type loadConfig struct {
 	clients  int
 	tenants  int
 	batch    int
+	pipeline int
 	statsURL string
 	check    bool
 }
@@ -318,6 +329,67 @@ func runBinClient(addr string, jobs <-chan []genQuery, res *loadResult) {
 	}
 }
 
+// runMuxClient drains job batches over ONE multiplexed (protocol v2)
+// connection, with `window` submitter goroutines keeping that many
+// tagged batches in flight at once. The daemon completes them out of
+// order as its shard groups finish; each submitter's latency clock only
+// covers its own batch.
+func runMuxClient(addr string, window int, jobs <-chan []genQuery, res *loadResult) {
+	cl, err := wire.DialMux(addr)
+	if err != nil {
+		for batch := range jobs {
+			res.observe(0, 0, int64(len(batch)), 0)
+		}
+		return
+	}
+	defer cl.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < window; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var qs []wire.Query
+			for batch := range jobs {
+				qs = qs[:0]
+				for _, g := range batch {
+					qs = append(qs, wire.Query{
+						Tenant:         g.tenant,
+						Template:       g.template,
+						Selectivity:    g.selectivity,
+						HasSelectivity: true,
+						Budget: &server.BudgetJSON{
+							Shape:    "step",
+							PriceUSD: g.priceUSD,
+							TmaxSec:  g.tmaxSec,
+						},
+					})
+				}
+				t0 := time.Now()
+				replies, err := cl.Submit(ctx, qs)
+				lat := time.Since(t0)
+				if err != nil {
+					res.observe(0, 0, int64(len(batch)), 0)
+					continue
+				}
+				var ok, declined, failed int64
+				for i := range replies {
+					if replies[i].Err != "" {
+						failed++
+						continue
+					}
+					ok++
+					if replies[i].Resp.Declined {
+						declined++
+					}
+				}
+				res.observe(ok, declined, failed, lat)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // loadResult tallies one replay run.
 type loadResult struct {
 	mu       sync.Mutex
@@ -359,6 +431,12 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 	default:
 		return fmt.Errorf("unknown protocol %q (want http or bin)", cfg.proto)
 	}
+	if cfg.pipeline < 0 {
+		cfg.pipeline = 0
+	}
+	if cfg.pipeline > 0 && cfg.proto != "bin" {
+		return fmt.Errorf("-pipeline needs -proto bin (the multiplexed protocol rides the binary front)")
+	}
 	if cfg.statsURL == "" && cfg.proto == "http" {
 		cfg.statsURL = cfg.base
 	}
@@ -373,18 +451,36 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 	haveStats := cfg.statsURL != ""
 	if !haveStats && cfg.proto == "bin" {
 		haveStats = true
-		fetch = func(st *server.Stats) error {
-			cl, err := wire.Dial(cfg.base)
-			if err != nil {
-				return err
+		if cfg.pipeline > 0 {
+			// Pipelined runs never poll: each snapshot is a one-shot
+			// server-pushed stats frame on a v2 connection.
+			fetch = func(st *server.Stats) error {
+				cl, err := wire.DialMux(cfg.base)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				s, err := cl.Stats(context.Background())
+				if err != nil {
+					return err
+				}
+				*st = s
+				return nil
 			}
-			defer cl.Close()
-			s, err := cl.Stats()
-			if err != nil {
-				return err
+		} else {
+			fetch = func(st *server.Stats) error {
+				cl, err := wire.Dial(cfg.base)
+				if err != nil {
+					return err
+				}
+				defer cl.Close()
+				s, err := cl.Stats()
+				if err != nil {
+					return err
+				}
+				*st = s
+				return nil
 			}
-			*st = s
-			return nil
 		}
 	}
 	if !haveStats && cfg.check {
@@ -443,6 +539,26 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 		}
 	}()
 
+	// Pipelined runs also hold a live stats stream open for the duration:
+	// the daemon pushes a snapshot every second on its own initiative,
+	// replacing the poll loop an external dashboard would otherwise run.
+	var statsPushes atomic.Int64
+	var statsStream *wire.MuxClient
+	if cfg.pipeline > 0 {
+		if cl, err := wire.DialMux(cfg.base); err == nil {
+			if sub, err := cl.SubscribeStats(1.0); err == nil {
+				statsStream = cl
+				go func() {
+					for range sub.C {
+						statsPushes.Add(1)
+					}
+				}()
+			} else {
+				cl.Close()
+			}
+		}
+	}
+
 	res := &loadResult{latency: metrics.NewDurationStats(8192)}
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -454,16 +570,28 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 			case "http":
 				runHTTPClient(httpClient, cfg.base, jobs, res)
 			case "bin":
-				runBinClient(cfg.base, jobs, res)
+				if cfg.pipeline > 0 {
+					runMuxClient(cfg.base, cfg.pipeline, jobs, res)
+				} else {
+					runBinClient(cfg.base, jobs, res)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
+	protoName := cfg.proto
+	if cfg.pipeline > 0 {
+		protoName = fmt.Sprintf("bin-pipelined/%d", cfg.pipeline)
+	}
 	achieved := float64(res.ok+res.failed) / elapsed.Seconds()
 	fmt.Printf("replayed %d queries in %.2fs over %s (batch=%d): %d ok (%d declined), %d failed, %.0f req/s\n",
-		cfg.queries, elapsed.Seconds(), cfg.proto, cfg.batch, res.ok, res.declined, res.failed, achieved)
+		cfg.queries, elapsed.Seconds(), protoName, cfg.batch, res.ok, res.declined, res.failed, achieved)
+	if statsStream != nil {
+		_ = statsStream.Close()
+		fmt.Printf("stats stream: %d server-pushed snapshots during the run\n", statsPushes.Load())
+	}
 	fmt.Printf("request latency: p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		res.latency.Percentile(50)*1000, res.latency.Percentile(95)*1000, res.latency.Percentile(99)*1000)
 

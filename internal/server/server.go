@@ -116,6 +116,12 @@ type Config struct {
 	// rather than with per-message clock reads. The knob exists so
 	// benchmarks can measure the gain.
 	DisableMicroBatch bool
+	// DecideDelay, when set, is called with the shard id at the start of
+	// every mailbox drain, before the shard takes its lock. A test hook:
+	// out-of-order completion tests install randomized per-shard sleeps
+	// here to scramble which shard group of a pipelined batch finishes
+	// first. Nil (the default) costs one predicted branch per drain.
+	DecideDelay func(shard int)
 	// Seed derives each shard's deterministic RNG. Default 1.
 	Seed int64
 	// ReservoirCap bounds each shard's response reservoir. Default 4096.
@@ -430,6 +436,87 @@ func (s *Server) SubmitBatch(ctx context.Context, reqs []Request) ([]BatchItem, 
 		}
 	}
 	return out, nil
+}
+
+// SubmitBatchAsync is SubmitBatch without the wait: requests are grouped
+// by destination shard and enqueued exactly like SubmitBatch — same
+// per-shard decision order, same same-instant arrival semantics, so a
+// batch's items are byte-identical to what the synchronous call would
+// have returned — but the call returns as soon as every group is
+// enqueued, and done is invoked exactly once with the positional items
+// when the last shard group finishes. This is what lets a pipelined
+// listener accept new frames while prior batches are still deciding:
+// batches complete out of order as their shard groups drain.
+//
+// done runs on the shard goroutine that completed the batch's final
+// group, so it must be quick and must not call back into the server's
+// snapshot paths (Stats, Structures); hand heavy work to another
+// goroutine. It may fire before SubmitBatchAsync returns. On a non-nil
+// error (ErrServerClosed, ctx cancellation mid-enqueue) done is never
+// invoked; groups already enqueued are still decided and their results
+// discarded, the same semantics as an abandoned SubmitBatch.
+func (s *Server) SubmitBatchAsync(ctx context.Context, reqs []Request, done func([]BatchItem)) error {
+	if len(reqs) == 0 {
+		return fmt.Errorf("server: empty batch")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.submitWG.Add(1)
+	s.mu.Unlock()
+	// The WG guards only the enqueue phase: drain closes the mailboxes
+	// after submitWG.Wait(), and the loops answer everything already
+	// enqueued before exiting, so completion needs no further guard.
+	defer s.submitWG.Done()
+
+	items := make([]BatchItem, len(reqs))
+	var pending atomic.Int32
+
+	type group struct {
+		reqs []Request
+		pos  []int
+	}
+	groups := make([]*group, len(s.shards))
+	n := int32(0)
+	for i, req := range reqs {
+		idx := s.ShardIndex(req)
+		g := groups[idx]
+		if g == nil {
+			g = &group{}
+			groups[idx] = g
+			n++
+		}
+		g.reqs = append(g.reqs, req)
+		g.pos = append(g.pos, i)
+	}
+	// pending is set before any send, so a group that completes while
+	// later groups are still enqueueing cannot see a premature zero.
+	pending.Add(n)
+
+	for idx, g := range groups {
+		if g == nil {
+			continue
+		}
+		pos := g.pos
+		cb := func(replies []shardReply) {
+			for i, r := range replies {
+				items[pos[i]] = BatchItem{Resp: r.resp, Err: r.err}
+			}
+			if pending.Add(-1) == 0 {
+				done(items)
+			}
+		}
+		select {
+		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchDone: cb}:
+		case <-ctx.Done():
+			// Unsent groups keep pending above zero forever, so done can
+			// never fire after this error return.
+			return ctx.Err()
+		}
+	}
+	return nil
 }
 
 // Housekeep synchronously accrues rent and completes due builds on every

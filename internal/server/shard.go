@@ -29,6 +29,11 @@ type shardMsg struct {
 	// the shard until the reply is sent.
 	batch      []Request
 	batchReply chan []shardReply
+
+	// batchDone, when non-nil, replaces batchReply for asynchronous
+	// batches (SubmitBatchAsync): the loop invokes it with the group's
+	// replies after releasing the shard lock, on the shard goroutine.
+	batchDone func([]shardReply)
 }
 
 // shardReply is the shard's answer to one submission.
@@ -70,6 +75,10 @@ type shard struct {
 
 	storageGBSeconds float64
 	nodeSeconds      float64
+
+	// deferred is handleMsgs' scratch list of async completions to run
+	// after the lock drops; a field so its capacity survives drains.
+	deferred []deferredDone
 
 	queries       int64
 	declined      int64
@@ -163,27 +172,49 @@ func (s *shard) loop() {
 	}
 }
 
+// deferredDone is one async-batch completion held back until the shard
+// lock is released: the callback chains into SubmitBatchAsync's done,
+// which is caller code and must be free to read server state (snapshot
+// paths on OTHER shards, encode work) without holding this shard's mu.
+type deferredDone struct {
+	fn      func([]shardReply)
+	replies []shardReply
+}
+
 // handleMsgs decides a whole mailbox drain under one lock acquisition and
 // one clock read: every message in the group shares the arrival stamp, as
 // if its queries had been submitted back-to-back at the same instant.
 // Replies go out per message in order; the channels are buffered, so a
-// caller that gave up blocks nothing.
+// caller that gave up blocks nothing. Async completions (batchDone) are
+// invoked after the lock is dropped, still on this goroutine and still in
+// dequeue order.
 func (s *shard) handleMsgs(msgs []shardMsg) {
+	if delay := s.srv.cfg.DecideDelay; delay != nil {
+		delay(s.id)
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	now := s.nowLocked()
 	s.accrueLocked(now)
+	s.deferred = s.deferred[:0]
 	for _, m := range msgs {
 		if m.batch != nil {
 			replies := make([]shardReply, len(m.batch))
 			for i, req := range m.batch {
 				replies[i] = s.handleLocked(req, now)
 			}
-			m.batchReply <- replies
+			if m.batchDone != nil {
+				s.deferred = append(s.deferred, deferredDone{fn: m.batchDone, replies: replies})
+			} else {
+				m.batchReply <- replies
+			}
 		} else {
 			m.reply <- s.handleLocked(m.req, now)
 		}
+	}
+	s.mu.Unlock()
+	for i := range s.deferred {
+		s.deferred[i].fn(s.deferred[i].replies)
+		s.deferred[i] = deferredDone{}
 	}
 }
 

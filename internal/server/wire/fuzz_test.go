@@ -29,6 +29,18 @@ func fuzzSeeds(t testing.TB) [][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tqb, err := AppendTaggedQueryBatch(nil, 42, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trb := AppendTaggedReplyBatch(nil, 42, []Reply{
+		{Resp: server.Response{QueryID: 9, Shard: 1, Template: "Q3", Location: "backend"}},
+		{Err: "server: closed"},
+	})
+	sp, err := AppendStatsPush(nil, 5, server.Stats{Scheme: "econ-cheap", Shards: 4, Queries: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return [][]byte{
 		qb,
 		rb,
@@ -37,6 +49,14 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		AppendSnapshotRequest(nil),
 		AppendSnapshotReply(nil, "/tmp/state/econ.snap", 123456),
 		appendErrorPayload(nil, "server: closed"),
+		// Protocol v2: tagged frames and the stats stream.
+		AppendHello(nil, ProtocolV2),
+		tqb,
+		trb,
+		AppendTaggedError(nil, 42, "wire: batch refused"),
+		AppendStatsSubscribe(nil, 5, 0.25),
+		AppendStatsUnsubscribe(nil, 5),
+		sp,
 	}
 }
 
@@ -81,6 +101,58 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		_, _ = DecodeStats(data)
 		_, _, _ = DecodeSnapshotReply(data)
+
+		// Protocol v2 decoders: same never-panic, byte-stable-round-trip
+		// contract as the v1 set.
+		_, _ = DecodeHello(data)
+		if tag, qs, err := DecodeTaggedQueryBatch(data, nil); err == nil {
+			enc, err := AppendTaggedQueryBatch(nil, tag, qs)
+			if err == nil {
+				tag2, qs2, err := DecodeTaggedQueryBatch(enc, nil)
+				if err != nil || tag2 != tag {
+					t.Fatalf("tagged query batch re-decode: tag %d→%d, err %v", tag, tag2, err)
+				}
+				enc2, err := AppendTaggedQueryBatch(nil, tag2, qs2)
+				if err != nil || !bytes.Equal(enc, enc2) {
+					t.Fatalf("tagged query batch round trip diverged (%v):\n%x\n%x", err, enc, enc2)
+				}
+			}
+		}
+		if tag, rs, err := DecodeTaggedReplyBatch(data, nil); err == nil && len(rs) != 0 {
+			enc := AppendTaggedReplyBatch(nil, tag, rs)
+			tag2, rs2, err := DecodeTaggedReplyBatch(enc, nil)
+			if err != nil || tag2 != tag {
+				t.Fatalf("tagged reply batch re-decode: tag %d→%d, err %v", tag, tag2, err)
+			}
+			if enc2 := AppendTaggedReplyBatch(nil, tag2, rs2); !bytes.Equal(enc, enc2) {
+				t.Fatalf("tagged reply batch round trip diverged:\n%x\n%x", enc, enc2)
+			}
+		}
+		if tag, msg, err := DecodeTaggedError(data); err == nil {
+			enc := AppendTaggedError(nil, tag, msg)
+			if tag2, msg2, err := DecodeTaggedError(enc); err != nil || tag2 != tag || msg2 != msg {
+				t.Fatalf("tagged error round trip: (%d,%q)→(%d,%q), err %v", tag, msg, tag2, msg2, err)
+			}
+		}
+		if tag, interval, err := DecodeStatsSubscribe(data); err == nil {
+			enc := AppendStatsSubscribe(nil, tag, interval)
+			if tag2, _, err := DecodeStatsSubscribe(enc); err != nil || tag2 != tag {
+				// interval is compared as bytes, not values: NaN survives
+				// the trip but never equals itself.
+				t.Fatalf("stats subscribe round trip: tag %d→%d, err %v", tag, tag2, err)
+			}
+			if !bytes.Equal(enc, AppendStatsSubscribe(nil, tag, interval)) {
+				t.Fatal("stats subscribe encoding unstable")
+			}
+		}
+		if tag, err := DecodeStatsUnsubscribe(data); err == nil {
+			enc := AppendStatsUnsubscribe(nil, tag)
+			if tag2, err := DecodeStatsUnsubscribe(enc); err != nil || tag2 != tag {
+				t.Fatalf("stats unsubscribe round trip: tag %d→%d, err %v", tag, tag2, err)
+			}
+		}
+		_, _, _ = DecodeStatsPush(data)
+
 		_, _ = ReadFrame(bytes.NewReader(data), nil)
 	})
 }

@@ -6,19 +6,42 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
 
+// transientAcceptError reports whether an Accept failure is worth
+// retrying with backoff rather than taking the front down. The
+// deprecated net.Error.Temporary() used to make this call; the explicit
+// list names what it actually meant here — resource exhaustion under
+// connection load (fd limits, buffer pressure) and races where the peer
+// reset before accept completed.
+func transientAcceptError(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNABORTED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EMFILE) ||
+		errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.ENOMEM)
+}
+
 // Serve accepts connections on l and speaks the binary protocol against
 // srv until l is closed (the caller's shutdown signal) or srv drains.
-// Each connection gets its own goroutine and is reused for any number of
-// query-batch frames; one frame becomes one Server.SubmitBatch call, so
-// the client's batching decision is the engine's batching decision.
-// Transient accept failures (fd exhaustion under connection load) are
-// retried with backoff, like net/http's Serve, so a busy front does not
-// take the whole daemon down.
+// Each connection gets its own goroutine; the first frame the client
+// sends selects the generation — a hello frame opens the multiplexed v2
+// protocol (tagged frames, out-of-order completion, streaming stats),
+// anything else is served as lockstep v1, so existing clients keep
+// working unchanged. Transient accept failures (fd exhaustion under
+// connection load, peer resets inside the accept queue) are retried
+// with exponential backoff, like net/http's Serve, so a busy front does
+// not take the whole daemon down.
 func Serve(l net.Listener, srv *server.Server) error {
 	var delay time.Duration
 	for {
@@ -27,8 +50,7 @@ func Serve(l net.Listener, srv *server.Server) error {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Temporary() {
+			if transientAcceptError(err) {
 				if delay == 0 {
 					delay = 5 * time.Millisecond
 				} else if delay *= 2; delay > time.Second {
@@ -44,13 +66,29 @@ func Serve(l net.Listener, srv *server.Server) error {
 	}
 }
 
-// serveConn runs one connection's frame loop. Any protocol violation
-// answers with a msgError frame and drops the connection; a drained
-// server answers ErrServerClosed the same way. Accepted batches are
-// always fully answered before the next frame is read.
+// serveConn reads one connection's first frame and dispatches: hello →
+// the multiplexed v2 loop, anything else → the lockstep v1 loop with
+// that first payload replayed.
 func serveConn(conn net.Conn, srv *server.Server) {
-	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 64<<10)
+	first, err := ReadFrame(br, nil)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if IsHello(first) {
+		serveMux(conn, br, first, srv)
+		return
+	}
+	serveLockstep(conn, br, first, srv)
+}
+
+// serveLockstep runs one v1 connection's frame loop. Any protocol
+// violation answers with a msgError frame and drops the connection; a
+// drained server answers ErrServerClosed the same way. Accepted batches
+// are always fully answered before the next frame is read.
+func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Server) {
+	defer conn.Close()
 	bw := bufio.NewWriterSize(conn, 64<<10)
 
 	var (
@@ -66,13 +104,19 @@ func serveConn(conn net.Conn, srv *server.Server) {
 			_ = bw.Flush()
 		}
 	}
+	next := first
 	for {
-		payload, err := ReadFrame(br, rbuf)
-		if err != nil {
-			// io.EOF (clean close) and dead-conn read errors both just
-			// end the loop; there is no one left to tell.
-			return
+		var err error
+		if next == nil {
+			next, err = ReadFrame(br, rbuf)
+			if err != nil {
+				// io.EOF (clean close) and dead-conn read errors both just
+				// end the loop; there is no one left to tell.
+				return
+			}
 		}
+		payload := next
+		next = nil
 		rbuf = payload[:0]
 
 		// Admin snapshot requests trigger an on-demand checkpoint. A

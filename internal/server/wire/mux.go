@@ -1,0 +1,445 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/server"
+)
+
+// ErrClientClosed is returned by MuxClient calls after Close, or after
+// the connection died underneath the client.
+var ErrClientClosed = errors.New("wire: client closed")
+
+// TaggedError is a tag-scoped server failure: the batch or subscription
+// it names failed, the connection did not. Submit returns it unwrapped
+// in error form; it exists as a type so callers can distinguish "my
+// batch was refused" (retryable elsewhere) from a dead connection.
+type TaggedError struct {
+	Tag uint64
+	Msg string
+}
+
+func (e *TaggedError) Error() string {
+	return fmt.Sprintf("wire: server error (tag %d): %s", e.Tag, e.Msg)
+}
+
+// muxCall is one in-flight tagged batch on the client side.
+type muxCall struct {
+	n  int // queries sent, for the reply-count sanity check
+	ch chan muxResult
+}
+
+type muxResult struct {
+	replies []Reply
+	err     error
+}
+
+// StatsSub is one client-side stats subscription. Snapshots arrive on C
+// as the server pushes them; the channel is closed when the
+// subscription ends (Close, a tag-scoped server error, or connection
+// teardown). A slow consumer drops pushes rather than stalling the
+// connection's reader.
+type StatsSub struct {
+	C   <-chan server.Stats
+	c   chan server.Stats
+	tag uint64
+	cl  *MuxClient
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// Err reports why the subscription ended, once C is closed; nil means a
+// clean Close.
+func (s *StatsSub) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close unsubscribes: the server stops pushing and C is closed. Safe to
+// call more than once.
+func (s *StatsSub) Close() error {
+	if !s.finish(nil) {
+		return nil
+	}
+	return s.cl.sendUnsubscribe(s.tag)
+}
+
+// finish closes C exactly once, recording the cause; reports whether
+// this call was the one that closed it.
+func (s *StatsSub) finish(cause error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	s.err = cause
+	close(s.c)
+	return true
+}
+
+// MuxClient is the multiplexed (protocol v2) client: one connection,
+// any number of goroutines, any number of outstanding batches. Each
+// Submit rides a tagged frame; a reader goroutine demultiplexes replies
+// back to their callers as the server completes them — out of order
+// when the server's shard groups finish out of order — and a writer
+// goroutine coalesces concurrent submitters' frames into shared
+// flushes. The zero value is not usable; DialMux or NewMuxClient.
+type MuxClient struct {
+	conn net.Conn
+	bw   *bufio.Writer
+
+	// Writer queue, same shape as the server side: senders never block,
+	// the writer drains whole bursts into one flush.
+	qmu      sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	stopping bool
+	wdone    chan struct{}
+
+	mu      sync.Mutex
+	calls   map[uint64]*muxCall
+	subs    map[uint64]*StatsSub
+	nextTag uint64
+	err     error // sticky: why the connection died
+	done    chan struct{}
+}
+
+// DialMux connects to a binary-protocol listener and negotiates
+// protocol v2.
+func DialMux(addr string) (*MuxClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := NewMuxClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// NewMuxClient performs the hello exchange on an established connection
+// and starts the reader and writer goroutines. On error the connection
+// is left to the caller to close.
+func NewMuxClient(conn net.Conn) (*MuxClient, error) {
+	c := &MuxClient{
+		conn:  conn,
+		bw:    bufio.NewWriterSize(conn, 64<<10),
+		calls: make(map[uint64]*muxCall),
+		subs:  make(map[uint64]*StatsSub),
+		wdone: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.qmu)
+
+	// The hello exchange is the one lockstep moment: write ours, read
+	// theirs, before any concurrency exists.
+	if err := WriteFrame(c.bw, AppendHello(nil, ProtocolV2)); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	payload, err := ReadFrame(br, nil)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading hello reply: %w", err)
+	}
+	if len(payload) > 0 && payload[0] == msgError {
+		msg, _, err := consumeString(payload[1:])
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("wire: server rejected hello: %s", msg)
+	}
+	version, err := DecodeHello(payload)
+	if err != nil {
+		return nil, err
+	}
+	if version < ProtocolV2 {
+		return nil, fmt.Errorf("wire: server protocol version %d < %d", version, ProtocolV2)
+	}
+
+	go c.writeLoop()
+	go c.readLoop(br)
+	return c, nil
+}
+
+// Close tears the connection down; in-flight Submits return
+// ErrClientClosed and subscription channels close.
+func (c *MuxClient) Close() error {
+	err := c.conn.Close()
+	<-c.done // reader observed the close and failed everything in flight
+	return err
+}
+
+// send enqueues one encoded payload for the writer goroutine.
+func (c *MuxClient) send(payload []byte) {
+	c.qmu.Lock()
+	c.queue = append(c.queue, payload)
+	c.qmu.Unlock()
+	c.cond.Signal()
+}
+
+// writeLoop mirrors the server's: drain bursts, one flush per burst, go
+// quiet (but keep consuming) once the connection dies.
+func (c *MuxClient) writeLoop() {
+	defer close(c.wdone)
+	var dead bool
+	for {
+		c.qmu.Lock()
+		for len(c.queue) == 0 && !c.stopping {
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 && c.stopping {
+			c.qmu.Unlock()
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		c.qmu.Unlock()
+
+		if dead {
+			continue
+		}
+		for _, p := range batch {
+			if err := WriteFrame(c.bw, p); err != nil {
+				dead = true
+				break
+			}
+		}
+		if !dead && c.bw.Flush() != nil {
+			dead = true
+		}
+	}
+}
+
+// readLoop demultiplexes inbound frames to their tags until the
+// connection dies, then fails every outstanding call and subscription.
+func (c *MuxClient) readLoop(br *bufio.Reader) {
+	var rbuf []byte
+	var fatal error
+	for {
+		payload, err := ReadFrame(br, rbuf)
+		if err != nil {
+			fatal = err
+			break
+		}
+		rbuf = payload[:0]
+
+		switch {
+		case len(payload) > 0 && payload[0] == msgTaggedReplyBatch:
+			// Decoded into a fresh slice: the caller owns it outright, and
+			// concurrent callers must not share scratch space.
+			tag, replies, err := DecodeTaggedReplyBatch(payload, nil)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.mu.Lock()
+			call := c.calls[tag]
+			delete(c.calls, tag)
+			c.mu.Unlock()
+			if call == nil {
+				continue // abandoned (ctx cancellation); drop it
+			}
+			if len(replies) != call.n {
+				call.ch <- muxResult{err: fmt.Errorf("wire: %d replies for %d queries (tag %d)", len(replies), call.n, tag)}
+				continue
+			}
+			call.ch <- muxResult{replies: replies}
+
+		case len(payload) > 0 && payload[0] == msgTaggedError:
+			tag, msg, err := DecodeTaggedError(payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			terr := &TaggedError{Tag: tag, Msg: msg}
+			c.mu.Lock()
+			call := c.calls[tag]
+			delete(c.calls, tag)
+			sub := c.subs[tag]
+			delete(c.subs, tag)
+			c.mu.Unlock()
+			if call != nil {
+				call.ch <- muxResult{err: terr}
+			}
+			if sub != nil {
+				sub.finish(terr)
+			}
+
+		case len(payload) > 0 && payload[0] == msgStatsPush:
+			tag, st, err := DecodeStatsPush(payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.mu.Lock()
+			sub := c.subs[tag]
+			c.mu.Unlock()
+			if sub != nil {
+				select {
+				case sub.c <- st:
+				default: // slow consumer: drop the push, never the reader
+				}
+			}
+
+		case len(payload) > 0 && payload[0] == msgError:
+			msg, _, err := consumeString(payload[1:])
+			if err == nil {
+				err = fmt.Errorf("wire: server error: %s", msg)
+			}
+			fatal = err
+
+		default:
+			fatal = fmt.Errorf("wire: unexpected message type %d", firstByte(payload))
+		}
+		if fatal != nil {
+			break
+		}
+	}
+
+	// Fail everything in flight, exactly once, then stop the writer.
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = fatal
+	}
+	calls := c.calls
+	subs := c.subs
+	c.calls = make(map[uint64]*muxCall)
+	c.subs = make(map[uint64]*StatsSub)
+	c.mu.Unlock()
+	for _, call := range calls {
+		call.ch <- muxResult{err: fmt.Errorf("%w: %v", ErrClientClosed, fatal)}
+	}
+	for _, sub := range subs {
+		sub.finish(fmt.Errorf("%w: %v", ErrClientClosed, fatal))
+	}
+	c.qmu.Lock()
+	c.stopping = true
+	c.qmu.Unlock()
+	c.cond.Signal()
+	close(c.done)
+}
+
+// register allocates a fresh tag under mu, failing fast on a dead
+// connection.
+func (c *MuxClient) register(call *muxCall, sub *StatsSub) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrClientClosed, c.err)
+	}
+	c.nextTag++
+	tag := c.nextTag
+	if call != nil {
+		c.calls[tag] = call
+	}
+	if sub != nil {
+		sub.tag = tag
+		c.subs[tag] = sub
+	}
+	return tag, nil
+}
+
+// Submit sends one tagged query batch and waits for its replies. Safe
+// for concurrent use: any number of goroutines may have batches in
+// flight on the one connection, and each gets its own freshly allocated
+// reply slice. Per-item failures ride Reply.Err exactly as in the
+// lockstep client; a batch-scoped failure (a draining server, a decode
+// error) returns a *TaggedError with the connection still healthy.
+func (c *MuxClient) Submit(ctx context.Context, qs []Query) ([]Reply, error) {
+	call := &muxCall{n: len(qs), ch: make(chan muxResult, 1)}
+	tag, err := c.register(call, nil)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := AppendTaggedQueryBatch(nil, tag, qs)
+	if err != nil {
+		c.mu.Lock()
+		delete(c.calls, tag)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.send(payload)
+	select {
+	case res := <-call.ch:
+		return res.replies, res.err
+	case <-ctx.Done():
+		// Abandon the tag; the reader drops the late reply on the floor.
+		c.mu.Lock()
+		delete(c.calls, tag)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// SubscribeStats opens a server-pushed stats stream: one snapshot
+// immediately, then one every interval (floored by the server at its
+// minimum cadence). The pushes arrive on the returned sub's C. Close
+// the sub to stop the stream.
+func (c *MuxClient) SubscribeStats(interval float64) (*StatsSub, error) {
+	ch := make(chan server.Stats, 4)
+	sub := &StatsSub{C: ch, c: ch, cl: c}
+	tag, err := c.register(nil, sub)
+	if err != nil {
+		return nil, err
+	}
+	c.send(AppendStatsSubscribe(nil, tag, interval))
+	return sub, nil
+}
+
+// Stats fetches one live engine snapshot via a one-shot subscription —
+// the v2 answer to the lockstep client's Stats round trip, served by a
+// server push instead of a poll.
+func (c *MuxClient) Stats(ctx context.Context) (server.Stats, error) {
+	ch := make(chan server.Stats, 1)
+	sub := &StatsSub{C: ch, c: ch, cl: c}
+	tag, err := c.register(nil, sub)
+	if err != nil {
+		return server.Stats{}, err
+	}
+	// Interval 0: the server pushes exactly once and keeps no ticker.
+	c.send(AppendStatsSubscribe(nil, tag, 0))
+	defer func() {
+		c.mu.Lock()
+		delete(c.subs, tag)
+		c.mu.Unlock()
+	}()
+	select {
+	case st, ok := <-ch:
+		if !ok {
+			return server.Stats{}, sub.Err()
+		}
+		return st, nil
+	case <-c.done:
+		return server.Stats{}, ErrClientClosed
+	case <-ctx.Done():
+		return server.Stats{}, ctx.Err()
+	}
+}
+
+// sendUnsubscribe tells the server a subscription tag is done; the
+// client-side bookkeeping is already cleared.
+func (c *MuxClient) sendUnsubscribe(tag uint64) error {
+	c.mu.Lock()
+	delete(c.subs, tag)
+	err := c.err
+	c.mu.Unlock()
+	if err != nil {
+		return nil // connection already dead; nothing to tell
+	}
+	c.send(AppendStatsUnsubscribe(nil, tag))
+	return nil
+}

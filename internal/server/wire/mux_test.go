@@ -1,0 +1,520 @@
+package wire_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+)
+
+// newMuxServer is newWireServer with a per-shard decision-delay hook the
+// out-of-order tests use to scramble completion order.
+func newMuxServer(t *testing.T, shards int, delays []atomic.Int64) (*server.Server, string) {
+	t.Helper()
+	cat := catalog.TPCH(20)
+	params := scheme.DefaultParams(cat)
+	params.RegretFraction = 0.0001
+	params.LoadFactor = 0.02
+	cfg := server.Config{
+		Shards: shards,
+		Scheme: "econ-cheap",
+		Params: params,
+		Clock:  server.NewVirtualClock(),
+	}
+	if delays != nil {
+		cfg.DecideDelay = func(shard int) {
+			if d := delays[shard].Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- wire.Serve(ln, srv) }()
+	t.Cleanup(func() {
+		_ = ln.Close()
+		if err := <-serveDone; err != nil {
+			t.Errorf("wire.Serve: %v", err)
+		}
+		_ = srv.Shutdown(context.Background())
+	})
+	return srv, ln.Addr().String()
+}
+
+// shardTenants finds one tenant name per shard, so each worker in the
+// parity test owns a shard outright. QueryIDs come off a global counter
+// — the one cross-shard nondeterminism — so the comparison zeroes them;
+// everything else a shard computes depends only on its own arrival
+// order, which per-tenant pinning makes deterministic.
+func shardTenants(srv *server.Server, shards int) []string {
+	tenants := make([]string, shards)
+	found := 0
+	for i := 0; found < shards; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		idx := srv.ShardIndex(server.Request{Tenant: name})
+		if tenants[idx] == "" {
+			tenants[idx] = name
+			found++
+		}
+	}
+	return tenants
+}
+
+// TestMuxOutOfOrderParity is the determinism contract under fire: N
+// goroutines share one MuxClient against a server whose shards sleep
+// random amounts before deciding, so replies complete in scrambled
+// order. Every tagged reply must still be byte-identical (modulo the
+// global QueryID counter) to a sequential lockstep replay on a fresh
+// identically-seeded server — then the whole thing drains gracefully.
+func TestMuxOutOfOrderParity(t *testing.T) {
+	const shards = 4
+	const rounds = 25
+	delays := make([]atomic.Int64, shards)
+	srv, addr := newMuxServer(t, shards, delays)
+	tenants := shardTenants(srv, shards)
+
+	rng := rand.New(rand.NewSource(1))
+	for i := range delays {
+		delays[i].Store(int64(time.Duration(rng.Intn(300)) * time.Microsecond))
+	}
+
+	templates := []string{"Q1", "Q3", "Q6", "Q10", "Q999"}
+	batchFor := func(worker, round int) []wire.Query {
+		qs := make([]wire.Query, 1+round%3)
+		for i := range qs {
+			qs[i] = wire.Query{
+				Tenant:   tenants[worker],
+				Template: templates[(worker+round+i)%len(templates)],
+			}
+		}
+		return qs
+	}
+
+	cl, err := wire.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][][]wire.Reply, shards) // [worker][round]
+	var wg sync.WaitGroup
+	errCh := make(chan error, shards)
+	for w := 0; w < shards; w++ {
+		got[w] = make([][]wire.Reply, rounds)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				replies, err := cl.Submit(context.Background(), batchFor(w, r))
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d round %d: %w", w, r, err)
+					return
+				}
+				got[w][r] = replies
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Graceful drain: server first, then the client; both must come back.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sequential lockstep replay on a fresh twin. Worker-major order is
+	// fine: each worker's queries live on their own shard, so per-shard
+	// arrival order is identical to the concurrent run's.
+	srv2, addr2 := newMuxServer(t, shards, nil)
+	if want := tenants; !equalStrings(want, shardTenants(srv2, shards)) {
+		t.Fatal("twin server hashed tenants differently")
+	}
+	cl2, err := wire.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	for w := 0; w < shards; w++ {
+		for r := 0; r < rounds; r++ {
+			want, err := cl2.Submit(batchFor(w, r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !repliesEqualModuloID(t, got[w][r], want) {
+				t.Fatalf("worker %d round %d: pipelined replies diverge from lockstep replay\n got: %+v\nwant: %+v",
+					w, r, got[w][r], want)
+			}
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// repliesEqualModuloID compares two reply slices byte-for-byte on the
+// wire encoding after zeroing QueryID — the one field minted from a
+// global counter that concurrent shards race for.
+func repliesEqualModuloID(t *testing.T, a, b []wire.Reply) bool {
+	t.Helper()
+	norm := func(rs []wire.Reply) []byte {
+		c := make([]wire.Reply, len(rs))
+		copy(c, rs)
+		for i := range c {
+			c[i].Resp.QueryID = 0
+		}
+		return wire.AppendReplyBatch(nil, c)
+	}
+	return bytes.Equal(norm(a), norm(b))
+}
+
+// TestMuxRawOutOfOrder proves reordering at the frame level: with the
+// first tenant's shard pinned slow, a batch tagged 2 sent after a batch
+// tagged 1 comes back first.
+func TestMuxRawOutOfOrder(t *testing.T) {
+	const shards = 4
+	delays := make([]atomic.Int64, shards)
+	srv, addr := newMuxServer(t, shards, delays)
+	tenants := shardTenants(srv, shards)
+	slowShard := srv.ShardIndex(server.Request{Tenant: tenants[0]})
+	delays[slowShard].Store(int64(150 * time.Millisecond))
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.AppendHello(nil, wire.ProtocolV2)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeHello(payload); err != nil {
+		t.Fatalf("hello reply: %v", err)
+	}
+
+	slow, err := wire.AppendTaggedQueryBatch(nil, 1, []wire.Query{{Tenant: tenants[0], Template: "Q1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := wire.AppendTaggedQueryBatch(nil, 2, []wire.Query{{Tenant: tenants[1], Template: "Q6"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, slow); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, fast); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []uint64
+	for len(order) < 2 {
+		payload, err := wire.ReadFrame(conn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag, replies, err := wire.DecodeTaggedReplyBatch(payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(replies) != 1 || replies[0].Err != "" {
+			t.Fatalf("tag %d: replies = %+v", tag, replies)
+		}
+		order = append(order, tag)
+	}
+	if order[0] != 2 || order[1] != 1 {
+		t.Errorf("completion order = %v, want [2 1] (fast batch overtakes slow)", order)
+	}
+}
+
+// TestMuxTaggedErrorKeepsConnection: a malformed batch body fails only
+// its own tag; the connection keeps serving.
+func TestMuxTaggedErrorKeepsConnection(t *testing.T) {
+	srv, addr := newMuxServer(t, 2, nil)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.AppendHello(nil, wire.ProtocolV2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadFrame(conn, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tag 7 with a truncated body: type byte, tag, then garbage where the
+	// query count should parse.
+	good, err := wire.AppendTaggedQueryBatch(nil, 7, []wire.Query{{Template: "Q1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := good[:3] // enough for type+tag, body cut mid-structure
+	if err := wire.WriteFrame(conn, bad); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, msg, err := wire.DecodeTaggedError(payload)
+	if err != nil {
+		t.Fatalf("expected tagged error frame, got %v", err)
+	}
+	if tag != 7 || msg == "" {
+		t.Errorf("tagged error = (%d, %q), want tag 7 with a message", tag, msg)
+	}
+
+	// Same connection, same tag, now well-formed: still served.
+	if err := wire.WriteFrame(conn, good); err != nil {
+		t.Fatal(err)
+	}
+	payload, err = wire.ReadFrame(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, replies, err := wire.DecodeTaggedReplyBatch(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != 7 || len(replies) != 1 || replies[0].Err != "" {
+		t.Fatalf("post-error submit: tag=%d replies=%+v", tag, replies)
+	}
+	if st := srv.Stats(); st.Queries != 1 {
+		t.Errorf("queries = %d, want 1", st.Queries)
+	}
+}
+
+// TestMuxStatsStreaming: a subscription pushes immediately and then on
+// its cadence; Close stops the stream and closes the channel.
+func TestMuxStatsStreaming(t *testing.T) {
+	_, addr := newMuxServer(t, 2, nil)
+	cl, err := wire.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Submit(context.Background(), []wire.Query{{Template: "Q6"}}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := cl.SubscribeStats(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushes int
+	deadline := time.After(5 * time.Second)
+	for pushes < 3 {
+		select {
+		case st, ok := <-sub.C:
+			if !ok {
+				t.Fatalf("stream closed after %d pushes: %v", pushes, sub.Err())
+			}
+			if st.Queries != 1 {
+				t.Errorf("pushed stats queries = %d, want 1", st.Queries)
+			}
+			pushes++
+		case <-deadline:
+			t.Fatalf("only %d pushes before deadline", pushes)
+		}
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The channel must close promptly once unsubscribed (a straggler push
+	// or two may still be buffered).
+	for {
+		select {
+		case _, ok := <-sub.C:
+			if !ok {
+				if sub.Err() != nil {
+					t.Errorf("clean close recorded err = %v", sub.Err())
+				}
+				return
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("subscription channel never closed after Close")
+		}
+	}
+}
+
+// TestMuxStatsOneShot: MuxClient.Stats is a single server push, and it
+// sees the same engine the lockstep path does.
+func TestMuxStatsOneShot(t *testing.T) {
+	srv, addr := newMuxServer(t, 2, nil)
+	cl, err := wire.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Submit(context.Background(), []wire.Query{{Template: "Q1"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries != 3 {
+		t.Errorf("stats queries = %d, want 3", st.Queries)
+	}
+	if want := srv.Stats(); st.Queries != want.Queries || len(st.Tenants) != len(want.Tenants) {
+		t.Errorf("pushed stats disagree with direct snapshot: %+v vs %+v", st, want)
+	}
+}
+
+// TestMuxSubscriptionCap: the 17th concurrent streaming subscription is
+// refused with a tagged error — and only that tag suffers.
+func TestMuxSubscriptionCap(t *testing.T) {
+	_, addr := newMuxServer(t, 2, nil)
+	cl, err := wire.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	subs := make([]*wire.StatsSub, 0, 16)
+	for i := 0; i < 16; i++ {
+		sub, err := cl.SubscribeStats(10) // long cadence: just holding slots
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub)
+	}
+	over, err := cl.SubscribeStats(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-over.C:
+		// The immediate push may land before the refusal is processed, but
+		// the stream must end in a TaggedError either way.
+		if ok {
+			select {
+			case _, ok2 := <-over.C:
+				if ok2 {
+					t.Fatal("over-cap subscription kept streaming")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("over-cap subscription never refused")
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("over-cap subscription never answered")
+	}
+	if over.Err() == nil || !strings.Contains(over.Err().Error(), "too many") {
+		t.Errorf("over-cap err = %v, want too-many-subscriptions", over.Err())
+	}
+	// The connection is still healthy for queries and the original subs.
+	if _, err := cl.Submit(context.Background(), []wire.Query{{Template: "Q6"}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subs {
+		if err := sub.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMuxDrainInFlight: Submits racing a graceful shutdown either get
+// full replies or a server-closed error — never a hang, and the
+// connection survives to report the drain tag by tag.
+func TestMuxDrainInFlight(t *testing.T) {
+	srv, addr := newMuxServer(t, 4, nil)
+	cl, err := wire.DialMux(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				replies, err := cl.Submit(context.Background(), []wire.Query{{
+					Tenant:   fmt.Sprintf("drain-%d", w),
+					Template: "Q1",
+				}})
+				if err != nil {
+					var terr *wire.TaggedError
+					if strings.Contains(err.Error(), "closed") || (asTagged(err, &terr) && strings.Contains(terr.Msg, "closed")) {
+						return // drain reached this batch; expected
+					}
+					errs <- fmt.Errorf("worker %d iter %d: %w", w, i, err)
+					return
+				}
+				if len(replies) != 1 {
+					errs <- fmt.Errorf("worker %d iter %d: %d replies", w, i, len(replies))
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("workers hung across drain")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func asTagged(err error, target **wire.TaggedError) bool {
+	te, ok := err.(*wire.TaggedError)
+	if ok {
+		*target = te
+	}
+	return ok
+}

@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+)
+
+// maxStatsSubs bounds the concurrent stats subscriptions one connection
+// may hold open: each costs a goroutine, and a hostile client must not
+// be able to mint unbounded ones.
+const maxStatsSubs = 16
+
+// minStatsInterval floors a subscription's push cadence so a hostile
+// 1 ns interval cannot turn the stats path into a busy loop.
+const minStatsInterval = time.Millisecond
+
+// muxConn is one v2 (multiplexed) server connection: a read loop that
+// dispatches tagged frames without waiting for prior batches, a single
+// writer goroutine that serializes every outbound frame (completions
+// arrive on shard goroutines, stats pushes on subscription goroutines),
+// and the bookkeeping tying them together.
+type muxConn struct {
+	srv  *server.Server
+	conn net.Conn
+	bw   *bufio.Writer
+
+	// qmu guards the outbound frame queue; cond wakes the writer. send
+	// never blocks, so shard-loop completion callbacks never stall on a
+	// slow client — the queue is bounded in practice by the client's own
+	// in-flight window.
+	qmu      sync.Mutex
+	cond     *sync.Cond
+	queue    [][]byte
+	stopping bool
+
+	// inflight counts batches handed to SubmitBatchAsync whose
+	// completions have not yet enqueued their reply frame; connection
+	// teardown waits for it so no completion touches a freed writer.
+	inflight sync.WaitGroup
+
+	// subs maps subscription tags to their stop channels.
+	subs   map[uint64]chan struct{}
+	subsWG sync.WaitGroup
+}
+
+// serveMux runs one v2 connection. The client's hello has already been
+// read (that is how the listener knew to come here); everything else —
+// including the hello reply — goes through the writer.
+func serveMux(conn net.Conn, br *bufio.Reader, hello []byte, srv *server.Server) {
+	version, err := DecodeHello(hello)
+	if err != nil || version < ProtocolV2 {
+		if err == nil {
+			err = fmt.Errorf("wire: unsupported protocol version %d (server speaks %d)", version, ProtocolV2)
+		}
+		bw := bufio.NewWriter(conn)
+		if werr := WriteFrame(bw, appendErrorPayload(nil, err.Error())); werr == nil {
+			_ = bw.Flush()
+		}
+		conn.Close()
+		return
+	}
+
+	c := &muxConn{
+		srv:  srv,
+		conn: conn,
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+		subs: make(map[uint64]chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.qmu)
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		c.writeLoop()
+	}()
+	c.send(AppendHello(nil, ProtocolV2))
+
+	c.readLoop(br)
+
+	// Teardown order matters: stop the subscription tickers, wait out
+	// in-flight batch completions (the shard loops always answer, so this
+	// terminates), then let the writer drain whatever they enqueued and
+	// exit. Writes to a dead peer fail silently inside the writer.
+	c.stopAllSubs()
+	c.subsWG.Wait()
+	c.inflight.Wait()
+	c.qmu.Lock()
+	c.stopping = true
+	c.qmu.Unlock()
+	c.cond.Signal()
+	<-writerDone
+	conn.Close()
+}
+
+// send enqueues one encoded payload for the writer goroutine. Never
+// blocks; safe from any goroutine.
+func (c *muxConn) send(payload []byte) {
+	c.qmu.Lock()
+	c.queue = append(c.queue, payload)
+	c.qmu.Unlock()
+	c.cond.Signal()
+}
+
+// writeLoop serializes all outbound frames. Each wakeup drains the whole
+// queue into the buffered writer and flushes once — under pipelining
+// pressure many reply frames share one syscall. A write error marks the
+// connection dead; the loop keeps draining (and discarding) so senders
+// are never stuck, and exits when the conn is torn down.
+func (c *muxConn) writeLoop() {
+	var dead bool
+	for {
+		c.qmu.Lock()
+		for len(c.queue) == 0 && !c.stopping {
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 && c.stopping {
+			c.qmu.Unlock()
+			return
+		}
+		batch := c.queue
+		c.queue = nil
+		c.qmu.Unlock()
+
+		if dead {
+			continue
+		}
+		for _, p := range batch {
+			if err := WriteFrame(c.bw, p); err != nil {
+				dead = true
+				break
+			}
+		}
+		if !dead && c.bw.Flush() != nil {
+			dead = true
+		}
+	}
+}
+
+// readLoop accepts frames until the client goes away or commits an
+// unscopable protocol violation. Tagged failures — a bad batch body, a
+// drained server, one subscription too many — answer a tagged error and
+// keep the connection; only unparseable framing kills it.
+func (c *muxConn) readLoop(br *bufio.Reader) {
+	ctx := context.Background()
+	var rbuf []byte
+	var queries []Query
+	for {
+		payload, err := ReadFrame(br, rbuf)
+		if err != nil {
+			return
+		}
+		rbuf = payload[:0]
+
+		switch {
+		case len(payload) > 0 && payload[0] == msgTaggedQueryBatch:
+			// The tag is parsed first so any body error can be scoped to
+			// it; only an unparseable tag kills the connection.
+			tag, rest, terr := consumeUvarint(payload[1:])
+			if terr != nil {
+				c.send(appendErrorPayload(nil, terr.Error()))
+				return
+			}
+			queries, err = consumeQueryItems(rest, queries)
+			if err != nil {
+				c.send(AppendTaggedError(nil, tag, err.Error()))
+				continue
+			}
+			// Requests are materialized before the next frame reuses the
+			// read buffer; the slice is owned by the shards until the
+			// completion fires.
+			reqs := make([]server.Request, len(queries))
+			bad := false
+			for i := range queries {
+				req, err := queries[i].Request()
+				if err != nil {
+					c.send(AppendTaggedError(nil, tag, fmt.Sprintf("batch[%d]: %v", i, err)))
+					bad = true
+					break
+				}
+				reqs[i] = req
+			}
+			if bad {
+				continue
+			}
+			c.inflight.Add(1)
+			t := tag
+			err := c.srv.SubmitBatchAsync(ctx, reqs, func(items []server.BatchItem) {
+				defer c.inflight.Done()
+				replies := make([]Reply, len(items))
+				for i := range items {
+					if items[i].Err != nil {
+						replies[i] = Reply{Err: items[i].Err.Error()}
+					} else {
+						replies[i] = Reply{Resp: items[i].Resp}
+					}
+				}
+				c.send(AppendTaggedReplyBatch(nil, t, replies))
+			})
+			if err != nil {
+				// ErrServerClosed during drain: this batch fails, the
+				// connection survives to fail the client's other tags too.
+				c.inflight.Done()
+				c.send(AppendTaggedError(nil, tag, err.Error()))
+			}
+
+		case len(payload) > 0 && payload[0] == msgStatsSubscribe:
+			tag, intervalSec, err := DecodeStatsSubscribe(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			c.startSub(tag, intervalSec)
+
+		case len(payload) > 0 && payload[0] == msgStatsUnsubscribe:
+			tag, err := DecodeStatsUnsubscribe(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			c.stopSub(tag)
+
+		case IsSnapshotRequest(payload):
+			// The v1 admin checkpoint works under v2 too: the reply is
+			// untagged, but the requester knows what it asked for.
+			path, size, err := c.srv.Checkpoint()
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+			} else {
+				c.send(AppendSnapshotReply(nil, path, size))
+			}
+
+		default:
+			c.send(appendErrorPayload(nil, fmt.Sprintf("wire: unexpected v2 message type %d", firstByte(payload))))
+			return
+		}
+	}
+}
+
+func firstByte(p []byte) byte {
+	if len(p) == 0 {
+		return 0
+	}
+	return p[0]
+}
+
+// startSub opens one stats subscription: an immediate push, then one
+// every interval. A non-positive (or non-finite) interval is the
+// one-shot form — push once, auto-close. Subscribing an active tag or
+// exceeding the per-connection cap answers a tagged error.
+func (c *muxConn) startSub(tag uint64, intervalSec float64) {
+	interval := time.Duration(0)
+	if intervalSec > 0 { // NaN compares false: one-shot
+		interval = time.Duration(intervalSec * float64(time.Second))
+		if interval < minStatsInterval {
+			interval = minStatsInterval
+		}
+	}
+	c.qmu.Lock()
+	if _, dup := c.subs[tag]; dup {
+		c.qmu.Unlock()
+		c.send(AppendTaggedError(nil, tag, "wire: stats subscription tag already active"))
+		return
+	}
+	if interval > 0 && len(c.subs) >= maxStatsSubs {
+		c.qmu.Unlock()
+		c.send(AppendTaggedError(nil, tag, fmt.Sprintf("wire: too many stats subscriptions (max %d)", maxStatsSubs)))
+		return
+	}
+	var stop chan struct{}
+	if interval > 0 {
+		stop = make(chan struct{})
+		c.subs[tag] = stop
+	}
+	c.qmu.Unlock()
+
+	c.pushStats(tag)
+	if interval == 0 {
+		return
+	}
+	c.subsWG.Add(1)
+	go func() {
+		defer c.subsWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.pushStats(tag)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// pushStats snapshots the engine and enqueues one tagged push frame.
+func (c *muxConn) pushStats(tag uint64) {
+	payload, err := AppendStatsPush(nil, tag, c.srv.Stats())
+	if err != nil {
+		c.send(AppendTaggedError(nil, tag, err.Error()))
+		return
+	}
+	c.send(payload)
+}
+
+// stopSub ends one subscription; unknown tags are a no-op (the stream
+// may have been one-shot, or already closed).
+func (c *muxConn) stopSub(tag uint64) {
+	c.qmu.Lock()
+	stop, ok := c.subs[tag]
+	if ok {
+		delete(c.subs, tag)
+	}
+	c.qmu.Unlock()
+	if ok {
+		close(stop)
+	}
+}
+
+// stopAllSubs ends every subscription at connection teardown.
+func (c *muxConn) stopAllSubs() {
+	c.qmu.Lock()
+	subs := c.subs
+	c.subs = make(map[uint64]chan struct{})
+	c.qmu.Unlock()
+	for _, stop := range subs {
+		close(stop)
+	}
+}

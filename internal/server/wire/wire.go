@@ -2,19 +2,44 @@
 // fast front the JSON/HTTP API is too slow for. A connection carries a
 // sequence of frames, each a 4-byte little-endian payload length
 // followed by the payload; the first payload byte is the message type.
-// Clients send query batches (one frame per batch, a single query being
-// a batch of one) and read one reply batch per request frame, so a
-// connection is reused for its whole lifetime — no per-query connection
-// setup, no HTTP headers, no JSON.
+//
+// The protocol has two generations, autodetected per connection by the
+// first frame a client sends:
+//
+// v1 (lockstep): clients send query batches and read one reply batch per
+// request frame — exactly one request outstanding per connection. Served
+// forever as the compat path for wire.Client.
 //
 //	frame      := len uint32 LE | payload
-//	payload    := msgQueryBatch   | uvarint n | n × query
+//	payload v1 := msgQueryBatch   | uvarint n | n × query
 //	            | msgReplyBatch   | uvarint n | n × reply
 //	            | msgError        | string          (whole-frame failure)
 //	            | msgStatsRequest                   (live snapshot request)
 //	            | msgStats        | json            (server.Stats snapshot)
 //	            | msgSnapshotRequest                (admin: persist state now)
 //	            | msgSnapshotReply | string path | uvarint bytes
+//
+// v2 (multiplexed): the connection opens with a hello/version exchange,
+// after which every frame carries a client-chosen uvarint tag. Any
+// number of tagged query batches may be outstanding; the server accepts
+// new frames while prior batches are still deciding and replies complete
+// OUT OF ORDER as their shard groups finish, matched to requests by tag.
+// Errors are scoped to a tag — one bad batch answers a tagged error and
+// the connection keeps serving — and a stats subscription streams
+// server-pushed snapshots without polling. MuxClient speaks v2 and is
+// safe for concurrent use.
+//
+//	payload v2 := msgHello            | uvarint version
+//	            | msgTaggedQueryBatch | uvarint tag | uvarint n | n × query
+//	            | msgTaggedReplyBatch | uvarint tag | uvarint n | n × reply
+//	            | msgTaggedError      | uvarint tag | string
+//	            | msgStatsSubscribe   | uvarint tag | f64 intervalSec
+//	            | msgStatsUnsubscribe | uvarint tag
+//	            | msgStatsPush        | uvarint tag | json
+//
+// Shared item grammar (identical bytes in both generations, so a tagged
+// batch's content is byte-identical to its lockstep answer):
+//
 //	query      := string tenant | string template | byte flags
 //	              | f64 selectivity?   (flags&flagSelectivity)
 //	              | budget?            (flags&flagBudget)
@@ -50,7 +75,21 @@ const (
 	msgStats           byte = 5
 	msgSnapshotRequest byte = 6
 	msgSnapshotReply   byte = 7
+
+	// v2 (multiplexed) message types.
+	msgHello            byte = 8
+	msgTaggedQueryBatch byte = 9
+	msgTaggedReplyBatch byte = 10
+	msgTaggedError      byte = 11
+	msgStatsSubscribe   byte = 12
+	msgStatsUnsubscribe byte = 13
+	msgStatsPush        byte = 14
 )
+
+// ProtocolV2 is the version the hello frame negotiates. A server
+// answers hello with its own version; both sides then speak the lower
+// of the two (today there is only one multiplexed version).
+const ProtocolV2 = 2
 
 // Query flags.
 const (
@@ -157,12 +196,29 @@ func budgetShapeString(b byte) (string, error) {
 	}
 }
 
-// AppendQueryBatch appends one query-batch payload to b.
+// AppendQueryBatch appends one v1 query-batch payload to b.
 func AppendQueryBatch(b []byte, qs []Query) ([]byte, error) {
 	if len(qs) == 0 || len(qs) > MaxBatch {
 		return nil, fmt.Errorf("wire: batch size %d outside [1, %d]", len(qs), MaxBatch)
 	}
-	b = append(b, msgQueryBatch)
+	return appendQueryItems(append(b, msgQueryBatch), qs)
+}
+
+// AppendTaggedQueryBatch appends one v2 tagged query-batch payload: the
+// same item bytes as v1 behind a client-chosen tag that the matching
+// reply (or tag-scoped error) will carry back.
+func AppendTaggedQueryBatch(b []byte, tag uint64, qs []Query) ([]byte, error) {
+	if len(qs) == 0 || len(qs) > MaxBatch {
+		return nil, fmt.Errorf("wire: batch size %d outside [1, %d]", len(qs), MaxBatch)
+	}
+	b = append(b, msgTaggedQueryBatch)
+	b = binary.AppendUvarint(b, tag)
+	return appendQueryItems(b, qs)
+}
+
+// appendQueryItems appends the shared batch body: uvarint count then the
+// query items.
+func appendQueryItems(b []byte, qs []Query) ([]byte, error) {
 	b = binary.AppendUvarint(b, uint64(len(qs)))
 	for i := range qs {
 		q := &qs[i]
@@ -198,7 +254,7 @@ func AppendQueryBatch(b []byte, qs []Query) ([]byte, error) {
 	return b, nil
 }
 
-// DecodeQueryBatch parses a query-batch payload (msg byte included),
+// DecodeQueryBatch parses a v1 query-batch payload (msg byte included),
 // appending into qs to reuse its capacity.
 func DecodeQueryBatch(payload []byte, qs []Query) ([]Query, error) {
 	typ, rest, err := consumeByte(payload)
@@ -208,6 +264,31 @@ func DecodeQueryBatch(payload []byte, qs []Query) ([]Query, error) {
 	if typ != msgQueryBatch {
 		return nil, fmt.Errorf("wire: expected query batch, got message type %d", typ)
 	}
+	return consumeQueryItems(rest, qs)
+}
+
+// DecodeTaggedQueryBatch parses a v2 tagged query-batch payload. When
+// the tag itself parses, it is returned even on a body error, so the
+// server can scope the error frame to the failing batch instead of
+// killing the connection.
+func DecodeTaggedQueryBatch(payload []byte, qs []Query) (uint64, []Query, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if typ != msgTaggedQueryBatch {
+		return 0, nil, fmt.Errorf("wire: expected tagged query batch, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	out, err := consumeQueryItems(rest, qs)
+	return tag, out, err
+}
+
+// consumeQueryItems parses the shared batch body.
+func consumeQueryItems(rest []byte, qs []Query) ([]Query, error) {
 	n, rest, err := consumeUvarint(rest)
 	if err != nil {
 		return nil, err
@@ -265,9 +346,21 @@ func DecodeQueryBatch(payload []byte, qs []Query) ([]Query, error) {
 
 // --- reply batch ----------------------------------------------------------
 
-// AppendReplyBatch appends one reply-batch payload to b.
+// AppendReplyBatch appends one v1 reply-batch payload to b.
 func AppendReplyBatch(b []byte, rs []Reply) []byte {
-	b = append(b, msgReplyBatch)
+	return appendReplyItems(append(b, msgReplyBatch), rs)
+}
+
+// AppendTaggedReplyBatch appends one v2 tagged reply-batch payload: the
+// request tag, then item bytes identical to the v1 reply batch.
+func AppendTaggedReplyBatch(b []byte, tag uint64, rs []Reply) []byte {
+	b = append(b, msgTaggedReplyBatch)
+	b = binary.AppendUvarint(b, tag)
+	return appendReplyItems(b, rs)
+}
+
+// appendReplyItems appends the shared reply-batch body.
+func appendReplyItems(b []byte, rs []Reply) []byte {
 	b = binary.AppendUvarint(b, uint64(len(rs)))
 	for i := range rs {
 		r := &rs[i]
@@ -294,7 +387,7 @@ func AppendReplyBatch(b []byte, rs []Reply) []byte {
 	return b
 }
 
-// DecodeReplyBatch parses a reply-batch payload (msg byte included),
+// DecodeReplyBatch parses a v1 reply-batch payload (msg byte included),
 // appending into rs to reuse its capacity. A msgError payload comes back
 // as an error.
 func DecodeReplyBatch(payload []byte, rs []Reply) ([]Reply, error) {
@@ -312,6 +405,28 @@ func DecodeReplyBatch(payload []byte, rs []Reply) ([]Reply, error) {
 	if typ != msgReplyBatch {
 		return nil, fmt.Errorf("wire: expected reply batch, got message type %d", typ)
 	}
+	return consumeReplyItems(rest, rs)
+}
+
+// DecodeTaggedReplyBatch parses a v2 tagged reply-batch payload.
+func DecodeTaggedReplyBatch(payload []byte, rs []Reply) (uint64, []Reply, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if typ != msgTaggedReplyBatch {
+		return 0, nil, fmt.Errorf("wire: expected tagged reply batch, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	out, err := consumeReplyItems(rest, rs)
+	return tag, out, err
+}
+
+// consumeReplyItems parses the shared reply-batch body.
+func consumeReplyItems(rest []byte, rs []Reply) ([]Reply, error) {
 	n, rest, err := consumeUvarint(rest)
 	if err != nil {
 		return nil, err
@@ -392,6 +507,170 @@ func DecodeReplyBatch(payload []byte, rs []Reply) ([]Reply, error) {
 func appendErrorPayload(b []byte, msg string) []byte {
 	b = append(b, msgError)
 	return appendString(b, msg)
+}
+
+// --- v2 hello + tagged error ----------------------------------------------
+
+// AppendHello appends a hello payload carrying the sender's protocol
+// version. A v2 connection opens with exactly one hello in each
+// direction; a server that reads anything else first serves the
+// connection as lockstep v1.
+func AppendHello(b []byte, version uint64) []byte {
+	b = append(b, msgHello)
+	return binary.AppendUvarint(b, version)
+}
+
+// DecodeHello parses a hello payload (msg byte included).
+func DecodeHello(payload []byte) (uint64, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgHello {
+		return 0, fmt.Errorf("wire: expected hello, got message type %d", typ)
+	}
+	version, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("wire: %d trailing bytes after hello", len(rest))
+	}
+	return version, nil
+}
+
+// IsHello reports whether a payload is a hello frame — the v1/v2
+// dispatch the listener does on a connection's first frame.
+func IsHello(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == msgHello
+}
+
+// AppendTaggedError appends a tag-scoped error payload: the batch or
+// subscription named by tag failed, and only it — the connection keeps
+// serving every other tag.
+func AppendTaggedError(b []byte, tag uint64, msg string) []byte {
+	b = append(b, msgTaggedError)
+	b = binary.AppendUvarint(b, tag)
+	return appendString(b, msg)
+}
+
+// DecodeTaggedError parses a tag-scoped error payload (msg byte
+// included).
+func DecodeTaggedError(payload []byte) (uint64, string, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, "", err
+	}
+	if typ != msgTaggedError {
+		return 0, "", fmt.Errorf("wire: expected tagged error, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, "", err
+	}
+	msg, rest, err := consumeString(rest)
+	if err != nil {
+		return 0, "", err
+	}
+	if len(rest) != 0 {
+		return 0, "", fmt.Errorf("wire: %d trailing bytes after tagged error", len(rest))
+	}
+	return tag, msg, nil
+}
+
+// --- v2 streaming stats ----------------------------------------------------
+
+// AppendStatsSubscribe appends a stats-subscription payload: the server
+// pushes a msgStatsPush frame carrying tag immediately and then every
+// intervalSec seconds, replacing /v1/stats polling with a server-driven
+// stream on the query connection. intervalSec <= 0 (or non-finite)
+// requests a single push — the one-shot fetch.
+func AppendStatsSubscribe(b []byte, tag uint64, intervalSec float64) []byte {
+	b = append(b, msgStatsSubscribe)
+	b = binary.AppendUvarint(b, tag)
+	return appendF64(b, intervalSec)
+}
+
+// DecodeStatsSubscribe parses a stats-subscription payload (msg byte
+// included).
+func DecodeStatsSubscribe(payload []byte) (tag uint64, intervalSec float64, err error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ != msgStatsSubscribe {
+		return 0, 0, fmt.Errorf("wire: expected stats subscribe, got message type %d", typ)
+	}
+	if tag, rest, err = consumeUvarint(rest); err != nil {
+		return 0, 0, err
+	}
+	if intervalSec, rest, err = consumeF64(rest); err != nil {
+		return 0, 0, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, fmt.Errorf("wire: %d trailing bytes after stats subscribe", len(rest))
+	}
+	return tag, intervalSec, nil
+}
+
+// AppendStatsUnsubscribe appends a stats-unsubscribe payload ending the
+// stream opened under tag.
+func AppendStatsUnsubscribe(b []byte, tag uint64) []byte {
+	b = append(b, msgStatsUnsubscribe)
+	return binary.AppendUvarint(b, tag)
+}
+
+// DecodeStatsUnsubscribe parses a stats-unsubscribe payload (msg byte
+// included).
+func DecodeStatsUnsubscribe(payload []byte) (uint64, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgStatsUnsubscribe {
+		return 0, fmt.Errorf("wire: expected stats unsubscribe, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("wire: %d trailing bytes after stats unsubscribe", len(rest))
+	}
+	return tag, nil
+}
+
+// AppendStatsPush appends a pushed stats payload. Like the v1 stats
+// frame the snapshot rides as JSON — stats flow at human cadence, not
+// per query — behind the subscription's tag.
+func AppendStatsPush(b []byte, tag uint64, st server.Stats) ([]byte, error) {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, msgStatsPush)
+	b = binary.AppendUvarint(b, tag)
+	return append(b, data...), nil
+}
+
+// DecodeStatsPush parses a pushed stats payload (msg byte included).
+func DecodeStatsPush(payload []byte) (uint64, server.Stats, error) {
+	var st server.Stats
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, st, err
+	}
+	if typ != msgStatsPush {
+		return 0, st, fmt.Errorf("wire: expected stats push, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, st, err
+	}
+	if err := json.Unmarshal(rest, &st); err != nil {
+		return 0, st, fmt.Errorf("wire: bad stats push payload: %w", err)
+	}
+	return tag, st, nil
 }
 
 // --- stats frames ---------------------------------------------------------

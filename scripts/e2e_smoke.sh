@@ -47,6 +47,14 @@ curl -sf "http://$ADDR/healthz"
 "$BIN/workloadgen" -serve "$BIN_ADDR" -proto bin -batch 16 -queries "$QUERIES" \
     -clients 8 -tenants 8 -tenant-skew 1.1 -check
 
+# Same stream once more over the multiplexed v2 protocol: 4 connections,
+# 32 tagged batches in flight on each, completed out of order by the
+# daemon, with stats taken from the server-pushed stream (no polling).
+# The -check invariants prove the reordering lost and double-counted
+# nothing.
+"$BIN/workloadgen" -serve "$BIN_ADDR" -proto bin -pipeline 32 -batch 4 -queries "$QUERIES" \
+    -clients 4 -tenants 16 -check
+
 # Read endpoints answer, compact and pretty.
 curl -sf "http://$ADDR/v1/stats" >/dev/null
 curl -sf "http://$ADDR/v1/stats?pretty=1" >/dev/null
@@ -56,7 +64,7 @@ curl -sf "http://$ADDR/v1/structures" >/dev/null
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 
-python3 - "$BIN/final.json" "$((QUERIES * 3))" <<'EOF'
+python3 - "$BIN/final.json" "$((QUERIES * 4))" <<'EOF'
 import json, sys
 snap = json.load(open(sys.argv[1]))
 want = int(sys.argv[2])
@@ -77,7 +85,7 @@ shard_tq = sum(t["queries"] for s in snap["per_shard"] for t in s.get("tenants")
 assert shard_tq == tq, f"per-shard tenant sums {shard_tq} != merged {tq}"
 assert all(t["declined"] <= t["queries"] for t in tenants), "tenant declined > queries"
 print(f"e2e OK: {snap['queries']} queries over {busy}/{snap['shards']} shards "
-      f"(http+bin+multi-tenant), {len(tenants)} tenant ledgers, "
+      f"(http+bin+multi-tenant+pipelined), {len(tenants)} tenant ledgers, "
       f"cost=${snap['operating_cost_usd']:.2f} credit=${snap['credit_usd']:.2f}")
 EOF
 
