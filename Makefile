@@ -20,11 +20,13 @@ race:
 # count, reporting workers, queries/s, allocs and speedup over workers=1.
 # The serving-layer sweep also writes BENCH_server.json — the
 # machine-readable perf trajectory (queries/s, p50/p99, allocs per shard
-# count) that future PRs diff against.
+# count) that future PRs diff against — and checkbench gates the idle
+# tracer's overhead (trace=off within 5% of the no-tracer baseline).
 bench:
 	$(GO) test -run '^$$' -bench GridWorkers -benchtime 1x .
 	BENCH_JSON=BENCH_server.json $(GO) test -run '^$$' -bench ServerThroughput -benchtime 1000x .
 	@cat BENCH_server.json
+	$(GO) run ./scripts/checkbench BENCH_server.json
 
 # Short fuzz of the hostile-input decoders: wire frames and state
 # snapshots must never panic or load partial state. Seed corpora live in

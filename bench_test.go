@@ -144,9 +144,15 @@ func BenchmarkGridWorkers(b *testing.B) {
 // trajectories cannot be silently conflated. GoMaxProcs records the
 // scheduler width the cell ran at, for the multi-core sweep rows.
 type serverBenchCell struct {
-	Mode           string  `json:"mode"`
-	Shards         int     `json:"shards"`
-	Batch          int     `json:"batch"`
+	Mode   string `json:"mode"`
+	Shards int    `json:"shards"`
+	Batch  int    `json:"batch"`
+	// Trace distinguishes the tracing-overhead cells: "" is the default
+	// row (no tracer at all — the pre-observability baseline), "off" has
+	// the tracer installed with sampling disabled (the atomic-gate cost),
+	// "1/64" samples one query in 64. scripts/checkbench gates "off"
+	// against "" at 5%.
+	Trace          string  `json:"trace,omitempty"`
 	GoMaxProcs     int     `json:"gomaxprocs"`
 	SimRTTMs       float64 `json:"sim_rtt_ms,omitempty"`
 	Queries        int64   `json:"queries"`
@@ -247,7 +253,7 @@ func benchTemplates() []string {
 // batched and binary modes — so queries/s, not ns/op, is the comparable
 // number. procs > 0 pins GOMAXPROCS for the cell (the multi-core sweep
 // rows); 0 keeps the process default.
-func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards, batch, procs int) {
+func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards, batch, procs int, trace string) {
 	b.Helper()
 	if procs <= 0 {
 		procs = runtime.GOMAXPROCS(0)
@@ -256,7 +262,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	defer runtime.GOMAXPROCS(prev)
 	templates := benchTemplates()
 	cat := PaperCatalog()
-	srv, err := NewServer(ServerConfig{
+	cfg := ServerConfig{
 		Shards:  shards,
 		Scheme:  out.Scheme,
 		Params:  DefaultParams(cat),
@@ -266,7 +272,30 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		// "microbatch" row isolates the server-side micro-batching gain
 		// on the identical singleton-Submit load.
 		DisableMicroBatch: mode == "inproc",
-	})
+		// Default rows run without a tracer so the trajectory stays
+		// comparable with the pre-observability baseline; the trace cells
+		// measure what installing one costs.
+		TraceRing: -1,
+	}
+	switch trace {
+	case "":
+	// "none" is the trace group's own no-tracer baseline: same config
+	// as "", but a distinct cell key, so checkbench compares samples
+	// taken in the same (adjacent, warm) window of the sweep rather
+	// than letting a default row from the sweep's early phase stand in.
+	case "none":
+	case "off":
+		cfg.TraceRing = 0 // tracer installed, sampling disabled
+	case "1/64":
+		cfg.TraceRing = 0
+		cfg.TraceSampleEvery = 64
+	case "all":
+		cfg.TraceRing = 0
+		cfg.TraceSampleEvery = 1
+	default:
+		b.Fatalf("unknown trace cell %q", trace)
+	}
+	srv, err := NewServer(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -495,6 +524,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		Mode:           mode,
 		Shards:         shards,
 		Batch:          batch,
+		Trace:          trace,
 		GoMaxProcs:     procs,
 		SimRTTMs:       rttMs,
 		Queries:        st.Queries,
@@ -503,12 +533,18 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		P99Sec:         st.ResponseP99Sec,
 		AllocsPerQuery: allocs,
 	}
-	// The harness re-runs sub-benchmarks (warm-up, calibration); keep
-	// only the final, longest run per cell.
+	// The harness re-runs sub-benchmarks (calibration) and the sweep
+	// itself revisits comparison cells (the tracing-overhead group runs
+	// interleaved repetitions). Per cell, prefer the longest run, and
+	// among equal-length runs the fastest: best-of-k is the noise-robust
+	// point estimate on shared hosts, where a single short sample can
+	// swing ±10% either way.
 	for i := range out.Cells {
 		c := &out.Cells[i]
-		if c.Mode == mode && c.Shards == shards && c.Batch == batch && c.GoMaxProcs == procs {
-			*c = cell
+		if c.Mode == mode && c.Shards == shards && c.Batch == batch && c.GoMaxProcs == procs && c.Trace == trace {
+			if cell.Queries > c.Queries || (cell.Queries == c.Queries && cell.QueriesPerSec > c.QueriesPerSec) {
+				*c = cell
+			}
 			return
 		}
 	}
@@ -531,23 +567,23 @@ func BenchmarkServerThroughput(b *testing.B) {
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			runServerThroughput(b, &out, "inproc", shards, 1, 0)
+			runServerThroughput(b, &out, "inproc", shards, 1, 0, "")
 		})
 	}
 	b.Run("mode=microbatch/shards=4", func(b *testing.B) {
-		runServerThroughput(b, &out, "microbatch", 4, 1, 0)
+		runServerThroughput(b, &out, "microbatch", 4, 1, 0, "")
 	})
 	for _, batch := range []int{16, 64} {
 		b.Run(fmt.Sprintf("mode=batch/shards=4/batch=%d", batch), func(b *testing.B) {
-			runServerThroughput(b, &out, "batch", 4, batch, 0)
+			runServerThroughput(b, &out, "batch", 4, batch, 0, "")
 		})
 	}
 	b.Run("mode=http/shards=4", func(b *testing.B) {
-		runServerThroughput(b, &out, "http", 4, 1, 0)
+		runServerThroughput(b, &out, "http", 4, 1, 0, "")
 	})
 	for _, batch := range []int{1, 64} {
 		b.Run(fmt.Sprintf("mode=bin/shards=4/batch=%d", batch), func(b *testing.B) {
-			runServerThroughput(b, &out, "bin", 4, batch, 0)
+			runServerThroughput(b, &out, "bin", 4, batch, 0, "")
 		})
 	}
 	// One shared connection, two protocols: the lockstep baseline pays a
@@ -556,10 +592,10 @@ func BenchmarkServerThroughput(b *testing.B) {
 	// is the pipelining headline — same load, same single socket.
 	for _, batch := range []int{1, 64} {
 		b.Run(fmt.Sprintf("mode=lockstep/shards=4/batch=%d", batch), func(b *testing.B) {
-			runServerThroughput(b, &out, "lockstep", 4, batch, 0)
+			runServerThroughput(b, &out, "lockstep", 4, batch, 0, "")
 		})
 		b.Run(fmt.Sprintf("mode=pipelined/shards=4/batch=%d", batch), func(b *testing.B) {
-			runServerThroughput(b, &out, "pipelined", 4, batch, 0)
+			runServerThroughput(b, &out, "pipelined", 4, batch, 0, "")
 		})
 	}
 	// Scheduler-width sweep: the engine ceiling (inproc) and the
@@ -568,11 +604,33 @@ func BenchmarkServerThroughput(b *testing.B) {
 	// so trajectories from different hosts stay comparable.
 	for _, procs := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("mode=inproc/shards=4/procs=%d", procs), func(b *testing.B) {
-			runServerThroughput(b, &out, "inproc", 4, 1, procs)
+			runServerThroughput(b, &out, "inproc", 4, 1, procs, "")
 		})
 		b.Run(fmt.Sprintf("mode=pipelined/shards=4/batch=1/procs=%d", procs), func(b *testing.B) {
-			runServerThroughput(b, &out, "pipelined", 4, 1, procs)
+			runServerThroughput(b, &out, "pipelined", 4, 1, procs, "")
 		})
+	}
+	// Tracing-overhead cells on the engine ceiling: "off" prices the
+	// installed-but-idle tracer (one atomic load per query — the 5% CI
+	// gate in scripts/checkbench), "1/64" the production sampling rate.
+	// The "" rerun refreshes the no-tracer baseline adjacent to its two
+	// comparisons, so the gate measures the tracer, not the warm-up
+	// drift between the sweep's first and last cells — and the group
+	// runs five interleaved repetitions (the upsert keeps each cell's
+	// best) so a single noisy sample on a shared host can't flip the
+	// comparison either way. The order rotates per repetition: every
+	// cell gets to run first, so position-dependent effects (post-GC
+	// lull, scheduler warm-up after the previous cell's teardown) hit
+	// all four cells equally instead of always favoring the baseline.
+	traceGroup := []string{"none", "off", "1/64", "all"}
+	for rep := 0; rep < 5; rep++ {
+		for i := range traceGroup {
+			trace := traceGroup[(rep+i)%len(traceGroup)]
+			name := "mode=inproc/shards=4/trace=" + strings.ReplaceAll(trace, "/", "-")
+			b.Run(name, func(b *testing.B) {
+				runServerThroughput(b, &out, "inproc", 4, 1, 0, trace)
+			})
+		}
 	}
 	if path := os.Getenv("BENCH_JSON"); path != "" {
 		data, err := json.MarshalIndent(out, "", "  ")

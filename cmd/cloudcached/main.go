@@ -28,6 +28,18 @@
 // wire.Client.Snapshot) checkpoints on demand. A truncated or corrupt
 // snapshot fails restore cleanly: the daemon logs it and boots fresh.
 //
+// Observability:
+//
+//	GET /v1/trace       sampled per-query decision traces (?tenant= ?template= ?n=)
+//	GET /v1/events      economy event journal: invests, evictions, recoveries
+//	GET /metrics        Prometheus text exposition (economy counters, mailbox
+//	                    gauges, stage-latency histograms, runtime/GC gauges)
+//
+// -trace-sample N samples one query in N through the decision tracer
+// (0 disables sampling; the gate is a single atomic load, so the decide
+// loop pays ~nothing while off). -pprof mounts net/http/pprof under
+// /debug/pprof/ on the HTTP mux.
+//
 // Usage:
 //
 //	cloudcached [-addr :8344] [-listen-bin :8345] [-shards 4]
@@ -35,6 +47,8 @@
 //	            [-sf 0] [-speedup 1] [-tick 1s] [-seed 1] [-mailbox 256]
 //	            [-failure-floor USD] [-maint-failure-factor F]
 //	            [-no-microbatch] [-state-dir DIR] [-checkpoint-interval D]
+//	            [-trace-sample N] [-trace-ring N] [-journal-ring N]
+//	            [-pprof] [-log-format text|json]
 package main
 
 import (
@@ -42,9 +56,10 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -78,7 +93,16 @@ func main() {
 	noMicroBatch := flag.Bool("no-microbatch", false, "disable the shard loops' mailbox group commit")
 	stateDir := flag.String("state-dir", "", "directory for durable economy state: restore <dir>/econ.snap on boot, write it on drain/checkpoint; empty disables persistence")
 	checkpointInterval := flag.Duration("checkpoint-interval", 0, "periodic state checkpoint cadence (0 disables; requires -state-dir)")
+	traceSample := flag.Int64("trace-sample", 0, "decision-trace sampling period: 0 off, 1 every query, N one in N (runtime cost is one atomic load per query while off)")
+	traceRing := flag.Int("trace-ring", 0, "per-shard decision-trace ring capacity (0 = default; negative disables the tracer entirely)")
+	journalRing := flag.Int("journal-ring", 0, "per-shard, per-type economy event journal capacity (0 = default)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the HTTP mux")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+
+	if err := setupLogging(*logFormat); err != nil {
+		fail(err)
+	}
 
 	provider, err := economy.ParseProvider(*providerName)
 	if err != nil {
@@ -118,7 +142,7 @@ func main() {
 			t0 := time.Now()
 			snap, err := persist.Decode(data)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "cloudcached: snapshot %s unusable (%v): starting fresh\n", snapshotPath, err)
+				slog.Warn("cloudcached: snapshot unusable, starting fresh", "path", snapshotPath, "err", err)
 			} else {
 				restored = snap
 				clock = server.NewWallClockAt(snap.Clock, *speedup)
@@ -126,8 +150,10 @@ func main() {
 				for _, sh := range snap.Shards {
 					q += sh.Queries
 				}
-				fmt.Fprintf(os.Stderr, "cloudcached: restored %s: %d shards, %d queries, clock %.0fs, %d bytes in %v\n",
-					snapshotPath, len(snap.Shards), q, snap.Clock.Seconds(), len(data), time.Since(t0).Round(time.Millisecond))
+				slog.Info("cloudcached: restored snapshot",
+					"path", snapshotPath, "shards", len(snap.Shards), "queries", q,
+					"clock_s", snap.Clock.Seconds(), "bytes", len(data),
+					"elapsed", time.Since(t0).Round(time.Millisecond))
 			}
 		} else if !errors.Is(err, os.ErrNotExist) {
 			fail(err)
@@ -147,16 +173,33 @@ func main() {
 		SnapshotPath:      snapshotPath,
 		CheckpointEvery:   *checkpointInterval,
 		Restore:           restored,
+		TraceRing:         *traceRing,
+		TraceSampleEvery:  *traceSample,
+		JournalRing:       *journalRing,
 	})
 	if err != nil {
 		fail(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// Opt-in profiling on the same mux the API serves: the daemon's
+		// admin surface, guarded by the flag rather than a separate port.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "cloudcached: serving %s economy on %s (%d shards, speedup %gx)\n",
-			*schemeName, *addr, srv.ShardCount(), *speedup)
+		slog.Info("cloudcached: serving",
+			"scheme", *schemeName, "addr", *addr, "shards", srv.ShardCount(),
+			"speedup", *speedup, "trace_sample", *traceSample, "pprof", *pprofOn)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -169,7 +212,7 @@ func main() {
 			fail(err)
 		}
 		go func() {
-			fmt.Fprintf(os.Stderr, "cloudcached: binary protocol on %s\n", *listenBin)
+			slog.Info("cloudcached: binary protocol listening", "addr", *listenBin)
 			if err := wire.Serve(binLn, srv); err != nil {
 				errCh <- err
 			}
@@ -182,7 +225,7 @@ func main() {
 	case err := <-errCh:
 		fail(err)
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "cloudcached: %v, draining\n", s)
+		slog.Info("cloudcached: draining", "signal", s.String())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
@@ -193,7 +236,7 @@ func main() {
 	// unbounded here guarantees the final snapshot below is post-drain,
 	// with every accepted query answered and tail rent settled.
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintln(os.Stderr, "cloudcached: http shutdown:", err)
+		slog.Error("cloudcached: http shutdown", "err", err)
 	}
 	if binLn != nil {
 		// Stop accepting binary connections; established connections see
@@ -202,10 +245,10 @@ func main() {
 		_ = binLn.Close()
 	}
 	if err := srv.Shutdown(context.Background()); err != nil {
-		fmt.Fprintln(os.Stderr, "cloudcached: drain:", err)
+		slog.Error("cloudcached: drain", "err", err)
 	}
 	if snapshotPath != "" {
-		fmt.Fprintf(os.Stderr, "cloudcached: state persisted to %s\n", snapshotPath)
+		slog.Info("cloudcached: state persisted", "path", snapshotPath)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -215,7 +258,21 @@ func main() {
 	}
 }
 
+// setupLogging installs the process-wide slog handler on stderr in the
+// requested format.
+func setupLogging(format string) error {
+	switch format {
+	case "", "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	default:
+		return errors.New("unknown -log-format " + format + " (want text or json)")
+	}
+	return nil
+}
+
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "cloudcached:", err)
+	slog.Error("cloudcached: fatal", "err", err)
 	os.Exit(1)
 }

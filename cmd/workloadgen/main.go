@@ -29,6 +29,12 @@
 // stream over the same protocol instead. With -check it exits non-zero
 // if the server's query-count delta over the run does not match the
 // client's acks or any shard's account went negative.
+//
+// With -dump-trace N the client also fetches up to N of the daemon's
+// sampled decision traces after the run — over GET /v1/trace on the
+// HTTP front, or the multiplexed protocol's trace frame on the binary
+// front — and prints them as JSON. The daemon must be sampling
+// (cloudcached -trace-sample) for records to exist.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"strings"
@@ -73,7 +80,18 @@ func main() {
 	tenantSkew := flag.Float64("tenant-skew", 0, "Zipf skew of tenant popularity in -serve mode (0 = round-robin)")
 	statsURL := flag.String("stats-url", "", "HTTP base URL for /v1/stats (defaults to -serve with -proto http; -proto bin fetches stats over the wire when unset)")
 	check := flag.Bool("check", false, "verify server-side invariants after the run and exit non-zero on violation")
+	dumpTrace := flag.Int("dump-trace", 0, "after the run, fetch up to N sampled decision traces from the daemon and print them as JSON (0 disables)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
+
+	switch *logFormat {
+	case "", "text":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	default:
+		fail(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
 
 	cat := catalog.Paper()
 	var proc workload.ArrivalProcess
@@ -113,17 +131,18 @@ func main() {
 
 	if *serve != "" {
 		cfg := loadConfig{
-			base:     *serve,
-			proto:    *proto,
-			queries:  *queries,
-			skip:     *skip,
-			qps:      *qps,
-			clients:  *clients,
-			tenants:  *tenants,
-			batch:    *batch,
-			pipeline: *pipeline,
-			statsURL: *statsURL,
-			check:    *check,
+			base:      *serve,
+			proto:     *proto,
+			queries:   *queries,
+			skip:      *skip,
+			qps:       *qps,
+			clients:   *clients,
+			tenants:   *tenants,
+			batch:     *batch,
+			pipeline:  *pipeline,
+			statsURL:  *statsURL,
+			check:     *check,
+			dumpTrace: *dumpTrace,
 		}
 		if err := serveLoad(gen, cfg); err != nil {
 			fail(err)
@@ -164,17 +183,18 @@ func writeTrace(gen *workload.Generator, cat *catalog.Catalog, queries int, out 
 
 // loadConfig parameterises one replay run.
 type loadConfig struct {
-	base     string
-	proto    string
-	queries  int
-	skip     int
-	qps      float64
-	clients  int
-	tenants  int
-	batch    int
-	pipeline int
-	statsURL string
-	check    bool
+	base      string
+	proto     string
+	queries   int
+	skip      int
+	qps       float64
+	clients   int
+	tenants   int
+	batch     int
+	pipeline  int
+	statsURL  string
+	check     bool
+	dumpTrace int
 }
 
 // genQuery is one generated query in protocol-agnostic form; the client
@@ -623,6 +643,12 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 			n, hot.Tenant, hot.Queries, hot.SpendUSD, hot.CreditUSD, hot.StructuresCharged)
 	}
 
+	if cfg.dumpTrace > 0 {
+		if err := dumpTraces(httpClient, cfg); err != nil {
+			return fmt.Errorf("dumping traces: %w", err)
+		}
+	}
+
 	if !cfg.check {
 		return nil
 	}
@@ -662,12 +688,46 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 	}
 	if len(violations) > 0 {
 		for _, v := range violations {
-			fmt.Fprintln(os.Stderr, "workloadgen: INVARIANT VIOLATION:", v)
+			slog.Error("workloadgen: invariant violation", "violation", v)
 		}
 		return fmt.Errorf("%d invariant violations", len(violations))
 	}
 	fmt.Println("invariants: OK")
 	return nil
+}
+
+// dumpTraces fetches the daemon's sampled decision traces over whichever
+// front the run used and prints them as JSON on stdout.
+func dumpTraces(client *http.Client, cfg loadConfig) error {
+	var view server.TraceView
+	if cfg.proto == "bin" {
+		// The trace frame rides the multiplexed protocol; a lockstep run
+		// opens a v2 connection just for the dump (same listener).
+		cl, err := wire.DialMux(cfg.base)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		if view, err = cl.Trace(context.Background(), "", "", cfg.dumpTrace); err != nil {
+			return err
+		}
+	} else {
+		resp, err := client.Get(strings.TrimSuffix(cfg.statsURL, "/") + fmt.Sprintf("/v1/trace?n=%d", cfg.dumpTrace))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET /v1/trace: %s", resp.Status)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("decision traces: sample_every=%d, %d records\n", view.SampleEvery, len(view.Records))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(view.Records)
 }
 
 func fetchStats(client *http.Client, base string, st *server.Stats) error {
@@ -680,6 +740,6 @@ func fetchStats(client *http.Client, base string, st *server.Stats) error {
 }
 
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "workloadgen:", err)
+	slog.Error("workloadgen: fatal", "err", err)
 	os.Exit(1)
 }

@@ -35,6 +35,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/cost"
 	"repro/internal/money"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/plan"
 	"repro/internal/structure"
@@ -233,6 +234,14 @@ type Decision struct {
 	// Investments lists structures whose construction this query
 	// triggered.
 	Investments []structure.ID
+	// InvestConsidered counts ledger entries whose regret crossed the
+	// Eq. 3 bar this query — build candidates, whether or not the build
+	// went through (already resident/building, unresolvable, or too
+	// expensive for a conservative provider).
+	InvestConsidered int
+	// RegretAccrued is the total regret this query distributed across
+	// missing structures (Eq. 1–2).
+	RegretAccrued money.Amount
 	// Failures lists structures evicted for maintenance failure before
 	// this query was planned.
 	Failures []structure.ID
@@ -252,6 +261,32 @@ type Economy struct {
 	// under the selfish provider they are the real accounts. Bounded by
 	// cfg.TenantCap; overflow names share one ledger.
 	tenants map[string]*Ledger
+
+	// events, when set, receives every invest/evict/recover as it
+	// happens (see SetEvents). The market holds the same sink for the
+	// events it originates.
+	events func(obs.Event)
+}
+
+// SetEvents installs a sink for the economy's structured events: every
+// investment, maintenance-failure eviction and settlement recovery is
+// reported as it happens. Events fire synchronously on the decision
+// path, so the sink must be cheap (the obs.Journal is); nil removes the
+// sink. Not safe to call concurrently with HandleQuery — install it at
+// wiring time, before traffic.
+func (e *Economy) SetEvents(fn func(obs.Event)) {
+	e.events = fn
+	e.market.events = fn
+}
+
+// emit reports one event if a sink is installed, stamping the economy
+// clock.
+func (e *Economy) emit(ev obs.Event) {
+	if e.events == nil {
+		return
+	}
+	ev.ClockSec = e.cfg.Cache.Clock().Seconds()
+	e.events(ev)
 }
 
 // OverflowTenant is the shared ledger name that tenants beyond TenantCap
@@ -442,8 +477,8 @@ func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, 
 	// lands in the deciding account's live map (the pool when altruistic,
 	// the tenant's own when selfish) and is attributed to the tenant in
 	// either case.
-	e.accrueRegret(q, plans, d.Chosen, led, acct)
-	d.Investments = e.invest(acct)
+	d.RegretAccrued = e.accrueRegret(q, plans, d.Chosen, led, acct)
+	d.Investments, d.InvestConsidered = e.invest(acct)
 	return d, nil
 }
 
@@ -502,7 +537,15 @@ func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec 
 	// amortized shares and maintenance recovery stay in the accounts.
 	if e.pool != nil {
 		e.pool.credit = e.pool.credit.Add(charged.Sub(p.ExecPrice))
-		e.pool.recovered = e.pool.recovered.Add(p.AmortPrice).Add(p.MaintPrice)
+		recovery := p.AmortPrice.Add(p.MaintPrice)
+		e.pool.recovered = e.pool.recovered.Add(recovery)
+		if recovery != 0 {
+			e.emit(obs.Event{
+				Type:   obs.EventRecover,
+				Amount: recovery,
+				Reason: "settlement collected the plan's amortized shares and arrears for the pool",
+			})
+		}
 	} else {
 		led.credit = led.credit.Add(d.Profit)
 	}
@@ -555,6 +598,15 @@ func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec 
 			owner := e.ledgerFor(e.market.owner[st.ID])
 			owner.credit = owner.credit.Add(recovery)
 			owner.recovered = owner.recovered.Add(recovery)
+			if recovery != 0 {
+				e.emit(obs.Event{
+					Type:      obs.EventRecover,
+					Tenant:    owner.tenant,
+					Structure: string(st.ID),
+					Amount:    recovery,
+					Reason:    "use reimbursed the owner's amortized share and arrears",
+				})
+			}
 		}
 		entry.AmortRemaining = entry.AmortRemaining.Sub(share)
 		entry.UnpaidMaint = 0
@@ -577,8 +629,10 @@ func (e *Economy) settle(q *workload.Query, p *plan.Plan, backendExec, scanExec 
 // (Eq. 1, the case-A regret), and a possible, affordable plan that is more
 // expensive — on a skyline, faster — is a lost service/profit opportunity
 // (Eq. 2, the case-B regret). The union applies in every case; each term
-// is only ever non-negative.
-func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *plan.Plan, led, acct *Ledger) {
+// is only ever non-negative. The return is the total regret actually
+// distributed (for decision tracing).
+func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *plan.Plan, led, acct *Ledger) money.Amount {
+	var total money.Amount
 	for _, p := range plans {
 		if p.Runnable() || p == chosen {
 			continue
@@ -595,8 +649,9 @@ func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *pl
 		if !r.IsPositive() {
 			continue
 		}
-		e.distribute(p, r, led, acct)
+		total = total.Add(e.distribute(p, r, led, acct))
 	}
+	return total
 }
 
 // distribute splits a plan's regret uniformly across its missing structures
@@ -604,25 +659,29 @@ func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *pl
 // used by the plan"; resident structures need no investment so only the
 // missing ones are tracked). The share lands in the deciding account's
 // live map and is attributed to the generating tenant's cumulative
-// counter.
-func (e *Economy) distribute(p *plan.Plan, r money.Amount, led, acct *Ledger) {
+// counter. The return is the regret actually landed (skipped kinds
+// accrue nothing).
+func (e *Economy) distribute(p *plan.Plan, r money.Amount, led, acct *Ledger) money.Amount {
 	if len(p.Missing) == 0 {
-		return
+		return 0
 	}
 	share := r.DivInt(int64(len(p.Missing)))
 	if !share.IsPositive() {
-		return
+		return 0
 	}
+	var landed money.Amount
 	for _, id := range p.Missing {
 		st, _ := p.Structures.Get(id)
 		if st == nil || !e.kindAllowed(st.Kind) {
 			continue
 		}
 		acct.add(id, share)
+		landed = landed.Add(share)
 		if acct != led {
 			led.regretAccrued = led.regretAccrued.Add(share)
 		}
 	}
+	return landed
 }
 
 // kindAllowed reports whether the scheme may invest in this kind.
@@ -640,15 +699,18 @@ func (e *Economy) kindAllowed(k structure.Kind) bool {
 // the build duration. The altruistic provider tests the communal pool on
 // every query; the selfish provider tests only the arriving tenant's
 // ledger, so one tenant's regret never spends another tenant's money.
-func (e *Economy) invest(acct *Ledger) []structure.ID {
+// The second return counts candidates whose regret crossed the bar,
+// whether or not the build went through (decision tracing).
+func (e *Economy) invest(acct *Ledger) ([]structure.ID, int) {
 	if !acct.credit.IsPositive() {
-		return nil
+		return nil, 0
 	}
 	threshold := acct.credit.MulFloat(e.cfg.RegretFraction)
 	if !threshold.IsPositive() {
-		return nil
+		return nil, 0
 	}
 	var built []structure.ID
+	considered := 0
 	for _, id := range acct.sortedIDs() {
 		entry := acct.entries[id]
 		// Eq. 3 with round(): triggers at regret >= 0.5·a·CR. A history
@@ -657,6 +719,7 @@ func (e *Economy) invest(acct *Ledger) []structure.ID {
 		if entry.regret.MulInt(2) < bar {
 			continue
 		}
+		considered++
 		ca := e.cfg.Cache
 		if ca.Has(id) || ca.Building(id) {
 			delete(acct.entries, id)
@@ -672,7 +735,7 @@ func (e *Economy) invest(acct *Ledger) []structure.ID {
 			delete(acct.entries, id)
 		}
 	}
-	return built
+	return built, considered
 }
 
 // Stats is a snapshot of the economy's lifetime counters, aggregated

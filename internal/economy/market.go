@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/cost"
 	"repro/internal/money"
+	"repro/internal/obs"
 	"repro/internal/structure"
 )
 
@@ -36,6 +37,20 @@ type Market struct {
 	buildUsage cost.Usage
 
 	failureCount int64
+
+	// events mirrors Economy.events (installed via Economy.SetEvents) for
+	// the invest and evict events the market itself originates.
+	events func(obs.Event)
+}
+
+// emit reports one event if a sink is installed, stamping the economy
+// clock.
+func (m *Market) emit(ev obs.Event) {
+	if m.events == nil {
+		return
+	}
+	ev.ClockSec = m.cfg.Cache.Clock().Seconds()
+	m.events(ev)
 }
 
 // newMarket wires the shared pool.
@@ -116,6 +131,13 @@ func (m *Market) buildStructure(st *structure.Structure, payer *Ledger) bool {
 			payer.invested = payer.invested.Add(colPrice)
 			m.owner[colID] = payer.tenant
 			m.buildUsage.Add(colOut.Usage)
+			m.emit(obs.Event{
+				Type:      obs.EventInvest,
+				Tenant:    payer.tenant,
+				Structure: string(colID),
+				Amount:    colPrice,
+				Reason:    "prerequisite column for an index build",
+			})
 			if now+colOut.Time > colsReady {
 				colsReady = now + colOut.Time
 			}
@@ -139,6 +161,13 @@ func (m *Market) buildStructure(st *structure.Structure, payer *Ledger) bool {
 	payer.investCount++
 	m.owner[st.ID] = payer.tenant
 	m.buildUsage.Add(out.Usage)
+	m.emit(obs.Event{
+		Type:      obs.EventInvest,
+		Tenant:    payer.tenant,
+		Structure: string(st.ID),
+		Amount:    price,
+		Reason:    "accumulated regret crossed the Eq. 3 investment bar",
+	})
 	return true
 }
 
@@ -188,13 +217,20 @@ func (m *Market) sweepFailures() []structure.ID {
 		return nil
 	}
 	ca := m.cfg.Cache
-	var victims []structure.ID
+	type victim struct {
+		id     structure.ID
+		due    money.Amount
+		reason string
+	}
+	var victims []victim
 	ca.ForEach(func(entry *cache.Entry) {
 		due := m.maintDueOf(entry)
-		evict := false
+		reason := ""
 		if entry.Uses == 0 {
-			evict = due > m.cfg.NeverUsedFloor &&
-				due > entry.BuildPrice.MulFloat(m.cfg.MaintFailureFactor)
+			if due > m.cfg.NeverUsedFloor &&
+				due > entry.BuildPrice.MulFloat(m.cfg.MaintFailureFactor) {
+				reason = "never used: arrears exceeded the build price factor"
+			}
 		} else if due > m.cfg.FailureFloor {
 			// Grace window: rates need at least an hour of post-first-
 			// use history to mean anything.
@@ -203,21 +239,35 @@ func (m *Market) sweepFailures() []structure.ID {
 				rentPerHour := m.cfg.Model.MaintCost(
 					entry.S.Kind == structure.KindCPUNode, entry.S.Bytes, time.Hour).Dollars()
 				valuePerHour := entry.EarnedValue.Dollars() / window.Hours()
-				evict = rentPerHour > m.cfg.MaintFailureFactor*valuePerHour
+				if rentPerHour > m.cfg.MaintFailureFactor*valuePerHour {
+					reason = "rent rate outweighed lifetime value rate"
+				}
 			}
 		}
-		if evict {
-			victims = append(victims, entry.S.ID)
+		if reason != "" {
+			victims = append(victims, victim{id: entry.S.ID, due: due, reason: reason})
 		}
 	})
+	if len(victims) == 0 {
+		return nil
+	}
 	// Eviction decisions are independent per entry, so the victim SET is
 	// deterministic even though map order is not; sort for stable output.
-	sort.Slice(victims, func(i, j int) bool { return victims[i] < victims[j] })
-	for _, id := range victims {
-		ca.Evict(id)
-		delete(m.owner, id)
-		m.failCount[id]++
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	ids := make([]structure.ID, 0, len(victims))
+	for _, v := range victims {
+		m.emit(obs.Event{
+			Type:      obs.EventEvict,
+			Tenant:    m.owner[v.id],
+			Structure: string(v.id),
+			Amount:    v.due,
+			Reason:    v.reason,
+		})
+		ca.Evict(v.id)
+		delete(m.owner, v.id)
+		m.failCount[v.id]++
 		m.failureCount++
+		ids = append(ids, v.id)
 	}
-	return victims
+	return ids
 }

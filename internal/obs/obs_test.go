@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/money"
+)
+
+func TestTracerSamplingGate(t *testing.T) {
+	tr := NewTracer(2, 8, 0)
+	if tr.Enabled() {
+		t.Fatal("tracer with sampleEvery=0 reports enabled")
+	}
+	for i := 0; i < 100; i++ {
+		if tr.Sample(0) {
+			t.Fatal("disabled tracer sampled a query")
+		}
+	}
+	tr.SetSampleEvery(4)
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if tr.Sample(1) {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("1-in-4 sampling hit %d of 400", hits)
+	}
+	tr.SetSampleEvery(1)
+	for i := 0; i < 10; i++ {
+		if !tr.Sample(0) {
+			t.Fatal("sample-all tracer skipped a query")
+		}
+	}
+}
+
+func TestTracerPublishSnapshotEncode(t *testing.T) {
+	tr := NewTracer(2, 4, 1)
+	// Overfill shard 0's ring so rotation is exercised.
+	for i := 0; i < 6; i++ {
+		seq := tr.Publish(0, Record{
+			QueryID:     int64(100 + i),
+			Template:    "q1",
+			Tenant:      "t0",
+			WallNanos:   int64(i + 1),
+			DecideNanos: 10,
+		})
+		if seq != int64(i+1) {
+			t.Fatalf("publish %d got seq %d", i, seq)
+		}
+	}
+	tr.Publish(1, Record{QueryID: 999, Template: "q2", Tenant: "t1", WallNanos: 100})
+
+	all := tr.Snapshot("", "", 0)
+	if len(all) != 5 { // ring of 4 on shard 0 + 1 on shard 1
+		t.Fatalf("snapshot kept %d records, want 5", len(all))
+	}
+	if all[len(all)-1].QueryID != 999 {
+		t.Fatalf("records not ordered by wall time: tail %+v", all[len(all)-1])
+	}
+	if got := tr.Snapshot("t0", "", 0); len(got) != 4 {
+		t.Fatalf("tenant filter kept %d, want 4", len(got))
+	}
+	if got := tr.Snapshot("", "q2", 0); len(got) != 1 || got[0].QueryID != 999 {
+		t.Fatalf("template filter wrong: %+v", got)
+	}
+	if got := tr.Snapshot("", "", 2); len(got) != 2 {
+		t.Fatalf("n=2 kept %d", len(got))
+	}
+
+	// Encode back-fill: live seq lands, rotated-out seq is skipped.
+	tr.SetEncode(0, 6, 777)
+	tr.SetEncode(0, 1, 555) // overwritten by rotation; slot now holds seq 5
+	found := false
+	for _, rec := range tr.Snapshot("", "", 0) {
+		if rec.Shard == 0 && rec.Seq == 6 {
+			found = true
+			if rec.EncodeNanos != 777 {
+				t.Fatalf("encode back-fill lost: %+v", rec)
+			}
+		}
+		if rec.Shard == 0 && rec.Seq == 5 && rec.EncodeNanos != 0 {
+			t.Fatalf("stale encode back-fill hit the wrong record: %+v", rec)
+		}
+	}
+	if !found {
+		t.Fatal("seq 6 missing from snapshot")
+	}
+}
+
+func TestTracerConcurrentPublishSnapshot(t *testing.T) {
+	tr := NewTracer(4, 64, 1)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for shard := 0; shard < 4; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				seq := tr.Publish(shard, Record{
+					QueryID:   int64(i),
+					Template:  "q",
+					WallNanos: int64(i),
+					// Matching sentinel pair: a torn read shows mismatched halves.
+					DecideNanos: int64(i) * 3,
+					WaitNanos:   int64(i) * 7,
+				})
+				tr.SetEncode(shard, seq, 1)
+			}
+		}(shard)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range tr.Snapshot("", "", 0) {
+				if rec.DecideNanos != rec.QueryID*3 || rec.WaitNanos != rec.QueryID*7 {
+					t.Errorf("torn record: %+v", rec)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(-1)
+	wg.Wait()
+	wg.Add(1)
+	close(stop)
+	wg.Wait()
+}
+
+func TestJournalTotalsAndRings(t *testing.T) {
+	var seq atomic.Int64
+	j := NewJournal(0, 2, &seq)
+	d := func(usd float64) money.Amount { return money.FromDollars(usd) }
+
+	j.Emit(Event{Type: EventInvest, Tenant: "a", Structure: "idx1", Amount: d(1.5), Reason: "regret"})
+	j.Emit(Event{Type: EventInvest, Tenant: "b", Structure: "idx2", Amount: d(2.5), Reason: "regret"})
+	j.Emit(Event{Type: EventInvest, Tenant: "a", Structure: "idx3", Amount: d(4), Reason: "regret"})
+	j.Emit(Event{Type: EventEvict, Tenant: "a", Structure: "idx1", Amount: d(0.25), Reason: "rent"})
+	for i := 0; i < 5; i++ {
+		j.Emit(Event{Type: EventRecover, Tenant: "b", Structure: "idx2", Amount: d(0.1), Reason: "amort"})
+	}
+	j.Emit(Event{Type: "bogus", Amount: d(100)})
+
+	tot := j.Totals()
+	if tot.Invests != 3 || tot.Evicts != 1 || tot.Recovers != 5 {
+		t.Fatalf("counts wrong: %+v", tot)
+	}
+	if tot.Invested != d(8) || tot.Evicted != d(0.25) || tot.Recovered != d(0.5) {
+		t.Fatalf("totals lost exactness despite ring rotation: %+v", tot)
+	}
+
+	// Rings are bounded per type: invest kept the 2 newest, recover the 2
+	// newest, and the lone evict survived the recover flood.
+	evs := j.Snapshot("", "", 0)
+	if len(evs) != 5 {
+		t.Fatalf("snapshot kept %d events, want 5 (2 invest + 1 evict + 2 recover)", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: %+v", evs)
+		}
+	}
+	if got := j.Snapshot(EventEvict, "", 0); len(got) != 1 || got[0].Structure != "idx1" {
+		t.Fatalf("type filter wrong: %+v", got)
+	}
+	if got := j.Snapshot("", "b", 0); len(got) != 3 {
+		t.Fatalf("tenant filter kept %d, want 3", len(got))
+	}
+	// Cursor semantics: only events after sinceSeq.
+	last := evs[len(evs)-1].Seq
+	if got := j.Snapshot("", "", last); len(got) != 0 {
+		t.Fatalf("cursor at tail still returned %d events", len(got))
+	}
+	if got := j.Snapshot("", "", last-1); len(got) != 1 {
+		t.Fatalf("cursor at tail-1 returned %d events", len(got))
+	}
+	if evs[0].AmountUSD == 0 {
+		t.Fatalf("AmountUSD not derived: %+v", evs[0])
+	}
+}
+
+func TestMergeEvents(t *testing.T) {
+	a := []Event{{Seq: 1}, {Seq: 4}}
+	b := []Event{{Seq: 2}, {Seq: 3}, {Seq: 5}}
+	m := MergeEvents(0, a, b)
+	if len(m) != 5 {
+		t.Fatalf("merged %d", len(m))
+	}
+	for i, e := range m {
+		if e.Seq != int64(i+1) {
+			t.Fatalf("merge order wrong: %+v", m)
+		}
+	}
+	if got := MergeEvents(2, a, b); len(got) != 2 || got[0].Seq != 4 {
+		t.Fatalf("n=2 merge wrong: %+v", got)
+	}
+}
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	h := NewHistogram([]int64{1_000, 10_000})
+	h.Observe(500)     // bucket le=1µs
+	h.Observe(1_000)   // boundary: le=1µs
+	h.Observe(5_000)   // le=10µs
+	h.Observe(100_000) // +Inf
+	h.Observe(-5)      // clamps to 0 → le=1µs
+	if h.Count() != 5 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var sb strings.Builder
+	h.WritePrometheus(&sb, "x_stage_seconds", `stage="decide"`)
+	out := sb.String()
+	for _, want := range []string{
+		`x_stage_seconds_bucket{stage="decide",le="1e-06"} 3`,
+		`x_stage_seconds_bucket{stage="decide",le="1e-05"} 4`,
+		`x_stage_seconds_bucket{stage="decide",le="+Inf"} 5`,
+		`x_stage_seconds_count{stage="decide"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No labels: bare series names.
+	sb.Reset()
+	NewLatencyHistogram().WritePrometheus(&sb, "y", "")
+	if !strings.Contains(sb.String(), "y_count 0") {
+		t.Fatalf("unlabelled exposition wrong:\n%s", sb.String())
+	}
+}

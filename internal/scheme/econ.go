@@ -8,6 +8,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/economy"
 	"repro/internal/money"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/pricing"
 	"repro/internal/structure"
@@ -227,6 +228,10 @@ func (e *Econ) Cache() *cache.Cache { return e.ca }
 // Economy exposes the underlying economy for stats reporting.
 func (e *Econ) Economy() *economy.Economy { return e.eco }
 
+// SetEvents installs an economy event sink (see economy.SetEvents).
+// Install at wiring time, before traffic.
+func (e *Econ) SetEvents(fn func(obs.Event)) { e.eco.SetEvents(fn) }
+
 // HandleQuery implements Scheme.
 func (e *Econ) HandleQuery(q *workload.Query) (Result, error) {
 	if err := step(e.ca, q); err != nil {
@@ -241,12 +246,15 @@ func (e *Econ) HandleQuery(q *workload.Query) (Result, error) {
 		return Result{}, err
 	}
 	r := Result{
-		Declined:    d.Declined,
-		Charged:     d.Charged,
-		Profit:      d.Profit,
-		BuildUsage:  e.eco.DrainBuildUsage(),
-		Investments: len(d.Investments),
-		Failures:    len(d.Failures),
+		Case:             d.Case.String(),
+		Declined:         d.Declined,
+		Charged:          d.Charged,
+		Profit:           d.Profit,
+		BuildUsage:       e.eco.DrainBuildUsage(),
+		Investments:      len(d.Investments),
+		InvestConsidered: d.InvestConsidered,
+		RegretAccrued:    d.RegretAccrued,
+		Failures:         len(d.Failures),
 	}
 	if d.Chosen != nil {
 		r.ResponseTime = d.Chosen.Time()

@@ -29,6 +29,9 @@ type Result struct {
 	ResponseTime time.Duration
 	// Location says where the query ran.
 	Location plan.Location
+	// Case is the economy's §IV-C classification ("A"/"B"/"C"; empty for
+	// schemes without an economy).
+	Case string
 	// Declined reports the user walked away (no execution).
 	Declined bool
 	// Charged is the user's payment (0 for the bypass baseline, which
@@ -43,6 +46,12 @@ type Result struct {
 	BuildUsage cost.Usage
 	// Investments counts builds started by this query.
 	Investments int
+	// InvestConsidered counts structures whose regret crossed the
+	// investment bar this query, whether or not the build went through.
+	InvestConsidered int
+	// RegretAccrued is the regret this query distributed across missing
+	// structures.
+	RegretAccrued money.Amount
 	// Failures counts maintenance-failure evictions swept before this
 	// query.
 	Failures int

@@ -107,6 +107,8 @@ func TestSubmitBatchMatchesSequential(t *testing.T) {
 		}
 	}
 	a, b := seqSrv.Stats(), batchSrv.Stats()
+	clearGauges(&a)
+	clearGauges(&b)
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("aggregate stats diverged:\nsequential %+v\nbatch      %+v", a, b)
 	}

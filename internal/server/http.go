@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/money"
+	"repro/internal/obs"
 )
 
 // QueryRequest is the JSON body of POST /v1/query and one element of
@@ -104,6 +106,9 @@ type errorJSON struct {
 //	POST /v1/batch      — submit many ([]QueryRequest -> []BatchResponseItem)
 //	GET  /v1/stats      — live aggregate + per-shard metrics (Stats); ?pretty=1 indents
 //	GET  /v1/structures — resident structures across shards; ?pretty=1 indents
+//	GET  /v1/trace      — sampled per-query decision traces; ?tenant= ?template= ?n=
+//	GET  /v1/events     — economy event journal; ?type= ?tenant= ?n=
+//	GET  /metrics       — Prometheus text exposition
 //	GET  /healthz       — liveness plus headline counters (Health)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -111,6 +116,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v1/structures", s.handleStructures)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/events", s.handleEvents)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -118,12 +126,13 @@ func (s *Server) Handler() http.Handler {
 // writeJSON encodes v compactly — the hot /v1/query path pays no
 // indentation — and reports encode failures instead of swallowing them:
 // the status line is already on the wire by then, so the best we can do
-// is log and let the truncated body fail the client's decode.
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	writeJSONIndent(w, status, v, false)
+// is log with the request's context and let the truncated body fail the
+// client's decode.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	writeJSONIndent(w, r, status, v, false)
 }
 
-func writeJSONIndent(w http.ResponseWriter, status int, v any, indent bool) {
+func writeJSONIndent(w http.ResponseWriter, r *http.Request, status int, v any, indent bool) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -131,7 +140,12 @@ func writeJSONIndent(w http.ResponseWriter, status int, v any, indent bool) {
 		enc.SetIndent("", "  ")
 	}
 	if err := enc.Encode(v); err != nil {
-		log.Printf("server: encoding %T response: %v", v, err)
+		slog.Error("server: encoding response failed",
+			"type", fmt.Sprintf("%T", v),
+			"method", r.Method,
+			"path", r.URL.Path,
+			"remote", r.RemoteAddr,
+			"err", err)
 	}
 }
 
@@ -142,41 +156,59 @@ func wantPretty(r *http.Request) bool {
 	return p == "1" || p == "true"
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorJSON{Error: err.Error()})
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, r, status, errorJSON{Error: err.Error()})
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
+	}
+	// Stage timing is paid only while tracing is live: one clock read
+	// pair around the body decode, another around the reply encode.
+	tr := s.Tracer()
+	traceOn := tr != nil && tr.Enabled()
+	var decStart time.Time
+	if traceOn {
+		decStart = time.Now()
 	}
 	var qr QueryRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&qr); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if qr.Template == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("template is required"))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("template is required"))
 		return
 	}
 	req, err := qr.Request()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
+	}
+	if traceOn {
+		req.DecodeNanos = time.Since(decStart).Nanoseconds()
 	}
 	resp, err := s.Submit(r.Context(), req)
 	switch {
 	case errors.Is(err, ErrServerClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, r, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrUnknownTemplate):
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 	default:
-		writeJSON(w, http.StatusOK, resp)
+		var encStart time.Time
+		if traceOn {
+			encStart = time.Now()
+		}
+		writeJSON(w, r, http.StatusOK, resp)
+		if traceOn && resp.TraceSeq != 0 {
+			tr.SetEncode(resp.Shard, resp.TraceSeq, time.Since(encStart).Nanoseconds())
+		}
 	}
 }
 
@@ -194,22 +226,28 @@ const maxHTTPBatch = 4096
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
+	}
+	tr := s.Tracer()
+	traceOn := tr != nil && tr.Enabled()
+	var decStart time.Time
+	if traceOn {
+		decStart = time.Now()
 	}
 	var qrs []QueryRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&qrs); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	if len(qrs) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("empty batch"))
 		return
 	}
 	if len(qrs) > maxHTTPBatch {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(qrs), maxHTTPBatch))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(qrs), maxHTTPBatch))
 		return
 	}
 	reqs := make([]Request, len(qrs))
@@ -218,23 +256,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// as on /v1/query — they must not reach the shards and pollute
 		// the Errors counter.
 		if qrs[i].Template == "" {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("batch[%d]: template is required", i))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("batch[%d]: template is required", i))
 			return
 		}
 		req, err := qrs[i].Request()
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("batch[%d]: %w", i, err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("batch[%d]: %w", i, err))
 			return
 		}
 		reqs[i] = req
 	}
+	if traceOn {
+		share := time.Since(decStart).Nanoseconds() / int64(len(reqs))
+		for i := range reqs {
+			reqs[i].DecodeNanos = share
+		}
+	}
 	items, err := s.SubmitBatch(r.Context(), reqs)
 	switch {
 	case errors.Is(err, ErrServerClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, r, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	out := make([]BatchResponseItem, len(items))
@@ -246,32 +290,46 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out[i].Response = &resp
 		}
 	}
-	writeJSON(w, http.StatusOK, out)
+	var encStart time.Time
+	if traceOn {
+		encStart = time.Now()
+	}
+	writeJSON(w, r, http.StatusOK, out)
+	if traceOn {
+		// Back-fill the encode stage into the sampled records; the whole
+		// reply body shares one encode, amortized per item.
+		share := time.Since(encStart).Nanoseconds() / int64(len(out))
+		for i := range out {
+			if out[i].Response != nil && out[i].Response.TraceSeq != 0 {
+				tr.SetEncode(out[i].Response.Shard, out[i].Response.TraceSeq, share)
+			}
+		}
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	writeJSONIndent(w, http.StatusOK, s.Stats(), wantPretty(r))
+	writeJSONIndent(w, r, http.StatusOK, s.Stats(), wantPretty(r))
 }
 
 func (s *Server) handleStructures(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	structures := s.Structures()
 	if structures == nil {
 		structures = []StructureInfo{}
 	}
-	writeJSONIndent(w, http.StatusOK, structures, wantPretty(r))
+	writeJSONIndent(w, r, http.StatusOK, structures, wantPretty(r))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
 	var queries int64
@@ -286,7 +344,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.closed
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, Health{
+	writeJSON(w, r, http.StatusOK, Health{
 		Status:   "ok",
 		Scheme:   s.cfg.Scheme,
 		Shards:   len(s.shards),
@@ -294,4 +352,147 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queries:  queries,
 		Draining: draining,
 	})
+}
+
+// intParam parses a non-negative integer query parameter, returning def
+// when absent and an error when malformed.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%s: want a non-negative integer, got %q", name, raw)
+	}
+	return n, nil
+}
+
+// TraceView is the JSON body of GET /v1/trace.
+type TraceView struct {
+	// SampleEvery echoes the active sampling period: 0 means sampling is
+	// off, 1 every query, N one in N. -1 means the tracer is disabled
+	// entirely (Config.TraceRing < 0).
+	SampleEvery int64        `json:"sample_every"`
+	Records     []obs.Record `json:"records"`
+}
+
+// defaultTraceN bounds an unqualified GET /v1/trace; the full rings are
+// available with an explicit ?n=.
+const defaultTraceN = 256
+
+// TraceViewSnapshot builds the trace view both fronts (HTTP and the
+// binary protocol's trace frame) serve. n <= 0 applies the default
+// bound.
+func (s *Server) TraceViewSnapshot(tenant, template string, n int) TraceView {
+	if n <= 0 {
+		n = defaultTraceN
+	}
+	view := TraceView{SampleEvery: -1, Records: []obs.Record{}}
+	if tr := s.Tracer(); tr != nil {
+		view.SampleEvery = tr.SampleEvery()
+		if recs := s.TraceSnapshot(tenant, template, n); recs != nil {
+			view.Records = recs
+		}
+	}
+	return view
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	n, err := intParam(r, "n", defaultTraceN)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	writeJSONIndent(w, r, http.StatusOK, s.TraceViewSnapshot(q.Get("tenant"), q.Get("template"), n), wantPretty(r))
+}
+
+// EventsView is the JSON body of GET /v1/events: the exact running
+// totals (which survive ring rotation) plus the most recent events that
+// match the filters.
+type EventsView struct {
+	Totals EventTotalsView `json:"totals"`
+	Events []obs.Event     `json:"events"`
+}
+
+// EventTotalsView reports the journal's conservation counters in dollars.
+type EventTotalsView struct {
+	Invests      int64   `json:"invests"`
+	Evicts       int64   `json:"evicts"`
+	Recovers     int64   `json:"recovers"`
+	InvestedUSD  float64 `json:"invested_usd"`
+	EvictedUSD   float64 `json:"evicted_usd"`
+	RecoveredUSD float64 `json:"recovered_usd"`
+}
+
+// defaultEventsN bounds an unqualified GET /v1/events.
+const defaultEventsN = 256
+
+func totalsView(tot obs.Totals) EventTotalsView {
+	return EventTotalsView{
+		Invests:      tot.Invests,
+		Evicts:       tot.Evicts,
+		Recovers:     tot.Recovers,
+		InvestedUSD:  tot.Invested.Dollars(),
+		EvictedUSD:   tot.Evicted.Dollars(),
+		RecoveredUSD: tot.Recovered.Dollars(),
+	}
+}
+
+// EventsViewSnapshot builds the events view both fronts serve. n <= 0
+// applies the default bound.
+func (s *Server) EventsViewSnapshot(typ, tenant string, n int) EventsView {
+	if n <= 0 {
+		n = defaultEventsN
+	}
+	view := EventsView{Totals: totalsView(s.EventTotals()), Events: []obs.Event{}}
+	if evs := s.EventsSnapshot(typ, tenant, n); evs != nil {
+		view.Events = evs
+	}
+	return view
+}
+
+// EventsViewSince builds an incremental events view — every buffered
+// event with Seq > since plus the running totals — and returns the new
+// cursor (the highest Seq delivered, or since when nothing is new). This
+// is the streaming form the binary protocol's events subscription uses.
+func (s *Server) EventsViewSince(since int64) (EventsView, int64) {
+	view := EventsView{Totals: totalsView(s.EventTotals()), Events: []obs.Event{}}
+	if evs := s.EventsSince(since); evs != nil {
+		view.Events = evs
+	}
+	cursor := since
+	for i := range view.Events {
+		if view.Events[i].Seq > cursor {
+			cursor = view.Events[i].Seq
+		}
+	}
+	return view, cursor
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	n, err := intParam(r, "n", defaultEventsN)
+	if err != nil {
+		writeError(w, r, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	typ := q.Get("type")
+	switch typ {
+	case "", obs.EventInvest, obs.EventEvict, obs.EventRecover:
+	default:
+		writeError(w, r, http.StatusBadRequest,
+			fmt.Errorf("type: want %q, %q or %q, got %q", obs.EventInvest, obs.EventEvict, obs.EventRecover, typ))
+		return
+	}
+	writeJSONIndent(w, r, http.StatusOK, s.EventsViewSnapshot(typ, q.Get("tenant"), n), wantPretty(r))
 }

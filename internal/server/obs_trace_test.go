@@ -1,0 +1,230 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// newTraceServer is newTestServer with the observability knobs exposed.
+func newTraceServer(t *testing.T, shards, ring int, sampleEvery int64) *server.Server {
+	t.Helper()
+	cat := testCatalog()
+	srv, err := server.New(server.Config{
+		Shards:           shards,
+		Scheme:           "econ-cheap",
+		Params:           testParams(cat),
+		Clock:            server.NewVirtualClock(),
+		TraceRing:        ring,
+		TraceSampleEvery: sampleEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Shutdown(context.Background()) })
+	return srv
+}
+
+// TestTraceRingConcurrency is the tracer's -race workhorse: many
+// goroutines hammer a trace-everything server while readers snapshot the
+// rings and a toggler flips the sampling period, and no observed record
+// may ever be torn. Tearing is detectable because every tenant submits
+// exactly one template: a record pairing tenant i with another tenant's
+// template could only come from a half-written slot.
+func TestTraceRingConcurrency(t *testing.T) {
+	const (
+		shards     = 4
+		ring       = 64
+		goroutines = 12
+		perG       = 120
+	)
+	srv := newTraceServer(t, shards, ring, 1)
+	templates := []string{"Q1", "Q3", "Q5", "Q6", "Q10", "Q14", "Q18"}
+	wantTemplate := make(map[string]string)
+	for k := 0; k < goroutines; k++ {
+		wantTemplate[fmt.Sprintf("trace-%d", k)] = templates[k%len(templates)]
+	}
+	checkRecords := func(where string) int {
+		t.Helper()
+		recs := srv.TraceSnapshot("", "", 0)
+		for _, r := range recs {
+			if r.Seq <= 0 {
+				t.Fatalf("%s: record without a sequence number: %+v", where, r)
+			}
+			if r.Shard < 0 || r.Shard >= shards {
+				t.Fatalf("%s: record from shard %d of %d", where, r.Shard, shards)
+			}
+			want, ok := wantTemplate[r.Tenant]
+			if !ok {
+				t.Fatalf("%s: record from unknown tenant %q", where, r.Tenant)
+			}
+			if r.Template != want {
+				t.Fatalf("%s: torn record: tenant %q paired with template %q, want %q",
+					where, r.Tenant, r.Template, want)
+			}
+			if r.WaitNanos < 0 || r.DecideNanos < 0 || r.DecodeNanos != 0 || r.EncodeNanos != 0 {
+				t.Fatalf("%s: implausible stage split: %+v", where, r)
+			}
+			if r.QueryID == 0 || r.Selectivity <= 0 {
+				t.Fatalf("%s: incomplete decision path: %+v", where, r)
+			}
+		}
+		return len(recs)
+	}
+
+	ctx := context.Background()
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				checkRecords("concurrent read")
+				srv.TraceViewSnapshot("trace-1", "", 16)
+			}
+		}()
+	}
+	// The sampling period is a runtime knob; flip it mid-flight so the
+	// atomic gate and the per-shard countdown race with the submitters.
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		tr := srv.Tracer()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				tr.SetSampleEvery(1)
+				return
+			default:
+			}
+			tr.SetSampleEvery(int64(1 + i%3))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("trace-%d", g)
+			for i := 0; i < perG; i++ {
+				if _, err := srv.Submit(ctx, server.Request{
+					Tenant:   tenant,
+					Template: wantTemplate[tenant],
+					Budget:   testBudget(),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	readers.Wait()
+
+	if n := checkRecords("final read"); n == 0 {
+		t.Fatal("no records sampled across the whole run")
+	}
+	// Per-shard sequence numbers are contiguous: the retained window of
+	// each ring is exactly the newest min(published, cap) records.
+	perShard := make(map[int][]int64)
+	for _, r := range srv.TraceSnapshot("", "", 0) {
+		perShard[r.Shard] = append(perShard[r.Shard], r.Seq)
+	}
+	for shard, seqs := range perShard {
+		if len(seqs) > ring {
+			t.Errorf("shard %d retains %d records, ring holds %d", shard, len(seqs), ring)
+		}
+		seen := make(map[int64]bool, len(seqs))
+		lo, hi := seqs[0], seqs[0]
+		for _, s := range seqs {
+			if seen[s] {
+				t.Fatalf("shard %d duplicated seq %d", shard, s)
+			}
+			seen[s] = true
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi-lo+1 != int64(len(seqs)) {
+			t.Errorf("shard %d seqs not contiguous: %d..%d over %d records", shard, lo, hi, len(seqs))
+		}
+	}
+}
+
+// TestTraceDisabled covers the two off states: sampling off keeps the
+// rings empty (the hot path pays one atomic load), and a negative ring
+// removes the tracer entirely, which the trace view reports as -1.
+func TestTraceDisabled(t *testing.T) {
+	ctx := context.Background()
+
+	srv := newTraceServer(t, 2, 0, 0) // tracer installed, sampling off
+	for i := 0; i < 40; i++ {
+		if _, err := srv.Submit(ctx, server.Request{Template: "Q6", Budget: testBudget()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recs := srv.TraceSnapshot("", "", 0); len(recs) != 0 {
+		t.Errorf("sampling off produced %d records", len(recs))
+	}
+	if view := srv.TraceViewSnapshot("", "", 0); view.SampleEvery != 0 || len(view.Records) != 0 {
+		t.Errorf("view = sample_every %d, %d records; want 0 and none", view.SampleEvery, len(view.Records))
+	}
+
+	off := newTraceServer(t, 2, -1, 0) // no tracer at all
+	if off.Tracer() != nil {
+		t.Fatal("negative TraceRing still installed a tracer")
+	}
+	if _, err := off.Submit(ctx, server.Request{Template: "Q6", Budget: testBudget()}); err != nil {
+		t.Fatal(err)
+	}
+	if view := off.TraceViewSnapshot("", "", 0); view.SampleEvery != -1 {
+		t.Errorf("disabled tracer reports sample_every %d, want -1", view.SampleEvery)
+	}
+}
+
+// TestTraceFilters: tenant and template filters compose, and n keeps
+// the newest matches.
+func TestTraceFilters(t *testing.T) {
+	srv := newTraceServer(t, 2, 0, 1)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		for _, q := range []struct{ tenant, template string }{
+			{"alice", "Q6"}, {"alice", "Q1"}, {"bob", "Q6"},
+		} {
+			if _, err := srv.Submit(ctx, server.Request{
+				Tenant: q.tenant, Template: q.template, Budget: testBudget(),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got := len(srv.TraceSnapshot("alice", "", 0)); got != 20 {
+		t.Errorf("alice records = %d, want 20", got)
+	}
+	if got := len(srv.TraceSnapshot("alice", "Q6", 0)); got != 10 {
+		t.Errorf("alice/Q6 records = %d, want 10", got)
+	}
+	recs := srv.TraceSnapshot("", "Q6", 5)
+	if len(recs) != 5 {
+		t.Fatalf("capped snapshot returned %d records", len(recs))
+	}
+	for _, r := range recs {
+		if r.Template != "Q6" {
+			t.Errorf("template filter leaked %q", r.Template)
+		}
+	}
+}

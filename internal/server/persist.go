@@ -2,7 +2,7 @@ package server
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"sort"
 	"time"
 
@@ -92,7 +92,7 @@ func (s *Server) runCheckpointer(every time.Duration) {
 		select {
 		case <-t.C:
 			if _, err := s.writeSnapshot(); err != nil {
-				log.Printf("server: checkpoint: %v", err)
+				slog.Error("server: checkpoint failed", "path", s.cfg.SnapshotPath, "err", err)
 			}
 		case <-s.ckptStop:
 			return

@@ -23,7 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +32,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/catalog"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/pricing"
 	"repro/internal/scheme"
@@ -64,6 +65,11 @@ type Request struct {
 	// Budget is the user's B_Q(t); nil applies the server's default
 	// budget policy.
 	Budget budget.Func
+	// DecodeNanos is the front's per-query share of the frame decode that
+	// produced this request — observability only, carried into the
+	// query's decision trace when it is sampled. Zero for in-process
+	// submissions.
+	DecodeNanos int64
 }
 
 // Response reports how the economy answered one query.
@@ -80,6 +86,12 @@ type Response struct {
 	ProfitUSD       float64 `json:"profit_usd"`
 	Investments     int     `json:"investments"`
 	Failures        int     `json:"failures"`
+
+	// TraceSeq, together with Shard, names this query's decision-trace
+	// record when it was sampled (0 otherwise). In-process only: fronts
+	// use it to back-fill the encode-stage latency after the reply is on
+	// the wire; it is not part of the JSON surface.
+	TraceSeq int64 `json:"-"`
 }
 
 // Config parameterises a Server.
@@ -139,6 +151,18 @@ type Config struct {
 	// rest of this config; a mismatch fails New rather than silently
 	// dropping state.
 	Restore *persist.Snapshot
+	// TraceRing is the per-shard decision-trace ring capacity: 0 takes
+	// obs.DefaultRing, negative disables the tracer entirely (not even
+	// the sample-gate load is paid — the benchmark baseline).
+	TraceRing int
+	// TraceSampleEvery is the initial trace sampling period: 0 off,
+	// 1 every query, N one in N. Adjustable at runtime through
+	// Tracer().SetSampleEvery; with sampling off the decide loop pays a
+	// single atomic load per query.
+	TraceSampleEvery int64
+	// JournalRing bounds each shard's per-event-type economy journal
+	// rings. 0 takes obs.DefaultJournalRing.
+	JournalRing int
 }
 
 // Server is the concurrent serving engine.
@@ -151,6 +175,18 @@ type Server struct {
 	clock      Clock
 	shards     []*shard
 	nextID     atomic.Int64
+
+	// epoch anchors the monotone nanosecond scale behind mailbox-wait
+	// measurement and trace wall stamps (real time, independent of the
+	// economy clock's acceleration).
+	epoch time.Time
+	// tracer collects sampled decision traces; nil when Config.TraceRing
+	// is negative.
+	tracer *obs.Tracer
+	// journals hold each shard's economy event log; eventSeq is the
+	// global order all of them share.
+	journals []*obs.Journal
+	eventSeq atomic.Int64
 
 	mu       sync.Mutex
 	closed   bool
@@ -225,6 +261,10 @@ func New(cfg Config) (*Server, error) {
 		budgets:    cfg.Budgets,
 		templates:  make(map[string]*workload.Template, len(cfg.Templates)),
 		clock:      cfg.Clock,
+		epoch:      time.Now(),
+	}
+	if cfg.TraceRing >= 0 {
+		srv.tracer = obs.NewTracer(cfg.Shards, cfg.TraceRing, cfg.TraceSampleEvery)
 	}
 	for _, t := range cfg.Templates {
 		// Validate also memoizes the template's group size, so the
@@ -243,12 +283,20 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	srv.shards = make([]*shard, cfg.Shards)
+	srv.journals = make([]*obs.Journal, cfg.Shards)
 	for i := range srv.shards {
 		sch, err := scheme.New(cfg.Scheme, cfg.Params)
 		if err != nil {
 			return nil, err
 		}
 		srv.shards[i] = newShard(i, srv, sch, shardSeed(cfg.Seed, i), cfg.MailboxDepth, cfg.ReservoirCap)
+		// Each shard journals its economy's events; emission happens on
+		// the shard's serialized decision path, and restore mutates the
+		// scheme in place, so the sink survives snapshot adoption.
+		srv.journals[i] = obs.NewJournal(i, cfg.JournalRing, &srv.eventSeq)
+		if es, ok := sch.(interface{ SetEvents(func(obs.Event)) }); ok {
+			es.SetEvents(srv.journals[i].Emit)
+		}
 	}
 	// Adopt persisted state before any loop starts: restore is
 	// all-or-nothing, so a failed restore leaves no half-built server.
@@ -305,6 +353,58 @@ func (s *Server) runTicker(every time.Duration) {
 // ShardCount returns the number of shards.
 func (s *Server) ShardCount() int { return len(s.shards) }
 
+// nanos is the server's monotone nanosecond scale (real time since
+// construction): mailbox-wait stamps and trace wall stamps share it.
+func (s *Server) nanos() int64 { return int64(time.Since(s.epoch)) }
+
+// Tracer exposes the decision-trace collector for runtime control
+// (sampling knobs) and exposition. Nil when Config.TraceRing < 0.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// TraceSnapshot returns up to n of the most recent sampled decision
+// traces matching the tenant/template filters ("" matches everything).
+// Empty when tracing is disabled.
+func (s *Server) TraceSnapshot(tenant, template string, n int) []obs.Record {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.Snapshot(tenant, template, n)
+}
+
+// EventsSnapshot returns up to n of the most recent retained economy
+// events matching the type/tenant filters (""s match everything),
+// merged across shards in global sequence order.
+func (s *Server) EventsSnapshot(typ, tenant string, n int) []obs.Event {
+	parts := make([][]obs.Event, len(s.journals))
+	for i, j := range s.journals {
+		parts[i] = j.Snapshot(typ, tenant, 0)
+	}
+	return obs.MergeEvents(n, parts...)
+}
+
+// EventsSince returns every retained economy event with Seq > seq in
+// global order — the cursor walk the wire event stream uses between
+// pushes.
+func (s *Server) EventsSince(seq int64) []obs.Event {
+	parts := make([][]obs.Event, len(s.journals))
+	for i, j := range s.journals {
+		parts[i] = j.Snapshot("", "", seq)
+	}
+	return obs.MergeEvents(0, parts...)
+}
+
+// EventTotals sums the journals' exact lifetime totals across shards.
+// Ring-capacity independent: these reconcile against ledger totals even
+// after old events rotate out.
+func (s *Server) EventTotals() obs.Totals {
+	var t obs.Totals
+	for _, j := range s.journals {
+		jt := j.Totals()
+		t.Add(jt)
+	}
+	return t
+}
+
 // Clock returns the server's clock.
 func (s *Server) Clock() Clock { return s.clock }
 
@@ -339,7 +439,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 
 	reply := make(chan shardReply, 1)
 	select {
-	case sh.mailbox <- shardMsg{req: req, reply: reply}:
+	case sh.mailbox <- shardMsg{req: req, reply: reply, enq: s.nanos()}:
 	case <-ctx.Done():
 		return Response{}, ctx.Err()
 	}
@@ -410,12 +510,14 @@ func (s *Server) SubmitBatch(ctx context.Context, reqs []Request) ([]BatchItem, 
 	// after some sends, the already-accepted groups are still decided
 	// (and their buffered replies dropped) — same semantics as an
 	// abandoned Submit.
+	// One wait stamp covers the whole call; groups enqueue back to back.
+	enq := s.nanos()
 	for idx, g := range groups {
 		if g == nil {
 			continue
 		}
 		select {
-		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchReply: g.reply}:
+		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchReply: g.reply, enq: enq}:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -495,6 +597,8 @@ func (s *Server) SubmitBatchAsync(ctx context.Context, reqs []Request, done func
 	// later groups are still enqueueing cannot see a premature zero.
 	pending.Add(n)
 
+	enq := s.nanos()
+
 	for idx, g := range groups {
 		if g == nil {
 			continue
@@ -509,7 +613,7 @@ func (s *Server) SubmitBatchAsync(ctx context.Context, reqs []Request, done func
 			}
 		}
 		select {
-		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchDone: cb}:
+		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchDone: cb, enq: enq}:
 		case <-ctx.Done():
 			// Unsent groups keep pending above zero forever, so done can
 			// never fire after this error return.
@@ -680,7 +784,7 @@ func (s *Server) drain() {
 	// and a restored run stays byte-identical to an uninterrupted one.
 	if s.cfg.SnapshotPath != "" {
 		if _, err := s.writeSnapshot(); err != nil {
-			log.Printf("server: drain snapshot: %v", err)
+			slog.Error("server: drain snapshot failed", "path", s.cfg.SnapshotPath, "err", err)
 		}
 	}
 	for _, sh := range s.shards {

@@ -3,12 +3,14 @@ package server
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cost"
 	"repro/internal/economy"
 	"repro/internal/metrics"
 	"repro/internal/money"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/scheme"
 	"repro/internal/workload"
@@ -34,6 +36,10 @@ type shardMsg struct {
 	// batches (SubmitBatchAsync): the loop invokes it with the group's
 	// replies after releasing the shard lock, on the shard goroutine.
 	batchDone func([]shardReply)
+
+	// enq is the Server.nanos() stamp at enqueue, measuring mailbox wait
+	// (for the oldest-waiter gauge and sampled decision traces).
+	enq int64
 }
 
 // shardReply is the shard's answer to one submission.
@@ -79,6 +85,11 @@ type shard struct {
 	// deferred is handleMsgs' scratch list of async completions to run
 	// after the lock drops; a field so its capacity survives drains.
 	deferred []deferredDone
+
+	// oldestWait is the head message's mailbox wait observed at the most
+	// recent drain, nanoseconds — the saturation gauge /v1/stats reports.
+	// Atomic because snapshots read it without joining the queue.
+	oldestWait atomic.Int64
 
 	queries       int64
 	declined      int64
@@ -192,15 +203,21 @@ func (s *shard) handleMsgs(msgs []shardMsg) {
 	if delay := s.srv.cfg.DecideDelay; delay != nil {
 		delay(s.id)
 	}
+	// One real-time read per drain feeds both the oldest-waiter gauge
+	// (FIFO: the head message waited longest) and the per-message wait
+	// stage of sampled traces.
+	drainNanos := s.srv.nanos()
+	s.oldestWait.Store(drainNanos - msgs[0].enq)
 	s.mu.Lock()
 	now := s.nowLocked()
 	s.accrueLocked(now)
 	s.deferred = s.deferred[:0]
 	for _, m := range msgs {
+		wait := drainNanos - m.enq
 		if m.batch != nil {
 			replies := make([]shardReply, len(m.batch))
 			for i, req := range m.batch {
-				replies[i] = s.handleLocked(req, now)
+				replies[i] = s.handleLocked(req, now, wait)
 			}
 			if m.batchDone != nil {
 				s.deferred = append(s.deferred, deferredDone{fn: m.batchDone, replies: replies})
@@ -208,7 +225,7 @@ func (s *shard) handleMsgs(msgs []shardMsg) {
 				m.batchReply <- replies
 			}
 		} else {
-			m.reply <- s.handleLocked(m.req, now)
+			m.reply <- s.handleLocked(m.req, now, wait)
 		}
 	}
 	s.mu.Unlock()
@@ -243,13 +260,60 @@ func (s *shard) accrueLocked(now time.Duration) {
 	s.lastAccrual = now
 }
 
-// handleLocked decides one query at arrival time now. Callers hold s.mu
-// and have already accrued rent through now.
-func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
+// handleLocked decides one query at arrival time now, sampling a
+// decision trace when the tracer asks for one. waitNanos is the
+// real-time mailbox wait of the message that carried the request.
+// Callers hold s.mu and have already accrued rent through now.
+func (s *shard) handleLocked(req Request, now time.Duration, waitNanos int64) shardReply {
+	tr := s.srv.tracer
+	// The whole observability layer costs one nil check and one atomic
+	// load per query until a sample is due.
+	if tr == nil || !tr.Sample(s.id) {
+		reply, _ := s.decideLocked(req, now)
+		return reply
+	}
+
+	start := time.Now()
+	reply, res := s.decideLocked(req, now)
+	decideNanos := time.Since(start).Nanoseconds()
+
+	rec := obs.Record{
+		QueryID:          reply.resp.QueryID,
+		Tenant:           req.Tenant,
+		Template:         req.Template,
+		Selectivity:      reply.resp.Selectivity,
+		ArrivalSec:       now.Seconds(),
+		Case:             res.Case,
+		Declined:         res.Declined,
+		CacheHit:         !res.Declined && res.Location == plan.Cache,
+		Location:         reply.resp.Location,
+		ResponseTimeSec:  res.ResponseTime.Seconds(),
+		ChargedUSD:       res.Charged.Dollars(),
+		ProfitUSD:        res.Profit.Dollars(),
+		RegretDeltaUSD:   res.RegretAccrued.Dollars(),
+		InvestConsidered: res.InvestConsidered,
+		InvestTaken:      res.Investments,
+		FailuresSwept:    res.Failures,
+		DecodeNanos:      req.DecodeNanos,
+		WaitNanos:        waitNanos,
+		DecideNanos:      decideNanos,
+		WallNanos:        s.srv.nanos(),
+	}
+	if reply.err != nil {
+		rec.Error = reply.err.Error()
+	}
+	reply.resp.TraceSeq = tr.Publish(s.id, rec)
+	return reply
+}
+
+// decideLocked is the untraced decision path: template resolution,
+// budgeting, the scheme's verdict and the shard counters. Callers hold
+// s.mu.
+func (s *shard) decideLocked(req Request, now time.Duration) (shardReply, scheme.Result) {
 	tpl, ok := s.srv.templates[req.Template]
 	if !ok {
 		s.errors++
-		return shardReply{err: fmt.Errorf("%w: %q", ErrUnknownTemplate, req.Template)}
+		return shardReply{err: fmt.Errorf("%w: %q", ErrUnknownTemplate, req.Template)}, scheme.Result{}
 	}
 	sel := req.Selectivity
 	if sel == 0 && !req.HasSelectivity {
@@ -277,7 +341,7 @@ func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
 		scan, err := q.ScanBytes(s.srv.catalog)
 		if err != nil {
 			s.errors++
-			return shardReply{err: err}
+			return shardReply{err: err}, scheme.Result{}
 		}
 		result, _ := q.ResultBytes(s.srv.catalog)
 		q.Budget = s.srv.budgets.BudgetFor(q, scan, result)
@@ -286,7 +350,7 @@ func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
 	r, err := s.sch.HandleQuery(q)
 	if err != nil {
 		s.errors++
-		return shardReply{err: fmt.Errorf("shard %d: query %d: %w", s.id, q.ID, err)}
+		return shardReply{err: fmt.Errorf("shard %d: query %d: %w", s.id, q.ID, err)}, scheme.Result{}
 	}
 
 	s.queries++
@@ -325,7 +389,7 @@ func (s *shard) handleLocked(req Request, now time.Duration) shardReply {
 		ProfitUSD:       r.Profit.Dollars(),
 		Investments:     r.Investments,
 		Failures:        r.Failures,
-	}}
+	}}, r
 }
 
 // housekeep advances the shard's economy through idle time: rent accrues
@@ -375,6 +439,8 @@ func (s *shard) snapshot() (ShardStats, []float64) {
 		Investments:        s.investments,
 		Failures:           s.failures,
 		Errors:             s.errors,
+		MailboxDepth:       len(s.mailbox),
+		OldestWaitSec:      float64(s.oldestWait.Load()) / 1e9,
 		ResponseMeanSec:    s.response.Mean(),
 		ResponseP50Sec:     s.response.Percentile(50),
 		ResponseP95Sec:     s.response.Percentile(95),

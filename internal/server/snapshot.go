@@ -22,6 +22,14 @@ type ShardStats struct {
 	Failures      int64 `json:"failures"`
 	Errors        int64 `json:"errors"`
 
+	// Saturation gauges. MailboxDepth is the admission queue's length at
+	// snapshot time; OldestWaitSec is the head message's queue wait
+	// observed at the shard's most recent mailbox drain (real seconds,
+	// not economy time) — together they show a shard falling behind
+	// before response times do.
+	MailboxDepth  int     `json:"mailbox_depth"`
+	OldestWaitSec float64 `json:"oldest_wait_s"`
+
 	// Response-time statistics over executed queries (seconds).
 	ResponseMeanSec float64 `json:"response_mean_s"`
 	ResponseP50Sec  float64 `json:"response_p50_s"`

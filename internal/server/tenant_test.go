@@ -121,6 +121,8 @@ func TestPerTenantStatsDeterministic(t *testing.T) {
 			}
 
 			a, b := concurrent.Stats(), sequential.Stats()
+			clearGauges(&a)
+			clearGauges(&b)
 			if !a.Draining || !b.Draining {
 				t.Fatal("post-drain snapshots must be draining")
 			}

@@ -41,6 +41,14 @@ func fuzzSeeds(t testing.TB) [][]byte {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tp, err := AppendTracePush(nil, 6, server.TraceView{SampleEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := AppendEventsPush(nil, 7, server.EventsView{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	return [][]byte{
 		qb,
 		rb,
@@ -57,6 +65,13 @@ func fuzzSeeds(t testing.TB) [][]byte {
 		AppendStatsSubscribe(nil, 5, 0.25),
 		AppendStatsUnsubscribe(nil, 5),
 		sp,
+		// Observability frames: trace and events.
+		AppendTraceRequest(nil, 6, "alice", "Q6", 128),
+		tp,
+		AppendEventsRequest(nil, 7, "invest", "alice", 64),
+		ep,
+		AppendEventsSubscribe(nil, 7, 0.5),
+		AppendEventsUnsubscribe(nil, 7),
 	}
 }
 
@@ -152,6 +167,39 @@ func FuzzWireDecode(f *testing.F) {
 			}
 		}
 		_, _, _ = DecodeStatsPush(data)
+
+		// Observability decoders: same contract.
+		if tag, tenant, template, n, err := DecodeTraceRequest(data); err == nil {
+			enc := AppendTraceRequest(nil, tag, tenant, template, n)
+			tag2, tenant2, template2, n2, err := DecodeTraceRequest(enc)
+			if err != nil || tag2 != tag || tenant2 != tenant || template2 != template || n2 != n {
+				t.Fatalf("trace request round trip diverged: err %v", err)
+			}
+		}
+		if tag, typ, tenant, n, err := DecodeEventsRequest(data); err == nil {
+			enc := AppendEventsRequest(nil, tag, typ, tenant, n)
+			tag2, typ2, tenant2, n2, err := DecodeEventsRequest(enc)
+			if err != nil || tag2 != tag || typ2 != typ || tenant2 != tenant || n2 != n {
+				t.Fatalf("events request round trip diverged: err %v", err)
+			}
+		}
+		if tag, interval, err := DecodeEventsSubscribe(data); err == nil {
+			enc := AppendEventsSubscribe(nil, tag, interval)
+			if tag2, _, err := DecodeEventsSubscribe(enc); err != nil || tag2 != tag {
+				t.Fatalf("events subscribe round trip: tag %d→%d, err %v", tag, tag2, err)
+			}
+			if !bytes.Equal(enc, AppendEventsSubscribe(nil, tag, interval)) {
+				t.Fatal("events subscribe encoding unstable")
+			}
+		}
+		if tag, err := DecodeEventsUnsubscribe(data); err == nil {
+			enc := AppendEventsUnsubscribe(nil, tag)
+			if tag2, err := DecodeEventsUnsubscribe(enc); err != nil || tag2 != tag {
+				t.Fatalf("events unsubscribe round trip: tag %d→%d, err %v", tag, tag2, err)
+			}
+		}
+		_, _, _ = DecodeTracePush(data)
+		_, _, _ = DecodeEventsPush(data)
 
 		_, _ = ReadFrame(bytes.NewReader(data), nil)
 	})

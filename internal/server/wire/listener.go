@@ -156,6 +156,14 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 			continue
 		}
 
+		// Stage timing is paid only while tracing is live: two clock reads
+		// per BATCH, amortized over its queries.
+		tr := srv.Tracer()
+		traceOn := tr != nil && tr.Enabled()
+		var decStart time.Time
+		if traceOn {
+			decStart = time.Now()
+		}
 		queries, err = DecodeQueryBatch(payload, queries)
 		if err != nil {
 			fail(err)
@@ -171,6 +179,12 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 			}
 			reqs = append(reqs, req)
 		}
+		if traceOn && len(reqs) > 0 {
+			share := time.Since(decStart).Nanoseconds() / int64(len(reqs))
+			for i := range reqs {
+				reqs[i].DecodeNanos = share
+			}
+		}
 
 		items, err := srv.SubmitBatch(context.Background(), reqs)
 		if err != nil {
@@ -185,7 +199,21 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 				replies = append(replies, Reply{Resp: items[i].Resp})
 			}
 		}
+		var encStart time.Time
+		if traceOn {
+			encStart = time.Now()
+		}
 		wbuf = AppendReplyBatch(wbuf[:0], replies)
+		if traceOn && len(replies) > 0 {
+			// Back-fill the encode stage into the sampled records: the shard
+			// published them before the reply bytes existed.
+			share := time.Since(encStart).Nanoseconds() / int64(len(replies))
+			for i := range replies {
+				if replies[i].Err == "" && replies[i].Resp.TraceSeq != 0 {
+					tr.SetEncode(replies[i].Resp.Shard, replies[i].Resp.TraceSeq, share)
+				}
+			}
+		}
 		if err := WriteFrame(bw, wbuf); err != nil {
 			return
 		}

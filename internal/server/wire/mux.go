@@ -39,6 +39,76 @@ type muxResult struct {
 	err     error
 }
 
+// traceResult is one trace request's outcome on the client side.
+type traceResult struct {
+	view server.TraceView
+	err  error
+}
+
+// EventsSub is one client-side economy-events subscription. Cursored
+// installments arrive on C as the server pushes them — each carries only
+// events the subscription has not yet seen, plus the journal's running
+// totals — and the channel is closed when the subscription ends. A slow
+// consumer drops installments rather than stalling the reader; the
+// totals in the next installment still reconcile (they are running
+// sums, not deltas).
+type EventsSub struct {
+	C   <-chan server.EventsView
+	c   chan server.EventsView
+	tag uint64
+	cl  *MuxClient
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// Err reports why the subscription ended, once C is closed; nil means a
+// clean Close.
+func (s *EventsSub) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close unsubscribes: the server stops pushing and C is closed. Safe to
+// call more than once.
+func (s *EventsSub) Close() error {
+	if !s.finish(nil) {
+		return nil
+	}
+	return s.cl.sendEventsUnsubscribe(s.tag)
+}
+
+// finish closes C exactly once, recording the cause; reports whether
+// this call was the one that closed it.
+func (s *EventsSub) finish(cause error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	s.err = cause
+	close(s.c)
+	return true
+}
+
+// deliver hands the reader an installment without racing finish: the
+// mutex serializes the send against the close, and a slow consumer
+// drops the installment rather than stalling the connection's reader.
+func (s *EventsSub) deliver(view server.EventsView) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.c <- view:
+	default:
+	}
+}
+
 // StatsSub is one client-side stats subscription. Snapshots arrive on C
 // as the server pushes them; the channel is closed when the
 // subscription ends (Close, a tag-scoped server error, or connection
@@ -86,6 +156,21 @@ func (s *StatsSub) finish(cause error) bool {
 	return true
 }
 
+// deliver hands the reader a snapshot without racing finish: the mutex
+// serializes the send against the close, and a slow consumer drops the
+// push rather than stalling the connection's reader.
+func (s *StatsSub) deliver(st server.Stats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.c <- st:
+	default:
+	}
+}
+
 // MuxClient is the multiplexed (protocol v2) client: one connection,
 // any number of goroutines, any number of outstanding batches. Each
 // Submit rides a tagged frame; a reader goroutine demultiplexes replies
@@ -108,6 +193,8 @@ type MuxClient struct {
 	mu      sync.Mutex
 	calls   map[uint64]*muxCall
 	subs    map[uint64]*StatsSub
+	tcalls  map[uint64]chan traceResult
+	esubs   map[uint64]*EventsSub
 	nextTag uint64
 	err     error // sticky: why the connection died
 	done    chan struct{}
@@ -133,12 +220,14 @@ func DialMux(addr string) (*MuxClient, error) {
 // is left to the caller to close.
 func NewMuxClient(conn net.Conn) (*MuxClient, error) {
 	c := &MuxClient{
-		conn:  conn,
-		bw:    bufio.NewWriterSize(conn, 64<<10),
-		calls: make(map[uint64]*muxCall),
-		subs:  make(map[uint64]*StatsSub),
-		wdone: make(chan struct{}),
-		done:  make(chan struct{}),
+		conn:   conn,
+		bw:     bufio.NewWriterSize(conn, 64<<10),
+		calls:  make(map[uint64]*muxCall),
+		subs:   make(map[uint64]*StatsSub),
+		tcalls: make(map[uint64]chan traceResult),
+		esubs:  make(map[uint64]*EventsSub),
+		wdone:  make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.qmu)
 
@@ -271,12 +360,22 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 			delete(c.calls, tag)
 			sub := c.subs[tag]
 			delete(c.subs, tag)
+			tcall := c.tcalls[tag]
+			delete(c.tcalls, tag)
+			esub := c.esubs[tag]
+			delete(c.esubs, tag)
 			c.mu.Unlock()
 			if call != nil {
 				call.ch <- muxResult{err: terr}
 			}
 			if sub != nil {
 				sub.finish(terr)
+			}
+			if tcall != nil {
+				tcall <- traceResult{err: terr}
+			}
+			if esub != nil {
+				esub.finish(terr)
 			}
 
 		case len(payload) > 0 && payload[0] == msgStatsPush:
@@ -289,10 +388,34 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 			sub := c.subs[tag]
 			c.mu.Unlock()
 			if sub != nil {
-				select {
-				case sub.c <- st:
-				default: // slow consumer: drop the push, never the reader
-				}
+				sub.deliver(st)
+			}
+
+		case len(payload) > 0 && payload[0] == msgTracePush:
+			tag, view, err := DecodeTracePush(payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.mu.Lock()
+			tcall := c.tcalls[tag]
+			delete(c.tcalls, tag)
+			c.mu.Unlock()
+			if tcall != nil {
+				tcall <- traceResult{view: view}
+			}
+
+		case len(payload) > 0 && payload[0] == msgEventsPush:
+			tag, view, err := DecodeEventsPush(payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.mu.Lock()
+			esub := c.esubs[tag]
+			c.mu.Unlock()
+			if esub != nil {
+				esub.deliver(view)
 			}
 
 		case len(payload) > 0 && payload[0] == msgError:
@@ -317,14 +440,24 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 	}
 	calls := c.calls
 	subs := c.subs
+	tcalls := c.tcalls
+	esubs := c.esubs
 	c.calls = make(map[uint64]*muxCall)
 	c.subs = make(map[uint64]*StatsSub)
+	c.tcalls = make(map[uint64]chan traceResult)
+	c.esubs = make(map[uint64]*EventsSub)
 	c.mu.Unlock()
 	for _, call := range calls {
 		call.ch <- muxResult{err: fmt.Errorf("%w: %v", ErrClientClosed, fatal)}
 	}
 	for _, sub := range subs {
 		sub.finish(fmt.Errorf("%w: %v", ErrClientClosed, fatal))
+	}
+	for _, tcall := range tcalls {
+		tcall <- traceResult{err: fmt.Errorf("%w: %v", ErrClientClosed, fatal)}
+	}
+	for _, esub := range esubs {
+		esub.finish(fmt.Errorf("%w: %v", ErrClientClosed, fatal))
 	}
 	c.qmu.Lock()
 	c.stopping = true
@@ -334,8 +467,9 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 }
 
 // register allocates a fresh tag under mu, failing fast on a dead
-// connection.
-func (c *MuxClient) register(call *muxCall, sub *StatsSub) (uint64, error) {
+// connection; attach files the caller's bookkeeping under the new tag
+// while the lock is still held.
+func (c *MuxClient) register(attach func(tag uint64)) (uint64, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
@@ -343,13 +477,7 @@ func (c *MuxClient) register(call *muxCall, sub *StatsSub) (uint64, error) {
 	}
 	c.nextTag++
 	tag := c.nextTag
-	if call != nil {
-		c.calls[tag] = call
-	}
-	if sub != nil {
-		sub.tag = tag
-		c.subs[tag] = sub
-	}
+	attach(tag)
 	return tag, nil
 }
 
@@ -361,7 +489,7 @@ func (c *MuxClient) register(call *muxCall, sub *StatsSub) (uint64, error) {
 // error) returns a *TaggedError with the connection still healthy.
 func (c *MuxClient) Submit(ctx context.Context, qs []Query) ([]Reply, error) {
 	call := &muxCall{n: len(qs), ch: make(chan muxResult, 1)}
-	tag, err := c.register(call, nil)
+	tag, err := c.register(func(tag uint64) { c.calls[tag] = call })
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +520,7 @@ func (c *MuxClient) Submit(ctx context.Context, qs []Query) ([]Reply, error) {
 func (c *MuxClient) SubscribeStats(interval float64) (*StatsSub, error) {
 	ch := make(chan server.Stats, 4)
 	sub := &StatsSub{C: ch, c: ch, cl: c}
-	tag, err := c.register(nil, sub)
+	tag, err := c.register(func(tag uint64) { sub.tag = tag; c.subs[tag] = sub })
 	if err != nil {
 		return nil, err
 	}
@@ -406,7 +534,7 @@ func (c *MuxClient) SubscribeStats(interval float64) (*StatsSub, error) {
 func (c *MuxClient) Stats(ctx context.Context) (server.Stats, error) {
 	ch := make(chan server.Stats, 1)
 	sub := &StatsSub{C: ch, c: ch, cl: c}
-	tag, err := c.register(nil, sub)
+	tag, err := c.register(func(tag uint64) { sub.tag = tag; c.subs[tag] = sub })
 	if err != nil {
 		return server.Stats{}, err
 	}
@@ -441,5 +569,91 @@ func (c *MuxClient) sendUnsubscribe(tag uint64) error {
 		return nil // connection already dead; nothing to tell
 	}
 	c.send(AppendStatsUnsubscribe(nil, tag))
+	return nil
+}
+
+// Trace fetches the server's sampled decision traces over the query
+// connection — the binary twin of GET /v1/trace. tenant and template
+// filter ("" matches everything); n <= 0 applies the server's default
+// bound.
+func (c *MuxClient) Trace(ctx context.Context, tenant, template string, n int) (server.TraceView, error) {
+	ch := make(chan traceResult, 1)
+	tag, err := c.register(func(tag uint64) { c.tcalls[tag] = ch })
+	if err != nil {
+		return server.TraceView{}, err
+	}
+	if n < 0 {
+		n = 0
+	}
+	c.send(AppendTraceRequest(nil, tag, tenant, template, uint64(n)))
+	select {
+	case res := <-ch:
+		return res.view, res.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.tcalls, tag)
+		c.mu.Unlock()
+		return server.TraceView{}, ctx.Err()
+	}
+}
+
+// Events fetches one economy-events snapshot — the binary twin of GET
+// /v1/events. typ and tenant filter ("" matches everything); n <= 0
+// applies the server's default bound.
+func (c *MuxClient) Events(ctx context.Context, typ, tenant string, n int) (server.EventsView, error) {
+	ch := make(chan server.EventsView, 1)
+	sub := &EventsSub{C: ch, c: ch, cl: c}
+	tag, err := c.register(func(tag uint64) { sub.tag = tag; c.esubs[tag] = sub })
+	if err != nil {
+		return server.EventsView{}, err
+	}
+	if n < 0 {
+		n = 0
+	}
+	c.send(AppendEventsRequest(nil, tag, typ, tenant, uint64(n)))
+	defer func() {
+		c.mu.Lock()
+		delete(c.esubs, tag)
+		c.mu.Unlock()
+	}()
+	select {
+	case view, ok := <-ch:
+		if !ok {
+			return server.EventsView{}, sub.Err()
+		}
+		return view, nil
+	case <-c.done:
+		return server.EventsView{}, ErrClientClosed
+	case <-ctx.Done():
+		return server.EventsView{}, ctx.Err()
+	}
+}
+
+// SubscribeEvents opens a server-pushed economy-events stream: one
+// installment of everything the journals buffer immediately, then every
+// interval only the events the stream has not yet seen. The cursor
+// lives server-side, so installments never repeat an event. Close the
+// sub to stop the stream.
+func (c *MuxClient) SubscribeEvents(interval float64) (*EventsSub, error) {
+	ch := make(chan server.EventsView, 4)
+	sub := &EventsSub{C: ch, c: ch, cl: c}
+	tag, err := c.register(func(tag uint64) { sub.tag = tag; c.esubs[tag] = sub })
+	if err != nil {
+		return nil, err
+	}
+	c.send(AppendEventsSubscribe(nil, tag, interval))
+	return sub, nil
+}
+
+// sendEventsUnsubscribe mirrors sendUnsubscribe for events streams.
+func (c *MuxClient) sendEventsUnsubscribe(tag uint64) error {
+	c.mu.Lock()
+	delete(c.esubs, tag)
+	err := c.err
+	c.mu.Unlock()
+	if err != nil {
+		return nil // connection already dead; nothing to tell
+	}
+	c.send(AppendEventsUnsubscribe(nil, tag))
 	return nil
 }

@@ -159,6 +159,14 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 
 		switch {
 		case len(payload) > 0 && payload[0] == msgTaggedQueryBatch:
+			// Stage timing is paid only while tracing is live: one clock
+			// read pair per BATCH, amortized over its queries.
+			tr := c.srv.Tracer()
+			traceOn := tr != nil && tr.Enabled()
+			var decStart time.Time
+			if traceOn {
+				decStart = time.Now()
+			}
 			// The tag is parsed first so any body error can be scoped to
 			// it; only an unparseable tag kills the connection.
 			tag, rest, terr := consumeUvarint(payload[1:])
@@ -188,6 +196,12 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 			if bad {
 				continue
 			}
+			if traceOn && len(reqs) > 0 {
+				share := time.Since(decStart).Nanoseconds() / int64(len(reqs))
+				for i := range reqs {
+					reqs[i].DecodeNanos = share
+				}
+			}
 			c.inflight.Add(1)
 			t := tag
 			err := c.srv.SubmitBatchAsync(ctx, reqs, func(items []server.BatchItem) {
@@ -200,7 +214,23 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 						replies[i] = Reply{Resp: items[i].Resp}
 					}
 				}
-				c.send(AppendTaggedReplyBatch(nil, t, replies))
+				var encStart time.Time
+				if traceOn {
+					encStart = time.Now()
+				}
+				frame := AppendTaggedReplyBatch(nil, t, replies)
+				if traceOn && len(replies) > 0 {
+					// Back-fill the encode stage into the sampled records:
+					// the shard published them before the reply bytes
+					// existed.
+					share := time.Since(encStart).Nanoseconds() / int64(len(replies))
+					for i := range replies {
+						if replies[i].Err == "" && replies[i].Resp.TraceSeq != 0 {
+							tr.SetEncode(replies[i].Resp.Shard, replies[i].Resp.TraceSeq, share)
+						}
+					}
+				}
+				c.send(frame)
 			})
 			if err != nil {
 				// ErrServerClosed during drain: this batch fails, the
@@ -219,6 +249,54 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 
 		case len(payload) > 0 && payload[0] == msgStatsUnsubscribe:
 			tag, err := DecodeStatsUnsubscribe(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			c.stopSub(tag)
+
+		case len(payload) > 0 && payload[0] == msgTraceRequest:
+			tag, tenant, template, n, err := DecodeTraceRequest(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			if n > MaxBatch {
+				n = MaxBatch
+			}
+			frame, err := AppendTracePush(nil, tag, c.srv.TraceViewSnapshot(tenant, template, int(n)))
+			if err != nil {
+				c.send(AppendTaggedError(nil, tag, err.Error()))
+				continue
+			}
+			c.send(frame)
+
+		case len(payload) > 0 && payload[0] == msgEventsRequest:
+			tag, typ, tenant, n, err := DecodeEventsRequest(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			if n > MaxBatch {
+				n = MaxBatch
+			}
+			frame, err := AppendEventsPush(nil, tag, c.srv.EventsViewSnapshot(typ, tenant, int(n)))
+			if err != nil {
+				c.send(AppendTaggedError(nil, tag, err.Error()))
+				continue
+			}
+			c.send(frame)
+
+		case len(payload) > 0 && payload[0] == msgEventsSubscribe:
+			tag, intervalSec, err := DecodeEventsSubscribe(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			c.startEventsSub(tag, intervalSec)
+
+		case len(payload) > 0 && payload[0] == msgEventsUnsubscribe:
+			tag, err := DecodeEventsUnsubscribe(payload)
 			if err != nil {
 				c.send(appendErrorPayload(nil, err.Error()))
 				return
@@ -307,6 +385,71 @@ func (c *muxConn) pushStats(tag uint64) {
 		return
 	}
 	c.send(payload)
+}
+
+// startEventsSub opens one economy-events subscription: an immediate
+// installment of everything the journals buffer, then every interval
+// only the events the subscription has not yet seen (cursored by
+// journal sequence number). A non-positive interval is the one-shot
+// form. Events subscriptions share the stats subscriptions' tag space
+// and per-connection cap.
+func (c *muxConn) startEventsSub(tag uint64, intervalSec float64) {
+	interval := time.Duration(0)
+	if intervalSec > 0 { // NaN compares false: one-shot
+		interval = time.Duration(intervalSec * float64(time.Second))
+		if interval < minStatsInterval {
+			interval = minStatsInterval
+		}
+	}
+	c.qmu.Lock()
+	if _, dup := c.subs[tag]; dup {
+		c.qmu.Unlock()
+		c.send(AppendTaggedError(nil, tag, "wire: subscription tag already active"))
+		return
+	}
+	if interval > 0 && len(c.subs) >= maxStatsSubs {
+		c.qmu.Unlock()
+		c.send(AppendTaggedError(nil, tag, fmt.Sprintf("wire: too many subscriptions (max %d)", maxStatsSubs)))
+		return
+	}
+	var stop chan struct{}
+	if interval > 0 {
+		stop = make(chan struct{})
+		c.subs[tag] = stop
+	}
+	c.qmu.Unlock()
+
+	cursor := c.pushEvents(tag, 0)
+	if interval == 0 {
+		return
+	}
+	c.subsWG.Add(1)
+	go func() {
+		defer c.subsWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				cursor = c.pushEvents(tag, cursor)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// pushEvents enqueues one cursored events installment and returns the
+// advanced cursor.
+func (c *muxConn) pushEvents(tag uint64, since int64) int64 {
+	view, cursor := c.srv.EventsViewSince(since)
+	payload, err := AppendEventsPush(nil, tag, view)
+	if err != nil {
+		c.send(AppendTaggedError(nil, tag, err.Error()))
+		return cursor
+	}
+	c.send(payload)
+	return cursor
 }
 
 // stopSub ends one subscription; unknown tags are a no-op (the stream

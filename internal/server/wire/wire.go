@@ -29,13 +29,25 @@
 // server-pushed snapshots without polling. MuxClient speaks v2 and is
 // safe for concurrent use.
 //
-//	payload v2 := msgHello            | uvarint version
-//	            | msgTaggedQueryBatch | uvarint tag | uvarint n | n × query
-//	            | msgTaggedReplyBatch | uvarint tag | uvarint n | n × reply
-//	            | msgTaggedError      | uvarint tag | string
-//	            | msgStatsSubscribe   | uvarint tag | f64 intervalSec
-//	            | msgStatsUnsubscribe | uvarint tag
-//	            | msgStatsPush        | uvarint tag | json
+//	payload v2 := msgHello             | uvarint version
+//	            | msgTaggedQueryBatch  | uvarint tag | uvarint n | n × query
+//	            | msgTaggedReplyBatch  | uvarint tag | uvarint n | n × reply
+//	            | msgTaggedError       | uvarint tag | string
+//	            | msgStatsSubscribe    | uvarint tag | f64 intervalSec
+//	            | msgStatsUnsubscribe  | uvarint tag
+//	            | msgStatsPush         | uvarint tag | json
+//	            | msgTraceRequest      | uvarint tag | string tenant | string template | uvarint n
+//	            | msgTracePush         | uvarint tag | json            (server.TraceView)
+//	            | msgEventsRequest     | uvarint tag | string type | string tenant | uvarint n
+//	            | msgEventsPush        | uvarint tag | json            (server.EventsView)
+//	            | msgEventsSubscribe   | uvarint tag | f64 intervalSec
+//	            | msgEventsUnsubscribe | uvarint tag
+//
+// The observability frames (trace, events) follow the stats convention:
+// requests and subscriptions are fully binary, the snapshot bodies ride
+// as JSON inside the frame — they flow at human cadence, not per query.
+// An events subscription is cursored: each push carries only events the
+// subscription has not yet seen, plus the journal's running totals.
 //
 // Shared item grammar (identical bytes in both generations, so a tagged
 // batch's content is byte-identical to its lockstep answer):
@@ -84,6 +96,14 @@ const (
 	msgStatsSubscribe   byte = 12
 	msgStatsUnsubscribe byte = 13
 	msgStatsPush        byte = 14
+
+	// v2 observability message types.
+	msgTraceRequest      byte = 15
+	msgTracePush         byte = 16
+	msgEventsRequest     byte = 17
+	msgEventsPush        byte = 18
+	msgEventsSubscribe   byte = 19
+	msgEventsUnsubscribe byte = 20
 )
 
 // ProtocolV2 is the version the hello frame negotiates. A server
@@ -671,6 +691,209 @@ func DecodeStatsPush(payload []byte) (uint64, server.Stats, error) {
 		return 0, st, fmt.Errorf("wire: bad stats push payload: %w", err)
 	}
 	return tag, st, nil
+}
+
+// --- v2 trace + events frames ----------------------------------------------
+
+// AppendTraceRequest appends a trace-request payload: the binary twin of
+// GET /v1/trace. tenant and template filter ("" matches everything);
+// n == 0 applies the server's default bound.
+func AppendTraceRequest(b []byte, tag uint64, tenant, template string, n uint64) []byte {
+	b = append(b, msgTraceRequest)
+	b = binary.AppendUvarint(b, tag)
+	b = appendString(b, tenant)
+	b = appendString(b, template)
+	return binary.AppendUvarint(b, n)
+}
+
+// DecodeTraceRequest parses a trace-request payload (msg byte included).
+func DecodeTraceRequest(payload []byte) (tag uint64, tenant, template string, n uint64, err error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, "", "", 0, err
+	}
+	if typ != msgTraceRequest {
+		return 0, "", "", 0, fmt.Errorf("wire: expected trace request, got message type %d", typ)
+	}
+	if tag, rest, err = consumeUvarint(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if tenant, rest, err = consumeString(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if template, rest, err = consumeString(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if n, rest, err = consumeUvarint(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if len(rest) != 0 {
+		return 0, "", "", 0, fmt.Errorf("wire: %d trailing bytes after trace request", len(rest))
+	}
+	return tag, tenant, template, n, nil
+}
+
+// AppendTracePush appends a trace-reply payload: the sampled decision
+// records as JSON behind the request's tag.
+func AppendTracePush(b []byte, tag uint64, view server.TraceView) ([]byte, error) {
+	data, err := json.Marshal(view)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, msgTracePush)
+	b = binary.AppendUvarint(b, tag)
+	return append(b, data...), nil
+}
+
+// DecodeTracePush parses a trace-reply payload (msg byte included).
+func DecodeTracePush(payload []byte) (uint64, server.TraceView, error) {
+	var view server.TraceView
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, view, err
+	}
+	if typ != msgTracePush {
+		return 0, view, fmt.Errorf("wire: expected trace push, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, view, err
+	}
+	if err := json.Unmarshal(rest, &view); err != nil {
+		return 0, view, fmt.Errorf("wire: bad trace push payload: %w", err)
+	}
+	return tag, view, nil
+}
+
+// AppendEventsRequest appends an events-request payload: the binary twin
+// of GET /v1/events. typ and tenant filter ("" matches everything);
+// n == 0 applies the server's default bound.
+func AppendEventsRequest(b []byte, tag uint64, typ, tenant string, n uint64) []byte {
+	b = append(b, msgEventsRequest)
+	b = binary.AppendUvarint(b, tag)
+	b = appendString(b, typ)
+	b = appendString(b, tenant)
+	return binary.AppendUvarint(b, n)
+}
+
+// DecodeEventsRequest parses an events-request payload (msg byte
+// included).
+func DecodeEventsRequest(payload []byte) (tag uint64, typ, tenant string, n uint64, err error) {
+	mt, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, "", "", 0, err
+	}
+	if mt != msgEventsRequest {
+		return 0, "", "", 0, fmt.Errorf("wire: expected events request, got message type %d", mt)
+	}
+	if tag, rest, err = consumeUvarint(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if typ, rest, err = consumeString(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if tenant, rest, err = consumeString(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if n, rest, err = consumeUvarint(rest); err != nil {
+		return 0, "", "", 0, err
+	}
+	if len(rest) != 0 {
+		return 0, "", "", 0, fmt.Errorf("wire: %d trailing bytes after events request", len(rest))
+	}
+	return tag, typ, tenant, n, nil
+}
+
+// AppendEventsPush appends an events payload — the one-shot reply to an
+// events request, or one cursored installment of an events subscription.
+func AppendEventsPush(b []byte, tag uint64, view server.EventsView) ([]byte, error) {
+	data, err := json.Marshal(view)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, msgEventsPush)
+	b = binary.AppendUvarint(b, tag)
+	return append(b, data...), nil
+}
+
+// DecodeEventsPush parses an events payload (msg byte included).
+func DecodeEventsPush(payload []byte) (uint64, server.EventsView, error) {
+	var view server.EventsView
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, view, err
+	}
+	if typ != msgEventsPush {
+		return 0, view, fmt.Errorf("wire: expected events push, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, view, err
+	}
+	if err := json.Unmarshal(rest, &view); err != nil {
+		return 0, view, fmt.Errorf("wire: bad events push payload: %w", err)
+	}
+	return tag, view, nil
+}
+
+// AppendEventsSubscribe appends an events-subscription payload: the
+// server pushes an immediate installment (everything its journals
+// currently buffer) and then, every intervalSec seconds, only the events
+// the subscription has not yet seen. intervalSec <= 0 (or non-finite)
+// requests a single installment.
+func AppendEventsSubscribe(b []byte, tag uint64, intervalSec float64) []byte {
+	b = append(b, msgEventsSubscribe)
+	b = binary.AppendUvarint(b, tag)
+	return appendF64(b, intervalSec)
+}
+
+// DecodeEventsSubscribe parses an events-subscription payload (msg byte
+// included).
+func DecodeEventsSubscribe(payload []byte) (tag uint64, intervalSec float64, err error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ != msgEventsSubscribe {
+		return 0, 0, fmt.Errorf("wire: expected events subscribe, got message type %d", typ)
+	}
+	if tag, rest, err = consumeUvarint(rest); err != nil {
+		return 0, 0, err
+	}
+	if intervalSec, rest, err = consumeF64(rest); err != nil {
+		return 0, 0, err
+	}
+	if len(rest) != 0 {
+		return 0, 0, fmt.Errorf("wire: %d trailing bytes after events subscribe", len(rest))
+	}
+	return tag, intervalSec, nil
+}
+
+// AppendEventsUnsubscribe appends an events-unsubscribe payload ending
+// the stream opened under tag.
+func AppendEventsUnsubscribe(b []byte, tag uint64) []byte {
+	b = append(b, msgEventsUnsubscribe)
+	return binary.AppendUvarint(b, tag)
+}
+
+// DecodeEventsUnsubscribe parses an events-unsubscribe payload (msg byte
+// included).
+func DecodeEventsUnsubscribe(payload []byte) (uint64, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgEventsUnsubscribe {
+		return 0, fmt.Errorf("wire: expected events unsubscribe, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("wire: %d trailing bytes after events unsubscribe", len(rest))
+	}
+	return tag, nil
 }
 
 // --- stats frames ---------------------------------------------------------

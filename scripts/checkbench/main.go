@@ -1,0 +1,96 @@
+// Command checkbench gates the tracing overhead recorded in
+// BENCH_server.json: the mode=inproc cell with the tracer installed but
+// sampling disabled ("trace=off") must stay within 5% of the identical
+// cell without a tracer at all — the observability layer's "off costs
+// ~nothing" contract, enforced in CI. The 1-in-64 sampling cell is
+// reported for the EXPERIMENTS.md overhead table but not gated: sampled
+// runs pay for what they measure.
+//
+// Usage: go run ./scripts/checkbench [BENCH_server.json]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type cell struct {
+	Mode           string  `json:"mode"`
+	Shards         int     `json:"shards"`
+	Batch          int     `json:"batch"`
+	Trace          string  `json:"trace"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	QueriesPerSec  float64 `json:"queries_per_sec"`
+	AllocsPerQuery float64 `json:"allocs_per_query"`
+}
+
+type benchFile struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	Cells      []cell `json:"cells"`
+}
+
+// maxTraceOffRegression is the gate: trace=off must retain at least this
+// fraction of the no-tracer baseline's throughput.
+const maxTraceOffRegression = 0.05
+
+func main() {
+	path := "BENCH_server.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+
+	// The three comparable cells: same mode/shards/batch/procs, only the
+	// tracing configuration differs.
+	find := func(trace string) *cell {
+		for i := range f.Cells {
+			c := &f.Cells[i]
+			if c.Mode == "inproc" && c.Shards == 4 && c.Batch == 1 && c.GoMaxProcs == f.GoMaxProcs && c.Trace == trace {
+				return c
+			}
+		}
+		return nil
+	}
+	// "none" is the trace group's own no-tracer baseline, measured in
+	// the same adjacent window of the sweep as the off/sampled cells
+	// (the plain "" default rows run much earlier, in a different noise
+	// regime on shared hosts).
+	base := find("none")
+	off := find("off")
+	sampled := find("1/64")
+	if base == nil || off == nil {
+		fatal(fmt.Errorf("%s: missing mode=inproc trace cells (base %v, off %v) — rerun the ServerThroughput sweep", path, base != nil, off != nil))
+	}
+
+	report := func(name string, c *cell) {
+		delta := (c.QueriesPerSec - base.QueriesPerSec) / base.QueriesPerSec * 100
+		fmt.Printf("%-12s %12.0f queries/s  %6.1f allocs/query  (%+.1f%% vs no tracer)\n",
+			name, c.QueriesPerSec, c.AllocsPerQuery, delta)
+	}
+	fmt.Printf("%-12s %12.0f queries/s  %6.1f allocs/query\n", "no tracer", base.QueriesPerSec, base.AllocsPerQuery)
+	report("trace=off", off)
+	if sampled != nil {
+		report("trace=1/64", sampled)
+	}
+
+	floor := base.QueriesPerSec * (1 - maxTraceOffRegression)
+	if off.QueriesPerSec < floor {
+		fatal(fmt.Errorf("trace=off throughput %.0f queries/s fell below %.0f (%.0f%% of the no-tracer baseline %.0f)",
+			off.QueriesPerSec, floor, (1-maxTraceOffRegression)*100, base.QueriesPerSec))
+	}
+	fmt.Printf("OK: idle tracer costs %.1f%% (gate: %.0f%%)\n",
+		(base.QueriesPerSec-off.QueriesPerSec)/base.QueriesPerSec*100, maxTraceOffRegression*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "checkbench:", err)
+	os.Exit(1)
+}

@@ -18,7 +18,11 @@ trap '[ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$B
 go build -o "$BIN/cloudcached" ./cmd/cloudcached
 go build -o "$BIN/workloadgen" ./cmd/workloadgen
 
+# -trace-sample 64 and -pprof exercise the observability layer: sampled
+# decision traces on both fronts, the economy event journal, /metrics
+# and the profiling mux.
 "$BIN/cloudcached" -addr "$ADDR" -listen-bin "$BIN_ADDR" -shards "$SHARDS" -scheme "$SCHEME" -speedup 60 \
+    -trace-sample 64 -pprof \
     >"$BIN/final.json" 2>"$BIN/daemon.log" &
 DAEMON_PID=$!
 
@@ -33,8 +37,13 @@ done
 curl -sf "http://$ADDR/healthz"
 
 # Replay the stream over HTTP (batched: exercises POST /v1/batch) and
-# verify invariants from the client side.
-"$BIN/workloadgen" -serve "http://$ADDR" -queries "$QUERIES" -clients 8 -tenants 16 -batch 8 -check
+# verify invariants from the client side; -dump-trace fetches sampled
+# decision traces over GET /v1/trace after the run.
+"$BIN/workloadgen" -serve "http://$ADDR" -queries "$QUERIES" -clients 8 -tenants 16 -batch 8 -check \
+    -dump-trace 4 >"$BIN/trace_http.out"
+grep -q "decision traces: sample_every=64" "$BIN/trace_http.out" || {
+    echo "workloadgen HTTP trace dump missing:"; cat "$BIN/trace_http.out"; exit 1
+}
 
 # Same stream again over the binary protocol with connection reuse and
 # batching; the delta-based check tolerates the earlier run's counters.
@@ -51,14 +60,77 @@ curl -sf "http://$ADDR/healthz"
 # 32 tagged batches in flight on each, completed out of order by the
 # daemon, with stats taken from the server-pushed stream (no polling).
 # The -check invariants prove the reordering lost and double-counted
-# nothing.
+# nothing; -dump-trace fetches traces over the v2 trace frame.
 "$BIN/workloadgen" -serve "$BIN_ADDR" -proto bin -pipeline 32 -batch 4 -queries "$QUERIES" \
-    -clients 4 -tenants 16 -check
+    -clients 4 -tenants 16 -check -dump-trace 4 >"$BIN/trace_bin.out"
+grep -q "decision traces: sample_every=64" "$BIN/trace_bin.out" || {
+    echo "workloadgen binary trace dump missing:"; cat "$BIN/trace_bin.out"; exit 1
+}
 
 # Read endpoints answer, compact and pretty.
 curl -sf "http://$ADDR/v1/stats" >/dev/null
 curl -sf "http://$ADDR/v1/stats?pretty=1" >/dev/null
 curl -sf "http://$ADDR/v1/structures" >/dev/null
+
+# ── Observability legs ────────────────────────────────────────────────
+# /metrics speaks Prometheus text: economy counters, mailbox gauges,
+# stage-latency histograms and runtime gauges must all be present.
+curl -sf "http://$ADDR/metrics" >"$BIN/metrics.txt"
+for m in cloudcache_queries_total cloudcache_mailbox_depth cloudcache_stage_seconds_bucket \
+         cloudcache_economy_events_total cloudcache_trace_sample_every go_goroutines; do
+    grep -q "$m" "$BIN/metrics.txt" || { echo "/metrics missing $m"; exit 1; }
+done
+
+# pprof is mounted (opt-in via the -pprof flag above).
+curl -sf "http://$ADDR/debug/pprof/cmdline" >/dev/null
+
+# Sampled decision traces carry the complete decision path: identity,
+# economy verdict and all four stage timings. The replays are done, so
+# the journal and the ledgers are quiescent: every invest/evict must
+# appear in /v1/events with dollars reconciling against /v1/stats.
+curl -sf "http://$ADDR/v1/trace?n=256" >"$BIN/trace.json"
+curl -sf "http://$ADDR/v1/events?n=64" >"$BIN/events.json"
+curl -sf "http://$ADDR/v1/stats" >"$BIN/stats.json"
+python3 - "$BIN/trace.json" "$BIN/events.json" "$BIN/stats.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = json.load(open(sys.argv[2]))
+stats = json.load(open(sys.argv[3]))
+
+assert trace["sample_every"] == 64, f"sample_every = {trace['sample_every']}"
+recs = trace["records"]
+assert recs, "no sampled decision traces after 40k queries at 1-in-64"
+for r in recs:
+    assert r["template"] and r["query_id"] and r["seq"], f"incomplete identity: {r}"
+    assert r["decide_ns"] > 0 and r["mailbox_wait_ns"] >= 0, f"missing stage timings: {r}"
+    assert r["declined"] or r["response_time_s"] > 0, f"missing economy verdict: {r}"
+# Network-front samples carry the frame stages too (decode + encode).
+assert any(r["decode_ns"] > 0 and r["encode_ns"] > 0 for r in recs), \
+    "no record carries the full decode->encode stage split"
+
+tot = events["totals"]
+assert tot["invests"] > 0, "no invest events journaled"
+assert events["events"], "event journal empty"
+for e in events["events"]:
+    assert e["type"] in ("invest", "evict", "recover"), e
+    assert e["reason"] and e["seq"] > 0, f"incomplete event: {e}"
+    if e["type"] in ("invest", "evict"):
+        assert e["structure"], f"lifecycle event without a structure: {e}"
+
+def close(a, b):
+    return abs(a - b) <= abs(b) * 1e-9 + 1e-9
+invested = sum(s["invested_usd"] for s in stats["per_shard"])
+recovered = sum(s["recovered_usd"] for s in stats["per_shard"])
+assert close(tot["invested_usd"], invested), \
+    f"journal invested {tot['invested_usd']} != ledgers {invested}"
+assert close(tot["recovered_usd"], recovered), \
+    f"journal recovered {tot['recovered_usd']} != ledgers {recovered}"
+assert tot["evicts"] == stats["failures"], \
+    f"journal evicts {tot['evicts']} != failure sweeps {stats['failures']}"
+print(f"observability OK: {len(recs)} traces, {tot['invests']} invests / "
+      f"{tot['evicts']} evicts / {tot['recovers']} recovers, "
+      f"${tot['invested_usd']:.4f} invested reconciles")
+EOF
 
 # Graceful drain: SIGTERM, wait for exit, then check the final snapshot.
 kill -TERM "$DAEMON_PID"
@@ -139,7 +211,7 @@ kill -9 "$DAEMON_PID"; wait "$DAEMON_PID" 2>/dev/null || true; DAEMON_PID=""
 
 # Restart from the checkpoint and resume the second half.
 start_daemon "$STATE" "$BIN/resumed.json" "$BIN/resumed.log"
-grep -q "restored $STATE/econ.snap" "$BIN/resumed.log" || {
+grep -q "restored snapshot.*path=$STATE/econ.snap" "$BIN/resumed.log" || {
     echo "restart did not restore the snapshot:"; cat "$BIN/resumed.log"; exit 1
 }
 replay "$HALF" "$HALF"
