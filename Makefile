@@ -34,6 +34,7 @@ bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 10s ./internal/server/wire
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/persist
+	$(GO) test -run '^$$' -fuzz FuzzShardPacketDecode -fuzztime 10s ./internal/persist
 
 # End-to-end smoke of the cloudcached daemon: start, replay a stream over
 # HTTP with invariant checks, drain gracefully — then the crash-recovery

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/router"
 	"repro/internal/server/wire"
 )
 
@@ -135,9 +137,11 @@ func BenchmarkGridWorkers(b *testing.B) {
 // length-prefixed binary protocol with one lockstep connection per
 // submitter, "lockstep" shares ONE v1 connection between all submitters
 // behind a mutex (one outstanding batch — the round-trip-bound baseline
-// the multiplexed protocol exists to beat), and "pipelined" shares ONE
+// the multiplexed protocol exists to beat), "pipelined" shares ONE
 // v2 MuxClient between all submitters with their batches tagged and in
-// flight concurrently.
+// flight concurrently, and "routed" is the same pipelined load through
+// a cloudrouter front: client -> router (fan-out by shard) -> backend,
+// pricing the cluster tier's extra hop against "pipelined" direct.
 // AllocsPerQuery is normalized per query (not per benchmark op, which is
 // a whole batch in the batched modes) so cells compare across modes; the
 // key is renamed from the pre-batching allocs_per_op so old and new
@@ -317,6 +321,33 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		defer ln.Close()
 		go wire.Serve(ln, srv)
 		binAddr = ln.Addr().String()
+	case "routed":
+		// Backend and router on loopback; the simulated client RTT is
+		// paid on the client->router socket only, like "pipelined" pays
+		// it client->server, so the delta between the two cells is the
+		// router hop itself.
+		backendLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer backendLn.Close()
+		go wire.Serve(backendLn, srv)
+		rt, err := router.New(router.Config{
+			Backends:       []router.BackendConfig{{Addr: backendLn.Addr().String()}},
+			HealthInterval: -1,
+			Log:            slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rt.Close()
+		routerLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer routerLn.Close()
+		go wire.ServeEngine(routerLn, rt)
+		binAddr = routerLn.Addr().String()
 	}
 
 	// The shared-connection modes dial exactly once: "lockstep" is the
@@ -329,7 +360,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		muxCl      *wire.MuxClient
 	)
 	switch mode {
-	case "lockstep", "pipelined":
+	case "lockstep", "pipelined", "routed":
 		raw, err := net.Dial("tcp", binAddr)
 		if err != nil {
 			b.Fatal(err)
@@ -376,7 +407,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	// batches in flight on one socket, and the submitter count is the
 	// in-flight window: wide enough that the simulated RTT stops being
 	// the bottleneck and the engine is again.
-	if mode == "pipelined" {
+	if mode == "pipelined" || mode == "routed" {
 		b.SetParallelism(64)
 	} else {
 		b.SetParallelism(4)
@@ -386,6 +417,36 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	var idx atomic.Int64
+	// Warm the shared-client modes before the timer: at -benchtime
+	// 1000x the measured window is tens of milliseconds, so connection
+	// establishment, the router's dispatcher spin-up and socket buffer
+	// growth would otherwise be a mode-dependent fraction of the
+	// measurement (and the 15% routed gate compares exactly these two
+	// modes). The warm-up stream advances idx, so the measured window
+	// continues the same query sequence.
+	if mode == "pipelined" || mode == "routed" {
+		var warm sync.WaitGroup
+		for w := 0; w < 16; w++ {
+			warm.Add(1)
+			go func() {
+				defer warm.Done()
+				ctx := context.Background()
+				qs := make([]wire.Query, batch)
+				for it := 0; it < 4; it++ {
+					from := idx.Add(int64(batch)) - int64(batch)
+					for j := range qs {
+						tenant, template := benchQueryAt(from + int64(j))
+						qs[j] = wire.Query{Tenant: tenant, Template: template}
+					}
+					if _, err := muxCl.Submit(ctx, qs); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		warm.Wait()
+	}
 	start := time.Now()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -481,7 +542,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 					return
 				}
 			}
-		case "pipelined":
+		case "pipelined", "routed":
 			qs := make([]wire.Query, batch)
 			for pb.Next() {
 				from := idx.Add(int64(batch)) - int64(batch)
@@ -517,7 +578,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	b.ReportMetric(st.ResponseP50Sec, "p50-sec")
 	b.ReportMetric(st.ResponseP99Sec, "p99-sec")
 	var rttMs float64
-	if mode == "lockstep" || mode == "pipelined" {
+	if mode == "lockstep" || mode == "pipelined" || mode == "routed" {
 		rttMs = simRTT.Seconds() * 1e3
 	}
 	cell := serverBenchCell{
@@ -594,9 +655,21 @@ func BenchmarkServerThroughput(b *testing.B) {
 		b.Run(fmt.Sprintf("mode=lockstep/shards=4/batch=%d", batch), func(b *testing.B) {
 			runServerThroughput(b, &out, "lockstep", 4, batch, 0, "")
 		})
-		b.Run(fmt.Sprintf("mode=pipelined/shards=4/batch=%d", batch), func(b *testing.B) {
-			runServerThroughput(b, &out, "pipelined", 4, batch, 0, "")
-		})
+		// The cluster tier's overhead pair: the identical pipelined load
+		// direct vs through a cloudrouter front — scripts/checkbench
+		// gates routed against pipelined at 15%. Like the trace group
+		// below, the pair runs five interleaved repetitions with
+		// rotating order (the upsert keeps each cell's best) so a single
+		// noisy sample on a shared host can't flip the gate.
+		pair := []string{"pipelined", "routed"}
+		for rep := 0; rep < 5; rep++ {
+			for i := range pair {
+				mode := pair[(rep+i)%len(pair)]
+				b.Run(fmt.Sprintf("mode=%s/shards=4/batch=%d", mode, batch), func(b *testing.B) {
+					runServerThroughput(b, &out, mode, 4, batch, 0, "")
+				})
+			}
+		}
 	}
 	// Scheduler-width sweep: the engine ceiling (inproc) and the
 	// multiplexed front at 1/2/4/8 Ps. On a single-core host the >1 rows

@@ -56,6 +56,7 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -63,6 +64,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -103,6 +105,33 @@ func main() {
 	if err := setupLogging(*logFormat); err != nil {
 		fail(err)
 	}
+
+	// The HTTP front comes up before the engine exists, behind an
+	// atomically-swapped handler: while a (possibly large) snapshot
+	// restore runs, /healthz answers 200 (the process is alive) and
+	// everything else — /readyz included — answers 503 "restoring", so
+	// a router's health loop sees a booting backend, not a dead one.
+	var handlerRef atomic.Value
+	handlerRef.Store(http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			io.WriteString(w, `{"status":"ok","state":"restoring"}`+"\n")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"state":"restoring","ready":false}`+"\n")
+	})))
+	httpSrv := &http.Server{Addr: *addr, Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handlerRef.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
 
 	provider, err := economy.ParseProvider(*providerName)
 	if err != nil {
@@ -194,16 +223,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		handler = mux
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: handler}
-	errCh := make(chan error, 1)
-	go func() {
-		slog.Info("cloudcached: serving",
-			"scheme", *schemeName, "addr", *addr, "shards", srv.ShardCount(),
-			"speedup", *speedup, "trace_sample", *traceSample, "pprof", *pprofOn)
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-			errCh <- err
-		}
-	}()
+	// Engine built: swap the boot stub out for the real API. (Wrapped
+	// in HandlerFunc so both stores share one concrete type —
+	// atomic.Value rejects mixed types.)
+	handlerRef.Store(http.Handler(http.HandlerFunc(handler.ServeHTTP)))
+	slog.Info("cloudcached: serving",
+		"scheme", *schemeName, "addr", *addr, "shards", srv.ShardCount(),
+		"speedup", *speedup, "trace_sample", *traceSample, "pprof", *pprofOn)
 
 	var binLn net.Listener
 	if *listenBin != "" {

@@ -80,6 +80,7 @@ func main() {
 	tenantSkew := flag.Float64("tenant-skew", 0, "Zipf skew of tenant popularity in -serve mode (0 = round-robin)")
 	statsURL := flag.String("stats-url", "", "HTTP base URL for /v1/stats (defaults to -serve with -proto http; -proto bin fetches stats over the wire when unset)")
 	check := flag.Bool("check", false, "verify server-side invariants after the run and exit non-zero on violation")
+	tolerateErrors := flag.Bool("tolerate-errors", false, "with -check: accept per-query failures (degraded-cluster runs) — conservation invariants still apply to the queries that were acked")
 	dumpTrace := flag.Int("dump-trace", 0, "after the run, fetch up to N sampled decision traces from the daemon and print them as JSON (0 disables)")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	flag.Parse()
@@ -142,6 +143,7 @@ func main() {
 			pipeline:  *pipeline,
 			statsURL:  *statsURL,
 			check:     *check,
+			tolerate:  *tolerateErrors,
 			dumpTrace: *dumpTrace,
 		}
 		if err := serveLoad(gen, cfg); err != nil {
@@ -194,6 +196,7 @@ type loadConfig struct {
 	pipeline  int
 	statsURL  string
 	check     bool
+	tolerate  bool
 	dumpTrace int
 }
 
@@ -658,10 +661,12 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 	// least two shards carried load (the stream is spread across
 	// tenants).
 	var violations []string
-	if res.failed > 0 {
+	if res.failed > 0 && !cfg.tolerate {
 		violations = append(violations, fmt.Sprintf("%d requests failed", res.failed))
 	}
-	if delta := st.Queries - before.Queries; delta != res.ok {
+	if delta := st.Queries - before.Queries; delta != res.ok && !cfg.tolerate {
+		// A tolerated run can't reconcile the counter: a merged cluster
+		// view omits an unreachable backend's counters entirely.
 		violations = append(violations, fmt.Sprintf("server counted %d new queries, client got %d acks", delta, res.ok))
 	}
 	for _, sh := range st.PerShard {
@@ -672,7 +677,9 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 			violations = append(violations, fmt.Sprintf("shard %d declined %d of %d", sh.Shard, sh.Declined, sh.Queries))
 		}
 	}
-	if st.Shards > 1 && busy < 2 {
+	// With -tolerate-errors a degraded cluster is expected: a dead
+	// backend's shards are holes in the merged view, not idle shards.
+	if st.Shards > 1 && busy < 2 && !cfg.tolerate {
 		violations = append(violations, fmt.Sprintf("only %d of %d shards saw traffic", busy, st.Shards))
 	}
 	// Every query the economy handled carries a tenant, so the merged

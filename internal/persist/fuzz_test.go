@@ -37,3 +37,40 @@ func FuzzSnapshotDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzShardPacketDecode covers the single-shard migration packet the
+// same way: packets cross the wire between backends, so a truncated or
+// bit-flipped transfer must fail installation cleanly, and any packet
+// that decodes must re-encode to the same bytes.
+func FuzzShardPacketDecode(f *testing.F) {
+	snap := sampleSnapshot()
+	for i := range snap.Shards {
+		valid := EncodeShardPacket(&ShardPacket{
+			Scheme:          snap.Scheme,
+			Provider:        snap.Provider,
+			CatalogBytes:    snap.CatalogBytes,
+			NextID:          snap.NextID,
+			Clock:           snap.Clock,
+			CreatedUnixNano: snap.CreatedUnixNano,
+			State:           snap.Shards[i],
+		})
+		f.Add(valid)
+		f.Add(valid[:len(valid)/2])
+	}
+	f.Add([]byte("CCSHRD"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeShardPacket(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeShardPacket(p)
+		p2, err := DecodeShardPacket(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded shard packet failed: %v", err)
+		}
+		if enc2 := EncodeShardPacket(p2); !bytes.Equal(enc, enc2) {
+			t.Fatalf("shard packet round trip diverged:\n%x\n%x", enc, enc2)
+		}
+	})
+}

@@ -52,10 +52,17 @@ const Version = 1
 // magic identifies a snapshot file.
 var magic = [6]byte{'C', 'C', 'S', 'N', 'A', 'P'}
 
+// shardMagic identifies a single-shard packet — the unit of live shard
+// migration between backends. Distinct from the snapshot magic so a
+// shard packet can never be mistaken for (or restored as) a whole
+// engine.
+var shardMagic = [6]byte{'C', 'C', 'S', 'H', 'R', 'D'}
+
 // Record types inside frames.
 const (
-	recMeta  byte = 1
-	recShard byte = 2
+	recMeta      byte = 1
+	recShard     byte = 2
+	recShardMeta byte = 3
 )
 
 // MaxShards bounds the shard count a snapshot may claim, far above any
@@ -136,6 +143,26 @@ type Snapshot struct {
 	CreatedUnixNano int64
 
 	Shards []ShardState
+}
+
+// ShardPacket is one shard's state plus the configuration fingerprint
+// it was captured under — the unit of live migration. The fingerprint
+// mirrors the snapshot meta record: an installing backend validates
+// scheme, provider and catalog so shard state never silently crosses a
+// reconfiguration, and adopts NextID so query IDs stay monotone across
+// the move.
+type ShardPacket struct {
+	Scheme       string
+	Provider     string
+	CatalogBytes int64
+	// NextID is the source server's query-ID counter at capture time.
+	NextID int64
+	// Clock is the source server clock at capture time.
+	Clock time.Duration
+	// CreatedUnixNano stamps the packet (informational).
+	CreatedUnixNano int64
+
+	State ShardState
 }
 
 // --- primitive codec ------------------------------------------------------
@@ -887,6 +914,106 @@ func Decode(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("persist: %d trailing bytes after last shard", len(rest))
 	}
 	return s, nil
+}
+
+// --- single-shard packets -------------------------------------------------
+
+func appendShardMeta(b []byte, p *ShardPacket) []byte {
+	b = append(b, recShardMeta)
+	b = appendString(b, p.Scheme)
+	b = appendString(b, p.Provider)
+	b = binary.AppendVarint(b, p.CatalogBytes)
+	b = binary.AppendVarint(b, p.NextID)
+	b = binary.AppendVarint(b, int64(p.Clock))
+	b = binary.AppendVarint(b, p.CreatedUnixNano)
+	return b
+}
+
+func decodeShardMeta(payload []byte) (*ShardPacket, error) {
+	r := &creader{b: payload}
+	typ, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if typ != recShardMeta {
+		return nil, fmt.Errorf("persist: expected shard-meta record, got type %d", typ)
+	}
+	p := &ShardPacket{}
+	if p.Scheme, err = r.str(); err != nil {
+		return nil, err
+	}
+	if p.Provider, err = r.str(); err != nil {
+		return nil, err
+	}
+	if p.CatalogBytes, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if p.NextID, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if p.Clock, err = r.duration(); err != nil {
+		return nil, err
+	}
+	if p.CreatedUnixNano, err = r.varint(); err != nil {
+		return nil, err
+	}
+	if r.len() != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after shard-meta record", r.len())
+	}
+	return p, nil
+}
+
+// EncodeShardPacket serializes one shard for transfer:
+//
+//	packet := shardMagic "CCSHRD" | u16 version (LE)
+//	        | frame(shard-meta) | frame(shard)
+//
+// with the same length-prefixed CRC framing as snapshot files, so a
+// packet truncated or corrupted in flight fails installation cleanly on
+// the receiving backend instead of loading partial state.
+func EncodeShardPacket(p *ShardPacket) []byte {
+	b := append([]byte{}, shardMagic[:]...)
+	b = binary.LittleEndian.AppendUint16(b, Version)
+	b = appendFrame(b, appendShardMeta(nil, p))
+	b = appendFrame(b, appendShard(nil, &p.State))
+	return b
+}
+
+// DecodeShardPacket parses a single-shard packet with the same
+// guarantees as Decode: never panics, never allocates past a small
+// multiple of the input, and fails loudly on truncation, corruption or
+// a version mismatch.
+func DecodeShardPacket(data []byte) (*ShardPacket, error) {
+	if len(data) < len(shardMagic)+2 {
+		return nil, fmt.Errorf("persist: packet too short for header")
+	}
+	if string(data[:len(shardMagic)]) != string(shardMagic[:]) {
+		return nil, fmt.Errorf("persist: bad shard packet magic")
+	}
+	v := binary.LittleEndian.Uint16(data[len(shardMagic):])
+	if v != Version {
+		return nil, fmt.Errorf("persist: unsupported shard packet version %d (want %d)", v, Version)
+	}
+	rest := data[len(shardMagic)+2:]
+
+	payload, rest, err := nextFrame(rest)
+	if err != nil {
+		return nil, err
+	}
+	p, err := decodeShardMeta(payload)
+	if err != nil {
+		return nil, err
+	}
+	if payload, rest, err = nextFrame(rest); err != nil {
+		return nil, err
+	}
+	if p.State, err = decodeShard(payload); err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after shard record", len(rest))
+	}
+	return p, nil
 }
 
 // Write atomically persists a snapshot: encode to a temp file in the

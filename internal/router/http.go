@@ -1,0 +1,223 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/server"
+)
+
+// HTTPHandler serves the router's observability and admin surface:
+//
+//	GET  /healthz               process liveness
+//	GET  /readyz                cluster readiness (all backends healthy)
+//	GET  /metrics               Prometheus text: routing + per-backend health
+//	GET  /v1/stats              merged cluster stats (same shape as a backend's)
+//	POST /admin/migrate?shard=K&to=N   live-migrate shard K to backend N
+func (r *Router) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", r.handleHealthz)
+	mux.HandleFunc("/readyz", r.handleReadyz)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/v1/stats", r.handleStats)
+	mux.HandleFunc("/admin/migrate", r.handleMigrate)
+	return mux
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, `{"status":"ok"}`+"\n")
+}
+
+// backendReadiness is one backend's row in the router's /readyz body.
+type backendReadiness struct {
+	ID      int    `json:"id"`
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	State   string `json:"state"`
+}
+
+// routerReadiness is the JSON body of the router's GET /readyz. The
+// router is ready when every backend is: a degraded cluster still
+// serves the shards it can, but load balancers should stop adding
+// traffic until the backend set is whole.
+type routerReadiness struct {
+	State    string             `json:"state"`
+	Ready    bool               `json:"ready"`
+	Backends []backendReadiness `json:"backends"`
+}
+
+func (r *Router) readiness() routerReadiness {
+	view := routerReadiness{State: "ok", Ready: true}
+	for _, b := range r.backends {
+		st, _ := b.state.Load().(string)
+		healthy := b.healthy.Load()
+		view.Backends = append(view.Backends, backendReadiness{ID: b.id, Addr: b.addr, Healthy: healthy, State: st})
+		if !healthy {
+			view.State, view.Ready = "degraded", false
+		}
+	}
+	return view
+}
+
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	view := r.readiness()
+	status := http.StatusOK
+	if !view.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, view)
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, r.Stats())
+}
+
+// handleMigrate drives a live shard migration:
+// POST /admin/migrate?shard=K&to=N. Answers the blackout window so
+// operators (and the e2e harness) can see what a move cost.
+func (r *Router) handleMigrate(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	shard, err := strconv.Atoi(req.URL.Query().Get("shard"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "shard: want an integer")
+		return
+	}
+	to, err := strconv.Atoi(req.URL.Query().Get("to"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "to: want a backend id")
+		return
+	}
+	from := -1
+	if shard >= 0 && shard < r.shards {
+		from = r.Owner(shard)
+	}
+	d, err := r.Migrate(req.Context(), shard, to)
+	if err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shard":       shard,
+		"from":        from,
+		"to":          to,
+		"blackout_ms": float64(d.Microseconds()) / 1e3,
+	})
+}
+
+// handleMetrics writes the router's own counters in Prometheus text
+// format, hand-rolled like the backend's — same scrape, no dependency.
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("cloudrouter_queries_total", "Queries routed to backends.", r.queries.Load())
+	counter("cloudrouter_reroutes_total", "Shard groups retried after a stale-ownership reject.", r.reroutes.Load())
+	counter("cloudrouter_migrations_total", "Live shard migrations completed.", r.migrations.Load())
+	gauge("cloudrouter_migration_last_blackout_ms", "Blackout window of the most recent migration (freeze to cutover).",
+		float64(r.lastBlackout.Load())/1e6)
+	gauge("cloudrouter_migration_blackout_ms_total", "Summed blackout across all migrations.",
+		float64(r.totalBlackout.Load())/1e6)
+	gauge("cloudrouter_shards", "Cluster shard count.", float64(r.shards))
+	gauge("cloudrouter_backends", "Configured backend count.", float64(len(r.backends)))
+
+	fmt.Fprintf(w, "# HELP cloudrouter_backend_healthy Backend passes its health probe (1) or not (0).\n# TYPE cloudrouter_backend_healthy gauge\n")
+	for _, b := range r.backends {
+		v := 0
+		if b.healthy.Load() {
+			v = 1
+		}
+		fmt.Fprintf(w, "cloudrouter_backend_healthy{backend=\"%d\"} %d\n", b.id, v)
+	}
+	fmt.Fprintf(w, "# HELP cloudrouter_backend_reconnects_total Successful re-dials after losing a backend connection.\n# TYPE cloudrouter_backend_reconnects_total counter\n")
+	for _, b := range r.backends {
+		fmt.Fprintf(w, "cloudrouter_backend_reconnects_total{backend=\"%d\"} %d\n", b.id, b.pool.Reconnects())
+	}
+	owner := r.ownerSnapshot()
+	fmt.Fprintf(w, "# HELP cloudrouter_shard_owner Backend id currently serving each shard.\n# TYPE cloudrouter_shard_owner gauge\n")
+	for k, o := range owner {
+		fmt.Fprintf(w, "cloudrouter_shard_owner{shard=\"%d\"} %d\n", k, o)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// healthLoop probes every backend on a timer. Backends with an HTTP
+// address get a real GET /readyz (seeing "draining"/"restoring"/
+// "migrating" states); the rest get a wire Owners ping, which exercises
+// the same connection the submit path uses.
+func (r *Router) healthLoop(interval time.Duration) {
+	defer r.wg.Done()
+	client := &http.Client{Timeout: interval}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+		}
+		for _, b := range r.backends {
+			healthy, state := r.probeHealth(client, b)
+			was := b.healthy.Swap(healthy)
+			b.state.Store(state)
+			if was != healthy {
+				r.log.Info("router: backend health changed", "backend", b.id, "addr", b.addr, "healthy", healthy, "state", state)
+			}
+		}
+	}
+}
+
+func (r *Router) probeHealth(client *http.Client, b *backend) (bool, string) {
+	if b.httpURL != "" {
+		resp, err := client.Get(b.httpURL + "/readyz")
+		if err != nil {
+			return false, "unreachable"
+		}
+		var view server.Readiness
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			return false, "unreachable"
+		}
+		return resp.StatusCode == http.StatusOK && view.Ready, view.State
+	}
+	if _, err := r.probeOwners(b); err != nil {
+		return false, "unreachable"
+	}
+	return true, "ok"
+}

@@ -1,0 +1,355 @@
+// Package router implements the stateless cluster front: one process
+// that speaks the full wire protocol to clients, owns the shard →
+// backend map, and fans every batch out to the cloudcached backends
+// that actually run the economy. The router holds no durable state —
+// ownership is rediscovered from the backends' own OwnedShards answers
+// at boot, so a router restart (or a second router) converges on the
+// same map the backends already agree on.
+//
+// The router is a wire.Engine: the same protocol loops that serve the
+// in-process engine serve it, so clients cannot tell a router from a
+// single backend except by throughput.
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server/wire"
+)
+
+// ErrClosed is returned by calls on a router after Close.
+var ErrClosed = errors.New("router: closed")
+
+// The router serves the same protocol loops as the in-process engine.
+var _ wire.Engine = (*Router)(nil)
+
+// BackendConfig names one cloudcached backend: its wire address
+// (required) and its HTTP address (optional; enables /readyz health
+// probing and richer state in the router's own /readyz).
+type BackendConfig struct {
+	Addr    string
+	HTTPURL string
+}
+
+// Config configures a Router.
+type Config struct {
+	Backends []BackendConfig
+	// HealthInterval is the period of the backend health loop
+	// (default 500ms; negative disables the loop).
+	HealthInterval time.Duration
+	// BootstrapTimeout bounds how long New keeps retrying unreachable
+	// backends before failing (default 10s).
+	BootstrapTimeout time.Duration
+	Log              *slog.Logger
+}
+
+// backend is one cloudcached instance behind the router.
+type backend struct {
+	id      int
+	addr    string
+	httpURL string
+	pool    *wire.PersistentMux
+
+	// dispatch feeds the backend's coalescing loop: concurrent shard
+	// groups bound for this backend merge into one wire frame, so many
+	// small client batches cost one backend round trip, not one each.
+	dispatch chan pendingGroup
+
+	healthy atomic.Bool
+	state   atomic.Value // string: last /readyz (or wire probe) verdict
+}
+
+// Router is the cluster front. It implements wire.Engine.
+type Router struct {
+	log      *slog.Logger
+	backends []*backend
+	shards   int
+
+	// mu guards the ownership map and the per-shard migration holds.
+	// owner[k] is the backend id serving shard k; holds[k] is non-nil
+	// while a router-driven migration has shard k in its blackout
+	// window — submitters park on the channel and replay the gap when
+	// cutover closes it.
+	mu    sync.Mutex
+	owner []int
+	holds []chan struct{}
+
+	// curMu guards the EventsViewSince cursor table: an opaque cursor
+	// handed to the caller maps to one last-seen journal Seq per
+	// backend (each backend numbers its own journal independently).
+	curMu      sync.Mutex
+	cursors    map[int64][]int64
+	nextCursor int64
+
+	queries       atomic.Int64
+	reroutes      atomic.Int64
+	migrations    atomic.Int64
+	lastBlackout  atomic.Int64 // nanoseconds, most recent migration
+	totalBlackout atomic.Int64 // nanoseconds, summed
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New connects to every backend, learns the shard map from their
+// OwnedShards answers, resolves conflicts (a fresh cluster boots with
+// every backend owning every shard), and starts the health loop.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: no backends configured")
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.Default()
+	}
+	if cfg.BootstrapTimeout <= 0 {
+		cfg.BootstrapTimeout = 10 * time.Second
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 500 * time.Millisecond
+	}
+	r := &Router{
+		log:     cfg.Log,
+		cursors: make(map[int64][]int64),
+		stop:    make(chan struct{}),
+	}
+	for i, bc := range cfg.Backends {
+		b := &backend{
+			id:       i,
+			addr:     bc.Addr,
+			httpURL:  bc.HTTPURL,
+			pool:     wire.NewPersistentMux(bc.Addr),
+			dispatch: make(chan pendingGroup, dispatchQueue),
+		}
+		b.state.Store("unknown")
+		r.backends = append(r.backends, b)
+	}
+	if err := r.bootstrap(cfg.BootstrapTimeout); err != nil {
+		for _, b := range r.backends {
+			b.pool.Close()
+		}
+		return nil, err
+	}
+	for _, b := range r.backends {
+		r.wg.Add(1)
+		go r.dispatchLoop(b)
+	}
+	if cfg.HealthInterval > 0 {
+		r.wg.Add(1)
+		go r.healthLoop(cfg.HealthInterval)
+	}
+	return r, nil
+}
+
+// bootstrap learns the cluster shape. Every backend must answer Owners
+// within the deadline and report the same shard count. Ownership rules:
+// a shard owned by exactly one backend stays there; a shard owned by
+// several (the fresh-cluster case, where every backend booted with a
+// full map) is assigned round-robin across its claimants and frozen on
+// the rest, so exactly one economy ever decides its keys; a shard
+// owned by nobody is fatal — its state lives in some snapshot the
+// operator must restore first.
+func (r *Router) bootstrap(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	owners := make([][]bool, len(r.backends))
+	for i, b := range r.backends {
+		for {
+			own, err := r.probeOwners(b)
+			if err == nil {
+				owners[i] = own
+				b.healthy.Store(true)
+				b.state.Store("ok")
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("router: backend %d (%s) unreachable: %w", i, b.addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	r.shards = len(owners[0])
+	for i, own := range owners {
+		if len(own) != r.shards {
+			return fmt.Errorf("router: backend %d reports %d shards, backend 0 reports %d — mixed cluster", i, len(own), r.shards)
+		}
+	}
+	if r.shards == 0 {
+		return errors.New("router: backends report zero shards")
+	}
+	r.owner = make([]int, r.shards)
+	r.holds = make([]chan struct{}, r.shards)
+	for k := 0; k < r.shards; k++ {
+		var cands []int
+		for i := range owners {
+			if owners[i][k] {
+				cands = append(cands, i)
+			}
+		}
+		switch {
+		case len(cands) == 0:
+			return fmt.Errorf("router: shard %d owned by no backend — restore its snapshot before routing", k)
+		case len(cands) == 1:
+			r.owner[k] = cands[0]
+		default:
+			keep := cands[k%len(cands)]
+			r.owner[k] = keep
+			for _, i := range cands {
+				if i == keep {
+					continue
+				}
+				cl, err := r.backends[i].pool.Get()
+				if err != nil {
+					return fmt.Errorf("router: backend %d (%s): %w", i, r.backends[i].addr, err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err = cl.FreezeShard(ctx, k)
+				cancel()
+				if err != nil {
+					return fmt.Errorf("router: freeze shard %d on backend %d: %w", k, i, err)
+				}
+			}
+			r.log.Info("router: resolved multi-owned shard", "shard", k, "kept", keep, "frozen", len(cands)-1)
+		}
+	}
+	r.log.Info("router: bootstrap complete", "backends", len(r.backends), "shards", r.shards)
+	return nil
+}
+
+func (r *Router) probeOwners(b *backend) ([]bool, error) {
+	cl, err := b.pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	own, err := cl.Owners(ctx)
+	if err != nil {
+		b.pool.MarkDead(cl)
+		return nil, err
+	}
+	return own, nil
+}
+
+// Shards returns the cluster-wide shard count.
+func (r *Router) Shards() int { return r.shards }
+
+// Owner reports which backend currently serves a shard.
+func (r *Router) Owner(shard int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.owner[shard]
+}
+
+// ownerSnapshot copies the ownership map for a consistent read.
+func (r *Router) ownerSnapshot() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.owner...)
+}
+
+// Migrate moves a live shard from its current owner to backend `to`:
+// raise the hold (new submitters for the shard park), extract the
+// frozen shard from the source, install the packet on the destination,
+// flip the map, drop the hold — parked submitters replay the gap
+// against the new owner. The returned duration is the blackout window:
+// freeze-to-cutover, the time the shard answered nobody.
+//
+// If the destination install fails the packet is reinstalled on the
+// source, so a failed migration degrades to "nothing happened" rather
+// than a stranded shard.
+func (r *Router) Migrate(ctx context.Context, shard, to int) (time.Duration, error) {
+	if shard < 0 || shard >= r.shards {
+		return 0, fmt.Errorf("router: shard %d out of range [0,%d)", shard, r.shards)
+	}
+	if to < 0 || to >= len(r.backends) {
+		return 0, fmt.Errorf("router: backend %d out of range [0,%d)", to, len(r.backends))
+	}
+	r.mu.Lock()
+	if r.holds[shard] != nil {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("router: shard %d is already migrating", shard)
+	}
+	from := r.owner[shard]
+	if from == to {
+		r.mu.Unlock()
+		return 0, nil
+	}
+	hold := make(chan struct{})
+	r.holds[shard] = hold
+	r.mu.Unlock()
+
+	// cutover publishes the final owner and releases everyone parked on
+	// the hold; it runs exactly once on every path out of here.
+	cutover := func(newOwner int) {
+		r.mu.Lock()
+		r.owner[shard] = newOwner
+		r.holds[shard] = nil
+		r.mu.Unlock()
+		close(hold)
+	}
+
+	start := time.Now()
+	srcCl, err := r.backends[from].pool.Get()
+	if err != nil {
+		cutover(from)
+		return 0, fmt.Errorf("router: source backend %d: %w", from, err)
+	}
+	dstCl, err := r.backends[to].pool.Get()
+	if err != nil {
+		cutover(from)
+		return 0, fmt.Errorf("router: destination backend %d: %w", to, err)
+	}
+	packet, err := srcCl.ExtractShard(ctx, shard)
+	if err != nil {
+		cutover(from)
+		return 0, fmt.Errorf("router: extract shard %d from backend %d: %w", shard, from, err)
+	}
+	if err := dstCl.InstallShard(ctx, shard, packet); err != nil {
+		// Put the shard back where it came from: the source slot is
+		// empty and frozen, so reinstall is legal and restores the
+		// pre-migration world exactly.
+		if rerr := srcCl.InstallShard(ctx, shard, packet); rerr != nil {
+			cutover(from)
+			return 0, fmt.Errorf("router: shard %d stranded: install on backend %d failed (%v), restore to backend %d failed (%v)", shard, to, err, from, rerr)
+		}
+		cutover(from)
+		return 0, fmt.Errorf("router: install shard %d on backend %d (restored to %d): %w", shard, to, from, err)
+	}
+	cutover(to)
+	d := time.Since(start)
+	r.migrations.Add(1)
+	r.lastBlackout.Store(int64(d))
+	r.totalBlackout.Add(int64(d))
+	r.log.Info("router: shard migrated", "shard", shard, "from", from, "to", to, "blackout", d)
+	return d, nil
+}
+
+// Close stops the health loop and closes every backend pool.
+func (r *Router) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		r.wg.Wait()
+		for _, b := range r.backends {
+			if cerr := b.pool.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	})
+	return err
+}
+
+func (r *Router) closedNow() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,501 @@
+package router_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/router"
+	"repro/internal/scheme"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+)
+
+// quietLog keeps the router's operational chatter out of test output.
+var quietLog = slog.New(slog.NewTextHandler(io.Discard, nil))
+
+// killableListener tracks accepted connections so a test can sever a
+// backend the way SIGKILL would: listener and every live connection
+// closed at once, nothing drained.
+type killableListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *killableListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *killableListener) kill() {
+	l.Close()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+}
+
+// newBackend boots one cloudcached-equivalent: an engine plus a wire
+// listener. delays, when non-nil, gives each shard a decision-delay
+// knob so concurrency tests get genuinely scrambled completion order.
+func newBackend(t *testing.T, shards int, delays []atomic.Int64) (*server.Server, string, *killableListener) {
+	t.Helper()
+	cat := catalog.TPCH(20)
+	params := scheme.DefaultParams(cat)
+	params.RegretFraction = 0.0001
+	params.LoadFactor = 0.02
+	cfg := server.Config{
+		Shards: shards,
+		Scheme: "econ-cheap",
+		Params: params,
+		Clock:  server.NewVirtualClock(),
+	}
+	if delays != nil {
+		cfg.DecideDelay = func(shard int) {
+			if d := delays[shard].Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := &killableListener{Listener: raw}
+	go wire.ServeEngine(ln, wire.ServerEngine(srv))
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Shutdown(context.Background())
+	})
+	return srv, raw.Addr().String(), ln
+}
+
+// newRouterFront builds a router over the addrs and serves it on its
+// own wire listener, so tests drive the whole path a client sees:
+// TCP -> router protocol loop -> router fan-out -> TCP -> backend.
+func newRouterFront(t *testing.T, addrs []string, health time.Duration) (*router.Router, string) {
+	t.Helper()
+	cfgs := make([]router.BackendConfig, len(addrs))
+	for i, a := range addrs {
+		cfgs[i] = router.BackendConfig{Addr: a}
+	}
+	r, err := router.New(router.Config{Backends: cfgs, HealthInterval: health, Log: quietLog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go wire.ServeEngine(ln, r)
+	t.Cleanup(func() {
+		ln.Close()
+		r.Close()
+	})
+	return r, ln.Addr().String()
+}
+
+// shardTenants finds one tenant per shard using the exported routing
+// hash, so each test worker owns one shard's arrival order outright.
+func shardTenants(shards int) []string {
+	tenants := make([]string, shards)
+	found := 0
+	for i := 0; found < shards; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		idx := server.ShardIndexFor(name, "", shards)
+		if tenants[idx] == "" {
+			tenants[idx] = name
+			found++
+		}
+	}
+	return tenants
+}
+
+// batchFor builds worker w's round-r batch: template rotation, explicit
+// selectivities and budget curves so routed queries exercise the full
+// query grammar, deterministically.
+func batchFor(tenants []string, w, r int) []wire.Query {
+	templates := []string{"Q1", "Q6", "Q3", "Q10", "Q14", "Q18"}
+	qs := make([]wire.Query, 1+r%3)
+	for i := range qs {
+		q := wire.Query{
+			Tenant:   tenants[w],
+			Template: templates[(w+r+i)%len(templates)],
+		}
+		if (r+i)%3 != 2 {
+			q.Selectivity = 0.001 + 0.0001*float64((r+i)%9)
+			q.HasSelectivity = true
+		}
+		if (r+i)%4 != 3 {
+			q.Budget = &server.BudgetJSON{Shape: "step", PriceUSD: 0.05, TmaxSec: 3600}
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// normReplies renders replies to their wire bytes with QueryID zeroed —
+// the one field minted from a per-process global counter.
+func normReplies(rs []wire.Reply) []byte {
+	c := make([]wire.Reply, len(rs))
+	copy(c, rs)
+	for i := range c {
+		c[i].Resp.QueryID = 0
+	}
+	return wire.AppendReplyBatch(nil, c)
+}
+
+// TestRouterBootstrap checks fresh-cluster conflict resolution: two
+// backends boot owning every shard; after router bootstrap each shard
+// is owned by exactly one of them, and the router's map points at it.
+func TestRouterBootstrap(t *testing.T) {
+	const shards = 4
+	srvA, addrA, _ := newBackend(t, shards, nil)
+	srvB, addrB, _ := newBackend(t, shards, nil)
+	r, _ := newRouterFront(t, []string{addrA, addrB}, -1)
+
+	owned := [][]bool{srvA.OwnedShards(), srvB.OwnedShards()}
+	for k := 0; k < shards; k++ {
+		a, b := owned[0][k], owned[1][k]
+		if a == b {
+			t.Fatalf("shard %d: want exactly one owner, got A=%v B=%v", k, a, b)
+		}
+		want := 0
+		if b {
+			want = 1
+		}
+		if got := r.Owner(k); got != want {
+			t.Fatalf("shard %d: router maps to backend %d, backends say %d", k, got, want)
+		}
+	}
+	if r.Shards() != shards {
+		t.Fatalf("Shards() = %d, want %d", r.Shards(), shards)
+	}
+}
+
+// TestRouterMigrationParity is the cluster-tier determinism contract:
+// concurrent workers submit through a real TCP router while a hot shard
+// live-migrates between backends mid-run. Every reply — including those
+// parked on the migration hold and replayed after cutover — must be
+// byte-identical to a sequential no-migration replay on a single fresh
+// backend, and the router's merged stats must match the single
+// process's aggregate. Run under -race.
+func TestRouterMigrationParity(t *testing.T) {
+	const shards = 4
+	const rounds = 40
+	const hot = 2
+	const migrateAt = 15
+
+	delays := make([]atomic.Int64, shards)
+	rng := rand.New(rand.NewSource(7))
+	for i := range delays {
+		delays[i].Store(int64(time.Duration(rng.Intn(200)) * time.Microsecond))
+	}
+	_, addrA, _ := newBackend(t, shards, delays)
+	_, addrB, _ := newBackend(t, shards, delays)
+	r, front := newRouterFront(t, []string{addrA, addrB}, -1)
+	tenants := shardTenants(shards)
+
+	cl, err := wire.DialMux(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([][][]wire.Reply, shards)
+	hotRound := make(chan struct{})
+	var hotOnce sync.Once
+	var wg sync.WaitGroup
+	errCh := make(chan error, shards)
+	for w := 0; w < shards; w++ {
+		got[w] = make([][]wire.Reply, rounds)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rd := 0; rd < rounds; rd++ {
+				replies, err := cl.Submit(context.Background(), batchFor(tenants, w, rd))
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d round %d: %w", w, rd, err)
+					return
+				}
+				for i := range replies {
+					if replies[i].Err != "" && !strings.Contains(replies[i].Err, "unknown template") {
+						errCh <- fmt.Errorf("worker %d round %d item %d: %s", w, rd, i, replies[i].Err)
+						return
+					}
+				}
+				got[w][rd] = replies
+				if w == hot && rd == migrateAt {
+					hotOnce.Do(func() { close(hotRound) })
+				}
+			}
+		}(w)
+	}
+
+	// Migrate the hot shard the moment its worker crosses migrateAt, so
+	// the move genuinely races in-flight traffic on every shard.
+	<-hotRound
+	from := r.Owner(hot)
+	to := 1 - from
+	blackout, err := r.Migrate(context.Background(), hot, to)
+	if err != nil {
+		t.Fatalf("migrate shard %d -> backend %d: %v", hot, to, err)
+	}
+	if blackout <= 0 {
+		t.Fatalf("blackout = %v, want > 0", blackout)
+	}
+	t.Logf("migrated hot shard %d: backend %d -> %d, blackout %v", hot, from, to, blackout)
+	if r.Owner(hot) != to {
+		t.Fatalf("owner after migrate = %d, want %d", r.Owner(hot), to)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	routedStats := r.Stats()
+
+	// Sequential replay on one fresh backend that never migrates.
+	ctlSrv, ctlAddr, _ := newBackend(t, shards, nil)
+	ctl, err := wire.DialMux(ctlAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	for w := 0; w < shards; w++ {
+		for rd := 0; rd < rounds; rd++ {
+			want, err := ctl.Submit(context.Background(), batchFor(tenants, w, rd))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(normReplies(got[w][rd]), normReplies(want)) {
+				t.Fatalf("worker %d round %d: routed replies diverge from no-migration replay\n got: %+v\nwant: %+v",
+					w, rd, got[w][rd], want)
+			}
+		}
+	}
+
+	// The merged cluster economy must equal the single-process one.
+	ctlStats := ctlSrv.Stats()
+	if routedStats.Queries != ctlStats.Queries ||
+		routedStats.CacheAnswered != ctlStats.CacheAnswered ||
+		routedStats.Investments != ctlStats.Investments ||
+		routedStats.RevenueUSD != ctlStats.RevenueUSD ||
+		routedStats.ProfitUSD != ctlStats.ProfitUSD ||
+		routedStats.ResidentBytes != ctlStats.ResidentBytes {
+		t.Fatalf("merged stats diverge from control:\nrouted:  q=%d hit=%d inv=%d rev=%v profit=%v bytes=%d\ncontrol: q=%d hit=%d inv=%d rev=%v profit=%v bytes=%d",
+			routedStats.Queries, routedStats.CacheAnswered, routedStats.Investments, routedStats.RevenueUSD, routedStats.ProfitUSD, routedStats.ResidentBytes,
+			ctlStats.Queries, ctlStats.CacheAnswered, ctlStats.Investments, ctlStats.RevenueUSD, ctlStats.ProfitUSD, ctlStats.ResidentBytes)
+	}
+
+	// Graceful drain under -race: client then router (cleanup closes the
+	// listeners and backends).
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterBackendDeath kills one backend mid-traffic (listener and
+// every connection severed, nothing drained) and checks the failure is
+// tag-scoped: items for the dead backend's shards answer per-item
+// errors, items for the survivor keep deciding normally, and the
+// router's own connection and /readyz stay up (degraded).
+func TestRouterBackendDeath(t *testing.T) {
+	const shards = 4
+	_, addrA, lnA := newBackend(t, shards, nil)
+	_, addrB, _ := newBackend(t, shards, nil)
+	r, front := newRouterFront(t, []string{addrA, addrB}, 20*time.Millisecond)
+	tenants := shardTenants(shards)
+
+	cl, err := wire.DialMux(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Warm every shard through the router.
+	for w := 0; w < shards; w++ {
+		replies, err := cl.Submit(context.Background(), batchFor(tenants, w, 0))
+		if err != nil {
+			t.Fatalf("warmup worker %d: %v", w, err)
+		}
+		for i := range replies {
+			if replies[i].Err != "" {
+				t.Fatalf("warmup worker %d item %d: %s", w, i, replies[i].Err)
+			}
+		}
+	}
+
+	lnA.kill()
+
+	deadline := time.Now().Add(5 * time.Second)
+	sawDead := false
+	for w := 0; w < shards; w++ {
+		owner := r.Owner(w)
+		var replies []wire.Reply
+		for {
+			var err error
+			replies, err = cl.Submit(context.Background(), batchFor(tenants, w, 1))
+			if err != nil {
+				t.Fatalf("submit after kill (shard %d): connection-scoped error %v, want tag-scoped", w, err)
+			}
+			if owner != 0 || replies[0].Err != "" || time.Now().After(deadline) {
+				break
+			}
+			// The severed connection may not have been observed yet;
+			// the in-flight submit that noticed it already failed
+			// tag-scoped, later ones race the pool's redial backoff.
+			time.Sleep(5 * time.Millisecond)
+		}
+		for i := range replies {
+			if owner == 0 {
+				if replies[i].Err == "" {
+					t.Fatalf("shard %d (dead backend): item %d succeeded, want error", w, i)
+				}
+				sawDead = true
+			} else if replies[i].Err != "" {
+				t.Fatalf("shard %d (live backend): item %d errored: %s", w, i, replies[i].Err)
+			}
+		}
+	}
+	if !sawDead {
+		t.Fatal("no shard mapped to the killed backend — test vacuous")
+	}
+
+	// The health loop must notice and degrade /readyz without killing
+	// the router.
+	h := r.HTTPHandler()
+	for {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+		if rec.Code == 503 {
+			var view struct {
+				State    string `json:"state"`
+				Backends []struct {
+					Healthy bool `json:"healthy"`
+				} `json:"backends"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+				t.Fatal(err)
+			}
+			if view.State != "degraded" || view.Backends[0].Healthy || !view.Backends[1].Healthy {
+				t.Fatalf("readyz after kill: %s", rec.Body.String())
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router /readyz never degraded after backend kill")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterHTTP drives the admin surface end to end: migrate a shard
+// over POST /admin/migrate, read the move back from /metrics, and check
+// /v1/stats serves the merged view.
+func TestRouterHTTP(t *testing.T) {
+	const shards = 4
+	_, addrA, _ := newBackend(t, shards, nil)
+	_, addrB, _ := newBackend(t, shards, nil)
+	r, front := newRouterFront(t, []string{addrA, addrB}, -1)
+	tenants := shardTenants(shards)
+
+	cl, err := wire.DialMux(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for w := 0; w < shards; w++ {
+		if _, err := cl.Submit(context.Background(), batchFor(tenants, w, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h := r.HTTPHandler()
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	if rec := get("/healthz"); rec.Code != 200 {
+		t.Fatalf("/healthz = %d", rec.Code)
+	}
+	if rec := get("/readyz"); rec.Code != 200 {
+		t.Fatalf("/readyz = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	target := 1 - r.Owner(0)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", fmt.Sprintf("/admin/migrate?shard=0&to=%d", target), nil))
+	if rec.Code != 200 {
+		t.Fatalf("/admin/migrate = %d: %s", rec.Code, rec.Body.String())
+	}
+	var moved struct {
+		Shard      int     `json:"shard"`
+		To         int     `json:"to"`
+		BlackoutMS float64 `json:"blackout_ms"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &moved); err != nil {
+		t.Fatal(err)
+	}
+	if moved.To != target || moved.BlackoutMS <= 0 {
+		t.Fatalf("migrate reply: %+v", moved)
+	}
+	if r.Owner(0) != target {
+		t.Fatalf("owner after HTTP migrate = %d, want %d", r.Owner(0), target)
+	}
+
+	// A second migrate to the same place is a no-op with zero blackout.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", fmt.Sprintf("/admin/migrate?shard=0&to=%d", target), nil))
+	if rec.Code != 200 {
+		t.Fatalf("idempotent migrate = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	metrics := get("/metrics").Body.String()
+	for _, want := range []string{
+		"cloudrouter_queries_total",
+		"cloudrouter_migrations_total 1",
+		"cloudrouter_backend_reconnects_total{backend=\"0\"}",
+		fmt.Sprintf("cloudrouter_shard_owner{shard=\"0\"} %d", target),
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	var stats server.Stats
+	if err := json.Unmarshal(get("/v1/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shards != shards || stats.Queries == 0 || len(stats.PerShard) != shards {
+		t.Fatalf("/v1/stats: shards=%d queries=%d per_shard=%d", stats.Shards, stats.Queries, len(stats.PerShard))
+	}
+	if stats.Scheme != "econ-cheap" {
+		t.Fatalf("/v1/stats scheme = %q", stats.Scheme)
+	}
+}

@@ -1,0 +1,309 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/server/wire"
+)
+
+// viewTimeout bounds every backend round-trip a merged view makes.
+const viewTimeout = 5 * time.Second
+
+// Stats merges the cluster into one server.Stats, attributing each
+// shard to the backend that owns it (a disowned replica's frozen
+// counters would double-count). Aggregates are recomputed from the
+// selected per-shard rows with the same arithmetic the single-process
+// engine uses, so a client reading /v1/stats through the router sees
+// the same shape and the same conservation properties.
+//
+// One approximation is unavoidable: the raw response-time reservoirs do
+// not travel over the wire, so the cluster percentiles are the
+// query-weighted mean of the per-shard percentiles rather than a true
+// merged-reservoir estimate.
+func (r *Router) Stats() server.Stats {
+	owner := r.ownerSnapshot()
+	per := make([]server.ShardStats, r.shards)
+	byBackend := make([]*server.Stats, len(r.backends))
+
+	ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+	defer cancel()
+	agg := server.Stats{Shards: r.shards}
+	for _, b := range r.backends {
+		cl, err := b.pool.Get()
+		if err != nil {
+			continue
+		}
+		st, err := cl.Stats(ctx)
+		if err != nil {
+			continue
+		}
+		byBackend[b.id] = &st
+		if agg.Scheme == "" {
+			agg.Scheme, agg.Provider = st.Scheme, st.Provider
+		}
+		if st.Draining {
+			agg.Draining = true
+		}
+	}
+	for k := 0; k < r.shards; k++ {
+		if bs := byBackend[owner[k]]; bs != nil && k < len(bs.PerShard) {
+			per[k] = bs.PerShard[k]
+		} else {
+			// Owner unreachable: an honest hole, not stale numbers.
+			per[k] = server.ShardStats{Shard: k, Scheme: agg.Scheme}
+		}
+	}
+
+	tenants := make(map[string]server.TenantStats)
+	var meanW, p50W, p95W, p99W float64
+	for _, st := range per {
+		agg.PerShard = append(agg.PerShard, st)
+		for _, ts := range st.Tenants {
+			m := tenants[ts.Tenant]
+			m.Tenant = ts.Tenant
+			m.Queries += ts.Queries
+			m.Declined += ts.Declined
+			m.CacheAnswered += ts.CacheAnswered
+			m.CreditUSD += ts.CreditUSD
+			m.SpendUSD += ts.SpendUSD
+			m.ProfitUSD += ts.ProfitUSD
+			m.RegretUSD += ts.RegretUSD
+			m.InvestedUSD += ts.InvestedUSD
+			m.RecoveredUSD += ts.RecoveredUSD
+			m.StructuresCharged += ts.StructuresCharged
+			m.LedgerSize += ts.LedgerSize
+			tenants[ts.Tenant] = m
+		}
+		if st.ClockSec > agg.ClockSec {
+			agg.ClockSec = st.ClockSec
+		}
+		agg.Queries += st.Queries
+		agg.Declined += st.Declined
+		agg.CacheAnswered += st.CacheAnswered
+		agg.Investments += st.Investments
+		agg.Failures += st.Failures
+		agg.Errors += st.Errors
+		agg.ExecCostUSD += st.ExecCostUSD
+		agg.BuildCostUSD += st.BuildCostUSD
+		agg.StorageCostUSD += st.StorageCostUSD
+		agg.NodeCostUSD += st.NodeCostUSD
+		agg.OperatingCostUSD += st.OperatingCostUSD
+		agg.RevenueUSD += st.RevenueUSD
+		agg.ProfitUSD += st.ProfitUSD
+		agg.ResidentBytes += st.ResidentBytes
+		agg.CreditUSD += st.CreditUSD
+		w := float64(st.Queries - st.Declined)
+		meanW += st.ResponseMeanSec * w
+		p50W += st.ResponseP50Sec * w
+		p95W += st.ResponseP95Sec * w
+		p99W += st.ResponseP99Sec * w
+	}
+	if executed := agg.Queries - agg.Declined; executed > 0 {
+		agg.ResponseMeanSec = meanW / float64(executed)
+		agg.ResponseP50Sec = p50W / float64(executed)
+		agg.ResponseP95Sec = p95W / float64(executed)
+		agg.ResponseP99Sec = p99W / float64(executed)
+	}
+	if len(tenants) > 0 {
+		agg.Tenants = make([]server.TenantStats, 0, len(tenants))
+		for _, ts := range tenants {
+			if executed := ts.Queries - ts.Declined; executed > 0 {
+				ts.HitRate = float64(ts.CacheAnswered) / float64(executed)
+			}
+			agg.Tenants = append(agg.Tenants, ts)
+		}
+		sort.Slice(agg.Tenants, func(i, j int) bool { return agg.Tenants[i].Tenant < agg.Tenants[j].Tenant })
+	}
+	return agg
+}
+
+// TraceViewSnapshot concatenates the backends' trace rings. SampleEvery
+// is taken from the first backend whose tracer is on (-1 if none).
+func (r *Router) TraceViewSnapshot(tenant, template string, n int) server.TraceView {
+	view := server.TraceView{SampleEvery: -1}
+	ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+	defer cancel()
+	for _, b := range r.backends {
+		cl, err := b.pool.Get()
+		if err != nil {
+			continue
+		}
+		tv, err := cl.Trace(ctx, tenant, template, n)
+		if err != nil {
+			continue
+		}
+		if view.SampleEvery < 0 && tv.SampleEvery >= 0 {
+			view.SampleEvery = tv.SampleEvery
+		}
+		view.Records = append(view.Records, tv.Records...)
+	}
+	if view.Records == nil {
+		view.Records = []obs.Record{} // keep the []-not-null JSON contract
+	}
+	return view
+}
+
+// EventsViewSnapshot concatenates the backends' journals and sums their
+// conservation totals. Events keep each backend's own Seq numbering —
+// Seq orders a journal, not the cluster.
+func (r *Router) EventsViewSnapshot(typ, tenant string, n int) server.EventsView {
+	view := server.EventsView{}
+	ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+	defer cancel()
+	for _, b := range r.backends {
+		cl, err := b.pool.Get()
+		if err != nil {
+			continue
+		}
+		ev, err := cl.Events(ctx, typ, tenant, n)
+		if err != nil {
+			continue
+		}
+		view.Totals.Invests += ev.Totals.Invests
+		view.Totals.Evicts += ev.Totals.Evicts
+		view.Totals.Recovers += ev.Totals.Recovers
+		view.Totals.InvestedUSD += ev.Totals.InvestedUSD
+		view.Totals.EvictedUSD += ev.Totals.EvictedUSD
+		view.Totals.RecoveredUSD += ev.Totals.RecoveredUSD
+		view.Events = append(view.Events, ev.Events...)
+	}
+	if view.Events == nil {
+		view.Events = view.Events[:0:0]
+	}
+	return view
+}
+
+// maxCursors bounds the EventsViewSince cursor table; the oldest
+// cursor is dropped past it (an events subscription holds exactly one).
+const maxCursors = 64
+
+// EventsViewSince serves the incremental feed behind events
+// subscriptions. Each backend numbers its journal independently, so the
+// router's cursor is an opaque handle into a table of per-backend
+// last-seen Seqs; pass 0 (or less) to open a new cursor, pass the
+// returned value to resume it.
+func (r *Router) EventsViewSince(since int64) (server.EventsView, int64) {
+	r.curMu.Lock()
+	cur, ok := r.cursors[since]
+	if !ok {
+		r.nextCursor++
+		since = r.nextCursor
+		cur = make([]int64, len(r.backends))
+		r.cursors[since] = cur
+		if len(r.cursors) > maxCursors {
+			oldest := since
+			for id := range r.cursors {
+				if id < oldest {
+					oldest = id
+				}
+			}
+			delete(r.cursors, oldest)
+		}
+	}
+	last := append([]int64(nil), cur...)
+	r.curMu.Unlock()
+
+	view := server.EventsView{}
+	ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+	defer cancel()
+	for _, b := range r.backends {
+		cl, err := b.pool.Get()
+		if err != nil {
+			continue
+		}
+		ev, err := cl.Events(ctx, "", "", 0)
+		if err != nil {
+			continue
+		}
+		view.Totals.Invests += ev.Totals.Invests
+		view.Totals.Evicts += ev.Totals.Evicts
+		view.Totals.Recovers += ev.Totals.Recovers
+		view.Totals.InvestedUSD += ev.Totals.InvestedUSD
+		view.Totals.EvictedUSD += ev.Totals.EvictedUSD
+		view.Totals.RecoveredUSD += ev.Totals.RecoveredUSD
+		for _, e := range ev.Events {
+			if e.Seq > last[b.id] {
+				view.Events = append(view.Events, e)
+				last[b.id] = e.Seq
+			}
+		}
+	}
+	if view.Events == nil {
+		view.Events = view.Events[:0:0]
+	}
+	r.curMu.Lock()
+	if _, ok := r.cursors[since]; ok {
+		r.cursors[since] = last
+	}
+	r.curMu.Unlock()
+	return view, since
+}
+
+// Checkpoint is refused at the router: checkpoints are per-backend
+// durable state, and the v1 snapshot reply cannot be relayed through a
+// multiplexed backend connection. Drive each backend's own admin
+// endpoint instead.
+func (r *Router) Checkpoint() (string, int64, error) {
+	return "", 0, errors.New("router: checkpoint is a per-backend operation; call the backend directly")
+}
+
+// FreezeShard relays to the shard's current owner — the first step of
+// an operator-driven (non-router) migration.
+func (r *Router) FreezeShard(shard int) error {
+	if shard < 0 || shard >= r.shards {
+		return fmt.Errorf("router: shard %d out of range [0,%d)", shard, r.shards)
+	}
+	cl, err := r.backends[r.Owner(shard)].pool.Get()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+	defer cancel()
+	return cl.FreezeShard(ctx, shard)
+}
+
+// ExtractShardPacket relays to the shard's current owner.
+func (r *Router) ExtractShardPacket(shard int) ([]byte, error) {
+	if shard < 0 || shard >= r.shards {
+		return nil, fmt.Errorf("router: shard %d out of range [0,%d)", shard, r.shards)
+	}
+	cl, err := r.backends[r.Owner(shard)].pool.Get()
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), viewTimeout)
+	defer cancel()
+	return cl.ExtractShard(ctx, shard)
+}
+
+// InstallShardPacket is refused at the router: an install names a
+// destination backend, which the wire frame cannot express. Use the
+// router's /admin/migrate, or install on the backend directly.
+func (r *Router) InstallShardPacket(shard int, data []byte) error {
+	return errors.New("router: install needs a destination backend; use /admin/migrate or the backend directly")
+}
+
+// OwnedShards reports all-true: by construction the router serves every
+// shard (bootstrap fails otherwise), so a router behind a router routes
+// everything here.
+func (r *Router) OwnedShards() []bool {
+	own := make([]bool, r.shards)
+	for i := range own {
+		own[i] = true
+	}
+	return own
+}
+
+// TraceEnabled is false at the router: stage timing belongs to the
+// backend that decides the query, and its records already include the
+// full pipeline. BackfillEncode is the matching no-op.
+func (r *Router) TraceEnabled() bool { return false }
+
+// BackfillEncode is a no-op; see TraceEnabled.
+func (r *Router) BackfillEncode(rs []wire.Reply, totalNanos int64) {}

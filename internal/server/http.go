@@ -120,6 +120,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/events", s.handleEvents)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -198,6 +199,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrUnknownTemplate):
 		writeError(w, r, http.StatusBadRequest, err)
+	case errors.Is(err, ErrShardNotOwned):
+		// A cluster backend answering direct traffic for a shard it
+		// migrated away: the client is talking to the wrong backend.
+		writeError(w, r, http.StatusMisdirectedRequest, err)
 	case err != nil:
 		writeError(w, r, http.StatusInternalServerError, err)
 	default:
@@ -352,6 +357,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Queries:  queries,
 		Draining: draining,
 	})
+}
+
+// Readiness is the JSON body of GET /readyz: State is "ok" when the
+// server should receive traffic, else "draining" (shutdown begun),
+// "migrating" (a shard transfer is in progress) or — from the daemon's
+// boot stub, before the engine exists — "restoring".
+type Readiness struct {
+	State string `json:"state"`
+	Ready bool   `json:"ready"`
+}
+
+// handleReadyz splits readiness from liveness: /healthz answers 200 as
+// long as the process serves, while /readyz goes non-200 the moment the
+// server should stop receiving new traffic. The router's health loop
+// keys off it during cutover.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	state, ready := s.ReadyState()
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, r, status, Readiness{State: state, Ready: ready})
 }
 
 // intParam parses a non-negative integer query parameter, returning def

@@ -133,6 +133,11 @@ func (s *Server) restore(snap *persist.Snapshot) error {
 func (s *shard) captureState() persist.ShardState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.captureStateLocked()
+}
+
+// captureStateLocked does the export. Callers hold s.mu.
+func (s *shard) captureStateLocked() persist.ShardState {
 	st := persist.ShardState{
 		Index:            s.id,
 		LastNow:          s.lastNow,
@@ -171,11 +176,17 @@ func (s *shard) captureState() persist.ShardState {
 	return st
 }
 
-// restoreState adopts one shard's state. The shard must be fresh (its
-// loop not yet started).
+// restoreState adopts one shard's state. The shard must be fresh: its
+// loop not yet started, or live but unused (shard installation locks it
+// and checks with unusedLocked first).
 func (s *shard) restoreState(st *persist.ShardState) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.restoreStateLocked(st)
+}
+
+// restoreStateLocked does the adoption. Callers hold s.mu.
+func (s *shard) restoreStateLocked(st *persist.ShardState) error {
 	resolve := func(id structure.ID) (*structure.Structure, error) {
 		return economy.ResolveID(s.srv.catalog, id)
 	}

@@ -192,6 +192,10 @@ type Server struct {
 	closed   bool
 	submitWG sync.WaitGroup
 
+	// migrating counts in-progress shard transfers (extract or install);
+	// /readyz reports "migrating" while it is nonzero.
+	migrating atomic.Int32
+
 	tickStop chan struct{}
 	tickDone chan struct{}
 
@@ -412,13 +416,21 @@ func (s *Server) Clock() Clock { return s.clock }
 // else by template, hashed stably so a tenant's whole history lands on
 // one economy.
 func (s *Server) ShardIndex(req Request) int {
-	key := req.Tenant
+	return ShardIndexFor(req.Tenant, req.Template, len(s.shards))
+}
+
+// ShardIndexFor is the routing hash itself, exported so a cluster front
+// can compute the same shard a backend would — every process in a
+// cluster MUST agree on this function and on the shard count, or
+// traffic lands on disowned slots.
+func ShardIndexFor(tenant, template string, shards int) int {
+	key := tenant
 	if key == "" {
-		key = req.Template
+		key = template
 	}
 	h := fnv.New32a()
 	h.Write([]byte(key))
-	return int(h.Sum32() % uint32(len(s.shards)))
+	return int(h.Sum32() % uint32(shards))
 }
 
 // Submit routes the query to its shard, waits for the economy's answer

@@ -64,6 +64,13 @@ type shard struct {
 	mu  sync.Mutex
 	sch scheme.Scheme
 	eco *economy.Economy // nil for schemes without an economy (bypass)
+	// owned is false while this shard's slice of the key space is served
+	// by another backend (frozen for migration, or never owned in a
+	// cluster partition). A disowned shard decides nothing and touches no
+	// state: the loop answers every message with ErrShardNotOwned so a
+	// router can re-route, and housekeeping skips it so the in-transit
+	// economy accrues rent exactly once — on whichever backend owns it.
+	owned bool
 	// rng is a SplitMix64 state driving selectivity draws for queries
 	// that omit one. A plain uint64 — not math/rand — so snapshots can
 	// persist it and a restored shard continues the exact draw sequence.
@@ -121,6 +128,7 @@ func newShard(id int, srv *Server, sch scheme.Scheme, seed int64, depth, reservo
 		done:     make(chan struct{}),
 		sch:      sch,
 		eco:      economyOf(sch),
+		owned:    true,
 		rng:      uint64(seed),
 		response: metrics.NewDurationStats(reservoirCap),
 	}
@@ -209,6 +217,10 @@ func (s *shard) handleMsgs(msgs []shardMsg) {
 	drainNanos := s.srv.nanos()
 	s.oldestWait.Store(drainNanos - msgs[0].enq)
 	s.mu.Lock()
+	if !s.owned {
+		s.rejectLocked(msgs)
+		return
+	}
 	now := s.nowLocked()
 	s.accrueLocked(now)
 	s.deferred = s.deferred[:0]
@@ -226,6 +238,36 @@ func (s *shard) handleMsgs(msgs []shardMsg) {
 			}
 		} else {
 			m.reply <- s.handleLocked(m.req, now, wait)
+		}
+	}
+	s.mu.Unlock()
+	for i := range s.deferred {
+		s.deferred[i].fn(s.deferred[i].replies)
+		s.deferred[i] = deferredDone{}
+	}
+}
+
+// rejectLocked answers a whole mailbox drain with ErrShardNotOwned
+// without deciding anything or touching shard state — no clock read, no
+// accrual, no counters — so a frozen shard's captured state is exactly
+// its state at the last real decision. Called with s.mu held; releases
+// it. Async completions still run after the lock drops, in order.
+func (s *shard) rejectLocked(msgs []shardMsg) {
+	err := fmt.Errorf("%w (shard %d)", ErrShardNotOwned, s.id)
+	s.deferred = s.deferred[:0]
+	for _, m := range msgs {
+		if m.batch != nil {
+			replies := make([]shardReply, len(m.batch))
+			for i := range replies {
+				replies[i] = shardReply{err: err}
+			}
+			if m.batchDone != nil {
+				s.deferred = append(s.deferred, deferredDone{fn: m.batchDone, replies: replies})
+			} else {
+				m.batchReply <- replies
+			}
+		} else {
+			m.reply <- shardReply{err: err}
 		}
 	}
 	s.mu.Unlock()
@@ -398,6 +440,9 @@ func (s *shard) decideLocked(req Request, now time.Duration) (shardReply, scheme
 func (s *shard) housekeep() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.owned {
+		return
+	}
 	now := s.nowLocked()
 	s.accrueLocked(now)
 	ca := s.sch.Cache()
@@ -412,6 +457,11 @@ func (s *shard) housekeep() {
 func (s *shard) finalize() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// A disowned shard's economy finalizes wherever it now lives; the
+	// empty remnant here has no tail rent to settle.
+	if !s.owned {
+		return
+	}
 	end := s.nowLocked()
 	if s.endOfRun > end {
 		end = s.endOfRun
@@ -424,14 +474,21 @@ func (s *shard) finalize() {
 func (s *shard) snapshot() (ShardStats, []float64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	now := s.nowLocked()
-	s.accrueLocked(now)
+	// A disowned shard's state is in transit: report it as-is without
+	// advancing the clock or accruing rent, so polling stats during a
+	// migration cannot perturb the frozen capture.
+	now := s.lastNow
+	if s.owned {
+		now = s.nowLocked()
+		s.accrueLocked(now)
+	}
 
 	acct := s.srv.accounting
 	ca := s.sch.Cache()
 	st := ShardStats{
 		Shard:              s.id,
 		Scheme:             s.sch.Name(),
+		Owned:              s.owned,
 		ClockSec:           now.Seconds(),
 		Queries:            s.queries,
 		Declined:           s.declined,

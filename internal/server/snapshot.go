@@ -9,6 +9,11 @@ package server
 type ShardStats struct {
 	Shard  int    `json:"shard"`
 	Scheme string `json:"scheme"`
+	// Owned is false while this shard's key space is served by another
+	// backend (frozen for migration, or never owned in a cluster
+	// partition); a disowned shard rejects queries with "shard not owned
+	// here" and its counters stop moving.
+	Owned bool `json:"owned"`
 	// ClockSec is the shard's economy time (seconds since server start).
 	ClockSec float64 `json:"clock_s"`
 

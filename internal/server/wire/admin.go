@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Shard checkpoint-transfer frames (v2 only, all tagged): the admin
+// surface a router drives a live migration with. The sequence mirrors
+// the server API — freeze stops a shard deciding, extract moves its
+// state out as an opaque persist-encoded packet, install adopts the
+// packet on the destination — and every step answers either its reply
+// frame or a tag-scoped error, so a failed migration never kills the
+// connection carrying it.
+//
+//	payload admin := msgShardFreeze   | uvarint tag | uvarint shard
+//	              | msgShardExtract   | uvarint tag | uvarint shard
+//	              | msgShardState     | uvarint tag | uvarint shard | packet bytes
+//	              | msgShardInstall   | uvarint tag | uvarint shard | packet bytes
+//	              | msgShardAck       | uvarint tag | uvarint shard
+//	              | msgOwnersRequest  | uvarint tag
+//	              | msgOwnersReply    | uvarint tag | uvarint n | n × bool
+//
+// The packet bytes are the persist.ShardPacket encoding, carried
+// verbatim: self-framing, CRC-guarded, and relayable without decoding.
+// MaxFrame bounds a migratable shard's encoded size.
+const (
+	msgShardFreeze   byte = 21
+	msgShardExtract  byte = 22
+	msgShardState    byte = 23
+	msgShardInstall  byte = 24
+	msgShardAck      byte = 25
+	msgOwnersRequest byte = 26
+	msgOwnersReply   byte = 27
+)
+
+// maxOwners bounds an owners reply's shard count: far above any sane
+// deployment, low enough that a corrupt count cannot balloon memory.
+const maxOwners = 1 << 16
+
+// appendTagShard is the shared body of the fixed tag+shard frames.
+func appendTagShard(b []byte, typ byte, tag uint64, shard int) []byte {
+	b = append(b, typ)
+	b = binary.AppendUvarint(b, tag)
+	return binary.AppendUvarint(b, uint64(shard))
+}
+
+// consumeTagShard parses a tag+shard body and requires exhaustion.
+func consumeTagShard(payload []byte, typ byte, name string) (tag uint64, shard int, err error) {
+	mt, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	if mt != typ {
+		return 0, 0, fmt.Errorf("wire: expected %s, got message type %d", name, mt)
+	}
+	if tag, rest, err = consumeUvarint(rest); err != nil {
+		return 0, 0, err
+	}
+	u, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, 0, err
+	}
+	if u > maxOwners {
+		return 0, 0, fmt.Errorf("wire: shard index %d out of range", u)
+	}
+	if len(rest) != 0 {
+		return 0, 0, fmt.Errorf("wire: %d trailing bytes after %s", len(rest), name)
+	}
+	return tag, int(u), nil
+}
+
+// AppendShardFreeze appends a freeze request: stop the shard deciding
+// (it answers "shard not owned here" from now on) without extracting
+// its state — the bootstrap move that keeps a spare backend's slots
+// from deciding traffic they were never routed.
+func AppendShardFreeze(b []byte, tag uint64, shard int) []byte {
+	return appendTagShard(b, msgShardFreeze, tag, shard)
+}
+
+// DecodeShardFreeze parses a freeze request (msg byte included).
+func DecodeShardFreeze(payload []byte) (tag uint64, shard int, err error) {
+	return consumeTagShard(payload, msgShardFreeze, "shard freeze")
+}
+
+// AppendShardExtract appends an extract request: freeze the shard and
+// move its state out; the reply is a msgShardState frame carrying the
+// packet.
+func AppendShardExtract(b []byte, tag uint64, shard int) []byte {
+	return appendTagShard(b, msgShardExtract, tag, shard)
+}
+
+// DecodeShardExtract parses an extract request (msg byte included).
+func DecodeShardExtract(payload []byte) (tag uint64, shard int, err error) {
+	return consumeTagShard(payload, msgShardExtract, "shard extract")
+}
+
+// AppendShardAck appends the success reply to a freeze or install.
+func AppendShardAck(b []byte, tag uint64, shard int) []byte {
+	return appendTagShard(b, msgShardAck, tag, shard)
+}
+
+// DecodeShardAck parses an ack (msg byte included).
+func DecodeShardAck(payload []byte) (tag uint64, shard int, err error) {
+	return consumeTagShard(payload, msgShardAck, "shard ack")
+}
+
+// appendShardPacketFrame is the shared body of the two packet-bearing
+// frames (state reply and install request).
+func appendShardPacketFrame(b []byte, typ byte, tag uint64, shard int, packet []byte) []byte {
+	b = append(b, typ)
+	b = binary.AppendUvarint(b, tag)
+	b = binary.AppendUvarint(b, uint64(shard))
+	return append(b, packet...)
+}
+
+// consumeShardPacketFrame parses a packet-bearing body. The packet is
+// the payload's remainder, copied out so the caller owns it after the
+// read buffer is reused; its own header and CRCs validate the contents.
+func consumeShardPacketFrame(payload []byte, typ byte, name string) (tag uint64, shard int, packet []byte, err error) {
+	mt, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if mt != typ {
+		return 0, 0, nil, fmt.Errorf("wire: expected %s, got message type %d", name, mt)
+	}
+	if tag, rest, err = consumeUvarint(rest); err != nil {
+		return 0, 0, nil, err
+	}
+	u, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if u > maxOwners {
+		return 0, 0, nil, fmt.Errorf("wire: shard index %d out of range", u)
+	}
+	if len(rest) == 0 {
+		return 0, 0, nil, fmt.Errorf("wire: %s carries no packet", name)
+	}
+	return tag, int(u), append([]byte(nil), rest...), nil
+}
+
+// AppendShardState appends the extract reply: the shard's state as an
+// opaque persist-encoded packet.
+func AppendShardState(b []byte, tag uint64, shard int, packet []byte) []byte {
+	return appendShardPacketFrame(b, msgShardState, tag, shard, packet)
+}
+
+// DecodeShardState parses an extract reply (msg byte included). The
+// returned packet is a fresh copy.
+func DecodeShardState(payload []byte) (tag uint64, shard int, packet []byte, err error) {
+	return consumeShardPacketFrame(payload, msgShardState, "shard state")
+}
+
+// AppendShardInstall appends an install request: adopt the packet into
+// the named (unused, frozen) slot. The reply is a msgShardAck.
+func AppendShardInstall(b []byte, tag uint64, shard int, packet []byte) []byte {
+	return appendShardPacketFrame(b, msgShardInstall, tag, shard, packet)
+}
+
+// DecodeShardInstall parses an install request (msg byte included). The
+// returned packet is a fresh copy.
+func DecodeShardInstall(payload []byte) (tag uint64, shard int, packet []byte, err error) {
+	return consumeShardPacketFrame(payload, msgShardInstall, "shard install")
+}
+
+// AppendOwnersRequest appends an ownership query: which of the engine's
+// shard slots decide traffic here? A router bootstraps its routing map
+// from the answers.
+func AppendOwnersRequest(b []byte, tag uint64) []byte {
+	b = append(b, msgOwnersRequest)
+	return binary.AppendUvarint(b, tag)
+}
+
+// DecodeOwnersRequest parses an ownership query (msg byte included).
+func DecodeOwnersRequest(payload []byte) (uint64, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, err
+	}
+	if typ != msgOwnersRequest {
+		return 0, fmt.Errorf("wire: expected owners request, got message type %d", typ)
+	}
+	tag, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, err
+	}
+	if len(rest) != 0 {
+		return 0, fmt.Errorf("wire: %d trailing bytes after owners request", len(rest))
+	}
+	return tag, nil
+}
+
+// AppendOwnersReply appends the ownership answer: one bool per shard
+// slot, true where this engine decides.
+func AppendOwnersReply(b []byte, tag uint64, owned []bool) []byte {
+	b = append(b, msgOwnersReply)
+	b = binary.AppendUvarint(b, tag)
+	b = binary.AppendUvarint(b, uint64(len(owned)))
+	for _, o := range owned {
+		b = appendBool(b, o)
+	}
+	return b
+}
+
+// DecodeOwnersReply parses an ownership answer (msg byte included).
+func DecodeOwnersReply(payload []byte) (tag uint64, owned []bool, err error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	if typ != msgOwnersReply {
+		return 0, nil, fmt.Errorf("wire: expected owners reply, got message type %d", typ)
+	}
+	if tag, rest, err = consumeUvarint(rest); err != nil {
+		return 0, nil, err
+	}
+	n, rest, err := consumeUvarint(rest)
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > maxOwners {
+		return 0, nil, fmt.Errorf("wire: owners reply of %d shards exceeds %d", n, maxOwners)
+	}
+	owned = make([]bool, n)
+	for i := range owned {
+		var b byte
+		if b, rest, err = consumeByte(rest); err != nil {
+			return 0, nil, err
+		}
+		if b > 1 {
+			return 0, nil, fmt.Errorf("wire: bad owners bool %d", b)
+		}
+		owned[i] = b != 0
+	}
+	if len(rest) != 0 {
+		return 0, nil, fmt.Errorf("wire: %d trailing bytes after owners reply", len(rest))
+	}
+	return tag, owned, nil
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/persist"
+	"repro/internal/server"
+)
+
+// Engine is what the protocol loops serve: the decision engine behind
+// one listener. The in-process server is the canonical implementation
+// (via ServerEngine); the cluster router implements the same surface by
+// fanning batches out to backend engines over their own connections —
+// which is why the submit methods traffic in wire Queries, not
+// materialized server Requests: a router must be able to forward the
+// items it decoded without re-deriving their budget closures.
+//
+// decodeNanos is the wall time the caller spent decoding the batch's
+// frame, forwarded so per-query stage traces include it; engines without
+// tracing ignore it. A nil done callback is never passed.
+type Engine interface {
+	// SubmitBatch decides a batch and returns positional replies.
+	// Per-item failures ride Reply.Err; a returned error fails the whole
+	// batch (and in v1 the connection).
+	SubmitBatch(ctx context.Context, qs []Query, decodeNanos int64) ([]Reply, error)
+	// SubmitBatchAsync hands a batch to the engine and returns without
+	// waiting; done fires exactly once with the positional replies. An
+	// error means done will never fire.
+	SubmitBatchAsync(ctx context.Context, qs []Query, decodeNanos int64, done func([]Reply)) error
+
+	Stats() server.Stats
+	TraceViewSnapshot(tenant, template string, n int) server.TraceView
+	EventsViewSnapshot(typ, tenant string, n int) server.EventsView
+	EventsViewSince(since int64) (server.EventsView, int64)
+
+	// Checkpoint persists the engine's durable state now (the v1 admin
+	// frame); engines without a state path answer an error.
+	Checkpoint() (path string, size int64, err error)
+
+	// Shard migration admin. Packets travel as opaque persist-encoded
+	// bytes so a router can relay them without decoding; install verifies
+	// the packet names the slot the caller thinks it is filling before
+	// touching anything.
+	FreezeShard(shard int) error
+	ExtractShardPacket(shard int) ([]byte, error)
+	InstallShardPacket(shard int, data []byte) error
+	OwnedShards() []bool
+
+	// TraceEnabled gates the protocol loops' stage timing; BackfillEncode
+	// files the encode stage (totalNanos across the batch) into whatever
+	// trace records the replies reference. No-ops without tracing.
+	TraceEnabled() bool
+	BackfillEncode(rs []Reply, totalNanos int64)
+}
+
+// ServerEngine adapts the in-process server to the Engine surface the
+// protocol loops serve. Materializing wire queries into engine requests
+// (budget closures included) happens here, so every front — lockstep,
+// multiplexed, routed — shares one conversion with identical error
+// wording.
+func ServerEngine(srv *server.Server) Engine { return &serverEngine{srv: srv} }
+
+type serverEngine struct {
+	srv *server.Server
+}
+
+// materialize converts wire queries to engine requests, spreading the
+// caller's decode time across them for the stage trace.
+func (e *serverEngine) materialize(qs []Query, decodeNanos int64) ([]server.Request, error) {
+	reqs := make([]server.Request, len(qs))
+	for i := range qs {
+		req, err := qs[i].Request()
+		if err != nil {
+			return nil, fmt.Errorf("batch[%d]: %w", i, err)
+		}
+		reqs[i] = req
+	}
+	if decodeNanos > 0 && len(reqs) > 0 {
+		share := decodeNanos / int64(len(reqs))
+		for i := range reqs {
+			reqs[i].DecodeNanos = share
+		}
+	}
+	return reqs, nil
+}
+
+func itemsToReplies(items []server.BatchItem) []Reply {
+	replies := make([]Reply, len(items))
+	for i := range items {
+		if items[i].Err != nil {
+			replies[i] = Reply{Err: items[i].Err.Error()}
+		} else {
+			replies[i] = Reply{Resp: items[i].Resp}
+		}
+	}
+	return replies
+}
+
+func (e *serverEngine) SubmitBatch(ctx context.Context, qs []Query, decodeNanos int64) ([]Reply, error) {
+	reqs, err := e.materialize(qs, decodeNanos)
+	if err != nil {
+		return nil, err
+	}
+	items, err := e.srv.SubmitBatch(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return itemsToReplies(items), nil
+}
+
+func (e *serverEngine) SubmitBatchAsync(ctx context.Context, qs []Query, decodeNanos int64, done func([]Reply)) error {
+	reqs, err := e.materialize(qs, decodeNanos)
+	if err != nil {
+		return err
+	}
+	return e.srv.SubmitBatchAsync(ctx, reqs, func(items []server.BatchItem) {
+		done(itemsToReplies(items))
+	})
+}
+
+func (e *serverEngine) Stats() server.Stats { return e.srv.Stats() }
+
+func (e *serverEngine) TraceViewSnapshot(tenant, template string, n int) server.TraceView {
+	return e.srv.TraceViewSnapshot(tenant, template, n)
+}
+
+func (e *serverEngine) EventsViewSnapshot(typ, tenant string, n int) server.EventsView {
+	return e.srv.EventsViewSnapshot(typ, tenant, n)
+}
+
+func (e *serverEngine) EventsViewSince(since int64) (server.EventsView, int64) {
+	return e.srv.EventsViewSince(since)
+}
+
+func (e *serverEngine) Checkpoint() (string, int64, error) { return e.srv.Checkpoint() }
+
+func (e *serverEngine) FreezeShard(shard int) error { return e.srv.FreezeShard(shard) }
+
+func (e *serverEngine) ExtractShardPacket(shard int) ([]byte, error) {
+	pkt, err := e.srv.ExtractShard(shard)
+	if err != nil {
+		return nil, err
+	}
+	return persist.EncodeShardPacket(pkt), nil
+}
+
+func (e *serverEngine) InstallShardPacket(shard int, data []byte) error {
+	pkt, err := persist.DecodeShardPacket(data)
+	if err != nil {
+		return err
+	}
+	if pkt.State.Index != shard {
+		return fmt.Errorf("wire: packet is for shard %d, install names shard %d", pkt.State.Index, shard)
+	}
+	return e.srv.InstallShard(shard, pkt)
+}
+
+func (e *serverEngine) OwnedShards() []bool { return e.srv.OwnedShards() }
+
+func (e *serverEngine) TraceEnabled() bool {
+	tr := e.srv.Tracer()
+	return tr != nil && tr.Enabled()
+}
+
+func (e *serverEngine) BackfillEncode(rs []Reply, totalNanos int64) {
+	tr := e.srv.Tracer()
+	if tr == nil || len(rs) == 0 {
+		return
+	}
+	share := totalNanos / int64(len(rs))
+	for i := range rs {
+		if rs[i].Err == "" && rs[i].Resp.TraceSeq != 0 {
+			tr.SetEncode(rs[i].Resp.Shard, rs[i].Resp.TraceSeq, share)
+		}
+	}
+}

@@ -34,15 +34,21 @@ func transientAcceptError(err error) bool {
 
 // Serve accepts connections on l and speaks the binary protocol against
 // srv until l is closed (the caller's shutdown signal) or srv drains.
-// Each connection gets its own goroutine; the first frame the client
-// sends selects the generation — a hello frame opens the multiplexed v2
+func Serve(l net.Listener, srv *server.Server) error {
+	return ServeEngine(l, ServerEngine(srv))
+}
+
+// ServeEngine accepts connections on l and speaks the binary protocol
+// against eng until l is closed (the caller's shutdown signal). Each
+// connection gets its own goroutine; the first frame the client sends
+// selects the generation — a hello frame opens the multiplexed v2
 // protocol (tagged frames, out-of-order completion, streaming stats),
 // anything else is served as lockstep v1, so existing clients keep
 // working unchanged. Transient accept failures (fd exhaustion under
 // connection load, peer resets inside the accept queue) are retried
 // with exponential backoff, like net/http's Serve, so a busy front does
 // not take the whole daemon down.
-func Serve(l net.Listener, srv *server.Server) error {
+func ServeEngine(l net.Listener, eng Engine) error {
 	var delay time.Duration
 	for {
 		conn, err := l.Accept()
@@ -62,14 +68,14 @@ func Serve(l net.Listener, srv *server.Server) error {
 			return err
 		}
 		delay = 0
-		go serveConn(conn, srv)
+		go serveConn(conn, eng)
 	}
 }
 
 // serveConn reads one connection's first frame and dispatches: hello →
 // the multiplexed v2 loop, anything else → the lockstep v1 loop with
 // that first payload replayed.
-func serveConn(conn net.Conn, srv *server.Server) {
+func serveConn(conn net.Conn, eng Engine) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 	first, err := ReadFrame(br, nil)
 	if err != nil {
@@ -77,17 +83,17 @@ func serveConn(conn net.Conn, srv *server.Server) {
 		return
 	}
 	if IsHello(first) {
-		serveMux(conn, br, first, srv)
+		serveMux(conn, br, first, eng)
 		return
 	}
-	serveLockstep(conn, br, first, srv)
+	serveLockstep(conn, br, first, eng)
 }
 
 // serveLockstep runs one v1 connection's frame loop. Any protocol
 // violation answers with a msgError frame and drops the connection; a
 // drained server answers ErrServerClosed the same way. Accepted batches
 // are always fully answered before the next frame is read.
-func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Server) {
+func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, eng Engine) {
 	defer conn.Close()
 	bw := bufio.NewWriterSize(conn, 64<<10)
 
@@ -95,8 +101,6 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 		rbuf    []byte
 		wbuf    []byte
 		queries []Query
-		reqs    []server.Request
-		replies []Reply
 	)
 	fail := func(err error) {
 		wbuf = appendErrorPayload(wbuf[:0], err.Error())
@@ -124,7 +128,7 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 		// an error frame but keeps the connection: the client asked for
 		// an action, not a protocol exchange, and may retry or move on.
 		if IsSnapshotRequest(payload) {
-			path, size, err := srv.Checkpoint()
+			path, size, err := eng.Checkpoint()
 			if err != nil {
 				wbuf = appendErrorPayload(wbuf[:0], err.Error())
 			} else {
@@ -142,7 +146,7 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 		// Stats requests share the connection with query traffic: answer
 		// the snapshot and keep framing.
 		if IsStatsRequest(payload) {
-			wbuf, err = AppendStats(wbuf[:0], srv.Stats())
+			wbuf, err = AppendStats(wbuf[:0], eng.Stats())
 			if err != nil {
 				fail(err)
 				return
@@ -158,8 +162,7 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 
 		// Stage timing is paid only while tracing is live: two clock reads
 		// per BATCH, amortized over its queries.
-		tr := srv.Tracer()
-		traceOn := tr != nil && tr.Enabled()
+		traceOn := eng.TraceEnabled()
 		var decStart time.Time
 		if traceOn {
 			decStart = time.Now()
@@ -169,50 +172,25 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, srv *server.Se
 			fail(err)
 			return
 		}
-		reqs = reqs[:0]
-		for i := range queries {
-			req, err := queries[i].Request()
-			if err != nil {
-				err = fmt.Errorf("batch[%d]: %w", i, err)
-				fail(err)
-				return
-			}
-			reqs = append(reqs, req)
-		}
-		if traceOn && len(reqs) > 0 {
-			share := time.Since(decStart).Nanoseconds() / int64(len(reqs))
-			for i := range reqs {
-				reqs[i].DecodeNanos = share
-			}
+		var decodeNanos int64
+		if traceOn {
+			decodeNanos = time.Since(decStart).Nanoseconds()
 		}
 
-		items, err := srv.SubmitBatch(context.Background(), reqs)
+		replies, err := eng.SubmitBatch(context.Background(), queries, decodeNanos)
 		if err != nil {
 			fail(err)
 			return
-		}
-		replies = replies[:0]
-		for i := range items {
-			if items[i].Err != nil {
-				replies = append(replies, Reply{Err: items[i].Err.Error()})
-			} else {
-				replies = append(replies, Reply{Resp: items[i].Resp})
-			}
 		}
 		var encStart time.Time
 		if traceOn {
 			encStart = time.Now()
 		}
 		wbuf = AppendReplyBatch(wbuf[:0], replies)
-		if traceOn && len(replies) > 0 {
+		if traceOn {
 			// Back-fill the encode stage into the sampled records: the shard
 			// published them before the reply bytes existed.
-			share := time.Since(encStart).Nanoseconds() / int64(len(replies))
-			for i := range replies {
-				if replies[i].Err == "" && replies[i].Resp.TraceSeq != 0 {
-					tr.SetEncode(replies[i].Resp.Shard, replies[i].Resp.TraceSeq, share)
-				}
-			}
+			eng.BackfillEncode(replies, time.Since(encStart).Nanoseconds())
 		}
 		if err := WriteFrame(bw, wbuf); err != nil {
 			return

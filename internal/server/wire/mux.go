@@ -45,6 +45,16 @@ type traceResult struct {
 	err  error
 }
 
+// adminResult is one shard-admin request's outcome on the client side:
+// an ack (freeze, install), a state packet (extract), or an ownership
+// map (owners), depending on which frame the tag was opened for.
+type adminResult struct {
+	shard  int
+	packet []byte
+	owned  []bool
+	err    error
+}
+
 // EventsSub is one client-side economy-events subscription. Cursored
 // installments arrive on C as the server pushes them — each carries only
 // events the subscription has not yet seen, plus the journal's running
@@ -195,6 +205,7 @@ type MuxClient struct {
 	subs    map[uint64]*StatsSub
 	tcalls  map[uint64]chan traceResult
 	esubs   map[uint64]*EventsSub
+	acalls  map[uint64]chan adminResult
 	nextTag uint64
 	err     error // sticky: why the connection died
 	done    chan struct{}
@@ -226,6 +237,7 @@ func NewMuxClient(conn net.Conn) (*MuxClient, error) {
 		subs:   make(map[uint64]*StatsSub),
 		tcalls: make(map[uint64]chan traceResult),
 		esubs:  make(map[uint64]*EventsSub),
+		acalls: make(map[uint64]chan adminResult),
 		wdone:  make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -364,6 +376,8 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 			delete(c.tcalls, tag)
 			esub := c.esubs[tag]
 			delete(c.esubs, tag)
+			acall := c.acalls[tag]
+			delete(c.acalls, tag)
 			c.mu.Unlock()
 			if call != nil {
 				call.ch <- muxResult{err: terr}
@@ -376,6 +390,9 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 			}
 			if esub != nil {
 				esub.finish(terr)
+			}
+			if acall != nil {
+				acall <- adminResult{err: terr}
 			}
 
 		case len(payload) > 0 && payload[0] == msgStatsPush:
@@ -418,6 +435,50 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 				esub.deliver(view)
 			}
 
+		case len(payload) > 0 && payload[0] == msgShardAck:
+			tag, shard, err := DecodeShardAck(payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.mu.Lock()
+			acall := c.acalls[tag]
+			delete(c.acalls, tag)
+			c.mu.Unlock()
+			if acall != nil {
+				acall <- adminResult{shard: shard}
+			}
+
+		case len(payload) > 0 && payload[0] == msgShardState:
+			// DecodeShardState copies the packet out of the read buffer, so
+			// the caller owns it outright.
+			tag, shard, packet, err := DecodeShardState(payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.mu.Lock()
+			acall := c.acalls[tag]
+			delete(c.acalls, tag)
+			c.mu.Unlock()
+			if acall != nil {
+				acall <- adminResult{shard: shard, packet: packet}
+			}
+
+		case len(payload) > 0 && payload[0] == msgOwnersReply:
+			tag, owned, err := DecodeOwnersReply(payload)
+			if err != nil {
+				fatal = err
+				break
+			}
+			c.mu.Lock()
+			acall := c.acalls[tag]
+			delete(c.acalls, tag)
+			c.mu.Unlock()
+			if acall != nil {
+				acall <- adminResult{owned: owned}
+			}
+
 		case len(payload) > 0 && payload[0] == msgError:
 			msg, _, err := consumeString(payload[1:])
 			if err == nil {
@@ -442,10 +503,12 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 	subs := c.subs
 	tcalls := c.tcalls
 	esubs := c.esubs
+	acalls := c.acalls
 	c.calls = make(map[uint64]*muxCall)
 	c.subs = make(map[uint64]*StatsSub)
 	c.tcalls = make(map[uint64]chan traceResult)
 	c.esubs = make(map[uint64]*EventsSub)
+	c.acalls = make(map[uint64]chan adminResult)
 	c.mu.Unlock()
 	for _, call := range calls {
 		call.ch <- muxResult{err: fmt.Errorf("%w: %v", ErrClientClosed, fatal)}
@@ -458,6 +521,9 @@ func (c *MuxClient) readLoop(br *bufio.Reader) {
 	}
 	for _, esub := range esubs {
 		esub.finish(fmt.Errorf("%w: %v", ErrClientClosed, fatal))
+	}
+	for _, acall := range acalls {
+		acall <- adminResult{err: fmt.Errorf("%w: %v", ErrClientClosed, fatal)}
 	}
 	c.qmu.Lock()
 	c.stopping = true
@@ -656,4 +722,85 @@ func (c *MuxClient) sendEventsUnsubscribe(tag uint64) error {
 	}
 	c.send(AppendEventsUnsubscribe(nil, tag))
 	return nil
+}
+
+// Done is closed when the connection has died and every in-flight call
+// has been failed; pools poll it to decide whether a cached client is
+// still usable.
+func (c *MuxClient) Done() <-chan struct{} { return c.done }
+
+// adminCall opens a tag, sends the frame built by build, and waits for
+// the admin reply. A tag-scoped refusal comes back as *TaggedError; a
+// dead connection as ErrClientClosed.
+func (c *MuxClient) adminCall(ctx context.Context, build func(tag uint64) []byte) (adminResult, error) {
+	ch := make(chan adminResult, 1)
+	tag, err := c.register(func(tag uint64) { c.acalls[tag] = ch })
+	if err != nil {
+		return adminResult{}, err
+	}
+	c.send(build(tag))
+	select {
+	case res := <-ch:
+		return res, res.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.acalls, tag)
+		c.mu.Unlock()
+		return adminResult{}, ctx.Err()
+	}
+}
+
+// FreezeShard tells the engine to stop deciding a shard's traffic: it
+// answers "shard not owned here" from then on. Idempotent; the router's
+// bootstrap move for slots another backend owns.
+func (c *MuxClient) FreezeShard(ctx context.Context, shard int) error {
+	_, err := c.adminCall(ctx, func(tag uint64) []byte {
+		return AppendShardFreeze(nil, tag, shard)
+	})
+	return err
+}
+
+// ExtractShard freezes a shard and moves its state out as an opaque
+// persist-encoded packet — step one of a live migration. The source
+// keeps an empty, disowned slot.
+func (c *MuxClient) ExtractShard(ctx context.Context, shard int) ([]byte, error) {
+	res, err := c.adminCall(ctx, func(tag uint64) []byte {
+		return AppendShardExtract(nil, tag, shard)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.shard != shard || len(res.packet) == 0 {
+		return nil, fmt.Errorf("wire: extract of shard %d answered shard %d (%d packet bytes)", shard, res.shard, len(res.packet))
+	}
+	return res.packet, nil
+}
+
+// InstallShard adopts an extracted packet into the named slot — step
+// two of a live migration. The slot must be frozen and unused; the
+// engine validates the packet's fingerprint before touching anything.
+func (c *MuxClient) InstallShard(ctx context.Context, shard int, packet []byte) error {
+	res, err := c.adminCall(ctx, func(tag uint64) []byte {
+		return AppendShardInstall(nil, tag, shard, packet)
+	})
+	if err != nil {
+		return err
+	}
+	if res.shard != shard {
+		return fmt.Errorf("wire: install of shard %d acked shard %d", shard, res.shard)
+	}
+	return nil
+}
+
+// Owners fetches the engine's shard-ownership map: one bool per slot,
+// true where it decides traffic. A router bootstraps and audits its
+// routing table with this.
+func (c *MuxClient) Owners(ctx context.Context) ([]bool, error) {
+	res, err := c.adminCall(ctx, func(tag uint64) []byte {
+		return AppendOwnersRequest(nil, tag)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.owned, nil
 }

@@ -8,7 +8,6 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/server"
 )
 
 // maxStatsSubs bounds the concurrent stats subscriptions one connection
@@ -26,7 +25,7 @@ const minStatsInterval = time.Millisecond
 // arrive on shard goroutines, stats pushes on subscription goroutines),
 // and the bookkeeping tying them together.
 type muxConn struct {
-	srv  *server.Server
+	eng  Engine
 	conn net.Conn
 	bw   *bufio.Writer
 
@@ -52,7 +51,7 @@ type muxConn struct {
 // serveMux runs one v2 connection. The client's hello has already been
 // read (that is how the listener knew to come here); everything else —
 // including the hello reply — goes through the writer.
-func serveMux(conn net.Conn, br *bufio.Reader, hello []byte, srv *server.Server) {
+func serveMux(conn net.Conn, br *bufio.Reader, hello []byte, eng Engine) {
 	version, err := DecodeHello(hello)
 	if err != nil || version < ProtocolV2 {
 		if err == nil {
@@ -67,7 +66,7 @@ func serveMux(conn net.Conn, br *bufio.Reader, hello []byte, srv *server.Server)
 	}
 
 	c := &muxConn{
-		srv:  srv,
+		eng:  eng,
 		conn: conn,
 		bw:   bufio.NewWriterSize(conn, 64<<10),
 		subs: make(map[uint64]chan struct{}),
@@ -161,8 +160,7 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 		case len(payload) > 0 && payload[0] == msgTaggedQueryBatch:
 			// Stage timing is paid only while tracing is live: one clock
 			// read pair per BATCH, amortized over its queries.
-			tr := c.srv.Tracer()
-			traceOn := tr != nil && tr.Enabled()
+			traceOn := c.eng.TraceEnabled()
 			var decStart time.Time
 			if traceOn {
 				decStart = time.Now()
@@ -179,62 +177,35 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 				c.send(AppendTaggedError(nil, tag, err.Error()))
 				continue
 			}
-			// Requests are materialized before the next frame reuses the
-			// read buffer; the slice is owned by the shards until the
-			// completion fires.
-			reqs := make([]server.Request, len(queries))
-			bad := false
-			for i := range queries {
-				req, err := queries[i].Request()
-				if err != nil {
-					c.send(AppendTaggedError(nil, tag, fmt.Sprintf("batch[%d]: %v", i, err)))
-					bad = true
-					break
-				}
-				reqs[i] = req
+			var decodeNanos int64
+			if traceOn {
+				decodeNanos = time.Since(decStart).Nanoseconds()
 			}
-			if bad {
-				continue
-			}
-			if traceOn && len(reqs) > 0 {
-				share := time.Since(decStart).Nanoseconds() / int64(len(reqs))
-				for i := range reqs {
-					reqs[i].DecodeNanos = share
-				}
-			}
+			// The engine owns the batch until the completion fires, so it
+			// gets its own slice — the next frame reuses the read buffer.
+			batch := make([]Query, len(queries))
+			copy(batch, queries)
 			c.inflight.Add(1)
 			t := tag
-			err := c.srv.SubmitBatchAsync(ctx, reqs, func(items []server.BatchItem) {
+			err := c.eng.SubmitBatchAsync(ctx, batch, decodeNanos, func(replies []Reply) {
 				defer c.inflight.Done()
-				replies := make([]Reply, len(items))
-				for i := range items {
-					if items[i].Err != nil {
-						replies[i] = Reply{Err: items[i].Err.Error()}
-					} else {
-						replies[i] = Reply{Resp: items[i].Resp}
-					}
-				}
 				var encStart time.Time
 				if traceOn {
 					encStart = time.Now()
 				}
 				frame := AppendTaggedReplyBatch(nil, t, replies)
-				if traceOn && len(replies) > 0 {
+				if traceOn {
 					// Back-fill the encode stage into the sampled records:
 					// the shard published them before the reply bytes
 					// existed.
-					share := time.Since(encStart).Nanoseconds() / int64(len(replies))
-					for i := range replies {
-						if replies[i].Err == "" && replies[i].Resp.TraceSeq != 0 {
-							tr.SetEncode(replies[i].Resp.Shard, replies[i].Resp.TraceSeq, share)
-						}
-					}
+					c.eng.BackfillEncode(replies, time.Since(encStart).Nanoseconds())
 				}
 				c.send(frame)
 			})
 			if err != nil {
-				// ErrServerClosed during drain: this batch fails, the
-				// connection survives to fail the client's other tags too.
+				// ErrServerClosed during drain — or a malformed budget in the
+				// batch body: this batch fails, the connection survives to
+				// serve the client's other tags.
 				c.inflight.Done()
 				c.send(AppendTaggedError(nil, tag, err.Error()))
 			}
@@ -264,7 +235,7 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 			if n > MaxBatch {
 				n = MaxBatch
 			}
-			frame, err := AppendTracePush(nil, tag, c.srv.TraceViewSnapshot(tenant, template, int(n)))
+			frame, err := AppendTracePush(nil, tag, c.eng.TraceViewSnapshot(tenant, template, int(n)))
 			if err != nil {
 				c.send(AppendTaggedError(nil, tag, err.Error()))
 				continue
@@ -280,7 +251,7 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 			if n > MaxBatch {
 				n = MaxBatch
 			}
-			frame, err := AppendEventsPush(nil, tag, c.srv.EventsViewSnapshot(typ, tenant, int(n)))
+			frame, err := AppendEventsPush(nil, tag, c.eng.EventsViewSnapshot(typ, tenant, int(n)))
 			if err != nil {
 				c.send(AppendTaggedError(nil, tag, err.Error()))
 				continue
@@ -306,12 +277,60 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 		case IsSnapshotRequest(payload):
 			// The v1 admin checkpoint works under v2 too: the reply is
 			// untagged, but the requester knows what it asked for.
-			path, size, err := c.srv.Checkpoint()
+			path, size, err := c.eng.Checkpoint()
 			if err != nil {
 				c.send(appendErrorPayload(nil, err.Error()))
 			} else {
 				c.send(AppendSnapshotReply(nil, path, size))
 			}
+
+		// Shard checkpoint-transfer admin: every failure is scoped to the
+		// requesting tag — a refused migration step must never take down
+		// the connection carrying the cluster's control plane.
+		case len(payload) > 0 && payload[0] == msgShardFreeze:
+			tag, shard, err := DecodeShardFreeze(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			if err := c.eng.FreezeShard(shard); err != nil {
+				c.send(AppendTaggedError(nil, tag, err.Error()))
+			} else {
+				c.send(AppendShardAck(nil, tag, shard))
+			}
+
+		case len(payload) > 0 && payload[0] == msgShardExtract:
+			tag, shard, err := DecodeShardExtract(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			packet, err := c.eng.ExtractShardPacket(shard)
+			if err != nil {
+				c.send(AppendTaggedError(nil, tag, err.Error()))
+			} else {
+				c.send(AppendShardState(nil, tag, shard, packet))
+			}
+
+		case len(payload) > 0 && payload[0] == msgShardInstall:
+			tag, shard, packet, err := DecodeShardInstall(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			if err := c.eng.InstallShardPacket(shard, packet); err != nil {
+				c.send(AppendTaggedError(nil, tag, err.Error()))
+			} else {
+				c.send(AppendShardAck(nil, tag, shard))
+			}
+
+		case len(payload) > 0 && payload[0] == msgOwnersRequest:
+			tag, err := DecodeOwnersRequest(payload)
+			if err != nil {
+				c.send(appendErrorPayload(nil, err.Error()))
+				return
+			}
+			c.send(AppendOwnersReply(nil, tag, c.eng.OwnedShards()))
 
 		default:
 			c.send(appendErrorPayload(nil, fmt.Sprintf("wire: unexpected v2 message type %d", firstByte(payload))))
@@ -379,7 +398,7 @@ func (c *muxConn) startSub(tag uint64, intervalSec float64) {
 
 // pushStats snapshots the engine and enqueues one tagged push frame.
 func (c *muxConn) pushStats(tag uint64) {
-	payload, err := AppendStatsPush(nil, tag, c.srv.Stats())
+	payload, err := AppendStatsPush(nil, tag, c.eng.Stats())
 	if err != nil {
 		c.send(AppendTaggedError(nil, tag, err.Error()))
 		return
@@ -442,7 +461,7 @@ func (c *muxConn) startEventsSub(tag uint64, intervalSec float64) {
 // pushEvents enqueues one cursored events installment and returns the
 // advanced cursor.
 func (c *muxConn) pushEvents(tag uint64, since int64) int64 {
-	view, cursor := c.srv.EventsViewSince(since)
+	view, cursor := c.eng.EventsViewSince(since)
 	payload, err := AppendEventsPush(nil, tag, view)
 	if err != nil {
 		c.send(AppendTaggedError(nil, tag, err.Error()))

@@ -1,10 +1,16 @@
-// Command checkbench gates the tracing overhead recorded in
-// BENCH_server.json: the mode=inproc cell with the tracer installed but
-// sampling disabled ("trace=off") must stay within 5% of the identical
-// cell without a tracer at all — the observability layer's "off costs
-// ~nothing" contract, enforced in CI. The 1-in-64 sampling cell is
-// reported for the EXPERIMENTS.md overhead table but not gated: sampled
-// runs pay for what they measure.
+// Command checkbench gates two overhead contracts recorded in
+// BENCH_server.json:
+//
+//   - Tracing: the mode=inproc cell with the tracer installed but
+//     sampling disabled ("trace=off") must stay within 5% of the
+//     identical cell without a tracer at all — the observability
+//     layer's "off costs ~nothing" contract. The 1-in-64 sampling cell
+//     is reported for the EXPERIMENTS.md overhead table but not gated:
+//     sampled runs pay for what they measure.
+//   - Routing: each mode=routed cell (the pipelined load through a
+//     cloudrouter front) must retain at least 85% of its mode=pipelined
+//     twin's throughput — the cluster tier's "the hop is cheap"
+//     contract.
 //
 // Usage: go run ./scripts/checkbench [BENCH_server.json]
 package main
@@ -33,6 +39,10 @@ type benchFile struct {
 // maxTraceOffRegression is the gate: trace=off must retain at least this
 // fraction of the no-tracer baseline's throughput.
 const maxTraceOffRegression = 0.05
+
+// maxRoutedOverhead is the cluster gate: a routed cell must retain at
+// least 1-maxRoutedOverhead of its direct (pipelined) twin's throughput.
+const maxRoutedOverhead = 0.15
 
 func main() {
 	path := "BENCH_server.json"
@@ -88,6 +98,36 @@ func main() {
 	}
 	fmt.Printf("OK: idle tracer costs %.1f%% (gate: %.0f%%)\n",
 		(base.QueriesPerSec-off.QueriesPerSec)/base.QueriesPerSec*100, maxTraceOffRegression*100)
+
+	// Router overhead: every routed cell against its pipelined twin
+	// (same shards/batch/procs/RTT, one extra hop). Older trajectories
+	// without routed cells pass vacuously.
+	findMode := func(mode string, batch int) *cell {
+		for i := range f.Cells {
+			c := &f.Cells[i]
+			if c.Mode == mode && c.Shards == 4 && c.Batch == batch && c.GoMaxProcs == f.GoMaxProcs && c.Trace == "" {
+				return c
+			}
+		}
+		return nil
+	}
+	for _, batch := range []int{1, 64} {
+		routed := findMode("routed", batch)
+		if routed == nil {
+			continue
+		}
+		direct := findMode("pipelined", batch)
+		if direct == nil {
+			fatal(fmt.Errorf("%s: mode=routed/batch=%d present but its mode=pipelined twin is missing — rerun the ServerThroughput sweep", path, batch))
+		}
+		overhead := (direct.QueriesPerSec - routed.QueriesPerSec) / direct.QueriesPerSec * 100
+		fmt.Printf("%-20s %12.0f queries/s  vs direct %12.0f  (%+.1f%%)\n",
+			fmt.Sprintf("routed/batch=%d", batch), routed.QueriesPerSec, direct.QueriesPerSec, -overhead)
+		if routed.QueriesPerSec < direct.QueriesPerSec*(1-maxRoutedOverhead) {
+			fatal(fmt.Errorf("routed/batch=%d throughput %.0f queries/s is %.1f%% below direct %.0f (gate: %.0f%%)",
+				batch, routed.QueriesPerSec, overhead, direct.QueriesPerSec, maxRoutedOverhead*100))
+		}
+	}
 }
 
 func fatal(err error) {

@@ -237,3 +237,114 @@ assert resumed["credit_usd"] >= 0, f"restored account went negative: {resumed['c
 print(f"recovery OK: kill at {rq//2}, resumed to {resumed['queries']} queries, "
       f"{len(rt)} tenant ledgers match the uninterrupted run")
 EOF
+
+# ── Cluster leg ───────────────────────────────────────────────────────
+# Two cloudcached backends behind one stateless cloudrouter: replay the
+# stream through the router with invariant checks, live-migrate a shard
+# mid-run (measuring the blackout window), then SIGKILL one backend and
+# verify graceful degradation — the dead backend's shards answer
+# tag-scoped errors while the survivor keeps deciding and the router
+# itself stays up.
+B0_ADDR="${B0_ADDR:-127.0.0.1:18350}"
+B0_BIN="${B0_BIN:-127.0.0.1:18351}"
+B1_ADDR="${B1_ADDR:-127.0.0.1:18352}"
+B1_BIN="${B1_BIN:-127.0.0.1:18353}"
+RT_ADDR="${RT_ADDR:-127.0.0.1:18354}"
+RT_BIN="${RT_BIN:-127.0.0.1:18355}"
+CQ="${CQ:-12000}"
+B0_PID=""; B1_PID=""; RT_PID=""
+trap 'for p in "$B0_PID" "$B1_PID" "$RT_PID" "$DAEMON_PID"; do
+          [ -n "$p" ] && kill "$p" 2>/dev/null || true
+      done; rm -rf "$BIN"' EXIT
+
+go build -o "$BIN/cloudrouter" ./cmd/cloudrouter
+
+start_backend() { # http_addr bin_addr final_json log -> pid on stdout
+    "$BIN/cloudcached" -addr "$1" -listen-bin "$2" -shards "$SHARDS" -scheme "$SCHEME" -speedup 60 \
+        >"$3" 2>"$4" &
+    local pid=$!
+    for i in $(seq 1 50); do
+        if curl -sf "http://$1/healthz" >/dev/null 2>&1; then break; fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "backend on $1 died on startup:" >&2; cat "$4" >&2; exit 1
+        fi
+        sleep 0.1
+    done
+    echo "$pid"
+}
+
+B0_PID=$(start_backend "$B0_ADDR" "$B0_BIN" "$BIN/b0.json" "$BIN/b0.log")
+B1_PID=$(start_backend "$B1_ADDR" "$B1_BIN" "$BIN/b1.json" "$BIN/b1.log")
+
+"$BIN/cloudrouter" -addr "$RT_ADDR" -listen-bin "$RT_BIN" \
+    -backends "$B0_BIN,$B1_BIN" -backend-http "http://$B0_ADDR,http://$B1_ADDR" \
+    -health-interval 200ms 2>"$BIN/router.log" &
+RT_PID=$!
+for i in $(seq 1 50); do
+    if curl -sf "http://$RT_ADDR/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$RT_PID" 2>/dev/null; then
+        echo "router died on startup:"; cat "$BIN/router.log"; exit 1
+    fi
+    sleep 0.1
+done
+curl -sf "http://$RT_ADDR/readyz" >/dev/null || { echo "router not ready"; exit 1; }
+curl -sf "http://$RT_ADDR/metrics" | grep -q "cloudrouter_shards $SHARDS" || {
+    echo "router metrics missing shard count"; exit 1
+}
+
+# Replay through the router (multiplexed v2, stats fetched from the
+# router's merged view over the wire) while a live migration runs in the
+# middle of the stream. Throttled so the move genuinely lands mid-run.
+"$BIN/workloadgen" -serve "$RT_BIN" -proto bin -pipeline 16 -batch 8 -queries "$CQ" \
+    -clients 4 -tenants 16 -qps 4000 -check >"$BIN/routed.out" &
+WG_PID=$!
+sleep 1
+OWNER0=$(curl -sf "http://$RT_ADDR/metrics" | awk '$1 == "cloudrouter_shard_owner{shard=\"0\"}" {print $2}')
+[ -n "$OWNER0" ] || { echo "router metrics missing shard 0 owner"; exit 1; }
+DEST=$((1 - OWNER0))
+curl -sf -X POST "http://$RT_ADDR/admin/migrate?shard=0&to=$DEST" >"$BIN/migrate.json"
+wait "$WG_PID" || { echo "routed replay failed:"; cat "$BIN/routed.out"; cat "$BIN/router.log"; exit 1; }
+grep -q "invariants: OK" "$BIN/routed.out" || { echo "routed replay skipped checks:"; cat "$BIN/routed.out"; exit 1; }
+
+python3 - "$BIN/migrate.json" "$DEST" <<'EOF'
+import json, sys
+mv = json.load(open(sys.argv[1]))
+assert mv["to"] == int(sys.argv[2]) and mv["shard"] == 0, mv
+assert mv["blackout_ms"] > 0, f"blackout window not measured: {mv}"
+print(f"migration OK: shard 0 -> backend {mv['to']}, blackout {mv['blackout_ms']:.1f}ms")
+EOF
+curl -sf "http://$RT_ADDR/metrics" | grep -q "cloudrouter_migrations_total 1" || {
+    echo "router metrics did not count the migration"; exit 1
+}
+
+# SIGKILL backend 1 — no drain, no goodbye — and replay again with
+# -tolerate-errors: the run must complete over a live router connection
+# (failures tag-scoped per query, not connection death), with the
+# surviving backend still deciding its shards.
+kill -9 "$B1_PID"; wait "$B1_PID" 2>/dev/null || true; B1_PID=""
+sleep 0.5
+"$BIN/workloadgen" -serve "$RT_BIN" -proto bin -pipeline 16 -batch 8 -queries "$CQ" \
+    -clients 4 -tenants 16 -check -tolerate-errors >"$BIN/degraded.out" || {
+    echo "degraded replay failed:"; cat "$BIN/degraded.out"; cat "$BIN/router.log"; exit 1
+}
+python3 - "$BIN/degraded.out" <<'EOF'
+import re, sys
+text = open(sys.argv[1]).read()
+m = re.search(r"(\d+) ok \((\d+) declined\), (\d+) failed", text)
+assert m, f"no replay summary in output:\n{text}"
+ok, declined, failed = map(int, m.groups())
+assert ok > 0, "no queries survived the backend kill — whole cluster dark"
+assert failed > 0, "backend kill cost nothing — test vacuous"
+assert "invariants: OK" in text, f"invariants failed:\n{text}"
+print(f"degradation OK: {ok} acked / {failed} tag-scoped failures after SIGKILL")
+EOF
+
+# The router itself must still be alive and honestly degraded.
+curl -sf "http://$RT_ADDR/healthz" >/dev/null || { echo "router died with its backend"; exit 1; }
+RSTATE=$(curl -s -o /dev/null -w "%{http_code}" "http://$RT_ADDR/readyz")
+[ "$RSTATE" = "503" ] || { echo "router /readyz = $RSTATE after backend kill, want 503"; exit 1; }
+
+# Graceful teardown of the survivors.
+kill -TERM "$RT_PID"; wait "$RT_PID" 2>/dev/null || true; RT_PID=""
+kill -TERM "$B0_PID"; wait "$B0_PID" 2>/dev/null || true; B0_PID=""
+echo "cluster OK: routed replay + live migration + SIGKILL degradation"
