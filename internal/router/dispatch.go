@@ -69,12 +69,19 @@ func (r *Router) submitVia(ctx context.Context, b *backend, qs []wire.Query) ([]
 func (r *Router) dispatchLoop(b *backend) {
 	defer r.wg.Done()
 	sem := make(chan struct{}, maxFlights)
+	// carry holds a group already taken off the queue that the MaxBatch
+	// guard deferred to the next frame.
+	var carry *pendingGroup
 	for {
 		var g pendingGroup
-		select {
-		case g = <-b.dispatch:
-		case <-r.stop:
-			return
+		if carry != nil {
+			g, carry = *carry, nil
+		} else {
+			select {
+			case g = <-b.dispatch:
+			case <-r.stop:
+				return
+			}
 		}
 		groups := []pendingGroup{g}
 		n := len(g.qs)
@@ -82,6 +89,13 @@ func (r *Router) dispatchLoop(b *backend) {
 		for n < maxCoalesce {
 			select {
 			case g2 := <-b.dispatch:
+				// A merged frame must stay a legal wire batch: a group
+				// that would push it past MaxBatch starts the next frame
+				// instead of failing every group in this one.
+				if n+len(g2.qs) > wire.MaxBatch {
+					carry = &g2
+					break merge
+				}
 				groups = append(groups, g2)
 				n += len(g2.qs)
 			default:

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/server"
 	"repro/internal/server/wire"
 )
 
@@ -84,8 +85,9 @@ type Router struct {
 	// handed to the caller maps to one last-seen journal Seq per
 	// backend (each backend numbers its own journal independently).
 	curMu      sync.Mutex
-	cursors    map[int64][]int64
+	cursors    map[int64]*cursorEntry
 	nextCursor int64
+	curClock   int64 // logical access clock for LRU eviction
 
 	queries       atomic.Int64
 	reroutes      atomic.Int64
@@ -116,7 +118,7 @@ func New(cfg Config) (*Router, error) {
 	}
 	r := &Router{
 		log:     cfg.Log,
-		cursors: make(map[int64][]int64),
+		cursors: make(map[int64]*cursorEntry),
 		stop:    make(chan struct{}),
 	}
 	for i, bc := range cfg.Backends {
@@ -150,19 +152,26 @@ func New(cfg Config) (*Router, error) {
 // bootstrap learns the cluster shape. Every backend must answer Owners
 // within the deadline and report the same shard count. Ownership rules:
 // a shard owned by exactly one backend stays there; a shard owned by
-// several (the fresh-cluster case, where every backend booted with a
-// full map) is assigned round-robin across its claimants and frozen on
-// the rest, so exactly one economy ever decides its keys; a shard
-// owned by nobody is fatal — its state lives in some snapshot the
-// operator must restore first.
+// several is resolved by evidence of live state — ownership is
+// runtime-only, so a restarted backend re-claims every slot, including
+// shards it migrated away, and picking its empty (or stale-snapshot)
+// copy over the live one would silently lose the economy. A claimant
+// whose shard has decided queries or holds residency wins over empty
+// claimants; two claimants with non-empty state is a divergence the
+// router refuses to auto-resolve; all-empty claimants (the fresh-cluster
+// case, where every backend booted with a full map) are spread
+// round-robin, and the losers frozen so exactly one economy ever decides
+// a shard's keys. A shard owned by nobody is fatal — its state lives in
+// some snapshot the operator must restore first.
 func (r *Router) bootstrap(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	owners := make([][]bool, len(r.backends))
+	loads := make([][]server.ShardStats, len(r.backends))
 	for i, b := range r.backends {
 		for {
-			own, err := r.probeOwners(b)
+			own, per, err := r.probeState(b)
 			if err == nil {
-				owners[i] = own
+				owners[i], loads[i] = own, per
 				b.healthy.Store(true)
 				b.state.Store("ok")
 				break
@@ -197,7 +206,21 @@ func (r *Router) bootstrap(timeout time.Duration) error {
 		case len(cands) == 1:
 			r.owner[k] = cands[0]
 		default:
-			keep := cands[k%len(cands)]
+			var live []int
+			for _, i := range cands {
+				if shardHasState(loads[i], k) {
+					live = append(live, i)
+				}
+			}
+			var keep int
+			switch {
+			case len(live) == 1:
+				keep = live[0]
+			case len(live) > 1:
+				return fmt.Errorf("router: shard %d carries non-empty state on backends %v — refusing to pick a side; freeze or wipe the stale copy before routing", k, live)
+			default:
+				keep = cands[k%len(cands)] // all claimants empty: spread them
+			}
 			r.owner[k] = keep
 			for _, i := range cands {
 				if i == keep {
@@ -219,6 +242,42 @@ func (r *Router) bootstrap(timeout time.Duration) error {
 	}
 	r.log.Info("router: bootstrap complete", "backends", len(r.backends), "shards", r.shards)
 	return nil
+}
+
+// probeState fetches one backend's ownership map and per-shard stats in
+// a single bootstrap probe; the stats are the evidence multi-owned
+// shards are resolved with.
+func (r *Router) probeState(b *backend) ([]bool, []server.ShardStats, error) {
+	cl, err := b.pool.Get()
+	if err != nil {
+		return nil, nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	own, err := cl.Owners(ctx)
+	if err != nil {
+		b.pool.MarkDead(cl)
+		return nil, nil, err
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		b.pool.MarkDead(cl)
+		return nil, nil, err
+	}
+	return own, st.PerShard, nil
+}
+
+// shardHasState reports whether a backend's shard k carries a live (or
+// restored) economy rather than a just-built empty slot. The economy
+// clock is deliberately excluded: it advances with the server's wall
+// clock whether or not the shard ever decided anything.
+func shardHasState(per []server.ShardStats, k int) bool {
+	if k >= len(per) {
+		return false
+	}
+	s := per[k]
+	return s.Queries > 0 || s.Errors > 0 || s.ResidentBytes > 0 ||
+		s.PendingBuilds > 0 || s.Investments > 0 || s.RevenueUSD != 0
 }
 
 func (r *Router) probeOwners(b *backend) ([]bool, error) {
@@ -260,9 +319,18 @@ func (r *Router) ownerSnapshot() []int {
 // against the new owner. The returned duration is the blackout window:
 // freeze-to-cutover, the time the shard answered nobody.
 //
-// If the destination install fails the packet is reinstalled on the
-// source, so a failed migration degrades to "nothing happened" rather
-// than a stranded shard.
+// A failed install degrades by evidence, never by guess. A tag-scoped
+// refusal (*wire.TaggedError) is definitive — the destination validated
+// and rejected the packet without touching state — so the packet is
+// reinstalled on the source and nothing happened. A transport failure is
+// ambiguous: the destination may have applied the install and died
+// before the ack arrived, and reinstalling on the source would leave two
+// backends deciding the same shard (split-brain, breaking the
+// exactly-once economy). So the destination's ownership is verified
+// first: if it owns the shard the migration actually succeeded (lost
+// ack); if it verifiably does not, the source is restored; if it cannot
+// be reached, the shard is left frozen and the error tells the operator
+// to resolve it — queries answer tag-scoped errors in the meantime.
 func (r *Router) Migrate(ctx context.Context, shard, to int) (time.Duration, error) {
 	if shard < 0 || shard >= r.shards {
 		return 0, fmt.Errorf("router: shard %d out of range [0,%d)", shard, r.shards)
@@ -311,6 +379,32 @@ func (r *Router) Migrate(ctx context.Context, shard, to int) (time.Duration, err
 		return 0, fmt.Errorf("router: extract shard %d from backend %d: %w", shard, from, err)
 	}
 	if err := dstCl.InstallShard(ctx, shard, packet); err != nil {
+		var te *wire.TaggedError
+		if !errors.As(err, &te) {
+			// Transport failure: the ack may have been lost after the
+			// destination adopted the shard. Ask it before deciding.
+			own, perr := r.probeOwners(r.backends[to])
+			if perr == nil && shard < len(own) && own[shard] {
+				// Lost ack — the install landed. Finish the cutover.
+				cutover(to)
+				d := time.Since(start)
+				r.migrations.Add(1)
+				r.lastBlackout.Store(int64(d))
+				r.totalBlackout.Add(int64(d))
+				r.log.Warn("router: shard migrated despite lost install ack", "shard", shard, "from", from, "to", to, "blackout", d, "err", err)
+				return d, nil
+			}
+			if perr != nil {
+				// Cannot tell whether the destination adopted the packet;
+				// reinstalling on the source could double-decide the shard.
+				// Leave it frozen — queries answer tag-scoped errors until
+				// the operator resolves which side holds the state.
+				cutover(from)
+				return 0, fmt.Errorf("router: shard %d in limbo: install on backend %d failed (%v) and its ownership cannot be verified (%v); shard left frozen — resolve before reinstalling", shard, to, err, perr)
+			}
+			// The destination answered and does not own the shard: the
+			// install verifiably never applied, so restoring is safe.
+		}
 		// Put the shard back where it came from: the source slot is
 		// empty and frozen, so reinstall is legal and restores the
 		// pre-migration world exactly.

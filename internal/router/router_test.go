@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/economy"
 	"repro/internal/router"
 	"repro/internal/scheme"
 	"repro/internal/server"
@@ -58,11 +59,20 @@ func (l *killableListener) kill() {
 // listener. delays, when non-nil, gives each shard a decision-delay
 // knob so concurrency tests get genuinely scrambled completion order.
 func newBackend(t *testing.T, shards int, delays []atomic.Int64) (*server.Server, string, *killableListener) {
+	return newBackendCfg(t, shards, delays, nil)
+}
+
+// newBackendCfg is newBackend with a params hook, for tests that need a
+// backend whose configuration fingerprint differs from its peers'.
+func newBackendCfg(t *testing.T, shards int, delays []atomic.Int64, mutate func(*scheme.Params)) (*server.Server, string, *killableListener) {
 	t.Helper()
 	cat := catalog.TPCH(20)
 	params := scheme.DefaultParams(cat)
 	params.RegretFraction = 0.0001
 	params.LoadFactor = 0.02
+	if mutate != nil {
+		mutate(&params)
+	}
 	cfg := server.Config{
 		Shards: shards,
 		Scheme: "econ-cheap",
@@ -497,5 +507,218 @@ func TestRouterHTTP(t *testing.T) {
 	}
 	if stats.Scheme != "econ-cheap" {
 		t.Fatalf("/v1/stats scheme = %q", stats.Scheme)
+	}
+}
+
+// TestRouterBootstrapEvidence pins the multi-owner tie-break: ownership
+// is runtime-only, so a backend that restarts re-claims every slot —
+// including shards it migrated away — and the router must keep the copy
+// with live state, not the one an index rotation happens to land on.
+func TestRouterBootstrapEvidence(t *testing.T) {
+	const shards = 4
+	// Shard 1 is the probe: round-robin over two full claimants would
+	// hand odd shards to backend 1, so only state evidence keeps it on 0.
+	const warmed = 1
+	srvA, addrA, _ := newBackend(t, shards, nil)
+	srvB, addrB, _ := newBackend(t, shards, nil)
+	tenants := shardTenants(shards)
+
+	direct, err := wire.DialMux(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replies, err := direct.Submit(context.Background(), batchFor(tenants, warmed, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range replies {
+		if replies[i].Err != "" {
+			t.Fatalf("warm item %d: %s", i, replies[i].Err)
+		}
+	}
+	direct.Close()
+
+	r, _ := newRouterFront(t, []string{addrA, addrB}, -1)
+	if got := r.Owner(warmed); got != 0 {
+		t.Fatalf("warmed shard %d mapped to backend %d, want the backend holding its state (0)", warmed, got)
+	}
+	if !srvA.OwnedShards()[warmed] {
+		t.Fatal("backend holding the warmed shard's state lost ownership")
+	}
+	if srvB.OwnedShards()[warmed] {
+		t.Fatal("empty claimant of the warmed shard was not frozen")
+	}
+}
+
+// TestRouterBootstrapDivergence: two claimants with non-empty state for
+// the same shard is a conflict the router must refuse to auto-resolve —
+// picking either side silently discards the other's economy.
+func TestRouterBootstrapDivergence(t *testing.T) {
+	const shards = 2
+	_, addrA, _ := newBackend(t, shards, nil)
+	_, addrB, _ := newBackend(t, shards, nil)
+	tenants := shardTenants(shards)
+
+	for _, addr := range []string{addrA, addrB} {
+		cl, err := wire.DialMux(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Submit(context.Background(), batchFor(tenants, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+		cl.Close()
+	}
+
+	_, err := router.New(router.Config{
+		Backends:       []router.BackendConfig{{Addr: addrA}, {Addr: addrB}},
+		HealthInterval: -1,
+		Log:            quietLog,
+	})
+	if err == nil {
+		t.Fatal("router bootstrapped over divergent shard state")
+	}
+	if !strings.Contains(err.Error(), "refusing") {
+		t.Fatalf("divergence error = %v, want an explicit refusal", err)
+	}
+}
+
+// TestRouterMigrateRefusalRestoresSource drives the one install-failure
+// path that legally reinstalls: a definitive tag-scoped refusal (here a
+// provider-fingerprint mismatch at the destination). The shard must come
+// back to the source with its state intact and keep serving.
+func TestRouterMigrateRefusalRestoresSource(t *testing.T) {
+	const shards = 2
+	srvA, addrA, _ := newBackend(t, shards, nil)
+	_, addrB, _ := newBackendCfg(t, shards, nil, func(p *scheme.Params) {
+		p.Provider = economy.ProviderSelfish
+	})
+	tenants := shardTenants(shards)
+
+	// Warm every shard on A so bootstrap keeps them all there.
+	direct, err := wire.DialMux(addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < shards; w++ {
+		if _, err := direct.Submit(context.Background(), batchFor(tenants, w, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	direct.Close()
+
+	r, front := newRouterFront(t, []string{addrA, addrB}, -1)
+	cl, err := wire.DialMux(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := r.Migrate(context.Background(), 0, 1); err == nil {
+		t.Fatal("migrate to a mismatched backend succeeded")
+	} else if !strings.Contains(err.Error(), "restored") {
+		t.Fatalf("refused migrate error = %v, want the restore to be reported", err)
+	}
+	if got := r.Owner(0); got != 0 {
+		t.Fatalf("owner after refused migrate = %d, want 0", got)
+	}
+	if !srvA.ShardOwned(0) {
+		t.Fatal("source did not take the shard back after the refusal")
+	}
+
+	// The restored shard keeps deciding through the router.
+	replies, err := cl.Submit(context.Background(), batchFor(tenants, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range replies {
+		if replies[i].Err != "" {
+			t.Fatalf("post-restore item %d: %s", i, replies[i].Err)
+		}
+	}
+}
+
+// TestRouterCoalesceRespectsMaxBatch floods one backend with a mix of
+// tiny and maximum-size shard groups. The coalescing dispatcher must
+// never merge them into a frame over wire.MaxBatch — before the guard,
+// one small group plus one full group failed every group in the merge.
+func TestRouterCoalesceRespectsMaxBatch(t *testing.T) {
+	const shards = 1
+	_, addr, _ := newBackend(t, shards, nil)
+	_, front := newRouterFront(t, []string{addr}, -1)
+	tenants := shardTenants(shards)
+
+	mkBatch := func(n int) []wire.Query {
+		qs := make([]wire.Query, n)
+		for i := range qs {
+			qs[i] = wire.Query{
+				Tenant: tenants[0], Template: "Q6",
+				Selectivity: 0.001, HasSelectivity: true,
+				Budget: &server.BudgetJSON{Shape: "step", PriceUSD: 0.05, TmaxSec: 3600},
+			}
+		}
+		return qs
+	}
+
+	const bigWorkers, bigRounds = 2, 2
+	const smallWorkers, smallRounds = 4, 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, bigWorkers+smallWorkers)
+	run := func(w, rounds, size int) {
+		defer wg.Done()
+		cl, err := wire.DialMux(front)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer cl.Close()
+		qs := mkBatch(size)
+		for rd := 0; rd < rounds; rd++ {
+			rs, err := cl.Submit(context.Background(), qs)
+			if err != nil {
+				errCh <- fmt.Errorf("worker %d (size %d) round %d: %w", w, size, rd, err)
+				return
+			}
+			for i := range rs {
+				if rs[i].Err != "" {
+					errCh <- fmt.Errorf("worker %d (size %d) round %d item %d: %s", w, size, rd, i, rs[i].Err)
+					return
+				}
+			}
+		}
+	}
+	for w := 0; w < bigWorkers; w++ {
+		wg.Add(1)
+		go run(w, bigRounds, wire.MaxBatch)
+	}
+	for w := 0; w < smallWorkers; w++ {
+		wg.Add(1)
+		go run(bigWorkers+w, smallRounds, 1)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterCursorLRU: a live events cursor — touched on every poll, the
+// way a subscription uses it — must survive unbounded churn in
+// short-lived cursors. Lowest-id eviction silently reset the
+// longest-lived subscription and replayed its whole buffer.
+func TestRouterCursorLRU(t *testing.T) {
+	const shards = 1
+	_, addr, _ := newBackend(t, shards, nil)
+	r, _ := newRouterFront(t, []string{addr}, -1)
+
+	_, id := r.EventsViewSince(0)
+	if id <= 0 {
+		t.Fatalf("opening cursor returned id %d", id)
+	}
+	for i := 0; i < 200; i++ {
+		r.EventsViewSince(0) // churn: a fresh cursor, used once
+		if _, got := r.EventsViewSince(id); got != id {
+			t.Fatalf("iteration %d: live cursor %d came back as %d — evicted", i, id, got)
+		}
 	}
 }

@@ -179,9 +179,20 @@ func (r *Router) EventsViewSnapshot(typ, tenant string, n int) server.EventsView
 	return view
 }
 
-// maxCursors bounds the EventsViewSince cursor table; the oldest
-// cursor is dropped past it (an events subscription holds exactly one).
+// maxCursors bounds the EventsViewSince cursor table; past it the
+// least-recently-used cursor is dropped (an events subscription holds
+// exactly one and touches it on every poll, so live subscriptions
+// survive churn in short-lived ones — evicting by lowest id would
+// silently reset the longest-lived subscription and replay its whole
+// buffer).
 const maxCursors = 64
+
+// cursorEntry is one live cursor: per-backend last-seen journal Seqs
+// plus the logical access stamp LRU eviction orders by.
+type cursorEntry struct {
+	last []int64
+	used int64
+}
 
 // EventsViewSince serves the incremental feed behind events
 // subscriptions. Each backend numbers its journal independently, so the
@@ -190,23 +201,25 @@ const maxCursors = 64
 // returned value to resume it.
 func (r *Router) EventsViewSince(since int64) (server.EventsView, int64) {
 	r.curMu.Lock()
-	cur, ok := r.cursors[since]
+	ent, ok := r.cursors[since]
 	if !ok {
 		r.nextCursor++
 		since = r.nextCursor
-		cur = make([]int64, len(r.backends))
-		r.cursors[since] = cur
+		ent = &cursorEntry{last: make([]int64, len(r.backends))}
+		r.cursors[since] = ent
 		if len(r.cursors) > maxCursors {
-			oldest := since
-			for id := range r.cursors {
-				if id < oldest {
-					oldest = id
+			lruID, lruUsed := int64(0), int64(1<<62)
+			for id, e := range r.cursors {
+				if id != since && e.used < lruUsed {
+					lruID, lruUsed = id, e.used
 				}
 			}
-			delete(r.cursors, oldest)
+			delete(r.cursors, lruID)
 		}
 	}
-	last := append([]int64(nil), cur...)
+	r.curClock++
+	ent.used = r.curClock
+	last := append([]int64(nil), ent.last...)
 	r.curMu.Unlock()
 
 	view := server.EventsView{}
@@ -238,8 +251,8 @@ func (r *Router) EventsViewSince(since int64) (server.EventsView, int64) {
 		view.Events = view.Events[:0:0]
 	}
 	r.curMu.Lock()
-	if _, ok := r.cursors[since]; ok {
-		r.cursors[since] = last
+	if e, ok := r.cursors[since]; ok {
+		e.last = last
 	}
 	r.curMu.Unlock()
 	return view, since

@@ -68,6 +68,16 @@ func (s *Server) FreezeShard(i int) error {
 // one place). The packet carries the server's configuration fingerprint
 // and query-ID counter for the installing side to validate and adopt.
 func (s *Server) ExtractShard(i int) (*persist.ShardPacket, error) {
+	return s.ExtractShardChecked(i, nil)
+}
+
+// ExtractShardChecked is ExtractShard with a commit gate: the captured
+// packet is handed to check before the destructive reset, and a check
+// error aborts the extract with the shard's state and ownership exactly
+// as they were. The wire layer uses the gate to refuse an extract whose
+// encoding cannot travel in one frame — without it, the reply would be
+// dropped after the state was already destroyed.
+func (s *Server) ExtractShardChecked(i int, check func(*persist.ShardPacket) error) (*persist.ShardPacket, error) {
 	if err := s.validShard(i); err != nil {
 		return nil, err
 	}
@@ -80,17 +90,24 @@ func (s *Server) ExtractShard(i int) (*persist.ShardPacket, error) {
 	s.migrating.Add(1)
 	defer s.migrating.Add(-1)
 
-	if err := s.FreezeShard(i); err != nil {
-		return nil, err
-	}
+	// Freeze first: a disowned shard decides nothing and accrues nothing,
+	// so its state is stable from here until the commit (or the abort).
+	sh := s.shards[i]
+	sh.mu.Lock()
+	wasOwned := sh.owned
+	sh.owned = false
+	sh.mu.Unlock()
+
 	// The replacement scheme is built outside the shard lock; swapping it
 	// in is what makes the extract a move rather than a copy.
 	fresh, err := scheme.New(s.cfg.Scheme, s.cfg.Params)
 	if err != nil {
+		sh.mu.Lock()
+		sh.owned = wasOwned
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("server: rebuilding shard %d scheme: %w", i, err)
 	}
 
-	sh := s.shards[i]
 	sh.mu.Lock()
 	pkt := &persist.ShardPacket{
 		Scheme:          s.cfg.Scheme,
@@ -100,6 +117,13 @@ func (s *Server) ExtractShard(i int) (*persist.ShardPacket, error) {
 		Clock:           s.clock.Now(),
 		CreatedUnixNano: time.Now().UnixNano(),
 		State:           sh.captureStateLocked(),
+	}
+	if check != nil {
+		if err := check(pkt); err != nil {
+			sh.owned = wasOwned
+			sh.mu.Unlock()
+			return nil, err
+		}
 	}
 	sh.resetLocked(fresh)
 	sh.mu.Unlock()

@@ -131,6 +131,49 @@ func TestMigrationParity(t *testing.T) {
 	}
 }
 
+// TestExtractShardCheckedAborts pins the commit gate the wire layer
+// leans on: a check that rejects the captured packet (an encoding too
+// large for one frame, say) must abort the extract with the shard's
+// state, ownership and service untouched — the economy must not be
+// destroyed for a reply that could never be delivered.
+func TestExtractShardCheckedAborts(t *testing.T) {
+	clock := server.NewVirtualClock()
+	srv := migrationServer(t, economy.ProviderSelfish, clock, 1)
+	defer srv.Shutdown(context.Background())
+	runParityGroups(t, srv, clock, 0, parityRestart, true)
+	before := srv.Stats()
+
+	sentinel := errors.New("packet refused by the transport")
+	var sawQueries int64
+	if _, err := srv.ExtractShardChecked(0, func(pkt *persist.ShardPacket) error {
+		sawQueries = pkt.State.Queries
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("aborted extract: err = %v, want the check's error", err)
+	}
+	if sawQueries == 0 {
+		t.Fatal("check never saw a captured economy; the gate is vacuous")
+	}
+	if !srv.ShardOwned(0) {
+		t.Fatal("aborted extract left the shard disowned")
+	}
+	after := srv.Stats()
+	if got, want := mustJSON(t, after), mustJSON(t, before); got != want {
+		t.Fatalf("aborted extract mutated shard state:\ngot  %s\nwant %s", got, want)
+	}
+
+	// The shard keeps serving the stream as if nothing happened, and a
+	// later unguarded extract still moves the full economy.
+	runParityGroups(t, srv, clock, parityRestart, parityRestart+8, true)
+	pkt, err := srv.ExtractShard(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.State.Queries <= sawQueries {
+		t.Fatalf("post-abort extract carries %d queries, want > %d", pkt.State.Queries, sawQueries)
+	}
+}
+
 // TestInstallGuards pins the installation validation: wrong fingerprint,
 // wrong slot, or a slot that already holds state must all fail loudly.
 func TestInstallGuards(t *testing.T) {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 
 	"repro/internal/persist"
@@ -137,12 +138,29 @@ func (e *serverEngine) Checkpoint() (string, int64, error) { return e.srv.Checkp
 
 func (e *serverEngine) FreezeShard(shard int) error { return e.srv.FreezeShard(shard) }
 
+// maxShardPacketBytes bounds an extracted packet so both frames that
+// carry it — the msgShardState reply and the msgShardInstall request
+// that follows — stay under MaxFrame. The margin covers the frame's
+// type byte and two uvarints (tag, shard).
+const maxShardPacketBytes = MaxFrame - (1 + 2*binary.MaxVarintLen64)
+
 func (e *serverEngine) ExtractShardPacket(shard int) ([]byte, error) {
-	pkt, err := e.srv.ExtractShard(shard)
+	// The size check runs as ExtractShardChecked's commit gate: a packet
+	// too large for one frame aborts the extract with the shard's state
+	// and ownership untouched, instead of destroying an economy whose
+	// reply frame could never be written.
+	var data []byte
+	_, err := e.srv.ExtractShardChecked(shard, func(pkt *persist.ShardPacket) error {
+		data = persist.EncodeShardPacket(pkt)
+		if len(data) > maxShardPacketBytes {
+			return fmt.Errorf("wire: shard %d packet is %d bytes, over the %d-byte frame bound; shard left in place", shard, len(data), maxShardPacketBytes)
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return persist.EncodeShardPacket(pkt), nil
+	return data, nil
 }
 
 func (e *serverEngine) InstallShardPacket(shard int, data []byte) error {

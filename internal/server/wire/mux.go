@@ -293,7 +293,9 @@ func (c *MuxClient) send(payload []byte) {
 }
 
 // writeLoop mirrors the server's: drain bursts, one flush per burst, go
-// quiet (but keep consuming) once the connection dies.
+// quiet (but keep consuming) once the connection dies. A write error
+// also closes the conn so the read loop fails every in-flight call —
+// a silently dropped frame would leave its caller waiting forever.
 func (c *MuxClient) writeLoop() {
 	defer close(c.wdone)
 	var dead bool
@@ -321,6 +323,9 @@ func (c *MuxClient) writeLoop() {
 		}
 		if !dead && c.bw.Flush() != nil {
 			dead = true
+		}
+		if dead {
+			c.conn.Close()
 		}
 	}
 }

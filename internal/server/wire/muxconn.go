@@ -7,7 +7,6 @@ import (
 	"net"
 	"sync"
 	"time"
-
 )
 
 // maxStatsSubs bounds the concurrent stats subscriptions one connection
@@ -109,7 +108,10 @@ func (c *muxConn) send(payload []byte) {
 // writeLoop serializes all outbound frames. Each wakeup drains the whole
 // queue into the buffered writer and flushes once — under pipelining
 // pressure many reply frames share one syscall. A write error marks the
-// connection dead; the loop keeps draining (and discarding) so senders
+// connection dead AND closes it: a dropped frame poisons the multiplexed
+// stream (its tag would wait forever on the client), so the read loop
+// must observe the close and tear the connection down rather than leave
+// the peer hanging. The loop keeps draining (and discarding) so senders
 // are never stuck, and exits when the conn is torn down.
 func (c *muxConn) writeLoop() {
 	var dead bool
@@ -137,6 +139,9 @@ func (c *muxConn) writeLoop() {
 		}
 		if !dead && c.bw.Flush() != nil {
 			dead = true
+		}
+		if dead {
+			c.conn.Close()
 		}
 	}
 }
