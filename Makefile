@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz e2e ci
+.PHONY: all build vet test race bench profile fuzz e2e ci
 
 all: ci
 
@@ -27,6 +27,17 @@ bench:
 	BENCH_JSON=BENCH_server.json $(GO) test -run '^$$' -bench ServerThroughput -benchtime 1000x .
 	@cat BENCH_server.json
 	$(GO) run ./scripts/checkbench BENCH_server.json
+
+# Profile the single-shard in-process hot path (the submit→decide→reply
+# loop with no wire stack in the way): one ServerThroughput cell under
+# -cpuprofile/-memprofile, then the top-10 allocation sites by object
+# count and the top-10 CPU consumers. The alloc listing is the first
+# place to look when checkbench's allocs/query gate trips.
+profile:
+	$(GO) test -run '^$$' -bench 'ServerThroughput/shards=1$$' -benchtime 20000x \
+		-cpuprofile cpu.prof -memprofile mem.prof .
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_objects mem.prof
+	$(GO) tool pprof -top -nodecount=10 cpu.prof
 
 # Short fuzz of the hostile-input decoders: wire frames and state
 # snapshots must never panic or load partial state. Seed corpora live in

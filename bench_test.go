@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/bits"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -156,13 +157,19 @@ type serverBenchCell struct {
 	// the tracer installed with sampling disabled (the atomic-gate cost),
 	// "1/64" samples one query in 64. scripts/checkbench gates "off"
 	// against "" at 5%.
-	Trace          string  `json:"trace,omitempty"`
-	GoMaxProcs     int     `json:"gomaxprocs"`
-	SimRTTMs       float64 `json:"sim_rtt_ms,omitempty"`
-	Queries        int64   `json:"queries"`
-	QueriesPerSec  float64 `json:"queries_per_sec"`
+	Trace         string  `json:"trace,omitempty"`
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	SimRTTMs      float64 `json:"sim_rtt_ms,omitempty"`
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	// P50Sec/P99Sec are the economy's promised response times on the
+	// virtual clock; WallP50Ms/WallP99Ms are measured wall-clock service
+	// latencies of one submission op (a whole batch in the batched and
+	// binary modes), pricing the serving stack rather than the economy.
 	P50Sec         float64 `json:"p50_s"`
 	P99Sec         float64 `json:"p99_s"`
+	WallP50Ms      float64 `json:"wall_p50_ms"`
+	WallP99Ms      float64 `json:"wall_p99_ms"`
 	AllocsPerQuery float64 `json:"allocs_per_query"`
 }
 
@@ -248,6 +255,84 @@ func benchTemplates() []string {
 		templates = append(templates, t.Name)
 	}
 	return templates
+}
+
+// benchTenants precomputes the tenant names the submitters cycle through
+// so the measured loops never pay fmt.Sprintf — client-side formatting
+// allocations would otherwise dominate the per-query alloc counts the
+// trajectory gates on.
+var benchTenants = func() [64]string {
+	var t [64]string
+	for i := range t {
+		t[i] = fmt.Sprintf("tenant-%02d", i)
+	}
+	return t
+}()
+
+// latSub is the sub-bucket resolution of latHist: each power-of-two
+// decade splits into 2^latSub buckets (~6% value resolution).
+const latSub = 4
+
+// latHist is a fixed-size log-scale histogram of wall-clock submission
+// latencies: concurrent submitters record without locks or allocation,
+// and the cell reports its p50/p99. The virtual-clock p50_s/p99_s
+// columns price the economy's promised response times; these wall
+// numbers price the serving stack itself.
+type latHist struct {
+	buckets [64 << latSub]atomic.Int64
+}
+
+func (h *latHist) record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		ns = 1
+	}
+	exp := uint(bits.Len64(ns) - 1)
+	var sub uint64
+	if exp > latSub {
+		sub = (ns >> (exp - latSub)) & (1<<latSub - 1)
+	} else {
+		sub = ns & (1<<latSub - 1)
+	}
+	h.buckets[exp<<latSub|uint(sub)].Add(1)
+}
+
+// quantile returns the q-quantile (0 < q <= 1) as the midpoint of the
+// bucket the target rank lands in.
+func (h *latHist) quantile(q float64) time.Duration {
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			exp := uint(i) >> latSub
+			sub := uint64(i) & (1<<latSub - 1)
+			lo := uint64(1) << exp
+			width := uint64(1)
+			if exp > latSub {
+				lo |= sub << (exp - latSub)
+				width = uint64(1) << (exp - latSub)
+			} else {
+				lo |= sub
+			}
+			return time.Duration(lo + width/2)
+		}
+	}
+	return 0
 }
 
 // runServerThroughput drives one (mode, shards, batch, procs) cell:
@@ -385,7 +470,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	// cross-mode comparison only holds if all paths draw the same
 	// tenant/template stream.
 	benchQueryAt := func(i int64) (tenant, template string) {
-		return fmt.Sprintf("tenant-%02d", i%64), templates[i%int64(len(templates))]
+		return benchTenants[i%64], templates[i%int64(len(templates))]
 	}
 	makeRequests := func(from int64) []ServerRequest {
 		reqs := make([]ServerRequest, batch)
@@ -414,9 +499,8 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	}
 
 	b.ReportAllocs()
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
 	var idx atomic.Int64
+	var lat latHist
 	// Warm the shared-client modes before the timer: at -benchtime
 	// 1000x the measured window is tens of milliseconds, so connection
 	// establishment, the router's dispatcher spin-up and socket buffer
@@ -447,6 +531,51 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		}
 		warm.Wait()
 	}
+	// The in-process modes warm the economy before the timer for the
+	// same reason: the first few hundred queries per shard are
+	// investment-heavy (structure builds, ledger and cache map growth),
+	// and at -benchtime 1000x that cold phase would otherwise dominate a
+	// window meant to record steady-state serving. ~512 queries per
+	// shard builds out the working set (each shard warms its own cache
+	// from its own slice of the tenant stream, so the warm-up scales
+	// with the shard count). The network fronts skip this — their
+	// measured loops run orders of magnitude more queries per
+	// connection cost, and the lockstep cell would spend seconds of
+	// simulated RTT warming up.
+	switch mode {
+	case "inproc", "microbatch", "batch":
+		ops := (shards*64 + batch - 1) / batch
+		var warm sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			warm.Add(1)
+			go func() {
+				defer warm.Done()
+				ctx := context.Background()
+				for it := 0; it < ops; it++ {
+					from := idx.Add(int64(batch)) - int64(batch)
+					if batch > 1 {
+						if _, err := srv.SubmitBatch(ctx, makeRequests(from)); err != nil {
+							b.Error(err)
+							return
+						}
+					} else {
+						tenant, template := benchQueryAt(from)
+						if _, err := srv.Submit(ctx, ServerRequest{Tenant: tenant, Template: template}); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			}()
+		}
+		warm.Wait()
+	}
+	// Measure from here: warm-up queries are excluded from the
+	// throughput window, the allocation count and the latency
+	// histogram alike.
+	q0 := srv.Stats().Queries
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
@@ -455,7 +584,10 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		case "inproc", "microbatch":
 			for pb.Next() {
 				tenant, template := benchQueryAt(idx.Add(1))
-				if _, err := srv.Submit(ctx, ServerRequest{Tenant: tenant, Template: template}); err != nil {
+				t0 := time.Now()
+				_, err := srv.Submit(ctx, ServerRequest{Tenant: tenant, Template: template})
+				lat.record(time.Since(t0))
+				if err != nil {
 					b.Error(err)
 					return
 				}
@@ -463,7 +595,10 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		case "batch":
 			for pb.Next() {
 				from := idx.Add(int64(batch)) - int64(batch)
-				items, err := srv.SubmitBatch(ctx, makeRequests(from))
+				reqs := makeRequests(from)
+				t0 := time.Now()
+				items, err := srv.SubmitBatch(ctx, reqs)
+				lat.record(time.Since(t0))
 				if err != nil {
 					b.Error(err)
 					return
@@ -480,6 +615,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 			for pb.Next() {
 				tenant, template := benchQueryAt(idx.Add(1))
 				body := fmt.Sprintf(`{"tenant":"%s","template":"%s"}`, tenant, template)
+				t0 := time.Now()
 				resp, err := client.Post(baseURL+"/v1/query", "application/json", strings.NewReader(body))
 				if err != nil {
 					b.Error(err)
@@ -487,6 +623,7 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				lat.record(time.Since(t0))
 				if resp.StatusCode != http.StatusOK {
 					b.Errorf("status %d", resp.StatusCode)
 					return
@@ -506,7 +643,9 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 					tenant, template := benchQueryAt(from + int64(j))
 					qs[j] = wire.Query{Tenant: tenant, Template: template}
 				}
+				t0 := time.Now()
 				replies, err := cl.Submit(qs)
+				lat.record(time.Since(t0))
 				if err != nil {
 					b.Error(err)
 					return
@@ -527,7 +666,9 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 					tenant, template := benchQueryAt(from + int64(j))
 					qs[j] = wire.Query{Tenant: tenant, Template: template}
 				}
+				t0 := time.Now()
 				replies, err := lockstepCl.Submit(qs)
+				lat.record(time.Since(t0))
 				if err == nil {
 					for k := range replies {
 						if replies[k].Err != "" {
@@ -550,7 +691,9 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 					tenant, template := benchQueryAt(from + int64(j))
 					qs[j] = wire.Query{Tenant: tenant, Template: template}
 				}
+				t0 := time.Now()
 				replies, err := muxCl.Submit(ctx, qs)
+				lat.record(time.Since(t0))
 				if err != nil {
 					b.Error(err)
 					return
@@ -571,12 +714,17 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 	runtime.ReadMemStats(&m1)
 
 	st := srv.Stats()
-	qps := float64(st.Queries) / elapsed.Seconds()
-	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(st.Queries)
+	measured := st.Queries - q0
+	qps := float64(measured) / elapsed.Seconds()
+	allocs := float64(m1.Mallocs-m0.Mallocs) / float64(measured)
+	wallP50 := lat.quantile(0.50)
+	wallP99 := lat.quantile(0.99)
 	b.ReportMetric(float64(shards), "shards")
 	b.ReportMetric(qps, "queries/s")
 	b.ReportMetric(st.ResponseP50Sec, "p50-sec")
 	b.ReportMetric(st.ResponseP99Sec, "p99-sec")
+	b.ReportMetric(wallP50.Seconds()*1e3, "wall-p50-ms")
+	b.ReportMetric(wallP99.Seconds()*1e3, "wall-p99-ms")
 	var rttMs float64
 	if mode == "lockstep" || mode == "pipelined" || mode == "routed" {
 		rttMs = simRTT.Seconds() * 1e3
@@ -588,10 +736,12 @@ func runServerThroughput(b *testing.B, out *serverBenchFile, mode string, shards
 		Trace:          trace,
 		GoMaxProcs:     procs,
 		SimRTTMs:       rttMs,
-		Queries:        st.Queries,
+		Queries:        measured,
 		QueriesPerSec:  qps,
 		P50Sec:         st.ResponseP50Sec,
 		P99Sec:         st.ResponseP99Sec,
+		WallP50Ms:      wallP50.Seconds() * 1e3,
+		WallP99Ms:      wallP99.Seconds() * 1e3,
 		AllocsPerQuery: allocs,
 	}
 	// The harness re-runs sub-benchmarks (calibration) and the sweep
@@ -683,6 +833,11 @@ func BenchmarkServerThroughput(b *testing.B) {
 			runServerThroughput(b, &out, "pipelined", 4, 1, procs, "")
 		})
 	}
+	// The batched admission path at production scheduler width: the cell
+	// the "100k+ queries/s on 4 cores" roadmap target is read from.
+	b.Run("mode=batch/shards=4/batch=64/procs=4", func(b *testing.B) {
+		runServerThroughput(b, &out, "batch", 4, 64, 4, "")
+	})
 	// Tracing-overhead cells on the engine ceiling: "off" prices the
 	// installed-but-idle tracer (one atomic load per query — the 5% CI
 	// gate in scripts/checkbench), "1/64" the production sampling rate.
@@ -714,7 +869,80 @@ func BenchmarkServerThroughput(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Logf("wrote %s (%d cells)", path, len(out.Cells))
+		traj := os.Getenv("BENCH_TRAJECTORY")
+		if traj == "" {
+			traj = "BENCH_trajectory.json"
+		}
+		if err := appendTrajectory(traj, &out); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("appended trajectory row to %s", traj)
 	}
+}
+
+// benchTrajectoryRow is one dated BENCH_trajectory.json entry: the
+// headline cells of a full BenchmarkServerThroughput sweep, so the perf
+// history survives BENCH_server.json being overwritten by every run.
+type benchTrajectoryRow struct {
+	Date           string  `json:"date"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	InprocS1QPS    float64 `json:"inproc_s1_qps"`
+	InprocS1Allocs float64 `json:"inproc_s1_allocs_per_query"`
+	InprocS8QPS    float64 `json:"inproc_s8_qps"`
+	Batch64QPS     float64 `json:"batch64_qps"`
+	Batch64Allocs  float64 `json:"batch64_allocs_per_query"`
+	HTTPQPS        float64 `json:"http_qps"`
+	PipelinedB1QPS float64 `json:"pipelined_b1_qps"`
+	InprocP4QPS    float64 `json:"inproc_s4_procs4_qps"`
+}
+
+// appendTrajectory appends one dated summary row to the trajectory file
+// (a JSON array), creating it on first run.
+func appendTrajectory(path string, out *serverBenchFile) error {
+	find := func(mode string, shards, batch, procs int) *serverBenchCell {
+		for i := range out.Cells {
+			c := &out.Cells[i]
+			if c.Mode == mode && c.Shards == shards && c.Batch == batch && c.Trace == "" &&
+				(procs == 0 || c.GoMaxProcs == procs) {
+				return c
+			}
+		}
+		return nil
+	}
+	row := benchTrajectoryRow{
+		Date:       time.Now().UTC().Format("2006-01-02T15:04:05Z"),
+		GoMaxProcs: out.GoMaxProcs,
+	}
+	if c := find("inproc", 1, 1, 0); c != nil {
+		row.InprocS1QPS, row.InprocS1Allocs = c.QueriesPerSec, c.AllocsPerQuery
+	}
+	if c := find("inproc", 8, 1, 0); c != nil {
+		row.InprocS8QPS = c.QueriesPerSec
+	}
+	if c := find("batch", 4, 64, 0); c != nil {
+		row.Batch64QPS, row.Batch64Allocs = c.QueriesPerSec, c.AllocsPerQuery
+	}
+	if c := find("http", 4, 1, 0); c != nil {
+		row.HTTPQPS = c.QueriesPerSec
+	}
+	if c := find("pipelined", 4, 1, 0); c != nil {
+		row.PipelinedB1QPS = c.QueriesPerSec
+	}
+	if c := find("inproc", 4, 1, 4); c != nil {
+		row.InprocP4QPS = c.QueriesPerSec
+	}
+	var rows []benchTrajectoryRow
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &rows); err != nil {
+			return fmt.Errorf("bench: corrupt trajectory file %s: %w", path, err)
+		}
+	}
+	rows = append(rows, row)
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // --- Ablation A: regret fraction a (Eq. 3) -------------------------------

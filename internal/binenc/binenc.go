@@ -68,6 +68,21 @@ func String(b []byte) (string, []byte, error) {
 	return string(b[:n]), b[n:], nil
 }
 
+// Bytes consumes a length-prefixed string but returns the raw sub-slice
+// of the input instead of allocating a string. The slice aliases the
+// input buffer and is valid only as long as the buffer is; callers that
+// need the value past the buffer's lifetime must copy (or intern) it.
+func Bytes(b []byte) ([]byte, []byte, error) {
+	n, b, err := Uvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("binenc: string length %d overruns input", n)
+	}
+	return b[:n], b[n:], nil
+}
+
 // F64 consumes an IEEE-754 double.
 func F64(b []byte) (float64, []byte, error) {
 	if len(b) < 8 {

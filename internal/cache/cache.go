@@ -70,6 +70,12 @@ type Cache struct {
 	pending  map[structure.ID]*pendingBuild
 	resident int64 // disk bytes of resident structures
 	capacity int64 // 0 = unlimited (economy schemes); >0 = hard cap (net-only)
+
+	// epoch counts mutations that can change what is resident or being
+	// built (build starts, completions, evictions). Callers memoizing
+	// residency-dependent computations (the optimizer's build pricing)
+	// invalidate when it moves.
+	epoch int64
 }
 
 // New creates an empty cache. capacityBytes of 0 means unlimited.
@@ -86,6 +92,11 @@ func New(capacityBytes int64) *Cache {
 
 // Clock returns the cache's current time.
 func (c *Cache) Clock() time.Duration { return c.clock }
+
+// Epoch returns the residency-mutation counter: it moves whenever a
+// build starts, completes, or a structure is evicted, and never
+// otherwise. Memoize residency-dependent results against it.
+func (c *Cache) Epoch() int64 { return c.epoch }
 
 // Advance moves the clock forward. Moving backwards is a programming error
 // and panics: simulation time is monotone.
@@ -167,6 +178,7 @@ func (c *Cache) StartBuild(st *structure.Structure, readyAt time.Duration, build
 		},
 		readyAt: readyAt,
 	}
+	c.epoch++
 	return nil
 }
 
@@ -183,6 +195,7 @@ func (c *Cache) CompleteDue() []*Entry {
 			c.resident += pb.entry.S.Bytes
 			done = append(done, pb.entry)
 			delete(c.pending, id)
+			c.epoch++
 		}
 	}
 	sort.Slice(done, func(i, j int) bool { return done[i].S.ID < done[j].S.ID })
@@ -208,6 +221,7 @@ func (c *Cache) Evict(id structure.ID) (*Entry, bool) {
 	}
 	delete(c.entries, id)
 	c.resident -= e.S.Bytes
+	c.epoch++
 	return e, true
 }
 

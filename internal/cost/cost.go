@@ -275,9 +275,12 @@ func (m *Model) BuildIndex(def catalog.IndexDef, cached func(catalog.ColumnRef) 
 	if err := def.Validate(m.cat); err != nil {
 		return Outcome{}, err
 	}
+	// Iterate the column names directly — def.Refs() allocates a fresh
+	// slice, and this sits on the per-query enumeration path (pricing
+	// missing index candidates).
 	var keyBytes int64
-	for _, ref := range def.Refs() {
-		b, err := m.cat.ColumnBytes(ref)
+	for _, col := range def.Columns {
+		b, err := m.cat.ColumnBytes(catalog.Col(def.Table, col))
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -285,7 +288,8 @@ func (m *Model) BuildIndex(def catalog.IndexDef, cached func(catalog.ColumnRef) 
 	}
 	sortBytes := int64(float64(keyBytes) * m.tun.SortFactor)
 	out := m.scanOutcome(sortBytes, 1)
-	for _, ref := range def.Refs() {
+	for _, col := range def.Columns {
+		ref := catalog.Col(def.Table, col)
 		if cached != nil && cached(ref) {
 			continue
 		}

@@ -266,6 +266,15 @@ type Economy struct {
 	// happens (see SetEvents). The market holds the same sink for the
 	// events it originates.
 	events func(obs.Event)
+
+	// scratchExist/scratchPoss/scratchAfford back HandleQuery's per-query
+	// plan partitions, reused across calls so the steady-state decision
+	// path allocates nothing. Safe because the economy is single-owner
+	// (one shard or one simulation loop) and the slices never outlive the
+	// call.
+	scratchExist  []*plan.Plan
+	scratchPoss   []*plan.Plan
+	scratchAfford []*plan.Plan
 }
 
 // SetEvents installs a sink for the economy's structured events: every
@@ -405,7 +414,8 @@ func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, 
 	// failed structure cannot be chosen.
 	d.Failures = e.market.sweepFailures()
 
-	exist, _ := plan.Partition(plans)
+	exist, poss := plan.PartitionInto(plans, e.scratchExist[:0], e.scratchPoss[:0])
+	e.scratchExist, e.scratchPoss = exist, poss
 	if len(exist) == 0 {
 		return Decision{}, fmt.Errorf("economy: no runnable plan (the backend plan must always exist)")
 	}
@@ -434,12 +444,13 @@ func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, 
 	}
 
 	// Plan selection.
-	var affordableExist []*plan.Plan
+	affordableExist := e.scratchAfford[:0]
 	for _, p := range exist {
 		if affordable(p) {
 			affordableExist = append(affordableExist, p)
 		}
 	}
+	e.scratchAfford = affordableExist
 	switch {
 	case len(affordableExist) > 0:
 		d.Chosen = e.selectPlan(q, affordableExist)
@@ -707,6 +718,21 @@ func (e *Economy) invest(acct *Ledger) ([]structure.ID, int) {
 	}
 	threshold := acct.credit.MulFloat(e.cfg.RegretFraction)
 	if !threshold.IsPositive() {
+		return nil, 0
+	}
+	// Fast path for the common query that triggers nothing: the sorted
+	// pass below only ever acts on entries whose regret crosses the bar,
+	// so if no entry does, the whole pass is a no-op — detect that with
+	// one read-only sweep of the live map (iteration order is irrelevant
+	// to a boolean) and skip the per-call sorted-ID allocation.
+	crossed := false
+	for id, entry := range acct.entries {
+		if entry.regret.MulInt(2) >= e.market.investmentBar(threshold, id) {
+			crossed = true
+			break
+		}
+	}
+	if !crossed {
 		return nil, 0
 	}
 	var built []structure.ID

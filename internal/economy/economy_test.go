@@ -412,11 +412,14 @@ func TestSelectFastestPicksFastest(t *testing.T) {
 	r.cache.CompleteDue()
 	q := r.query(t, 5e-4, budget.NewStep(money.FromDollars(1000), time.Hour))
 	d := r.handle(t, q)
+	// Capture the chosen plan's time before re-enumerating: Enumerate
+	// recycles its plan objects, so d.Chosen is only valid until then.
+	chosenTime := d.Chosen.Time()
 	plans, _ := r.opt.Enumerate(q, r.cache)
 	exist, _ := plan.Partition(plans)
 	fastest := plan.Fastest(exist)
-	if d.Chosen.Time() != fastest.Time() {
-		t.Errorf("fastest criterion chose %v, fastest is %v", d.Chosen, fastest)
+	if chosenTime != fastest.Time() {
+		t.Errorf("fastest criterion chose time %v, fastest is %v", chosenTime, fastest.Time())
 	}
 }
 
@@ -430,6 +433,9 @@ func TestSelectMinProfit(t *testing.T) {
 	r.cache.CompleteDue()
 	q := r.query(t, 5e-4, budget.NewStep(money.FromDollars(1000), time.Hour))
 	d := r.handle(t, q)
+	// Capture the chosen plan's price before re-enumerating: Enumerate
+	// recycles its plan objects, so d.Chosen is only valid until then.
+	chosenPrice := d.Chosen.Price()
 	// With a step budget the min-profit plan is the most expensive
 	// affordable plan.
 	plans, _ := r.opt.Enumerate(q, r.cache)
@@ -440,8 +446,8 @@ func TestSelectMinProfit(t *testing.T) {
 			maxPrice = p.Price()
 		}
 	}
-	if d.Chosen.Price() != maxPrice {
-		t.Errorf("min-profit chose price %v, want %v", d.Chosen.Price(), maxPrice)
+	if chosenPrice != maxPrice {
+		t.Errorf("min-profit chose price %v, want %v", chosenPrice, maxPrice)
 	}
 }
 

@@ -1,7 +1,7 @@
 package economy
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/money"
 	"repro/internal/structure"
@@ -41,6 +41,9 @@ type Ledger struct {
 	declinedCount int64
 	queries       int64
 	cacheAnswered int64
+
+	// idScratch backs sortedIDs, reused across investment scans.
+	idScratch []structure.ID
 }
 
 // newLedger opens a ledger with the given seed capital and regret cap.
@@ -98,13 +101,15 @@ func (l *Ledger) gc() {
 }
 
 // sortedIDs returns the regret map's keys in deterministic order for the
-// investment scan.
+// investment scan. The returned slice is a per-ledger scratch buffer,
+// valid until the next call.
 func (l *Ledger) sortedIDs() []structure.ID {
-	ids := make([]structure.ID, 0, len(l.entries))
+	ids := l.idScratch[:0]
 	for id := range l.entries {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	l.idScratch = ids
 	return ids
 }
 

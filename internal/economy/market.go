@@ -32,6 +32,13 @@ type Market struct {
 	// investment backoff. Survives eviction by design.
 	failCount map[structure.ID]int
 
+	// resolved caches ID → Structure reconstructions. Structures are
+	// immutable descriptors and the ID space is catalog-bounded, so the
+	// cache never invalidates; without it a ledger entry that sits above
+	// the investment bar but cannot build (conservative provider, low
+	// credit) re-parses its ID on every query.
+	resolved map[structure.ID]*structure.Structure
+
 	// buildUsage accumulates the physical resource usage of investments
 	// since the last drain.
 	buildUsage cost.Usage
@@ -184,7 +191,18 @@ func (m *Market) indexSortOnly(st *structure.Structure) (money.Amount, cost.Outc
 // the catalog. Ledger entries always originate from plans, so the ID shape
 // is trusted.
 func (m *Market) resolveStructure(id structure.ID) (*structure.Structure, error) {
-	return ResolveID(m.cfg.Model.Catalog(), id)
+	if st, ok := m.resolved[id]; ok {
+		return st, nil
+	}
+	st, err := ResolveID(m.cfg.Model.Catalog(), id)
+	if err != nil {
+		return nil, err
+	}
+	if m.resolved == nil {
+		m.resolved = make(map[structure.ID]*structure.Structure)
+	}
+	m.resolved[id] = st
+	return st, nil
 }
 
 // maintDueOf returns the maintenance arrears a resident entry has accrued

@@ -89,11 +89,13 @@ type Reservoir struct {
 }
 
 // NewReservoir creates a reservoir with the given capacity (minimum 1).
+// The sample buffer is allocated up front so Observe never allocates —
+// the serving hot path observes a response time per query.
 func NewReservoir(capacity int) *Reservoir {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Reservoir{cap: capacity, state: 0x9E3779B97F4A7C15}
+	return &Reservoir{cap: capacity, data: make([]float64, 0, capacity), state: 0x9E3779B97F4A7C15}
 }
 
 // SplitMix64 advances a SplitMix64 state and returns the next state and
@@ -266,13 +268,16 @@ func (r *Reservoir) Restore(st ReservoirState) {
 	if st.Cap < 1 {
 		st.Cap = 1
 	}
-	data := make([]float64, len(st.Data))
-	copy(data, st.Data)
-	if len(data) > st.Cap {
-		data = data[:st.Cap]
+	n := len(st.Data)
+	if n > st.Cap {
+		n = st.Cap
 	}
-	if st.Seen < int64(len(data)) {
-		st.Seen = int64(len(data))
+	// Full capacity up front, like NewReservoir: Observe after a restore
+	// must stay allocation-free too.
+	data := make([]float64, n, st.Cap)
+	copy(data, st.Data[:n])
+	if st.Seen < int64(n) {
+		st.Seen = int64(n)
 	}
 	r.cap, r.seen, r.data, r.state = st.Cap, st.Seen, data, st.PRNG
 }

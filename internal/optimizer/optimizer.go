@@ -61,6 +61,64 @@ type Optimizer struct {
 	// scratch backs the slice Enumerate returns, reused across calls to
 	// keep the per-query hot path free of slice growth.
 	scratch []*plan.Plan
+
+	// pool holds every *plan.Plan the optimizer has ever handed out;
+	// Enumerate resets and reuses them from the front (used counts the
+	// current call's consumption). Together with scratch this makes a
+	// steady-state Enumerate allocation-free: PR 1 pooled the slice,
+	// this extends the pattern to the Plan values themselves.
+	pool []*plan.Plan
+	used int
+
+	// colIDs caches ref → ID strings: BuildPrice's residency predicate
+	// runs per missing index per query, and structure.ColumnID would
+	// otherwise mint a fresh string each time.
+	colIDs map[catalog.ColumnRef]structure.ID
+
+	// priceMemo memoizes BuildPrice per structure for as long as the
+	// cache's residency epoch stands still. Build prices depend only on
+	// the model (fixed) and on which columns are resident, so between
+	// builds and evictions — i.e. for almost every query — pricing a
+	// missing candidate is a map hit instead of a full Eq. 10/12/14
+	// walk over the catalog.
+	priceMemo  map[structure.ID]memoPrice
+	priceCache *cache.Cache
+	priceEpoch int64
+}
+
+// memoPrice is one memoized BuildPrice result.
+type memoPrice struct {
+	price money.Amount
+	out   cost.Outcome
+}
+
+// columnID returns the cached structure ID for a column reference.
+func (o *Optimizer) columnID(ref catalog.ColumnRef) structure.ID {
+	if id, ok := o.colIDs[ref]; ok {
+		return id
+	}
+	id := structure.ColumnID(ref)
+	if o.colIDs == nil {
+		o.colIDs = make(map[catalog.ColumnRef]structure.ID)
+	}
+	o.colIDs[ref] = id
+	return id
+}
+
+// nextPlan returns a cleared plan from the pool, growing it on first
+// use. Pooled plans keep their Structures set and Missing slice capacity
+// across reuse.
+func (o *Optimizer) nextPlan() *plan.Plan {
+	if o.used < len(o.pool) {
+		p := o.pool[o.used]
+		o.used++
+		p.Reset()
+		return p
+	}
+	p := &plan.Plan{Structures: structure.NewSet()}
+	o.pool = append(o.pool, p)
+	o.used++
+	return p
 }
 
 // New builds an optimizer.
@@ -123,13 +181,19 @@ func (o *Optimizer) indexFor(tpl *workload.Template, id structure.ID) (*structur
 // cache state. The back-end plan is always present and always runnable, so
 // PQexist is never empty.
 //
-// The returned slice is backed by a per-optimizer scratch buffer and is
-// only valid until the next Enumerate call; callers that outlive one
-// query's handling must copy it. The *Plan values themselves are fresh.
+// Aliasing contract: the returned slice AND the *Plan values it holds
+// are owned by the optimizer — the slice is backed by a per-optimizer
+// scratch buffer and the plans come from a pool that the next Enumerate
+// call resets and reuses. Everything (including the Structures sets and
+// Missing slices inside each plan) is only valid until the next
+// Enumerate call; callers that outlive one query's handling must deep-
+// copy what they keep. This holds for the SkylineOnly path too: Skyline
+// returns a fresh slice but it aliases the same pooled plans.
 func (o *Optimizer) Enumerate(q *workload.Query, ca *cache.Cache) ([]*plan.Plan, error) {
 	if q == nil || ca == nil {
 		return nil, fmt.Errorf("optimizer: query and cache are required")
 	}
+	o.used = 0
 	plans := o.scratch[:0]
 
 	backend, err := o.backendPlan(q)
@@ -204,14 +268,13 @@ func (o *Optimizer) backendPlan(q *workload.Query) (*plan.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &plan.Plan{
-		Query:      q,
-		Location:   plan.Backend,
-		Structures: structure.NewSet(),
-		Nodes:      1,
-		Outcome:    out,
-		ExecPrice:  cost.Price(o.cfg.Model.Schedule(), out.Usage),
-	}, nil
+	p := o.nextPlan()
+	p.Query = q
+	p.Location = plan.Backend
+	p.Nodes = 1
+	p.Outcome = out
+	p.ExecPrice = cost.Price(o.cfg.Model.Schedule(), out.Usage)
+	return p, nil
 }
 
 // cachePlan builds and prices one cache-resident plan variant.
@@ -221,16 +284,14 @@ func (o *Optimizer) cachePlan(q *workload.Query, ca *cache.Cache, useIndex bool,
 	if err != nil {
 		return nil, err
 	}
-	p := &plan.Plan{
-		Query:      q,
-		Location:   plan.Cache,
-		Structures: structure.NewSet(),
-		UsesIndex:  useIndex,
-		Index:      idxID,
-		Nodes:      nodes,
-		Outcome:    out,
-		ExecPrice:  cost.Price(m.Schedule(), out.Usage),
-	}
+	p := o.nextPlan()
+	p.Query = q
+	p.Location = plan.Cache
+	p.UsesIndex = useIndex
+	p.Index = idxID
+	p.Nodes = nodes
+	p.Outcome = out
+	p.ExecPrice = cost.Price(m.Schedule(), out.Usage)
 
 	// Column structures: all template columns must be resident.
 	cols, err := o.columnsFor(q.Template)
@@ -304,28 +365,37 @@ func (o *Optimizer) priceMissing(p *plan.Plan, ca *cache.Cache) error {
 // structure now, under the optimizer's model and the current cache state
 // (Eq. 10, 12, 14).
 func (o *Optimizer) BuildPrice(st *structure.Structure, ca *cache.Cache) (money.Amount, cost.Outcome, error) {
+	if o.priceCache != ca || o.priceEpoch != ca.Epoch() {
+		clear(o.priceMemo)
+		o.priceCache, o.priceEpoch = ca, ca.Epoch()
+	}
+	if e, ok := o.priceMemo[st.ID]; ok {
+		return e.price, e.out, nil
+	}
 	m := o.cfg.Model
+	var out cost.Outcome
+	var err error
 	switch st.Kind {
 	case structure.KindCPUNode:
-		out := m.BuildCPUNode()
-		return cost.Price(m.Schedule(), out.Usage), out, nil
+		out = m.BuildCPUNode()
 	case structure.KindColumn:
-		out, err := m.BuildColumn(st.Column)
-		if err != nil {
-			return 0, cost.Outcome{}, err
-		}
-		return cost.Price(m.Schedule(), out.Usage), out, nil
+		out, err = m.BuildColumn(st.Column)
 	case structure.KindIndex:
-		out, err := m.BuildIndex(st.Index, func(ref catalog.ColumnRef) bool {
-			return ca.Has(structure.ColumnID(ref))
+		out, err = m.BuildIndex(st.Index, func(ref catalog.ColumnRef) bool {
+			return ca.Has(o.columnID(ref))
 		})
-		if err != nil {
-			return 0, cost.Outcome{}, err
-		}
-		return cost.Price(m.Schedule(), out.Usage), out, nil
 	default:
-		return 0, cost.Outcome{}, fmt.Errorf("optimizer: unknown structure kind %v", st.Kind)
+		err = fmt.Errorf("optimizer: unknown structure kind %v", st.Kind)
 	}
+	if err != nil {
+		return 0, cost.Outcome{}, err
+	}
+	price := cost.Price(m.Schedule(), out.Usage)
+	if o.priceMemo == nil {
+		o.priceMemo = make(map[structure.ID]memoPrice)
+	}
+	o.priceMemo[st.ID] = memoPrice{price: price, out: out}
+	return price, out, nil
 }
 
 // indexDefFor resolves the candidate IndexDef with the given structure ID.

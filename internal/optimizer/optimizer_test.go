@@ -323,6 +323,35 @@ func TestEnumerateReusesScratchBuffer(t *testing.T) {
 	}
 }
 
+func TestEnumerateReusesPlanPool(t *testing.T) {
+	o, ca, _ := testSetup(t, true, true)
+	a, err := o.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make(map[*plan.Plan]bool, len(a))
+	for _, p := range a {
+		first[p] = true
+	}
+	// Same query, same cache: the second enumeration must produce the
+	// same plan set out of the same pooled objects — zero fresh plans.
+	b, err := o.Enumerate(q6(5e-4), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != len(a) {
+		t.Fatalf("plan count changed on reuse: %d vs %d", len(b), len(a))
+	}
+	for _, p := range b {
+		if !first[p] {
+			t.Error("second Enumerate allocated a fresh plan instead of reusing the pool")
+		}
+		if p.Query == nil || p.Structures == nil {
+			t.Fatal("pooled plan not refilled")
+		}
+	}
+}
+
 func TestEnumerateSkylineResultIndependentOfScratch(t *testing.T) {
 	m, _ := cost.NewModel(catalog.TPCH(10), pricing.EC22008(), cost.DefaultTunables())
 	sky, _ := New(Config{Model: m, AmortN: 1000, AllowIndexes: true, AllowNodes: true, SkylineOnly: true})

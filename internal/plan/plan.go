@@ -75,6 +75,19 @@ type Plan struct {
 	Missing []structure.ID
 }
 
+// Reset clears the plan for reuse, keeping the allocated capacity of its
+// Structures set and Missing slice. The optimizer's plan pool calls this
+// before handing the object out again; nothing may hold a *Plan across
+// that boundary (see optimizer.Enumerate's aliasing contract).
+func (p *Plan) Reset() {
+	st := p.Structures
+	if st != nil {
+		st.Reset()
+	}
+	missing := p.Missing[:0]
+	*p = Plan{Structures: st, Missing: missing}
+}
+
 // Price is C(P_Q) = Ce + Ca (Eq. 4): the comparison price used for
 // affordability and plan selection.
 func (p *Plan) Price() money.Amount {
@@ -186,6 +199,15 @@ func Fastest(plans []*Plan) *Plan {
 // Partition splits plans into PQexist (runnable now) and PQpos (needs new
 // structures), preserving order (§IV-B).
 func Partition(plans []*Plan) (exist, possible []*Plan) {
+	return PartitionInto(plans, nil, nil)
+}
+
+// PartitionInto is Partition appending into caller-owned slices — pass
+// them length-zero with retained capacity and the split allocates
+// nothing once the buffers have grown. The hot decision loop partitions
+// every query, so the per-call slices of the plain Partition would be
+// two avoidable allocations per decision.
+func PartitionInto(plans, exist, possible []*Plan) (e, pos []*Plan) {
 	for _, p := range plans {
 		if p.Runnable() {
 			exist = append(exist, p)

@@ -171,10 +171,19 @@ type Server struct {
 	catalog    *catalog.Catalog
 	accounting *pricing.Schedule
 	budgets    workload.BudgetPolicy
-	templates  map[string]*workload.Template
-	clock      Clock
-	shards     []*shard
-	nextID     atomic.Int64
+	// stepBudgets is budgets' allocation-free fast path when the policy
+	// implements it (the default step-shaped policies do); nil otherwise.
+	stepBudgets workload.StepBudgeter
+	templates   map[string]*workload.Template
+	clock       Clock
+	shards      []*shard
+	nextID      atomic.Int64
+
+	// replyPool recycles Submit's buffered reply channels. A channel is
+	// returned to the pool only after its reply was received, so a pooled
+	// channel is always empty; abandoned waits (ctx cancellation) leave
+	// their channel to the garbage collector instead.
+	replyPool sync.Pool
 
 	// epoch anchors the monotone nanosecond scale behind mailbox-wait
 	// measurement and trace wall stamps (real time, independent of the
@@ -266,6 +275,9 @@ func New(cfg Config) (*Server, error) {
 		templates:  make(map[string]*workload.Template, len(cfg.Templates)),
 		clock:      cfg.Clock,
 		epoch:      time.Now(),
+	}
+	if sb, ok := cfg.Budgets.(workload.StepBudgeter); ok {
+		srv.stepBudgets = sb
 	}
 	if cfg.TraceRing >= 0 {
 		srv.tracer = obs.NewTracer(cfg.Shards, cfg.TraceRing, cfg.TraceSampleEvery)
@@ -449,17 +461,23 @@ func (s *Server) Submit(ctx context.Context, req Request) (Response, error) {
 	s.mu.Unlock()
 	defer s.submitWG.Done()
 
-	reply := make(chan shardReply, 1)
+	reply, _ := s.replyPool.Get().(chan shardReply)
+	if reply == nil {
+		reply = make(chan shardReply, 1)
+	}
 	select {
 	case sh.mailbox <- shardMsg{req: req, reply: reply, enq: s.nanos()}:
 	case <-ctx.Done():
+		s.replyPool.Put(reply) // never enqueued; still empty
 		return Response{}, ctx.Err()
 	}
 	// The shard always answers (the loop drains its mailbox before
 	// exiting), so an abandoned wait leaks nothing: the reply channel is
-	// buffered.
+	// buffered — but only a channel whose reply was consumed may return
+	// to the pool.
 	select {
 	case r := <-reply:
+		s.replyPool.Put(reply)
 		return r.resp, r.err
 	case <-ctx.Done():
 		return Response{}, ctx.Err()
@@ -498,22 +516,16 @@ func (s *Server) SubmitBatch(ctx context.Context, reqs []Request) ([]BatchItem, 
 	defer s.submitWG.Done()
 
 	// Group request positions by shard, preserving submission order
-	// within each group.
-	type group struct {
-		reqs  []Request
-		pos   []int
-		reply chan []shardReply
-	}
-	groups := make([]*group, len(s.shards))
-	for i, req := range reqs {
-		idx := s.ShardIndex(req)
-		g := groups[idx]
-		if g == nil {
-			g = &group{reply: make(chan []shardReply, 1)}
-			groups[idx] = g
+	// within each group. Groups are carved out of flat per-call buffers
+	// (requests, original positions, reply storage) so the whole call
+	// costs a fixed handful of allocations regardless of batch size —
+	// the shard loops fill the caller-owned reply storage in place.
+	reqBuf, posBuf, replyBuf, offs, counts := s.carveGroups(reqs)
+	active := 0
+	for _, c := range counts {
+		if c > 0 {
+			active++
 		}
-		g.reqs = append(g.reqs, req)
-		g.pos = append(g.pos, i)
 	}
 
 	// Enqueue every group, then collect. Sends may block on a full
@@ -523,33 +535,67 @@ func (s *Server) SubmitBatch(ctx context.Context, reqs []Request) ([]BatchItem, 
 	// (and their buffered replies dropped) — same semantics as an
 	// abandoned Submit.
 	// One wait stamp covers the whole call; groups enqueue back to back.
+	// One buffered channel collects every group's completion: each group
+	// writes its replies into its own replyBuf sub-slice, so the channel
+	// only signals that the sub-slice is ready.
 	enq := s.nanos()
-	for idx, g := range groups {
-		if g == nil {
+	done := make(chan []shardReply, active)
+	for idx, c := range counts {
+		if c == 0 {
 			continue
 		}
+		grp := reqBuf[offs[idx] : offs[idx]+c]
+		buf := replyBuf[offs[idx] : offs[idx]+c]
 		select {
-		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchReply: g.reply, enq: enq}:
+		case s.shards[idx].mailbox <- shardMsg{batch: grp, batchReply: done, replyBuf: buf, enq: enq}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	for i := 0; i < active; i++ {
+		select {
+		case <-done:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
 	}
 
 	out := make([]BatchItem, len(reqs))
-	for _, g := range groups {
-		if g == nil {
-			continue
-		}
-		select {
-		case replies := <-g.reply:
-			for i, r := range replies {
-				out[g.pos[i]] = BatchItem{Resp: r.resp, Err: r.err}
-			}
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+	for j := range replyBuf {
+		out[posBuf[j]] = BatchItem{Resp: replyBuf[j].resp, Err: replyBuf[j].err}
 	}
 	return out, nil
+}
+
+// carveGroups partitions a batch by destination shard into flat buffers:
+// reqBuf/posBuf hold the requests and their original positions grouped by
+// shard (submission order preserved within each group), replyBuf is the
+// matching reply storage, and offs/counts locate shard idx's group at
+// [offs[idx], offs[idx]+counts[idx]).
+func (s *Server) carveGroups(reqs []Request) (reqBuf []Request, posBuf []int, replyBuf []shardReply, offs, counts []int) {
+	nsh := len(s.shards)
+	counts = make([]int, nsh)
+	for i := range reqs {
+		counts[s.ShardIndex(reqs[i])]++
+	}
+	offs = make([]int, nsh)
+	off := 0
+	for idx, c := range counts {
+		offs[idx] = off
+		off += c
+	}
+	reqBuf = make([]Request, len(reqs))
+	posBuf = make([]int, len(reqs))
+	replyBuf = make([]shardReply, len(reqs))
+	cursor := make([]int, nsh)
+	for i := range reqs {
+		idx := s.ShardIndex(reqs[i])
+		j := offs[idx] + cursor[idx]
+		cursor[idx]++
+		reqBuf[j] = reqs[i]
+		posBuf[j] = i
+	}
+	return reqBuf, posBuf, replyBuf, offs, counts
 }
 
 // SubmitBatchAsync is SubmitBatch without the wait: requests are grouped
@@ -586,24 +632,14 @@ func (s *Server) SubmitBatchAsync(ctx context.Context, reqs []Request, done func
 	defer s.submitWG.Done()
 
 	items := make([]BatchItem, len(reqs))
-	var pending atomic.Int32
+	pending := new(atomic.Int32)
 
-	type group struct {
-		reqs []Request
-		pos  []int
-	}
-	groups := make([]*group, len(s.shards))
+	reqBuf, posBuf, replyBuf, offs, counts := s.carveGroups(reqs)
 	n := int32(0)
-	for i, req := range reqs {
-		idx := s.ShardIndex(req)
-		g := groups[idx]
-		if g == nil {
-			g = &group{}
-			groups[idx] = g
+	for _, c := range counts {
+		if c > 0 {
 			n++
 		}
-		g.reqs = append(g.reqs, req)
-		g.pos = append(g.pos, i)
 	}
 	// pending is set before any send, so a group that completes while
 	// later groups are still enqueueing cannot see a premature zero.
@@ -611,11 +647,13 @@ func (s *Server) SubmitBatchAsync(ctx context.Context, reqs []Request, done func
 
 	enq := s.nanos()
 
-	for idx, g := range groups {
-		if g == nil {
+	for idx, c := range counts {
+		if c == 0 {
 			continue
 		}
-		pos := g.pos
+		grp := reqBuf[offs[idx] : offs[idx]+c]
+		buf := replyBuf[offs[idx] : offs[idx]+c]
+		pos := posBuf[offs[idx] : offs[idx]+c]
 		cb := func(replies []shardReply) {
 			for i, r := range replies {
 				items[pos[i]] = BatchItem{Resp: r.resp, Err: r.err}
@@ -625,7 +663,7 @@ func (s *Server) SubmitBatchAsync(ctx context.Context, reqs []Request, done func
 			}
 		}
 		select {
-		case s.shards[idx].mailbox <- shardMsg{batch: g.reqs, batchDone: cb, enq: enq}:
+		case s.shards[idx].mailbox <- shardMsg{batch: grp, batchDone: cb, replyBuf: buf, enq: enq}:
 		case <-ctx.Done():
 			// Unsent groups keep pending above zero forever, so done can
 			// never fire after this error return.

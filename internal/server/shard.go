@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/cost"
 	"repro/internal/economy"
 	"repro/internal/metrics"
@@ -31,6 +32,12 @@ type shardMsg struct {
 	// the shard until the reply is sent.
 	batch      []Request
 	batchReply chan []shardReply
+
+	// replyBuf, when non-nil, is caller-owned storage for the batch's
+	// replies (len(batch) entries), so the shard loop fills it instead of
+	// allocating per drain. The caller must not read it until the reply
+	// channel delivers it (or batchDone runs).
+	replyBuf []shardReply
 
 	// batchDone, when non-nil, replaces batchReply for asynchronous
 	// batches (SubmitBatchAsync): the loop invokes it with the group's
@@ -93,6 +100,20 @@ type shard struct {
 	// after the lock drops; a field so its capacity survives drains.
 	deferred []deferredDone
 
+	// scratchQ is the per-shard query object decideLocked reuses for
+	// every decision: shards are mailbox-serialized and nothing retains
+	// the *workload.Query past the scheme's HandleQuery return (pooled
+	// plans hold the pointer only until the next Enumerate), so one
+	// scratch object replaces a heap allocation per query.
+	scratchQ workload.Query
+	// scratchStep + stepFunc are the matching fast path for the default
+	// budget: when the server's policy is step-shaped, decideLocked
+	// refills scratchStep and hands out stepFunc — a *budget.Step boxed
+	// once at shard construction — instead of boxing a fresh budget.Func
+	// per query. Same lifetime argument as scratchQ.
+	scratchStep budget.Step
+	stepFunc    budget.Func
+
 	// oldestWait is the head message's mailbox wait observed at the most
 	// recent drain, nanoseconds — the saturation gauge /v1/stats reports.
 	// Atomic because snapshots read it without joining the queue.
@@ -120,7 +141,7 @@ func economyOf(s scheme.Scheme) *economy.Economy {
 }
 
 func newShard(id int, srv *Server, sch scheme.Scheme, seed int64, depth, reservoirCap int) *shard {
-	return &shard{
+	s := &shard{
 		id:       id,
 		srv:      srv,
 		mailbox:  make(chan shardMsg, depth),
@@ -132,6 +153,8 @@ func newShard(id int, srv *Server, sch scheme.Scheme, seed int64, depth, reservo
 		rng:      uint64(seed),
 		response: metrics.NewDurationStats(reservoirCap),
 	}
+	s.stepFunc = &s.scratchStep
+	return s
 }
 
 // randFloat64 draws the next uniform [0,1) from the shard's SplitMix64
@@ -227,7 +250,10 @@ func (s *shard) handleMsgs(msgs []shardMsg) {
 	for _, m := range msgs {
 		wait := drainNanos - m.enq
 		if m.batch != nil {
-			replies := make([]shardReply, len(m.batch))
+			replies := m.replyBuf
+			if replies == nil {
+				replies = make([]shardReply, len(m.batch))
+			}
 			for i, req := range m.batch {
 				replies[i] = s.handleLocked(req, now, wait)
 			}
@@ -257,7 +283,10 @@ func (s *shard) rejectLocked(msgs []shardMsg) {
 	s.deferred = s.deferred[:0]
 	for _, m := range msgs {
 		if m.batch != nil {
-			replies := make([]shardReply, len(m.batch))
+			replies := m.replyBuf
+			if replies == nil {
+				replies = make([]shardReply, len(m.batch))
+			}
 			for i := range replies {
 				replies[i] = shardReply{err: err}
 			}
@@ -371,7 +400,12 @@ func (s *shard) decideLocked(req Request, now time.Duration) (shardReply, scheme
 		sel = tpl.SelMax
 	}
 
-	q := &workload.Query{
+	// The shard's scratch query: safe because decisions are serialized
+	// through the mailbox and nothing downstream retains the pointer past
+	// HandleQuery (the optimizer's pooled plans alias it only until the
+	// next Enumerate).
+	q := &s.scratchQ
+	*q = workload.Query{
 		ID:          s.srv.nextID.Add(1),
 		Tenant:      req.Tenant,
 		Template:    tpl,
@@ -386,7 +420,15 @@ func (s *shard) decideLocked(req Request, now time.Duration) (shardReply, scheme
 			return shardReply{err: err}, scheme.Result{}
 		}
 		result, _ := q.ResultBytes(s.srv.catalog)
-		q.Budget = s.srv.budgets.BudgetFor(q, scan, result)
+		if sb := s.srv.stepBudgets; sb != nil {
+			if price, tmax, ok := sb.StepBudgetFor(q, scan, result); ok {
+				s.scratchStep = budget.Step{Price: price, TMax: tmax}
+				q.Budget = s.stepFunc
+			}
+		}
+		if q.Budget == nil {
+			q.Budget = s.srv.budgets.BudgetFor(q, scan, result)
+		}
 	}
 
 	r, err := s.sch.HandleQuery(q)

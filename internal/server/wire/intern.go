@@ -1,0 +1,38 @@
+package wire
+
+// maxInterned caps one connection's intern table. Real workloads carry a
+// small, closed set of tenant and template names, so the cap only
+// matters against a hostile client minting fresh names to grow server
+// memory; past the cap new names fall back to plain per-query strings.
+const maxInterned = 4096
+
+// interner deduplicates the tenant/template strings a connection decodes
+// so a steady workload allocates each distinct name once, not once per
+// query. The map lookup keyed by string(b) does not allocate (the
+// compiler elides the conversion for map index expressions), so a hit
+// costs zero heap. A nil *interner degrades to plain allocation —
+// decode paths that cannot reuse anything just pass nil.
+//
+// Not safe for concurrent use: each connection's read loop owns its own.
+type interner struct {
+	m map[string]string
+}
+
+// intern returns the canonical string for b, allocating it at most once
+// per connection (until the cap, after which it behaves like string(b)).
+func (in *interner) intern(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(in.m) < maxInterned {
+		if in.m == nil {
+			in.m = make(map[string]string, 16)
+		}
+		in.m[s] = s
+	}
+	return s
+}

@@ -101,6 +101,7 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, eng Engine) {
 		rbuf    []byte
 		wbuf    []byte
 		queries []Query
+		names   interner
 	)
 	fail := func(err error) {
 		wbuf = appendErrorPayload(wbuf[:0], err.Error())
@@ -167,7 +168,7 @@ func serveLockstep(conn net.Conn, br *bufio.Reader, first []byte, eng Engine) {
 		if traceOn {
 			decStart = time.Now()
 		}
-		queries, err = DecodeQueryBatch(payload, queries)
+		queries, err = decodeQueryBatchInterned(payload, queries, &names)
 		if err != nil {
 			fail(err)
 			return

@@ -37,6 +37,13 @@ type muxConn struct {
 	queue    [][]byte
 	stopping bool
 
+	// free recycles spent payload buffers back to reply encoders, and
+	// spare recycles the queue's own backing array across writer drains,
+	// so a steady pipelined load enqueues frames without allocating.
+	// Both guarded by qmu.
+	free  [][]byte
+	spare [][]byte
+
 	// inflight counts batches handed to SubmitBatchAsync whose
 	// completions have not yet enqueued their reply frame; connection
 	// teardown waits for it so no completion touches a freed writer.
@@ -100,9 +107,51 @@ func serveMux(conn net.Conn, br *bufio.Reader, hello []byte, eng Engine) {
 // blocks; safe from any goroutine.
 func (c *muxConn) send(payload []byte) {
 	c.qmu.Lock()
+	if c.queue == nil && c.spare != nil {
+		c.queue, c.spare = c.spare, nil
+	}
 	c.queue = append(c.queue, payload)
 	c.qmu.Unlock()
 	c.cond.Signal()
+}
+
+// maxFreeBufs bounds the recycled-payload free list; maxFreeBufCap keeps
+// one oversized frame (a fat stats push, a shard-state packet) from
+// pinning megabytes in the pool.
+const (
+	maxFreeBufs   = 64
+	maxFreeBufCap = 1 << 20
+)
+
+// getBuf returns a recycled payload buffer (length 0) for an encoder to
+// append into, or nil when the free list is empty — append grows nil
+// fine. The buffer returns to the free list after the writer sends it.
+func (c *muxConn) getBuf() []byte {
+	c.qmu.Lock()
+	var b []byte
+	if n := len(c.free); n > 0 {
+		b = c.free[n-1][:0]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+	}
+	c.qmu.Unlock()
+	return b
+}
+
+// recycle returns a drained queue batch to the pools: the payload
+// buffers feed getBuf, the backing array becomes the next queue slice.
+func (c *muxConn) recycle(batch [][]byte) {
+	c.qmu.Lock()
+	for i, p := range batch {
+		if len(c.free) < maxFreeBufs && cap(p) <= maxFreeBufCap {
+			c.free = append(c.free, p[:0])
+		}
+		batch[i] = nil
+	}
+	if c.spare == nil {
+		c.spare = batch[:0]
+	}
+	c.qmu.Unlock()
 }
 
 // writeLoop serializes all outbound frames. Each wakeup drains the whole
@@ -143,6 +192,7 @@ func (c *muxConn) writeLoop() {
 		if dead {
 			c.conn.Close()
 		}
+		c.recycle(batch)
 	}
 }
 
@@ -154,6 +204,7 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 	ctx := context.Background()
 	var rbuf []byte
 	var queries []Query
+	var names interner
 	for {
 		payload, err := ReadFrame(br, rbuf)
 		if err != nil {
@@ -177,7 +228,7 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 				c.send(appendErrorPayload(nil, terr.Error()))
 				return
 			}
-			queries, err = consumeQueryItems(rest, queries)
+			queries, err = consumeQueryItemsInterned(rest, queries, &names)
 			if err != nil {
 				c.send(AppendTaggedError(nil, tag, err.Error()))
 				continue
@@ -198,7 +249,7 @@ func (c *muxConn) readLoop(br *bufio.Reader) {
 				if traceOn {
 					encStart = time.Now()
 				}
-				frame := AppendTaggedReplyBatch(nil, t, replies)
+				frame := AppendTaggedReplyBatch(c.getBuf(), t, replies)
 				if traceOn {
 					// Back-fill the encode stage into the sampled records:
 					// the shard published them before the reply bytes

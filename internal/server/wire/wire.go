@@ -180,6 +180,7 @@ var (
 	consumeUvarint = binenc.Uvarint
 	consumeVarint  = binenc.Varint
 	consumeString  = binenc.String
+	consumeBytes   = binenc.Bytes
 	consumeF64     = binenc.F64
 	consumeByte    = binenc.Byte
 )
@@ -287,6 +288,19 @@ func DecodeQueryBatch(payload []byte, qs []Query) ([]Query, error) {
 	return consumeQueryItems(rest, qs)
 }
 
+// decodeQueryBatchInterned is DecodeQueryBatch with a per-connection
+// interner for tenant/template names — the server loops' hot decode.
+func decodeQueryBatchInterned(payload []byte, qs []Query, in *interner) ([]Query, error) {
+	typ, rest, err := consumeByte(payload)
+	if err != nil {
+		return nil, err
+	}
+	if typ != msgQueryBatch {
+		return nil, fmt.Errorf("wire: expected query batch, got message type %d", typ)
+	}
+	return consumeQueryItemsInterned(rest, qs, in)
+}
+
 // DecodeTaggedQueryBatch parses a v2 tagged query-batch payload. When
 // the tag itself parses, it is returned even on a body error, so the
 // server can scope the error frame to the failing batch instead of
@@ -309,6 +323,14 @@ func DecodeTaggedQueryBatch(payload []byte, qs []Query) (uint64, []Query, error)
 
 // consumeQueryItems parses the shared batch body.
 func consumeQueryItems(rest []byte, qs []Query) ([]Query, error) {
+	return consumeQueryItemsInterned(rest, qs, nil)
+}
+
+// consumeQueryItemsInterned parses the shared batch body, resolving
+// tenant/template names through a per-connection interner so a steady
+// workload's names are allocated once per connection instead of once per
+// query. in may be nil (plain allocation).
+func consumeQueryItemsInterned(rest []byte, qs []Query, in *interner) ([]Query, error) {
 	n, rest, err := consumeUvarint(rest)
 	if err != nil {
 		return nil, err
@@ -319,12 +341,15 @@ func consumeQueryItems(rest []byte, qs []Query) ([]Query, error) {
 	qs = qs[:0]
 	for i := uint64(0); i < n; i++ {
 		var q Query
-		if q.Tenant, rest, err = consumeString(rest); err != nil {
+		var name []byte
+		if name, rest, err = consumeBytes(rest); err != nil {
 			return nil, err
 		}
-		if q.Template, rest, err = consumeString(rest); err != nil {
+		q.Tenant = in.intern(name)
+		if name, rest, err = consumeBytes(rest); err != nil {
 			return nil, err
 		}
+		q.Template = in.intern(name)
 		var flags byte
 		if flags, rest, err = consumeByte(rest); err != nil {
 			return nil, err

@@ -131,15 +131,18 @@ func (s *Structure) String() string {
 }
 
 // Set is an ordered collection of unique structures, used for a plan's
-// structure list. Order is insertion order; uniqueness is by ID.
+// structure list. Order is insertion order; uniqueness is by ID. Plan
+// sets hold a handful of entries (the scanned columns, at most one index
+// and one CPU-node structure), so membership is a linear scan over the
+// item slice — no side index, which keeps an empty Set allocation-free
+// and lets pooled plans reuse one via Reset.
 type Set struct {
 	items []*Structure
-	index map[ID]int
 }
 
 // NewSet builds a set from the given structures, dropping duplicates.
 func NewSet(items ...*Structure) *Set {
-	s := &Set{index: make(map[ID]int, len(items))}
+	s := &Set{}
 	for _, it := range items {
 		s.Add(it)
 	}
@@ -149,30 +152,41 @@ func NewSet(items ...*Structure) *Set {
 // Add inserts a structure if its ID is not already present. It reports
 // whether the structure was added.
 func (s *Set) Add(st *Structure) bool {
-	if s.index == nil {
-		s.index = make(map[ID]int)
+	for _, it := range s.items {
+		if it.ID == st.ID {
+			return false
+		}
 	}
-	if _, ok := s.index[st.ID]; ok {
-		return false
-	}
-	s.index[st.ID] = len(s.items)
 	s.items = append(s.items, st)
 	return true
 }
 
 // Contains reports whether the ID is in the set.
 func (s *Set) Contains(id ID) bool {
-	_, ok := s.index[id]
-	return ok
+	for _, it := range s.items {
+		if it.ID == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Get returns the structure with the given ID, if present.
 func (s *Set) Get(id ID) (*Structure, bool) {
-	i, ok := s.index[id]
-	if !ok {
-		return nil, false
+	for _, it := range s.items {
+		if it.ID == id {
+			return it, true
+		}
 	}
-	return s.items[i], true
+	return nil, false
+}
+
+// Reset empties the set, retaining the item slice's capacity for reuse.
+func (s *Set) Reset() {
+	for i := range s.items {
+		s.items[i] = nil
+	}
+	s.items = s.items[:0]
 }
 
 // Len returns the number of structures.

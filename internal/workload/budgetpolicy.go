@@ -17,6 +17,16 @@ type BudgetPolicy interface {
 	BudgetFor(q *Query, scanBytes, resultBytes int64) budget.Func
 }
 
+// StepBudgeter is the allocation-free fast path of a BudgetPolicy: a
+// policy whose budgets are step functions can report the (price, tmax)
+// parameters directly, letting a hot caller fill a caller-owned
+// budget.Step instead of boxing a fresh budget.Func per query. ok=false
+// means the policy's current shape is not a step and the caller must
+// fall back to BudgetFor.
+type StepBudgeter interface {
+	StepBudgetFor(q *Query, scanBytes, resultBytes int64) (price money.Amount, tmax time.Duration, ok bool)
+}
+
 // Shape selects the budget curve a policy emits.
 type Shape int
 
@@ -87,6 +97,12 @@ func DefaultScaledPolicy() *ScaledPolicy {
 
 // BudgetFor implements BudgetPolicy.
 func (p *ScaledPolicy) BudgetFor(_ *Query, scanBytes, resultBytes int64) budget.Func {
+	price, tmax := p.price(scanBytes, resultBytes)
+	return p.Shape.build(price, tmax)
+}
+
+// price computes the scaled price and normalized tmax.
+func (p *ScaledPolicy) price(scanBytes, resultBytes int64) (money.Amount, time.Duration) {
 	const gib = 1 << 30
 	price := p.Base.
 		Add(p.PerGBScanned.MulFloat(float64(scanBytes) / gib)).
@@ -95,7 +111,18 @@ func (p *ScaledPolicy) BudgetFor(_ *Query, scanBytes, resultBytes int64) budget.
 	if tmax <= 0 {
 		tmax = 60 * time.Second
 	}
-	return p.Shape.build(price, tmax)
+	return price, tmax
+}
+
+// StepBudgetFor implements StepBudgeter when the policy's shape is a
+// step. The parameters are exactly what BudgetFor would bake into its
+// budget.NewStep.
+func (p *ScaledPolicy) StepBudgetFor(_ *Query, scanBytes, resultBytes int64) (money.Amount, time.Duration, bool) {
+	if p.Shape != ShapeStep {
+		return 0, 0, false
+	}
+	price, tmax := p.price(scanBytes, resultBytes)
+	return price, tmax, true
 }
 
 // FixedPolicy assigns the identical budget to every query: handy for unit
@@ -111,7 +138,18 @@ func (p *FixedPolicy) BudgetFor(*Query, int64, int64) budget.Func {
 	return p.Shape.build(p.Price, p.TMax)
 }
 
+// StepBudgetFor implements StepBudgeter when the policy's shape is a
+// step.
+func (p *FixedPolicy) StepBudgetFor(*Query, int64, int64) (money.Amount, time.Duration, bool) {
+	if p.Shape != ShapeStep {
+		return 0, 0, false
+	}
+	return p.Price, p.TMax, true
+}
+
 var (
 	_ BudgetPolicy = (*ScaledPolicy)(nil)
 	_ BudgetPolicy = (*FixedPolicy)(nil)
+	_ StepBudgeter = (*ScaledPolicy)(nil)
+	_ StepBudgeter = (*FixedPolicy)(nil)
 )

@@ -1,4 +1,4 @@
-// Command checkbench gates two overhead contracts recorded in
+// Command checkbench gates three overhead contracts recorded in
 // BENCH_server.json:
 //
 //   - Tracing: the mode=inproc cell with the tracer installed but
@@ -11,6 +11,13 @@
 //     cloudrouter front) must retain at least 85% of its mode=pipelined
 //     twin's throughput — the cluster tier's "the hop is cheap"
 //     contract.
+//   - Allocations: every in-process admission cell (inproc,
+//     microbatch, batch) must stay within 10% (plus one alloc of
+//     absolute slack) of the allocs/query recorded when the
+//     allocation-free hot path landed — the "steady state does not
+//     allocate" contract. Throughput is noisy on shared hosts;
+//     allocation counts are nearly deterministic, so this gate is the
+//     sharp one.
 //
 // Usage: go run ./scripts/checkbench [BENCH_server.json]
 package main
@@ -43,6 +50,33 @@ const maxTraceOffRegression = 0.05
 // maxRoutedOverhead is the cluster gate: a routed cell must retain at
 // least 1-maxRoutedOverhead of its direct (pipelined) twin's throughput.
 const maxRoutedOverhead = 0.15
+
+// The allocation gate: an in-process cell fails when its allocs/query
+// exceeds baseline*(1+maxAllocRegression)+allocSlack. The baselines are
+// the values BENCH_server.json recorded when the allocation-free hot
+// path landed (steady-state window, post-warm-up); the absolute slack
+// keeps near-zero baselines from tripping on one stray background
+// allocation. `make profile` shows where new allocations come from.
+const (
+	maxAllocRegression = 0.10
+	allocSlack         = 1.0
+)
+
+type allocKey struct {
+	mode   string
+	shards int
+	batch  int
+}
+
+var allocBaseline = map[allocKey]float64{
+	{"inproc", 1, 1}:     4.2,
+	{"inproc", 2, 1}:     4.8,
+	{"inproc", 4, 1}:     4.9,
+	{"inproc", 8, 1}:     5.8,
+	{"microbatch", 4, 1}: 4.9,
+	{"batch", 4, 16}:     3.6,
+	{"batch", 4, 64}:     1.1,
+}
 
 func main() {
 	path := "BENCH_server.json"
@@ -128,6 +162,34 @@ func main() {
 				batch, routed.QueriesPerSec, overhead, direct.QueriesPerSec, maxRoutedOverhead*100))
 		}
 	}
+
+	// Allocation regression: every in-process cell with a recorded
+	// baseline, at any scheduler width (allocs/query does not depend on
+	// GOMAXPROCS). Trace cells are covered by their trace="" twin.
+	gated := 0
+	for i := range f.Cells {
+		c := &f.Cells[i]
+		if c.Trace != "" {
+			continue
+		}
+		base, ok := allocBaseline[allocKey{c.Mode, c.Shards, c.Batch}]
+		if !ok {
+			continue
+		}
+		gated++
+		budget := base*(1+maxAllocRegression) + allocSlack
+		fmt.Printf("%-30s %6.2f allocs/query  (baseline %.2f, budget %.2f)\n",
+			fmt.Sprintf("allocs %s/shards=%d/batch=%d/procs=%d", c.Mode, c.Shards, c.Batch, c.GoMaxProcs),
+			c.AllocsPerQuery, base, budget)
+		if c.AllocsPerQuery > budget {
+			fatal(fmt.Errorf("%s/shards=%d/batch=%d/procs=%d allocates %.2f per query, over the %.2f budget (baseline %.2f +%.0f%% +%.0f slack) — run `make profile` for the top allocation sites",
+				c.Mode, c.Shards, c.Batch, c.GoMaxProcs, c.AllocsPerQuery, budget, base, maxAllocRegression*100, allocSlack))
+		}
+	}
+	if gated == 0 {
+		fatal(fmt.Errorf("%s: no in-process cells matched the allocation baselines — rerun the ServerThroughput sweep", path))
+	}
+	fmt.Printf("OK: %d in-process cells within their allocation budgets\n", gated)
 }
 
 func fatal(err error) {
