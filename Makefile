@@ -39,13 +39,17 @@ profile:
 	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_objects mem.prof
 	$(GO) tool pprof -top -nodecount=10 cpu.prof
 
-# Short fuzz of the hostile-input decoders: wire frames and state
-# snapshots must never panic or load partial state. Seed corpora live in
-# the packages' testdata/fuzz directories.
+# Short fuzz of the hostile-input decoders — wire frames and state
+# snapshots must never panic or load partial state — plus the adversarial
+# economy fuzzer: fuzzed multi-tenant streams with a lying tenant must
+# never break credit conservation, regret accounting, journal
+# reconciliation or underbid dominance. Seed corpora live in the
+# packages' testdata/fuzz directories.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 10s ./internal/server/wire
 	$(GO) test -run '^$$' -fuzz FuzzSnapshotDecode -fuzztime 10s ./internal/persist
 	$(GO) test -run '^$$' -fuzz FuzzShardPacketDecode -fuzztime 10s ./internal/persist
+	$(GO) test -run '^$$' -fuzz FuzzEconomyAdversarial -fuzztime 10s ./internal/economy
 
 # End-to-end smoke of the cloudcached daemon: start, replay a stream over
 # HTTP with invariant checks, drain gracefully — then the crash-recovery

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	figures [-fig grid|ablation-a|ablation-budget|ablation-net|ablation-cachesize|ablation-amort|provider|all]
+//	figures [-fig grid|ablation-a|ablation-budget|ablation-net|ablation-cachesize|ablation-amort|provider|adversary|all]
 //	        [-queries N] [-seed S] [-interval D] [-tenants N] [-tenant-skew Z]
 //
 // The default 150000-query stream regenerates the full grid in about half a
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "grid", "which figure to regenerate: grid (Fig. 4+5), ablation-a, ablation-budget, ablation-net, ablation-cachesize, ablation-amort, provider (altruistic vs selfish), all")
+	fig := flag.String("fig", "grid", "which figure to regenerate: grid (Fig. 4+5), ablation-a, ablation-budget, ablation-net, ablation-cachesize, ablation-amort, provider (altruistic vs selfish), adversary (hostile strategies vs honest twins), all")
 	queries := flag.Int("queries", 150_000, "queries per simulation run")
 	seed := flag.Int64("seed", 42, "workload seed")
 	interval := flag.Duration("interval", time.Second, "inter-query interval for ablations")
@@ -93,6 +93,14 @@ func main() {
 			}
 			fmt.Println("Provider — altruistic (pooled) vs selfish (per-tenant ledgers), econ-cheap")
 			fmt.Println(t)
+		case "adversary":
+			t, err := experiments.AdversaryComparison(s, nil, *interval)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Adversary — each hostile strategy vs its honest twin, both providers, econ-cheap")
+			fmt.Println("(lying gain = honest-twin spend − lying spend; positive means the lie kept money)")
+			fmt.Println(t)
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -101,7 +109,7 @@ func main() {
 
 	targets := []string{*fig}
 	if *fig == "all" {
-		targets = []string{"grid", "ablation-a", "ablation-budget", "ablation-net", "ablation-cachesize", "ablation-amort", "provider"}
+		targets = []string{"grid", "ablation-a", "ablation-budget", "ablation-net", "ablation-cachesize", "ablation-amort", "provider", "adversary"}
 	}
 	for _, name := range targets {
 		if err := run(name); err != nil {

@@ -16,6 +16,12 @@
 //	            -stats-url http://localhost:8344 [-check] ...
 //	workloadgen -serve localhost:8345 -proto bin -pipeline 32 [-check] ...
 //
+// With -adversary <strategy> a hostile tenant stream (internal/adversary:
+// free-rider, regret-inflater, shape-bluffer, flash-crowd, shard-storm) is
+// merged into the honest stream in arrival order — in load mode the daemon
+// must keep every economy invariant with the liar in the books, which is
+// exactly what -check verifies from outside the process boundary.
+//
 // In load mode each generated query is submitted with its budget, spread
 // across T synthetic tenants so the daemon exercises all its shards. With
 // -proto http, batches of B ride POST /v1/query (B=1) or /v1/batch; with
@@ -53,6 +59,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adversary"
+	"repro/internal/budget"
 	"repro/internal/catalog"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
@@ -69,6 +77,8 @@ func main() {
 	arrival := flag.String("arrival", "fixed", "arrival process: fixed or poisson")
 	theta := flag.Float64("theta", 1.1, "Zipf skew of template popularity")
 	phase := flag.Int("phase", 20_000, "queries per workload-evolution phase")
+	adversaryName := flag.String("adversary", "", "merge a hostile tenant stream into the replay: free-rider, regret-inflater, shape-bluffer, flash-crowd or shard-storm (empty disables)")
+	adversaryHonest := flag.Bool("adversary-honest", false, "run the -adversary strategy's honest twin instead (same intent stream, truthful declarations)")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	serve := flag.String("serve", "", "cloudcached address: an http://host:port base URL, or with -proto bin the binary listener's host:port; empty writes a CSV trace instead")
 	proto := flag.String("proto", "http", "serving protocol: http (JSON) or bin (length-prefixed wire frames)")
@@ -123,11 +133,34 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// The replay consumes any Source; with -adversary the hostile stream
+	// rides along the honest one in arrival order. Its tenant tags
+	// ("mallory", or mallory-0..3 for the storm) pass through the legacy
+	// round-robin spread untouched, so the liar's ledger is visible in
+	// the daemon's stats.
+	var src workload.Source = gen
+	if *adversaryName != "" {
+		strat, err := adversary.Parse(*adversaryName)
+		if err != nil {
+			fail(err)
+		}
+		adv, err := adversary.New(adversary.Config{
+			Strategy: strat,
+			Catalog:  cat,
+			Seed:     *seed + 1,
+			Honest:   *adversaryHonest,
+			MeanGap:  3 * *interval, // the adversary is ~1/4 of the merged stream
+		})
+		if err != nil {
+			fail(err)
+		}
+		src = workload.NewMerge(gen, adv)
+	}
 	// Fast-forward the deterministic stream so a replay can resume where
-	// an interrupted one stopped (the generator's RNG advances exactly as
-	// if the skipped queries had been submitted).
+	// an interrupted one stopped (the RNGs advance exactly as if the
+	// skipped queries had been submitted).
 	for i := 0; i < *skip; i++ {
-		gen.Next()
+		src.Next()
 	}
 
 	if *serve != "" {
@@ -146,16 +179,16 @@ func main() {
 			tolerate:  *tolerateErrors,
 			dumpTrace: *dumpTrace,
 		}
-		if err := serveLoad(gen, cfg); err != nil {
+		if err := serveLoad(src, cfg); err != nil {
 			fail(err)
 		}
 		return
 	}
-	writeTrace(gen, cat, *queries, *out)
+	writeTrace(src, cat, *queries, *out)
 }
 
 // writeTrace is the original CSV mode.
-func writeTrace(gen *workload.Generator, cat *catalog.Catalog, queries int, out string) {
+func writeTrace(src workload.Source, cat *catalog.Catalog, queries int, out string) {
 	var w io.Writer = os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
@@ -170,7 +203,10 @@ func writeTrace(gen *workload.Generator, cat *catalog.Catalog, queries int, out 
 
 	fmt.Fprintln(bw, "id,arrival_s,template,selectivity,scan_bytes,result_bytes,budget_usd,budget_tmax_s")
 	for i := 0; i < queries; i++ {
-		q := gen.Next()
+		q := src.Next()
+		if q == nil {
+			return
+		}
 		scan, err := q.ScanBytes(cat)
 		if err != nil {
 			fail(err)
@@ -206,8 +242,27 @@ type genQuery struct {
 	tenant      string
 	template    string
 	selectivity float64
-	priceUSD    float64
-	tmaxSec     float64
+	budget      server.BudgetJSON
+}
+
+// budgetJSON converts a budget function to its wire form, preserving the
+// declared shape — an adversary's convex bluff must reach the daemon as a
+// convex budget, not a step flattened through its t→0 price.
+func budgetJSON(b budget.Func) server.BudgetJSON {
+	switch v := b.(type) {
+	case budget.Step:
+		return server.BudgetJSON{Shape: "step", PriceUSD: v.Price.Dollars(), TmaxSec: v.TMax.Seconds()}
+	case budget.Linear:
+		return server.BudgetJSON{Shape: "linear", PriceUSD: v.Price.Dollars(), TmaxSec: v.TMax.Seconds()}
+	case budget.Convex:
+		return server.BudgetJSON{Shape: "convex", PriceUSD: v.Price.Dollars(), TmaxSec: v.TMax.Seconds(), K: v.K}
+	case budget.Concave:
+		return server.BudgetJSON{Shape: "concave", PriceUSD: v.Price.Dollars(), TmaxSec: v.TMax.Seconds(), K: v.K}
+	default:
+		// Unknown functional forms degrade to a step at the near-zero
+		// price, which is how every budget used to ride the wire.
+		return server.BudgetJSON{Shape: "step", PriceUSD: b.At(time.Millisecond).Dollars(), TmaxSec: b.Tmax().Seconds()}
+	}
 }
 
 // runHTTPClient drains job batches over the JSON/HTTP front: singleton
@@ -289,15 +344,12 @@ func runHTTPClient(client *http.Client, base string, jobs <-chan []genQuery, res
 
 func httpRequestOf(g genQuery) server.QueryRequest {
 	sel := g.selectivity
+	b := g.budget
 	return server.QueryRequest{
 		Tenant:      g.tenant,
 		Template:    g.template,
 		Selectivity: &sel,
-		Budget: &server.BudgetJSON{
-			Shape:    "step",
-			PriceUSD: g.priceUSD,
-			TmaxSec:  g.tmaxSec,
-		},
+		Budget:      &b,
 	}
 }
 
@@ -318,16 +370,13 @@ func runBinClient(addr string, jobs <-chan []genQuery, res *loadResult) {
 	for batch := range jobs {
 		qs = qs[:0]
 		for _, g := range batch {
+			b := g.budget
 			qs = append(qs, wire.Query{
 				Tenant:         g.tenant,
 				Template:       g.template,
 				Selectivity:    g.selectivity,
 				HasSelectivity: true,
-				Budget: &server.BudgetJSON{
-					Shape:    "step",
-					PriceUSD: g.priceUSD,
-					TmaxSec:  g.tmaxSec,
-				},
+				Budget:         &b,
 			})
 		}
 		t0 := time.Now()
@@ -376,16 +425,13 @@ func runMuxClient(addr string, window int, jobs <-chan []genQuery, res *loadResu
 			for batch := range jobs {
 				qs = qs[:0]
 				for _, g := range batch {
+					b := g.budget
 					qs = append(qs, wire.Query{
 						Tenant:         g.tenant,
 						Template:       g.template,
 						Selectivity:    g.selectivity,
 						HasSelectivity: true,
-						Budget: &server.BudgetJSON{
-							Shape:    "step",
-							PriceUSD: g.priceUSD,
-							TmaxSec:  g.tmaxSec,
-						},
+						Budget:         &b,
 					})
 				}
 				t0 := time.Now()
@@ -433,9 +479,9 @@ func (r *loadResult) observe(ok, declined, failed int64, lat time.Duration) {
 	r.mu.Unlock()
 }
 
-// serveLoad replays the generator stream against a cloudcached daemon
+// serveLoad replays the source's stream against a cloudcached daemon
 // over the selected protocol.
-func serveLoad(gen *workload.Generator, cfg loadConfig) error {
+func serveLoad(src workload.Source, cfg loadConfig) error {
 	if cfg.clients < 1 {
 		cfg.clients = 1
 	}
@@ -520,7 +566,7 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 		}
 	}
 
-	// The generator is single-owner: one producer goroutine feeds the
+	// The source is single-owner: one producer goroutine feeds the
 	// client pool whole batches, throttled per query to the target rate.
 	jobs := make(chan []genQuery, cfg.clients*2)
 	go func() {
@@ -535,7 +581,10 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 		}
 		pending := make([]genQuery, 0, cfg.batch)
 		for i := 0; i < cfg.queries; i++ {
-			q := gen.Next()
+			q := src.Next()
+			if q == nil {
+				break
+			}
 			if tick != nil {
 				<-tick.C
 			}
@@ -552,13 +601,15 @@ func serveLoad(gen *workload.Generator, cfg loadConfig) error {
 				tenant:      tenant,
 				template:    q.Template.Name,
 				selectivity: q.Selectivity,
-				priceUSD:    q.Budget.At(time.Millisecond).Dollars(),
-				tmaxSec:     q.Budget.Tmax().Seconds(),
+				budget:      budgetJSON(q.Budget),
 			})
-			if len(pending) == cfg.batch || i == cfg.queries-1 {
+			if len(pending) == cfg.batch {
 				jobs <- pending
 				pending = make([]genQuery, 0, cfg.batch)
 			}
+		}
+		if len(pending) > 0 {
+			jobs <- pending
 		}
 	}()
 

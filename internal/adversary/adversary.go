@@ -1,0 +1,115 @@
+// Package adversary generates hostile tenant workloads for the economy:
+// tenants that misdeclare budgets or shape their traffic to extract
+// service they did not pay for. Every strategy has an honest twin — the
+// identical stream with truthful declarations and undistorted timing —
+// so "how much did lying pay?" is a measured head-to-head, not a
+// narrative. The economy fuzzer and the `figures -fig adversary`
+// experiment both build on this package.
+package adversary
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Strategy names one hostile declaration or traffic pattern.
+type Strategy string
+
+const (
+	// FreeRider underbids every query far below its truthful value and
+	// rides structures other tenants financed: §VII-A over-budget
+	// acceptance still serves the query at cost price, so the free-rider
+	// consumes cached structures while its declared budgets never move
+	// the regret books enough to charge it for construction.
+	FreeRider Strategy = "free-rider"
+	// RegretInflater declares an enormous headline price with a validity
+	// window too short for any runnable plan, so it settles at cost
+	// price — while the unaffordable fast plans accrue Eq. 2 regret
+	// scaled by the inflated declaration, pushing the provider to build
+	// structures the inflater never pays for.
+	RegretInflater Strategy = "regret-inflater"
+	// ShapeBluffer keeps the truthful peak price and deadline but
+	// declares a back-loaded convex curve instead of its true step:
+	// mid-speed plans price below the truthful willingness at selection
+	// and settlement time, shaving the pay-your-bid margin the provider
+	// would have collected.
+	ShapeBluffer Strategy = "shape-bluffer"
+	// FlashCrowd compresses its truthful long-run query rate into dense
+	// bursts on one hot template separated by long silences: the burst
+	// manufactures regret fast enough to trigger investment, then the
+	// silence strands the freshly built structures with no paying
+	// traffic to amortize them.
+	FlashCrowd Strategy = "flash-crowd"
+	// ShardStorm coordinates several sub-tenants on a single template —
+	// one shard under the cluster router — to concentrate investment
+	// there, then rotates the storm to the next template and leaves the
+	// abandoned structures decaying into maintenance failure.
+	ShardStorm Strategy = "shard-storm"
+)
+
+// All lists every strategy in stable order.
+func All() []Strategy {
+	return []Strategy{FreeRider, RegretInflater, ShapeBluffer, FlashCrowd, ShardStorm}
+}
+
+// Parse resolves a strategy name (as given to workloadgen -adversary).
+func Parse(name string) (Strategy, error) {
+	s := Strategy(strings.ToLower(strings.TrimSpace(name)))
+	for _, known := range All() {
+		if s == known {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, len(All()))
+	for _, known := range All() {
+		names = append(names, string(known))
+	}
+	sort.Strings(names)
+	return "", fmt.Errorf("adversary: unknown strategy %q (have %s)", name, strings.Join(names, ", "))
+}
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string { return string(s) }
+
+// Description is a one-line summary for CLI help and experiment tables.
+func (s Strategy) Description() string {
+	switch s {
+	case FreeRider:
+		return "underbids every query and rides structures others financed"
+	case RegretInflater:
+		return "declares huge expired budgets to farm Eq. 2 regret at cost price"
+	case ShapeBluffer:
+		return "declares a back-loaded convex curve over a truthful step valuation"
+	case FlashCrowd:
+		return "bursts a hot template to trigger investment, then goes silent"
+	case ShardStorm:
+		return "coordinated sub-tenants storm one template, then abandon it"
+	default:
+		return "unknown strategy"
+	}
+}
+
+// Target names the provider policy the strategy is designed to exploit.
+// The adversary experiment measures whether the design actually pays;
+// EXPERIMENTS.md records the outcome.
+func (s Strategy) Target() string {
+	switch s {
+	case FreeRider, RegretInflater, FlashCrowd:
+		// All three socialize construction costs: only the altruistic
+		// provider's communal pool pays for structures a lying tenant
+		// induced. The selfish provider's per-tenant ledgers contain
+		// them — regret only ever spends the liar's own credit.
+		return "altruistic"
+	case ShapeBluffer:
+		// The bluff shaves the pay-your-bid margin on settlement, which
+		// both providers collect the same way.
+		return "both"
+	case ShardStorm:
+		// Concentration attacks placement, not accounting: both
+		// providers overbuild the stormed shard.
+		return "both"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,383 @@
+package economy
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/cache"
+	"repro/internal/catalog"
+	"repro/internal/cost"
+	"repro/internal/money"
+	"repro/internal/obs"
+	"repro/internal/optimizer"
+	"repro/internal/plan"
+	"repro/internal/pricing"
+	"repro/internal/structure"
+	"repro/internal/workload"
+)
+
+// Regression tests for the accounting violations found while building the
+// adversarial economy fuzzer (PR 10). Each test pins one law an adversary
+// could previously break:
+//
+//   - TestLedgerCapAdmitsNewEntries: a full regret ledger evicted every
+//     newcomer at touched=0 (inverted LRU), freezing the map at its first
+//     cap entries forever.
+//   - TestLedgerCapEvictionAccountsRegret: cap evictions silently
+//     discarded accrued regret, so cold-cycling one-off structure IDs
+//     through the map erased a victim structure's Eq. 3 progress.
+//   - TestDistributeRegretConservation: round-half-away division minted
+//     regret when a plan's regret split across its missing structures
+//     (1µ$ over two structures landed 2µ$).
+//   - TestSelfishRecoverySplitExact: owner reimbursements must sum to
+//     exactly the amortized + maintenance components the user was
+//     charged, per query and in the journal totals.
+//   - TestInvestBackoffSurvivesRestore: a restart must not reset the
+//     investment backoff a failed build raised.
+
+// testEconomy builds the standard adversarial test rig: TPCH catalog,
+// paper templates, conservative economy under the given provider.
+func testEconomy(t *testing.T, provider Provider, mutate func(*Config)) (*Economy, *optimizer.Optimizer, *cache.Cache, []*workload.Template) {
+	t.Helper()
+	cat := catalog.TPCH(20)
+	model, err := cost.NewModel(cat, pricing.EC22008(), cost.DefaultTunables())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := cache.New(0)
+	opt, err := optimizer.New(optimizer.Config{Model: model, AmortN: 5000, AllowIndexes: true, AllowNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Model:                 model,
+		Cache:                 ca,
+		Optimizer:             opt,
+		Criterion:             SelectCheapest,
+		Provider:              provider,
+		RegretFraction:        0.0002,
+		AmortN:                5000,
+		InitialCredit:         money.FromDollars(25),
+		Conservative:          true,
+		UserAcceptsOverBudget: true,
+		MaintFailureFactor:    1.0,
+		FailureFloor:          money.FromDollars(0.0001),
+		NeverUsedFloor:        money.FromDollars(0.5),
+		InvestBackoff:         2,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	econ, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpls := workload.PaperTemplates()
+	for _, tpl := range tpls {
+		if err := tpl.Validate(cat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return econ, opt, ca, tpls
+}
+
+// TestLedgerCapAdmitsNewEntries pins the inverted-LRU insertion bug: a
+// ledger at its cap must admit a new structure's regret (evicting the
+// least-regret existing entry), not evict the entry it just inserted.
+func TestLedgerCapAdmitsNewEntries(t *testing.T) {
+	l := newLedger("t", 0, 4)
+	for i := 0; i < 4; i++ {
+		l.add(structure.ID(fmt.Sprintf("s%d", i)), money.Amount(100*(i+1)))
+	}
+	l.add("fresh", money.Amount(1000))
+	if _, ok := l.entries["fresh"]; !ok {
+		t.Fatal("full ledger evicted the entry it just inserted (inverted LRU): new structures can never accrue regret")
+	}
+	if _, ok := l.entries["s0"]; ok {
+		t.Error("eviction spared the least-regret entry s0")
+	}
+	if l.regretDropped != money.Amount(100) {
+		t.Errorf("dropped regret accounted %v, want 100µ$ (entry s0)", l.regretDropped)
+	}
+	if got, want := l.liveRegret().Add(l.regretDropped), l.regretAccrued; got != want {
+		t.Errorf("regret conservation: live+dropped %v != accrued %v", got, want)
+	}
+}
+
+// TestLedgerCapEvictionAccountsRegret pins the cold-cycle attack from the
+// adversary suite: spraying one-off structure IDs through a capped ledger
+// must neither evict a victim structure's accumulating regret (the spray's
+// own near-zero entries are the eviction victims) nor silently lose any
+// regret from the books.
+func TestLedgerCapEvictionAccountsRegret(t *testing.T) {
+	const capN = 8
+	l := newLedger("t", 0, capN)
+	victim := structure.ID("victim")
+	var victimRegret money.Amount
+	for round := 0; round < 500; round++ {
+		l.add(victim, money.Amount(50))
+		victimRegret = victimRegret.Add(money.Amount(50))
+		// The cold-cycle: cap fresh never-repeated IDs per round, each
+		// with a token share — under LRU eviction these would rotate the
+		// victim out every round.
+		for j := 0; j < capN; j++ {
+			l.add(structure.ID(fmt.Sprintf("oneoff-%d-%d", round, j)), money.Amount(1))
+		}
+	}
+	e, ok := l.entries[victim]
+	if !ok {
+		t.Fatal("cold-cycling one-off IDs evicted the victim structure's regret entry")
+	}
+	if e.regret != victimRegret {
+		t.Errorf("victim regret %v, want %v accrued across the attack", e.regret, victimRegret)
+	}
+	if len(l.entries) > capN {
+		t.Errorf("%d live entries exceed cap %d", len(l.entries), capN)
+	}
+	if !l.regretDropped.IsPositive() {
+		t.Error("cap evictions accounted no dropped regret")
+	}
+	if got, want := l.liveRegret().Add(l.regretDropped), l.regretAccrued; got != want {
+		t.Errorf("regret conservation: live+dropped %v != accrued %v — eviction lost regret silently", got, want)
+	}
+}
+
+// TestDistributeRegretConservation pins the minted-regret bug: splitting a
+// plan's regret across its missing structures must land exactly the
+// computed regret, never more (round-half-away division landed 2µ$ for a
+// 1µ$ regret over two missing structures, doubling what micro-queries
+// feed the Eq. 3 trigger).
+func TestDistributeRegretConservation(t *testing.T) {
+	econ, opt, ca, tpls := testEconomy(t, ProviderAltruistic, nil)
+
+	// Enumerate a real plan set and pick a possible plan with at least
+	// two missing structures.
+	q := &workload.Query{
+		ID:          1,
+		Template:    tpls[0],
+		Selectivity: tpls[0].SelMin,
+		Arrival:     time.Second,
+		Budget:      budget.NewStep(money.FromDollars(1), time.Hour),
+	}
+	ca.Advance(q.Arrival)
+	plans, err := opt.Enumerate(q, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *plan.Plan
+	for _, p := range plans {
+		if len(p.Missing) >= 2 {
+			target = p
+			break
+		}
+	}
+	if target == nil {
+		t.Fatal("no possible plan with >= 2 missing structures in the enumeration")
+	}
+
+	led := econ.ledgerFor("mallory")
+	acct := econ.account(led)
+	for _, r := range []money.Amount{1, 3, 5, 7, money.Amount(len(target.Missing) - 1)} {
+		before := acct.liveRegret()
+		landed := econ.distribute(target, r, led, acct)
+		if landed > r {
+			t.Fatalf("distribute landed %v of computed regret %v — regret was minted", landed, r)
+		}
+		if landed != r {
+			// All kinds are allowed in this config, so the split must be
+			// exact, not just bounded.
+			t.Fatalf("distribute landed %v of computed regret %v — regret was lost", landed, r)
+		}
+		if got := acct.liveRegret().Sub(before); got != landed {
+			t.Fatalf("ledger gained %v, distribute reported %v", got, landed)
+		}
+	}
+}
+
+// TestSelfishRecoverySplitExact pins the satellite-2 audit: under the
+// selfish provider with skewed ownership, the amortization + maintenance
+// recovery flowing back to owners must sum per query to exactly the
+// AmortPrice + MaintPrice the chosen plan charged the user (whenever no
+// failure sweep intersected the plan), every reimbursement must go to the
+// structure's recorded owner, and the journal-style event totals must
+// reconcile exactly with the ledger sums.
+func TestSelfishRecoverySplitExact(t *testing.T) {
+	econ, opt, ca, tpls := testEconomy(t, ProviderSelfish, nil)
+
+	var perQuery []obs.Event
+	var totalRecovered, totalInvested money.Amount
+	econ.SetEvents(func(ev obs.Event) {
+		perQuery = append(perQuery, ev)
+		switch ev.Type {
+		case obs.EventRecover:
+			totalRecovered = totalRecovered.Add(ev.Amount)
+		case obs.EventInvest:
+			totalInvested = totalInvested.Add(ev.Amount)
+		}
+	})
+
+	// Skewed tenants: alice dominates, so she finances most structures
+	// and the others' queries reimburse her.
+	tenants := []string{"alice", "alice", "alice", "bob", "carol", ""}
+	rng := rand.New(rand.NewSource(99))
+	exactQueries := 0
+	for i := 0; i < 4000; i++ {
+		tpl := tpls[rng.Intn(len(tpls))]
+		q := &workload.Query{
+			ID:          int64(i + 1),
+			Tenant:      tenants[rng.Intn(len(tenants))],
+			Template:    tpl,
+			Selectivity: tpl.SelMin + rng.Float64()*(tpl.SelMax-tpl.SelMin),
+			Arrival:     ca.Clock() + time.Duration(1+rng.Intn(9_000))*time.Millisecond,
+			Budget: budget.NewStep(
+				money.FromDollars(rng.Float64()*0.02),
+				time.Duration(1+rng.Intn(60))*time.Second),
+		}
+		ca.Advance(q.Arrival)
+		ca.CompleteDue()
+		plans, err := opt.Enumerate(q, ca)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perQuery = perQuery[:0]
+		d, err := econ.HandleQuery(q, plans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recovered money.Amount
+		for _, ev := range perQuery {
+			if ev.Type != obs.EventRecover {
+				continue
+			}
+			recovered = recovered.Add(ev.Amount)
+			if owner := econ.Market().Owner(structure.ID(ev.Structure)); ev.Tenant != owner {
+				t.Fatalf("query %d: recovery for %s credited %q, structure owner is %q",
+					q.ID, ev.Structure, ev.Tenant, owner)
+			}
+		}
+		if d.Chosen != nil && len(d.Failures) == 0 {
+			want := d.Chosen.AmortPrice.Add(d.Chosen.MaintPrice)
+			if recovered != want {
+				t.Fatalf("query %d: owners reimbursed %v, user was charged %v amort+maint — %v lost or minted",
+					q.ID, recovered, want, want.Sub(recovered))
+			}
+			if want != 0 {
+				exactQueries++
+			}
+		}
+	}
+	if exactQueries == 0 {
+		t.Fatal("no query exercised a non-zero recovery split")
+	}
+
+	// Journal totals must reconcile exactly with the ledger sums.
+	var sumRecovered, sumInvested money.Amount
+	ownersSeen := map[string]bool{}
+	for _, ts := range econ.TenantStats() {
+		sumRecovered = sumRecovered.Add(ts.Recovered)
+		sumInvested = sumInvested.Add(ts.Invested)
+		if ts.Recovered.IsPositive() {
+			ownersSeen[ts.Tenant] = true
+		}
+	}
+	if sumRecovered != totalRecovered {
+		t.Errorf("ledgers recovered %v, journal events say %v", sumRecovered, totalRecovered)
+	}
+	if sumInvested != totalInvested {
+		t.Errorf("ledgers invested %v, journal events say %v", sumInvested, totalInvested)
+	}
+	if len(ownersSeen) < 2 {
+		t.Errorf("recovery reached %d owners, want skewed multi-owner coverage", len(ownersSeen))
+	}
+	if err := econ.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInvestBackoffSurvivesRestore pins the satellite-3 audit: snapshot /
+// restore must preserve the failure history that raises the Eq. 3 bar, so
+// a restart cannot let a regret-inflater immediately re-trigger a build
+// the backoff had damped.
+func TestInvestBackoffSurvivesRestore(t *testing.T) {
+	for _, provider := range []Provider{ProviderAltruistic, ProviderSelfish} {
+		t.Run(provider.String(), func(t *testing.T) {
+			// A rent-hostile regime: long gaps rot structures, so builds
+			// fail and the backoff history grows.
+			econ, opt, ca, tpls := testEconomy(t, provider, func(cfg *Config) {
+				cfg.RegretFraction = 0.0001
+				cfg.NeverUsedFloor = money.FromDollars(0.05)
+				cfg.MaintFailureFactor = 0.2
+			})
+			rng := rand.New(rand.NewSource(7))
+			run := func(e *Economy, c *cache.Cache, i int) {
+				tpl := tpls[i%len(tpls)]
+				q := &workload.Query{
+					ID:          int64(i + 1),
+					Tenant:      "mallory",
+					Template:    tpl,
+					Selectivity: tpl.SelMin + rng.Float64()*(tpl.SelMax-tpl.SelMin),
+					Arrival:     c.Clock() + time.Duration(20+rng.Intn(40))*time.Second,
+					Budget:      budget.NewStep(money.FromDollars(0.05), time.Hour),
+				}
+				c.Advance(q.Arrival)
+				c.CompleteDue()
+				plans, err := opt.Enumerate(q, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.HandleQuery(q, plans); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			for ; econ.market.failureCount == 0 && i < 5000; i++ {
+				run(econ, ca, i)
+			}
+			if econ.market.failureCount == 0 {
+				t.Fatal("stream produced no structure failures; backoff never exercised")
+			}
+			if len(econ.market.failCount) == 0 {
+				t.Fatal("failures recorded no failCount backoff history")
+			}
+
+			st := econ.Snapshot()
+			cfg := econ.cfg
+			restored, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Restore(st); err != nil {
+				t.Fatal(err)
+			}
+			if len(restored.market.failCount) != len(econ.market.failCount) {
+				t.Fatalf("restore kept %d failCount entries, want %d",
+					len(restored.market.failCount), len(econ.market.failCount))
+			}
+			threshold := money.FromDollars(0.001)
+			for id, n := range econ.market.failCount {
+				if got := restored.market.failCount[id]; got != n {
+					t.Errorf("failCount[%s] restored as %d, want %d", id, got, n)
+				}
+				before := econ.market.investmentBar(threshold, id)
+				after := restored.market.investmentBar(threshold, id)
+				if before != after {
+					t.Errorf("investment bar for %s changed across restore: %v -> %v", id, before, after)
+				}
+				if n > 0 && after <= threshold {
+					t.Errorf("restored bar for %s (%v) not raised above base threshold %v despite %d failures",
+						id, after, threshold, n)
+				}
+			}
+			// RegretDropped must survive too: it is part of the regret
+			// conservation audit.
+			for _, ts := range restored.TenantStats() {
+				if err := restored.CheckInvariants(); err != nil {
+					t.Fatalf("restored economy fails invariants (tenant %s): %v", ts.Tenant, err)
+				}
+			}
+		})
+	}
+}

@@ -494,24 +494,10 @@ func (e *Economy) HandleQuery(q *workload.Query, plans []*plan.Plan) (Decision, 
 }
 
 // selectPlan applies the scheme's criterion to the affordable runnable set.
+// It delegates to selectPlanWith so the live decision and the Quote
+// counterfactual can never drift apart.
 func (e *Economy) selectPlan(q *workload.Query, plans []*plan.Plan) *plan.Plan {
-	switch e.cfg.Criterion {
-	case SelectFastest:
-		return plan.Fastest(plans)
-	case SelectMinProfit:
-		var best *plan.Plan
-		var bestProfit money.Amount
-		for _, p := range plans {
-			profit := q.Budget.At(p.Time()).Sub(p.Price())
-			if best == nil || profit < bestProfit ||
-				(profit == bestProfit && p.Time() < best.Time()) {
-				best, bestProfit = p, profit
-			}
-		}
-		return best
-	default:
-		return plan.Cheapest(plans)
-	}
+	return e.selectPlanWith(q.Budget, plans)
 }
 
 // settle charges the user, credits profit and collects the amortized and
@@ -673,15 +659,26 @@ func (e *Economy) accrueRegret(q *workload.Query, plans []*plan.Plan, chosen *pl
 // counter. The return is the regret actually landed (skipped kinds
 // accrue nothing).
 func (e *Economy) distribute(p *plan.Plan, r money.Amount, led, acct *Ledger) money.Amount {
-	if len(p.Missing) == 0 {
+	n := int64(len(p.Missing))
+	if n == 0 || !r.IsPositive() {
 		return 0
 	}
-	share := r.DivInt(int64(len(p.Missing)))
-	if !share.IsPositive() {
-		return 0
-	}
+	// Exact uniform split by largest remainder: the first r mod n shares
+	// carry one extra micro-dollar, so the shares sum to r exactly.
+	// Round-half-away division here minted regret — r = 1µ$ across two
+	// missing structures landed 1µ$ on each, doubling the regret a
+	// sprayed micro-query feeds the Eq. 3 trigger.
+	base := money.Amount(int64(r) / n)
+	rem := int64(r) % n
 	var landed money.Amount
-	for _, id := range p.Missing {
+	for i, id := range p.Missing {
+		share := base
+		if int64(i) < rem {
+			share++
+		}
+		if !share.IsPositive() {
+			continue
+		}
 		st, _ := p.Structures.Get(id)
 		if st == nil || !e.kindAllowed(st.Kind) {
 			continue

@@ -32,11 +32,15 @@ type Ledger struct {
 	// Attribution counters. regretAccrued is cumulative (monotone) so
 	// per-tenant regret stays reportable and mergeable even after ledger
 	// entries are consumed by investment or garbage collected.
+	// regretDropped is the cumulative regret discarded by cap evictions:
+	// the live map may forget a structure, but the books never silently
+	// lose the regret it had accrued (live + dropped <= accrued always).
 	spend         money.Amount
 	profitTotal   money.Amount
 	invested      money.Amount
 	recovered     money.Amount
 	regretAccrued money.Amount
+	regretDropped money.Amount
 	investCount   int64
 	declinedCount int64
 	queries       int64
@@ -71,32 +75,47 @@ func (l *Ledger) regretOf(id structure.ID) money.Amount {
 }
 
 // add accrues a regret share against a structure, touching its LRU slot.
+// The share is applied before the cap is enforced, so a fresh entry
+// competes with its real regret and timestamp: the old order (insert
+// empty, gc, then fill) let a full ledger evict every newcomer at
+// touched=0 — the map froze at its first cap entries and new structures
+// could never accrue regret again.
 func (l *Ledger) add(id structure.ID, share money.Amount) {
 	l.clock++
 	entry, ok := l.entries[id]
 	if !ok {
 		entry = &regretEntry{}
 		l.entries[id] = entry
-		l.gc()
 	}
 	entry.regret = entry.regret.Add(share)
 	entry.touched = l.clock
 	l.regretAccrued = l.regretAccrued.Add(share)
+	if !ok {
+		l.gc()
+	}
 }
 
-// gc enforces the LRU cap on the regret map (§IV-B "garbage collected
-// using LRU policy").
+// gc enforces the cap on the regret map (§IV-B garbage collection). The
+// victim is the entry with the least regret, oldest-touched among ties —
+// plain LRU would let an adversary cold-cycle one-off structure IDs
+// through the map and evict a victim structure's accumulating regret
+// before it ever reached the Eq. 3 bar, defeating investment forever.
+// Least-regret eviction makes that attack self-defeating (the spray's
+// own near-zero entries are the victims) and whatever is evicted is
+// accounted in regretDropped rather than silently discarded.
 func (l *Ledger) gc() {
 	if len(l.entries) <= l.cap {
 		return
 	}
 	var victim structure.ID
-	var oldest int64 = 1<<63 - 1
+	var ve *regretEntry
 	for id, entry := range l.entries {
-		if entry.touched < oldest {
-			oldest, victim = entry.touched, id
+		if ve == nil || entry.regret < ve.regret ||
+			(entry.regret == ve.regret && entry.touched < ve.touched) {
+			victim, ve = id, entry
 		}
 	}
+	l.regretDropped = l.regretDropped.Add(ve.regret)
 	delete(l.entries, victim)
 }
 
@@ -129,6 +148,13 @@ type TenantStats struct {
 	Spend         money.Amount
 	Profit        money.Amount
 	RegretAccrued money.Amount
+	// RegretLive is the sum of the live regret entries; RegretDropped is
+	// the cumulative regret discarded by ledger-cap evictions. Both are
+	// zero under the altruistic provider, whose live map is communal, and
+	// RegretLive + RegretDropped never exceeds the account's share of
+	// RegretAccrued (the rest was consumed by investment).
+	RegretLive    money.Amount
+	RegretDropped money.Amount
 	Invested      money.Amount
 	Recovered     money.Amount
 	// InvestCount is the number of structure builds charged to this
@@ -137,6 +163,15 @@ type TenantStats struct {
 	// LedgerSize is the tenant's live regret-map size (zero under the
 	// altruistic provider, whose live map is communal).
 	LedgerSize int
+}
+
+// liveRegret sums the live regret entries.
+func (l *Ledger) liveRegret() money.Amount {
+	var total money.Amount
+	for _, e := range l.entries {
+		total = total.Add(e.regret)
+	}
+	return total
 }
 
 // stats snapshots the ledger.
@@ -150,6 +185,8 @@ func (l *Ledger) stats() TenantStats {
 		Spend:         l.spend,
 		Profit:        l.profitTotal,
 		RegretAccrued: l.regretAccrued,
+		RegretLive:    l.liveRegret(),
+		RegretDropped: l.regretDropped,
 		Invested:      l.invested,
 		Recovered:     l.recovered,
 		InvestCount:   l.investCount,

@@ -36,6 +36,7 @@ type LedgerState struct {
 	Invested      money.Amount
 	Recovered     money.Amount
 	RegretAccrued money.Amount
+	RegretDropped money.Amount
 	InvestCount   int64
 	DeclinedCount int64
 	Queries       int64
@@ -86,6 +87,7 @@ func snapshotLedger(l *Ledger) LedgerState {
 		Invested:      l.invested,
 		Recovered:     l.recovered,
 		RegretAccrued: l.regretAccrued,
+		RegretDropped: l.regretDropped,
 		InvestCount:   l.investCount,
 		DeclinedCount: l.declinedCount,
 		Queries:       l.queries,
@@ -108,6 +110,7 @@ func restoreLedger(st LedgerState, cap int) *Ledger {
 	l.invested = st.Invested
 	l.recovered = st.Recovered
 	l.regretAccrued = st.RegretAccrued
+	l.regretDropped = st.RegretDropped
 	l.investCount = st.InvestCount
 	l.declinedCount = st.DeclinedCount
 	l.queries = st.Queries

@@ -46,8 +46,8 @@ import (
 
 // Version is the current snapshot format version. Decoders reject
 // versions they do not know; bumping this is how incompatible layout
-// changes stay loud.
-const Version = 1
+// changes stay loud. v2 added the ledgers' RegretDropped counter.
+const Version = 2
 
 // magic identifies a snapshot file.
 var magic = [6]byte{'C', 'C', 'S', 'N', 'A', 'P'}
@@ -476,6 +476,7 @@ func appendLedger(b []byte, st economy.LedgerState) []byte {
 	b = binary.AppendVarint(b, int64(st.Invested))
 	b = binary.AppendVarint(b, int64(st.Recovered))
 	b = binary.AppendVarint(b, int64(st.RegretAccrued))
+	b = binary.AppendVarint(b, int64(st.RegretDropped))
 	b = binary.AppendVarint(b, st.InvestCount)
 	b = binary.AppendVarint(b, st.DeclinedCount)
 	b = binary.AppendVarint(b, st.Queries)
@@ -527,6 +528,9 @@ func (r *creader) ledger() (economy.LedgerState, error) {
 		return st, err
 	}
 	if st.RegretAccrued, err = r.amount(); err != nil {
+		return st, err
+	}
+	if st.RegretDropped, err = r.amount(); err != nil {
 		return st, err
 	}
 	if st.InvestCount, err = r.varint(); err != nil {

@@ -140,9 +140,11 @@ func TestRestartParity(t *testing.T) {
 				mode = "batch"
 			}
 			t.Run(fmt.Sprintf("%s/%s", provider, mode), func(t *testing.T) {
-				// Control: one server lives through the whole stream.
+				// Control: one server lives through the whole stream. Its
+				// shutdown snapshot is the reference for end-state parity.
+				ctlPath := filepath.Join(t.TempDir(), "ctl.snap")
 				ctlClock := server.NewVirtualClock()
-				ctl := parityServer(t, provider, ctlClock, "", nil)
+				ctl := parityServer(t, provider, ctlClock, ctlPath, nil)
 				ctlReplies := runParityGroups(t, ctl, ctlClock, 0, parityGroups, batched)
 				if err := ctl.Shutdown(context.Background()); err != nil {
 					t.Fatal(err)
@@ -173,9 +175,10 @@ func TestRestartParity(t *testing.T) {
 
 				// Restored: a fresh process adopts the snapshot and the
 				// stream resumes where it stopped.
+				restPath := filepath.Join(t.TempDir(), "rest.snap")
 				clock2 := server.NewVirtualClock()
 				clock2.Advance(snap.Clock)
-				srv2 := parityServer(t, provider, clock2, "", snap)
+				srv2 := parityServer(t, provider, clock2, restPath, snap)
 				replies := runParityGroups(t, srv2, clock2, parityRestart, parityGroups, batched)
 				if err := srv2.Shutdown(context.Background()); err != nil {
 					t.Fatal(err)
@@ -190,6 +193,38 @@ func TestRestartParity(t *testing.T) {
 				clearGauges(&ctlStats)
 				if got, want := mustJSON(t, restStats), mustJSON(t, ctlStats); got != want {
 					t.Errorf("final stats after restart diverge from uninterrupted run:\ngot  %s\nwant %s", got, want)
+				}
+
+				// End-state parity below the Stats surface: the restored
+				// run's shutdown snapshot must carry exactly the economy
+				// the uninterrupted run ended with — ledgers, regret
+				// entries with their LRU clocks, structure ownership, and
+				// in particular the market's failure history, so the
+				// Eq. 3 investment backoff a failed build raised survives
+				// a restart instead of resetting.
+				ctlEnd, err := persist.Load(ctlPath)
+				if err != nil {
+					t.Fatalf("loading control end snapshot: %v", err)
+				}
+				restEnd, err := persist.Load(restPath)
+				if err != nil {
+					t.Fatalf("loading restored end snapshot: %v", err)
+				}
+				if len(ctlEnd.Shards) != len(restEnd.Shards) {
+					t.Fatalf("end snapshots have %d vs %d shards", len(ctlEnd.Shards), len(restEnd.Shards))
+				}
+				for i := range ctlEnd.Shards {
+					ce, re := ctlEnd.Shards[i].Economy, restEnd.Shards[i].Economy
+					if got, want := mustJSON(t, re), mustJSON(t, ce); got != want {
+						t.Errorf("shard %d economy end-state diverges after restart:\ngot  %s\nwant %s", i, got, want)
+						continue
+					}
+					if ce == nil {
+						continue
+					}
+					if got, want := mustJSON(t, re.Market.FailCounts), mustJSON(t, ce.Market.FailCounts); got != want {
+						t.Errorf("shard %d invest-backoff failCounts diverge after restart:\ngot  %s\nwant %s", i, got, want)
+					}
 				}
 			})
 		}

@@ -29,8 +29,14 @@ import (
 type Config struct {
 	// Scheme under test. Required.
 	Scheme scheme.Scheme
-	// Generator produces the query stream. Required.
+	// Generator produces the query stream. Required unless Source is
+	// set.
 	Generator *workload.Generator
+	// Source, if non-nil, produces the query stream instead of
+	// Generator — any workload.Source (an adversary strategy, a merged
+	// multi-source stream) plugs in here. A nil query from the source
+	// ends the run early.
+	Source workload.Source
 	// Queries is the stream length. Required.
 	Queries int
 	// Accounting prices the true expenditure; defaults to EC22008.
@@ -143,8 +149,12 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Scheme == nil {
 		return nil, fmt.Errorf("sim: Scheme is required")
 	}
-	if cfg.Generator == nil {
-		return nil, fmt.Errorf("sim: Generator is required")
+	src := cfg.Source
+	if src == nil {
+		if cfg.Generator == nil {
+			return nil, fmt.Errorf("sim: a Generator or Source is required")
+		}
+		src = cfg.Generator
 	}
 	if cfg.Queries <= 0 {
 		return nil, fmt.Errorf("sim: Queries must be positive")
@@ -205,9 +215,14 @@ func RunContext(ctx context.Context, cfg Config) (*Report, error) {
 			default:
 				buf = make([]*workload.Query, 0, n)
 			}
-			batch := cfg.Generator.Batch(n, buf)
+			batch := src.Batch(n, buf)
 			select {
 			case produced <- batch:
+				if len(batch) < n {
+					// The source ran dry (only finite Sources do; the
+					// Generator never does): end the run early.
+					return
+				}
 				remaining -= n
 			case <-pctx.Done():
 				return

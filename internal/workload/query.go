@@ -25,8 +25,13 @@ type Query struct {
 	Selectivity float64
 	// Arrival is the simulation time the query reaches the coordinator.
 	Arrival time.Duration
-	// Budget is the user's B_Q(t).
+	// Budget is the user's B_Q(t) as declared to the provider.
 	Budget budget.Func
+	// Truth, when non-nil, is the truthful budget behind a
+	// strategically declared Budget. Only adversary streams set it; the
+	// economy never reads it — it exists so audits can ask "what would
+	// honesty have cost?" via the counterfactual quote.
+	Truth budget.Func
 }
 
 // ScanBytes returns the bytes a full (index-less) cache execution scans:

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the online serving layer: build the daemon, start
 # it with both fronts (JSON/HTTP and the length-prefixed binary
-# protocol), replay a workload through each with invariant checks,
+# protocol), replay a workload through each with invariant checks —
+# including one replay with a free-riding adversary tenant merged in —
 # inspect the read endpoints, then drain gracefully and verify the final
 # snapshot accounts every query. Used by `make e2e` and CI.
 set -euo pipefail
@@ -56,6 +57,28 @@ grep -q "decision traces: sample_every=64" "$BIN/trace_http.out" || {
 "$BIN/workloadgen" -serve "$BIN_ADDR" -proto bin -batch 16 -queries "$QUERIES" \
     -clients 8 -tenants 8 -tenant-skew 1.1 -check
 
+# Adversarial replay: a free-riding tenant ("mallory", underbidding her
+# truthful valuation to 2%) merged into the honest stream. The daemon
+# must keep every externally checkable invariant with the liar in the
+# books, and the liar's ledger must be visible — and settled — in stats.
+"$BIN/workloadgen" -serve "http://$ADDR" -queries "$QUERIES" -clients 8 -tenants 16 -batch 8 \
+    -adversary free-rider -check >"$BIN/adversary.out"
+grep -q "invariants: OK" "$BIN/adversary.out" || {
+    echo "adversarial replay failed checks:"; cat "$BIN/adversary.out"; exit 1
+}
+curl -sf "http://$ADDR/v1/stats" >"$BIN/stats_adv.json"
+python3 - "$BIN/stats_adv.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+mallory = [t for t in stats.get("tenants") or [] if t["tenant"] == "mallory"]
+assert mallory, "free-rider replay left no mallory ledger in /v1/stats"
+m = mallory[0]
+assert m["queries"] > 0, f"mallory ledger settled no queries: {m}"
+assert m["spend_usd"] >= 0, f"mallory ledger spend negative: {m}"
+print(f"adversary OK: mallory settled {m['queries']} underbid queries, "
+      f"spend=${m['spend_usd']:.4f}")
+EOF
+
 # Same stream once more over the multiplexed v2 protocol: 4 connections,
 # 32 tagged batches in flight on each, completed out of order by the
 # daemon, with stats taken from the server-pushed stream (no polling).
@@ -99,7 +122,7 @@ stats = json.load(open(sys.argv[3]))
 
 assert trace["sample_every"] == 64, f"sample_every = {trace['sample_every']}"
 recs = trace["records"]
-assert recs, "no sampled decision traces after 40k queries at 1-in-64"
+assert recs, "no sampled decision traces after 50k queries at 1-in-64"
 for r in recs:
     assert r["template"] and r["query_id"] and r["seq"], f"incomplete identity: {r}"
     assert r["decide_ns"] > 0 and r["mailbox_wait_ns"] >= 0, f"missing stage timings: {r}"
@@ -136,7 +159,7 @@ EOF
 kill -TERM "$DAEMON_PID"
 wait "$DAEMON_PID"
 
-python3 - "$BIN/final.json" "$((QUERIES * 4))" <<'EOF'
+python3 - "$BIN/final.json" "$((QUERIES * 5))" <<'EOF'
 import json, sys
 snap = json.load(open(sys.argv[1]))
 want = int(sys.argv[2])
